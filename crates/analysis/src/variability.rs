@@ -1,0 +1,257 @@
+//! HLRS aggressor/victim classification.
+//!
+//! Paper §II-10: "Applications having high runtime variability are
+//! classified as 'victim' applications and those running concurrently that
+//! don't hit the 'victim' variability threshold are considered as possible
+//! 'aggressor' applications where the resource being contended for is
+//! assumed to be the HSN."
+//!
+//! [`classify_jobs`] reproduces that pipeline from stored [`JobRecord`]s:
+//! per-application runtime coefficient of variation → victims; apps that
+//! overlap victims' runs but are themselves stable → aggressor suspects,
+//! ranked by how often they co-ran with victim executions.
+
+use hpcmon_metrics::{JobRecord, JobState};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Classification of one application.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobClass {
+    /// High runtime variability: suffering from contention.
+    Victim,
+    /// Stable runtime and co-runs with victims: likely causing contention.
+    Aggressor,
+    /// Stable and not implicated.
+    Neutral,
+    /// Too few completed runs to judge.
+    Insufficient,
+}
+
+/// Per-application report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VariabilityReport {
+    /// Application name.
+    pub app: String,
+    /// Completed runs considered.
+    pub runs: usize,
+    /// Mean runtime, ms.
+    pub mean_runtime_ms: f64,
+    /// Runtime coefficient of variation.
+    pub cv: f64,
+    /// Classification.
+    pub class: JobClass,
+    /// For aggressors: fraction of victim runs they overlapped.
+    pub overlap_with_victims: f64,
+}
+
+/// Classify applications from completed job records.
+///
+/// `cv_threshold` is the victim variability threshold (HLRS used runtime
+/// variability; 0.15 is a reasonable default), `min_runs` the minimum
+/// completed runs per app to classify at all.
+pub fn classify_jobs(
+    records: &[JobRecord],
+    cv_threshold: f64,
+    min_runs: usize,
+) -> Vec<VariabilityReport> {
+    let completed: Vec<&JobRecord> =
+        records.iter().filter(|r| r.state == JobState::Completed && r.runtime_ms().is_some()).collect();
+
+    // Group runtimes by application.
+    let mut by_app: HashMap<&str, Vec<&JobRecord>> = HashMap::new();
+    for r in &completed {
+        by_app.entry(r.name.as_str()).or_default().push(r);
+    }
+
+    // First pass: runtime statistics per app.
+    struct AppStat<'a> {
+        app: &'a str,
+        runs: Vec<&'a JobRecord>,
+        mean: f64,
+        cv: f64,
+    }
+    let mut stats: Vec<AppStat> = by_app
+        .into_iter()
+        .map(|(app, runs)| {
+            let times: Vec<f64> =
+                runs.iter().map(|r| r.runtime_ms().expect("completed") as f64).collect();
+            let mean = times.iter().sum::<f64>() / times.len() as f64;
+            let var =
+                times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / times.len() as f64;
+            let cv = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+            AppStat { app, runs, mean, cv }
+        })
+        .collect();
+    stats.sort_by(|a, b| a.app.cmp(b.app));
+
+    // Victims: enough runs and CV above threshold.
+    let victim_apps: Vec<&str> = stats
+        .iter()
+        .filter(|s| s.runs.len() >= min_runs && s.cv > cv_threshold)
+        .map(|s| s.app)
+        .collect();
+    let victim_runs: Vec<&JobRecord> = stats
+        .iter()
+        .filter(|s| victim_apps.contains(&s.app))
+        .flat_map(|s| s.runs.iter().copied())
+        .collect();
+
+    // Second pass: classify, measuring overlap with victim executions.
+    stats
+        .into_iter()
+        .map(|s| {
+            let runs = s.runs.len();
+            if runs < min_runs {
+                return VariabilityReport {
+                    app: s.app.to_owned(),
+                    runs,
+                    mean_runtime_ms: s.mean,
+                    cv: s.cv,
+                    class: JobClass::Insufficient,
+                    overlap_with_victims: 0.0,
+                };
+            }
+            if victim_apps.contains(&s.app) {
+                return VariabilityReport {
+                    app: s.app.to_owned(),
+                    runs,
+                    mean_runtime_ms: s.mean,
+                    cv: s.cv,
+                    class: JobClass::Victim,
+                    overlap_with_victims: 0.0,
+                };
+            }
+            // Stable app: how many victim runs did it co-run with?
+            let overlapped = victim_runs
+                .iter()
+                .filter(|v| v.name != s.app && s.runs.iter().any(|r| overlaps(r, v)))
+                .count();
+            let overlap_frac = if victim_runs.is_empty() {
+                0.0
+            } else {
+                overlapped as f64 / victim_runs.len() as f64
+            };
+            let class = if overlap_frac > 0.5 { JobClass::Aggressor } else { JobClass::Neutral };
+            VariabilityReport {
+                app: s.app.to_owned(),
+                runs,
+                mean_runtime_ms: s.mean,
+                cv: s.cv,
+                class,
+                overlap_with_victims: overlap_frac,
+            }
+        })
+        .collect()
+}
+
+fn overlaps(a: &JobRecord, b: &JobRecord) -> bool {
+    match (a.start, a.end, b.start, b.end) {
+        (Some(a0), Some(a1), Some(b0), Some(b1)) => a0 < b1 && b0 < a1,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcmon_metrics::{JobId, Ts};
+
+    fn job(id: u32, app: &str, start_min: u64, runtime_min: u64) -> JobRecord {
+        JobRecord {
+            id: JobId(id),
+            user: "u".into(),
+            name: app.into(),
+            nodes: vec![id],
+            submit: Ts::from_mins(start_min),
+            start: Some(Ts::from_mins(start_min)),
+            end: Some(Ts::from_mins(start_min + runtime_min)),
+            state: JobState::Completed,
+        }
+    }
+
+    /// Scenario: "fft" runs vary wildly (victim); "stencil" is rock-stable
+    /// and always co-runs with fft (aggressor); "quiet" is stable and runs
+    /// alone (neutral).
+    fn scenario() -> Vec<JobRecord> {
+        let mut jobs = Vec::new();
+        let fft_runtimes = [30u64, 60, 45, 90, 35];
+        for (i, rt) in fft_runtimes.iter().enumerate() {
+            jobs.push(job(i as u32, "fft", i as u64 * 200, *rt));
+        }
+        for i in 0..5u32 {
+            jobs.push(job(100 + i, "stencil", i as u64 * 200 + 10, 40));
+        }
+        for i in 0..5u32 {
+            jobs.push(job(200 + i, "quiet", 5_000 + i as u64 * 200, 40));
+        }
+        jobs
+    }
+
+    fn report_for<'a>(reports: &'a [VariabilityReport], app: &str) -> &'a VariabilityReport {
+        reports.iter().find(|r| r.app == app).unwrap()
+    }
+
+    #[test]
+    fn classifies_victim_aggressor_neutral() {
+        let reports = classify_jobs(&scenario(), 0.15, 3);
+        assert_eq!(report_for(&reports, "fft").class, JobClass::Victim);
+        assert!(report_for(&reports, "fft").cv > 0.15);
+        let stencil = report_for(&reports, "stencil");
+        assert_eq!(stencil.class, JobClass::Aggressor);
+        assert!(stencil.overlap_with_victims > 0.5);
+        assert_eq!(report_for(&reports, "quiet").class, JobClass::Neutral);
+    }
+
+    #[test]
+    fn few_runs_is_insufficient() {
+        let jobs = vec![job(0, "once", 0, 30)];
+        let reports = classify_jobs(&jobs, 0.15, 3);
+        assert_eq!(reports[0].class, JobClass::Insufficient);
+    }
+
+    #[test]
+    fn incomplete_jobs_are_ignored() {
+        let mut jobs = scenario();
+        let mut running = job(999, "fft", 0, 10);
+        running.end = None;
+        running.state = JobState::Running;
+        jobs.push(running);
+        let reports = classify_jobs(&jobs, 0.15, 3);
+        assert_eq!(report_for(&reports, "fft").runs, 5, "running job not counted");
+    }
+
+    #[test]
+    fn stable_everything_means_no_victims() {
+        let jobs: Vec<JobRecord> =
+            (0..6).map(|i| job(i, if i % 2 == 0 { "a" } else { "b" }, i as u64 * 10, 40)).collect();
+        let reports = classify_jobs(&jobs, 0.15, 3);
+        assert!(reports.iter().all(|r| r.class == JobClass::Neutral));
+        assert!(reports.iter().all(|r| r.overlap_with_victims == 0.0));
+    }
+
+    #[test]
+    fn overlap_requires_temporal_intersection() {
+        let a = job(0, "a", 0, 10);
+        let b = job(1, "b", 10, 10); // touches at the boundary: half-open, no overlap
+        assert!(!overlaps(&a, &b));
+        let c = job(2, "c", 5, 10);
+        assert!(overlaps(&a, &c));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(classify_jobs(&[], 0.15, 3).is_empty());
+    }
+
+    #[test]
+    fn reports_are_deterministic_order() {
+        let r1 = classify_jobs(&scenario(), 0.15, 3);
+        let r2 = classify_jobs(&scenario(), 0.15, 3);
+        assert_eq!(r1, r2);
+        let names: Vec<&str> = r1.iter().map(|r| r.app.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted, "sorted by app name");
+    }
+}

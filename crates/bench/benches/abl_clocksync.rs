@@ -1,0 +1,51 @@
+//! Ablation: event association with synchronized vs drifting clocks.
+//!
+//! Quantifies the paper's §III-B warning — "local clock drift can result
+//! in erroneous associations" — as pairwise precision/recall of incident
+//! clustering, and benchmarks the association kernel itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcmon::scenarios::clock_sync_ablation;
+use hpcmon_analysis::association::{associate, AssocEvent};
+use hpcmon_bench::BENCH_SEED;
+use hpcmon_metrics::{CompId, Ts};
+
+fn print_capability() {
+    println!("\n=== Ablation: clock synchronization and association ===");
+    let r = clock_sync_ablation(40, BENCH_SEED);
+    println!(
+        "  synced:    precision {:.3} recall {:.3} f1 {:.3}",
+        r.synced.precision, r.synced.recall, r.synced.f1
+    );
+    println!(
+        "  drifting:  precision {:.3} recall {:.3} f1 {:.3}",
+        r.drifting.precision, r.drifting.recall, r.drifting.f1
+    );
+    println!(
+        "  corrected: precision {:.3} recall {:.3} f1 {:.3}\n",
+        r.corrected.precision, r.corrected.recall, r.corrected.f1
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_capability();
+    let mut group = c.benchmark_group("abl_clocksync");
+    group.sample_size(30);
+    let events: Vec<AssocEvent> = (0..10_000u64)
+        .map(|i| AssocEvent {
+            ts: Ts::from_secs(i * 7 % 100_000),
+            comp: CompId::node((i % 128) as u32),
+            tag: (i / 6) as u32,
+        })
+        .collect();
+    group.bench_function("associate_10k_events", |b| {
+        b.iter(|| std::hint::black_box(associate(events.clone(), 5_000).len()))
+    });
+    group.bench_function("full_ablation_40_incidents", |b| {
+        b.iter(|| std::hint::black_box(clock_sync_ablation(40, BENCH_SEED).drifting.f1))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

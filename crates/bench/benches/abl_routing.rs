@@ -1,0 +1,124 @@
+//! Ablation: minimal vs adaptive routing under hot-spot traffic.
+//!
+//! The SNL congestion work motivates caring about *where* congestion
+//! forms; this ablation shows the routing policy's effect on achieved
+//! throughput when many flows share a destination, and benchmarks the
+//! route-computation kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcmon_sim::network::NetworkState;
+use hpcmon_sim::routing::{minimal_route, route_with_policy, RoutePolicy};
+use hpcmon_sim::topology::{Topology, TopologySpec};
+
+/// Offer corridor flows (one source router → one distant destination)
+/// under a policy; return total achieved bytes.  All minimal paths share
+/// the source's first hop, so this is where load-informed detours pay:
+/// on a ring, the detour direction reaches an antipodal destination over
+/// a fully disjoint path.
+fn corridor_throughput(topo: &Topology, dst: u32, policy: RoutePolicy) -> f64 {
+    let mut net = NetworkState::new(topo, 1.0e9);
+    net.begin_tick();
+    let dt = 1_000u64;
+    let src_node = topo.nodes_of_router(0).start;
+    for _ in 0..16 {
+        let loads = net.load_fractions(dt);
+        let path = route_with_policy(topo, 0, dst, policy, &loads, 0.5);
+        net.offer_flow(src_node, path, 2.0e8);
+    }
+    net.settle(dt).iter().sum()
+}
+
+/// Hot-spot flows (many sources → one destination): the bottleneck is at
+/// the destination, where no routing policy can help — the negative
+/// control that keeps the ablation honest.
+fn hotspot_throughput(topo: &Topology, policy: RoutePolicy) -> f64 {
+    let mut net = NetworkState::new(topo, 1.0e9);
+    net.begin_tick();
+    let dt = 1_000u64;
+    for src_router in 1..topo.num_routers() {
+        let loads = net.load_fractions(dt);
+        let path = route_with_policy(topo, src_router, 0, policy, &loads, 0.5);
+        let src_node = topo.nodes_of_router(src_router).start;
+        net.offer_flow(src_node, path, 2.0e8);
+    }
+    net.settle(dt).iter().sum()
+}
+
+fn print_capability() {
+    println!("\n=== Ablation: minimal vs adaptive routing ===");
+    // Corridor on a ring: disjoint detour path exists → adaptive wins.
+    let ring = Topology::build(TopologySpec::Torus3D { dims: [8, 1, 1], nodes_per_router: 2 });
+    let minimal = corridor_throughput(&ring, 4, RoutePolicy::Minimal);
+    let adaptive = corridor_throughput(&ring, 4, RoutePolicy::Adaptive);
+    println!(
+        "  corridor (ring, antipodal dst): minimal {:.3e} B, adaptive {:.3e} B ({:+.1}%)",
+        minimal,
+        adaptive,
+        (adaptive / minimal - 1.0) * 100.0
+    );
+    // Destination hot spot: no policy can add capacity at the sink.
+    let torus = Topology::build(TopologySpec::Torus3D { dims: [8, 8, 4], nodes_per_router: 2 });
+    let minimal = hotspot_throughput(&torus, RoutePolicy::Minimal);
+    let adaptive = hotspot_throughput(&torus, RoutePolicy::Adaptive);
+    println!(
+        "  destination hotspot (torus): minimal {:.3e} B, adaptive {:.3e} B ({:+.1}%) — sink-bound, as expected",
+        minimal,
+        adaptive,
+        (adaptive / minimal - 1.0) * 100.0
+    );
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    print_capability();
+    let mut group = c.benchmark_group("abl_routing");
+    group.sample_size(30);
+    let torus = Topology::build(TopologySpec::Torus3D { dims: [16, 16, 8], nodes_per_router: 2 });
+    let dragonfly = Topology::build(TopologySpec::Dragonfly {
+        groups: 16,
+        routers_per_group: 16,
+        nodes_per_router: 4,
+    });
+
+    group.bench_function("torus_minimal_route", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 97) % torus.num_routers();
+            std::hint::black_box(minimal_route(&torus, i, (i * 31) % torus.num_routers()).len())
+        })
+    });
+    group.bench_function("dragonfly_minimal_route", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 97) % dragonfly.num_routers();
+            std::hint::black_box(
+                minimal_route(&dragonfly, i, (i * 31) % dragonfly.num_routers()).len(),
+            )
+        })
+    });
+    group.bench_function("torus_adaptive_route_loaded", |b| {
+        let loads = vec![0.9; torus.num_links() as usize];
+        let mut i = 0u32;
+        b.iter(|| {
+            i = (i + 97) % torus.num_routers();
+            std::hint::black_box(
+                route_with_policy(
+                    &torus,
+                    i,
+                    (i * 31) % torus.num_routers(),
+                    RoutePolicy::Adaptive,
+                    &loads,
+                    0.5,
+                )
+                .len(),
+            )
+        })
+    });
+    group.bench_function("hotspot_settle_torus", |b| {
+        b.iter(|| std::hint::black_box(hotspot_throughput(&torus, RoutePolicy::Minimal)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Ablation: tiered store (hot → compressed warm) vs a flat uncompressed
+//! store.
+//!
+//! DESIGN.md calls out tiering as a design choice; this quantifies both
+//! sides: memory footprint (compression) and the query-time cost of
+//! decompressing warm blocks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcmon_metrics::{CompId, MetricId, Sample, SeriesKey, Ts};
+use hpcmon_store::TimeSeriesStore;
+
+fn fill(store: &TimeSeriesStore, series: u32, points: u64) {
+    for n in 0..series {
+        for m in 0..points {
+            let v = 200.0 + ((m as f64) * 0.05).sin() * 10.0;
+            store.insert(&Sample::new(MetricId(0), CompId::node(n), Ts::from_mins(m), v));
+        }
+    }
+}
+
+fn print_capability() {
+    println!("\n=== Ablation: tiered vs flat storage ===");
+    // Flat: huge seal threshold keeps everything hot (raw 16 B/point).
+    let flat = TimeSeriesStore::with_options(16, usize::MAX / 2);
+    fill(&flat, 64, 2_000);
+    let fs = flat.stats();
+    // Tiered: default sealing compresses.
+    let tiered = TimeSeriesStore::new();
+    fill(&tiered, 64, 2_000);
+    tiered.seal_all();
+    let ts = tiered.stats();
+    println!(
+        "  flat:   {} hot points (~{} KiB raw)",
+        fs.hot_points,
+        fs.hot_points * 16 / 1024
+    );
+    println!(
+        "  tiered: {} warm points in {} KiB ({:.2} B/pt, {:.1}x smaller)\n",
+        ts.warm_points,
+        ts.warm_bytes / 1024,
+        ts.bytes_per_point,
+        16.0 / ts.bytes_per_point.max(1e-9)
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_capability();
+    let mut group = c.benchmark_group("abl_tiering");
+    group.sample_size(20);
+
+    let flat = TimeSeriesStore::with_options(16, usize::MAX / 2);
+    fill(&flat, 64, 2_000);
+    let tiered = TimeSeriesStore::new();
+    fill(&tiered, 64, 2_000);
+    tiered.seal_all();
+    let key = SeriesKey::new(MetricId(0), CompId::node(7));
+
+    group.bench_function("query_2k_points_hot_flat", |b| {
+        b.iter(|| std::hint::black_box(flat.query(key, Ts::ZERO, Ts(u64::MAX)).len()))
+    });
+    group.bench_function("query_2k_points_warm_tiered", |b| {
+        b.iter(|| std::hint::black_box(tiered.query(key, Ts::ZERO, Ts(u64::MAX)).len()))
+    });
+    group.bench_function("ingest_with_sealing", |b| {
+        b.iter_with_setup(
+            || TimeSeriesStore::with_options(16, 512),
+            |store| {
+                fill(&store, 4, 1_024);
+                std::hint::black_box(store.stats().warm_points)
+            },
+        )
+    });
+    group.bench_function("ingest_flat", |b| {
+        b.iter_with_setup(
+            || TimeSeriesStore::with_options(16, usize::MAX / 2),
+            |store| {
+                fill(&store, 4, 1_024);
+                std::hint::black_box(store.stats().hot_points)
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Figure 1 (NCSA): mean HSN injection bandwidth, pre-TAS vs TAS eras.
+//!
+//! Regenerates both era series, prints the figure's headline comparison
+//! (the TAS-era mean should be clearly higher), then benchmarks the cost
+//! of one monitored tick under each placement policy — the "what does
+//! continuous full-system network collection cost" question.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcmon::scenarios::fig1_tas;
+use hpcmon::{MonitoringSystem, SimConfig};
+use hpcmon_bench::{print_series_row, BENCH_SEED};
+use hpcmon_metrics::{Ts, MINUTE_MS};
+use hpcmon_sim::sched::Placement;
+use hpcmon_sim::{AppProfile, JobSpec, TopologySpec};
+
+fn regenerate() {
+    let r = fig1_tas(20, BENCH_SEED);
+    println!("\n=== Figure 1: injection bandwidth, pre-TAS vs TAS ===");
+    print_series_row("pre-TAS mean injection %", &r.pre_tas);
+    print_series_row("TAS mean injection %", &r.post_tas);
+    println!(
+        "  era means: pre-TAS {:.3}%  TAS {:.3}%  (TAS/pre ratio {:.2}x; paper: pre 'significantly lower')\n",
+        r.pre_mean,
+        r.post_mean,
+        r.post_mean / r.pre_mean.max(1e-9)
+    );
+}
+
+fn tick_under_placement(placement: Placement) -> MonitoringSystem {
+    let mut cfg = SimConfig::small();
+    cfg.topology = TopologySpec::Torus3D { dims: [8, 8, 4], nodes_per_router: 2 };
+    cfg.link_capacity_bytes_per_sec = 4.0e9;
+    cfg.scheduler.placement = placement;
+    cfg.seed = BENCH_SEED;
+    let mut mon = MonitoringSystem::builder(cfg).bench_suite_every(None).with_probes(false).build();
+    for i in 0..16 {
+        mon.submit_job(JobSpec::new(
+            AppProfile::comm_heavy(&format!("fft{i}")),
+            "u",
+            32,
+            600 * MINUTE_MS,
+            Ts::ZERO,
+        ));
+    }
+    mon.run_ticks(2); // warm: jobs placed, traffic flowing
+    mon
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig1_tas");
+    group.sample_size(10);
+    for (label, placement) in
+        [("tick_random_placement", Placement::Random), ("tick_tas_placement", Placement::TopologyAware)]
+    {
+        let mut mon = tick_under_placement(placement);
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                std::hint::black_box(mon.tick().samples);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! Figure 2 (NERSC): periodic benchmark performance over time with
+//! visible degradation onsets.
+//!
+//! Regenerates the benchmark series with an injected filesystem
+//! degradation and a network-contention era, prints injected vs detected
+//! onsets, then benchmarks the two kernels: one benchmark-suite round and
+//! CUSUM onset detection over the full series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcmon::scenarios::fig2_bench_suite;
+use hpcmon_analysis::{CusumDetector, Detector};
+use hpcmon_bench::{print_series_row, BENCH_SEED};
+use hpcmon_collect::{BenchmarkSuite, StdMetrics};
+use hpcmon_metrics::{Frame, MetricRegistry};
+use hpcmon_sim::{SimConfig, SimEngine};
+
+fn regenerate() -> hpcmon::scenarios::Fig2Result {
+    let r = fig2_bench_suite(BENCH_SEED);
+    println!("\n=== Figure 2: benchmark performance over time ===");
+    print_series_row("io bench time-to-solution s", &r.io_series);
+    print_series_row("network bench tts s", &r.net_series);
+    println!(
+        "  io onset: injected {} detected {:?}",
+        r.injected_io_onset,
+        r.detected_io_onset.map(|t| t.display_hms())
+    );
+    println!(
+        "  net onset: injected {} detected {:?}\n",
+        r.injected_net_onset,
+        r.detected_net_onset.map(|t| t.display_hms())
+    );
+    r
+}
+
+fn bench(c: &mut Criterion) {
+    let r = regenerate();
+    let mut group = c.benchmark_group("fig2_bench_suite");
+    group.sample_size(20);
+
+    let mut engine = SimEngine::new(SimConfig::small());
+    engine.step();
+    let metrics = StdMetrics::register(&MetricRegistry::new());
+    let mut suite = BenchmarkSuite::new(metrics, BENCH_SEED, 16);
+    group.bench_function("one_suite_round", |b| {
+        b.iter(|| {
+            let mut frame = Frame::new(engine.now());
+            let mut logs = Vec::new();
+            std::hint::black_box(suite.run(&engine, &mut frame, &mut logs).len())
+        })
+    });
+
+    group.bench_function("cusum_onset_detection", |b| {
+        b.iter(|| {
+            let mut cusum = CusumDetector::new(30, 0.5, 8.0);
+            let mut hit = None;
+            for &(t, v) in &r.io_series {
+                if let Some(a) = cusum.observe(t, v) {
+                    hit = Some(a.ts);
+                    break;
+                }
+            }
+            std::hint::black_box(hit)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Figure 3 (KAUST): total and per-cabinet power during a load-imbalance
+//! window.
+//!
+//! Regenerates the two panels and prints the paper's two headline numbers
+//! (≈3× cabinet variation, ≈1.9× lower total draw), then benchmarks the
+//! imbalance assessment and the power-profile comparison kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcmon::scenarios::fig3_power;
+use hpcmon_analysis::{ImbalanceDetector, PowerProfileLibrary};
+use hpcmon_bench::{print_series_row, BENCH_SEED};
+
+fn regenerate() {
+    let r = fig3_power(BENCH_SEED);
+    println!("\n=== Figure 3: power during load imbalance ===");
+    print_series_row("total power W", &r.total_power);
+    for (comp, pts) in r.cabinet_power.iter().take(4) {
+        print_series_row(&format!("cabinet {} power W", comp.index), pts);
+    }
+    println!(
+        "  window (job min {}..{}): cabinet max/min {:.2}x (paper: up to 3x); balanced/imbalanced total draw {:.2}x (paper: almost 1.9x)",
+        r.window_mins.0, r.window_mins.1, r.window_cabinet_ratio, r.draw_ratio
+    );
+    println!("  imbalance detector flagged at: {:?}\n", r.flagged_ticks.iter().map(|t| t.display_hms()).collect::<Vec<_>>());
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig3_power");
+    group.sample_size(30);
+
+    let det = ImbalanceDetector::new();
+    let cabinets: Vec<f64> =
+        (0..64).map(|i| if i % 4 == 0 { 20_000.0 } else { 58_000.0 + i as f64 }).collect();
+    group.bench_function("imbalance_assess_64_cabinets", |b| {
+        b.iter(|| std::hint::black_box(det.assess(&cabinets).max_min_ratio))
+    });
+
+    let mut lib = PowerProfileLibrary::new();
+    let reference: Vec<f64> = (0..600).map(|i| 300.0 + 30.0 * ((i / 60) % 2) as f64).collect();
+    lib.record_reference("vasp", &reference);
+    let run: Vec<f64> = (0..580).map(|i| 302.0 + 30.0 * ((i / 58) % 2) as f64).collect();
+    group.bench_function("profile_compare_600pt", |b| {
+        b.iter(|| std::hint::black_box(lib.compare("vasp", &run).unwrap().deviation))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Figure 4 (NCSA): aggregate filesystem I/O spike → per-node drill-down
+//! → job attribution.
+//!
+//! Regenerates the scenario and prints the drill-down table with the
+//! attributed job, then benchmarks the two queries behind the view: the
+//! system-wide aggregate and the top-k components at an instant.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcmon::scenarios::fig4_drilldown;
+use hpcmon_bench::{populated_store, print_series_row, BENCH_SEED};
+use hpcmon_metrics::{MetricId, Ts};
+use hpcmon_store::{AggFn, QueryEngine, TimeRange};
+
+fn regenerate() {
+    let r = fig4_drilldown(BENCH_SEED);
+    println!("\n=== Figure 4: aggregate I/O spike drill-down ===");
+    print_series_row("fs aggregate read B/s", &r.aggregate_read);
+    println!("  spike at {}", r.peak.display_hms());
+    for (i, (comp, v)) in r.top_nodes.iter().take(5).enumerate() {
+        println!("  {:>2}. {:<10} {v:.3e} B/s", i + 1, comp.path());
+    }
+    match &r.attributed {
+        Some(job) => println!(
+            "  attributed: job {} ({}, user {}) — ground truth job {} => {}\n",
+            job.id.0,
+            job.name,
+            job.user,
+            r.culprit.id.0,
+            if job.id == r.culprit.id { "CORRECT" } else { "WRONG" }
+        ),
+        None => println!("  attribution failed\n"),
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig4_drilldown");
+    group.sample_size(20);
+    let store = populated_store(512, 240);
+    let q = QueryEngine::new(&store);
+    group.bench_function("aggregate_512_series_240pt", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                q.aggregate_across_components(MetricId(0), TimeRange::all(), AggFn::Sum).len(),
+            )
+        })
+    });
+    group.bench_function("topk_at_instant_512_series", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                q.top_components_at(MetricId(0), Ts::from_mins(120), 60_000, 10).len(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 5 (NCSA): per-job multi-metric panels with sum/mean condensation
+//! and CSV download.
+//!
+//! Regenerates the panel and prints it, then benchmarks the per-job query
+//! (allocation + timeframe extraction) and the CSV export.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcmon::scenarios::fig5_perjob;
+use hpcmon_bench::{populated_store, BENCH_SEED};
+use hpcmon_metrics::{JobId, JobRecord, JobState, MetricId, Ts};
+use hpcmon_store::QueryEngine;
+use hpcmon_viz::series_to_csv;
+
+fn regenerate() {
+    let r = fig5_perjob(BENCH_SEED);
+    println!("\n=== Figure 5: per-job multi-metric panel ===");
+    println!("{}", r.panel_text);
+    println!("  CSV download: {} rows, header: {}", r.csv.lines().count() - 1, r.csv.lines().next().unwrap_or(""));
+}
+
+fn bench(c: &mut Criterion) {
+    regenerate();
+    let mut group = c.benchmark_group("fig5_perjob");
+    group.sample_size(20);
+    let store = populated_store(256, 240);
+    let q = QueryEngine::new(&store);
+    let job = JobRecord {
+        id: JobId(1),
+        user: "bob".into(),
+        name: "climate".into(),
+        nodes: (0..64).collect(),
+        submit: Ts::ZERO,
+        start: Some(Ts::from_mins(10)),
+        end: Some(Ts::from_mins(200)),
+        state: JobState::Completed,
+    };
+    group.bench_function("job_series_64_nodes_190min", |b| {
+        b.iter(|| std::hint::black_box(q.job_series(&job, MetricId(0)).sum.len()))
+    });
+    let js = q.job_series(&job, MetricId(0));
+    let series = vec![("sum".to_owned(), js.sum.clone()), ("mean".to_owned(), js.mean.clone())];
+    group.bench_function("csv_export_2x190", |b| {
+        b.iter(|| std::hint::black_box(series_to_csv(&series).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Table I "Analysis and Visualization": streaming detector throughput,
+//! correlator rule matching rate, and trend fitting.
+//!
+//! Requirements exercised: "analysis capabilities ... as streaming
+//! analysis", "concurrent conditions on disparate components should be
+//! able to be identified", "high dimensional and long term data".
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hpcmon_analysis::{
+    Correlator, CusumDetector, Detector, MadDetector, TrendTracker, ZScoreDetector,
+};
+use hpcmon_metrics::{CompId, LogRecord, Severity, Ts};
+
+fn series(n: u64) -> Vec<(Ts, f64)> {
+    (0..n).map(|i| (Ts::from_mins(i), 100.0 + ((i * 37) % 10) as f64 * 0.1)).collect()
+}
+
+fn log_stream(n: u64) -> Vec<LogRecord> {
+    (0..n)
+        .map(|i| {
+            let template = match i % 50 {
+                0 => 3,  // link failed
+                1 => 11, // job failed (pairs with 3)
+                2..=7 => 5, // crc retries (threshold rule)
+                _ => 14, // routine
+            };
+            LogRecord::new(
+                Ts::from_secs(i * 10),
+                CompId::node((i % 64) as u32),
+                Severity::Info,
+                "console",
+                "event text",
+            )
+            .with_template(template)
+        })
+        .collect()
+}
+
+fn print_capability() {
+    println!("\n=== Table I (Analysis): streaming detection capability ===");
+    let mut correlator = Correlator::new(Correlator::production_rules());
+    let stream = log_stream(10_000);
+    let findings: usize = stream.iter().map(|r| correlator.observe(r).len()).sum();
+    println!("  10k-record log stream through 8 production rules: {findings} findings\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_capability();
+    let mut group = c.benchmark_group("tab1_analysis");
+    group.sample_size(20);
+    let data = series(10_000);
+
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("zscore_10k_points", |b| {
+        b.iter(|| {
+            let mut det = ZScoreDetector::new(60, 4.0);
+            let mut hits = 0usize;
+            for &(t, v) in &data {
+                hits += det.observe(t, v).is_some() as usize;
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.bench_function("mad_10k_points", |b| {
+        b.iter(|| {
+            let mut det = MadDetector::new(60, 6.0);
+            let mut hits = 0usize;
+            for &(t, v) in &data {
+                hits += det.observe(t, v).is_some() as usize;
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.bench_function("cusum_10k_points", |b| {
+        b.iter(|| {
+            let mut det = CusumDetector::new(60, 0.5, 8.0);
+            let mut hits = 0usize;
+            for &(t, v) in &data {
+                hits += det.observe(t, v).is_some() as usize;
+            }
+            std::hint::black_box(hits)
+        })
+    });
+    group.bench_function("trend_fit_10k_points", |b| {
+        b.iter(|| {
+            let mut tracker = TrendTracker::new();
+            for &(t, v) in &data {
+                tracker.push(t, v);
+            }
+            std::hint::black_box(tracker.fit().map(|f| f.slope_per_sec))
+        })
+    });
+
+    let stream = log_stream(10_000);
+    group.bench_function("correlator_10k_records_8_rules", |b| {
+        b.iter(|| {
+            let mut correlator = Correlator::new(Correlator::production_rules());
+            let findings: usize = stream.iter().map(|r| correlator.observe(r).len()).sum();
+            std::hint::black_box(findings)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

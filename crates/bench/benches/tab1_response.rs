@@ -1,0 +1,59 @@
+//! Table I "Response": detect→action latency and the CSCS health-gating
+//! outcome.
+//!
+//! Requirements exercised: "reporting and alerting ... easily
+//! configurable", "triggered based on arbitrary locations", "results ...
+//! exposed to applications and system software" (scheduler feedback via
+//! gating).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hpcmon::scenarios::gating_experiment;
+use hpcmon_bench::BENCH_SEED;
+use hpcmon_metrics::{CompId, Severity, Ts};
+use hpcmon_response::{ResponseEngine, Signal, SignalKind};
+
+fn print_capability() {
+    println!("\n=== Table I (Response): CSCS health gating ===");
+    let r = gating_experiment(BENCH_SEED);
+    println!(
+        "  gating OFF: {} failed / {} completed; gating ON: {} failed / {} completed",
+        r.failed_without_gating,
+        r.completed_without_gating,
+        r.failed_with_gating,
+        r.completed_with_gating
+    );
+    println!("  (paper goal: 'a problem should only be encountered by at most one batch job')\n");
+}
+
+fn bench(c: &mut Criterion) {
+    print_capability();
+    let mut group = c.benchmark_group("tab1_response");
+    group.sample_size(30);
+
+    // Signal-handling throughput through the production rule set, with
+    // storms (cooldown path) and distinct components (firing path).
+    let signals: Vec<Signal> = (0..10_000u64)
+        .map(|i| {
+            Signal::new(
+                Ts::from_secs(i),
+                if i % 3 == 0 { SignalKind::HealthCheckFailure } else { SignalKind::MetricAnomaly },
+                if i % 7 == 0 { Severity::Critical } else { Severity::Warning },
+                CompId::node((i % 256) as u32),
+                4.0,
+                "bench signal",
+            )
+        })
+        .collect();
+    group.throughput(Throughput::Elements(signals.len() as u64));
+    group.bench_function("handle_10k_signals_production_rules", |b| {
+        b.iter(|| {
+            let mut engine = ResponseEngine::new(ResponseEngine::production_rules());
+            let actions: usize = signals.iter().map(|s| engine.handle(s).len()).sum();
+            std::hint::black_box(actions)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

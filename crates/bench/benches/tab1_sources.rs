@@ -1,0 +1,83 @@
+//! Table I "Data Sources": full-fidelity collection cost, the
+//! fidelity/overhead tradeoff, and subsystem coverage.
+//!
+//! Requirements exercised: "expose all possible data sources for all
+//! possible subsystems" (coverage print), "raw data at maximum fidelity
+//! with the lowest possible overhead" (full sweep cost vs decimated).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hpcmon_bench::BENCH_SEED;
+use hpcmon_collect::collectors::standard_collectors;
+use hpcmon_collect::{Collector, NetworkCollector, StdMetrics};
+use hpcmon_metrics::{Frame, MetricRegistry, Ts, MINUTE_MS};
+use hpcmon_sim::{AppProfile, JobSpec, SimConfig, SimEngine, TopologySpec};
+
+fn busy_engine() -> SimEngine {
+    let mut cfg = SimConfig::small();
+    cfg.topology = TopologySpec::Torus3D { dims: [8, 8, 4], nodes_per_router: 2 };
+    cfg.seed = BENCH_SEED;
+    let mut engine = SimEngine::new(cfg);
+    engine.submit_job(JobSpec::new(
+        AppProfile::comm_heavy("fft"),
+        "u",
+        256,
+        600 * MINUTE_MS,
+        Ts::ZERO,
+    ));
+    engine.step();
+    engine.step();
+    engine
+}
+
+fn print_coverage(engine: &SimEngine, metrics: StdMetrics) {
+    let mut frame = Frame::new(engine.now());
+    for c in &mut standard_collectors(metrics) {
+        c.collect(engine, &mut frame);
+    }
+    let kinds: std::collections::BTreeSet<&str> =
+        frame.samples.iter().map(|s| s.key.comp.kind.label()).collect();
+    println!("\n=== Table I (Data Sources): coverage ===");
+    println!("  one synchronized sweep: {} samples", frame.len());
+    println!("  component kinds covered: {kinds:?}");
+    println!("  (plus text logs via the harvester and test results via the bench suite)\n");
+}
+
+fn bench(c: &mut Criterion) {
+    let engine = busy_engine();
+    let registry = MetricRegistry::new();
+    let metrics = StdMetrics::register(&registry);
+    print_coverage(&engine, metrics);
+
+    let mut group = c.benchmark_group("tab1_sources");
+    group.sample_size(30);
+
+    group.bench_function("full_sweep_512_nodes", |b| {
+        let mut collectors = standard_collectors(metrics);
+        b.iter(|| {
+            let mut frame = Frame::new(engine.now());
+            for col in &mut collectors {
+                col.collect(&engine, &mut frame);
+            }
+            std::hint::black_box(frame.len())
+        })
+    });
+
+    for stride in [1u32, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("hsn_collector_stride", stride),
+            &stride,
+            |b, &stride| {
+                let mut col = NetworkCollector::with_stride(metrics, stride);
+                b.iter(|| {
+                    let mut frame = Frame::new(engine.now());
+                    col.collect(&engine, &mut frame);
+                    std::hint::black_box(frame.len())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,93 @@
+//! Table I "Data Storage and Formats": ingest rate, compression ratio,
+//! query latency, and the archive→locate→reload cycle.
+//!
+//! Requirements exercised: "keep all data" (bytes/sample print),
+//! "hierarchical storage models with the ability to locate and reload
+//! data", "access historical data in conjunction with current data".
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hpcmon_bench::populated_store;
+use hpcmon_metrics::{CompId, MetricId, Sample, SeriesKey, Ts};
+use hpcmon_store::{Archive, TimeSeriesStore};
+
+fn print_capability() {
+    println!("\n=== Table I (Storage): tiering and compression ===");
+    let store = populated_store(256, 1_000);
+    store.seal_all();
+    let stats = store.stats();
+    println!(
+        "  256 series x 1000 pts: {} warm bytes, {:.2} bytes/sample (raw is 16)",
+        stats.warm_bytes, stats.bytes_per_point
+    );
+    let mut archive = Archive::new();
+    let cat = archive.archive_before(&store, Ts::from_mins(1_000)).expect("archivable");
+    println!(
+        "  archived segment {}: {} blocks, {} points, {} bytes; catalog range {}..{}",
+        cat.segment, cat.blocks, cat.points, cat.bytes, cat.start, cat.end
+    );
+    archive.reload_into(cat.segment, &store);
+    let key = SeriesKey::new(MetricId(0), CompId::node(0));
+    println!(
+        "  after reload: historical query returns {} points\n",
+        store.query(key, Ts::ZERO, Ts(u64::MAX)).len()
+    );
+}
+
+fn bench(c: &mut Criterion) {
+    print_capability();
+    let mut group = c.benchmark_group("tab1_storage");
+    group.sample_size(20);
+
+    // Ingest throughput.
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("ingest_10k_samples", |b| {
+        b.iter_with_setup(TimeSeriesStore::new, |store| {
+            for i in 0..10_000u64 {
+                store.insert(&Sample::new(
+                    MetricId(0),
+                    CompId::node((i % 100) as u32),
+                    Ts(i * 1_000),
+                    i as f64,
+                ));
+            }
+            std::hint::black_box(store.stats().series)
+        })
+    });
+    group.throughput(Throughput::Elements(1));
+
+    // Query latency across tiers.
+    let store = populated_store(256, 1_000);
+    store.seal_all();
+    let key = SeriesKey::new(MetricId(0), CompId::node(7));
+    group.bench_function("query_1k_points_warm", |b| {
+        b.iter(|| std::hint::black_box(store.query(key, Ts::ZERO, Ts(u64::MAX)).len()))
+    });
+    group.bench_function("query_range_100_points", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                store.query(key, Ts::from_mins(400), Ts::from_mins(499)).len(),
+            )
+        })
+    });
+
+    // Archive + reload cycle.
+    group.bench_function("archive_and_reload_cycle", |b| {
+        b.iter_with_setup(
+            || {
+                let s = populated_store(32, 200);
+                s.seal_all();
+                s
+            },
+            |store| {
+                let mut archive = Archive::new();
+                let cat = archive.archive_before(&store, Ts(u64::MAX)).expect("archivable");
+                archive.reload_into(cat.segment, &store);
+                std::hint::black_box(cat.points)
+            },
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

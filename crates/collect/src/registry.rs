@@ -1,0 +1,370 @@
+//! The canonical metric vocabulary.
+//!
+//! Every metric the collectors emit is registered here with a unit and a
+//! description — the paper's requirement that "the meaning of all raw data
+//! should be provided" is satisfied by construction: a metric cannot exist
+//! in this system without documentation.
+
+use hpcmon_metrics::{MetricId, MetricRegistry, Unit};
+
+/// Ids of every standard metric, resolved against one registry.
+#[derive(Debug, Clone, Copy)]
+pub struct StdMetrics {
+    // node
+    /// CPU utilization of a node, `[0, 1]`.
+    pub node_cpu: MetricId,
+    /// Bytes of memory in use on a node.
+    pub node_mem_used: MetricId,
+    /// Bytes of memory free on a node.
+    pub node_free_mem: MetricId,
+    /// 1.0 when the node passes its health check, else 0.0.
+    pub node_health: MetricId,
+    // power
+    /// Instantaneous node power draw.
+    pub node_power: MetricId,
+    /// Summed power of a cabinet.
+    pub cabinet_power: MetricId,
+    /// Total system power.
+    pub system_power: MetricId,
+    // network
+    /// Bytes moved over a link in the last interval.
+    pub link_traffic: MetricId,
+    /// Stalled (excess-demand) bytes on a link in the last interval.
+    pub link_stalls: MetricId,
+    /// Bit errors observed on a link in the last interval.
+    pub link_errors: MetricId,
+    /// Link utilization, `[0, 1]`.
+    pub link_util: MetricId,
+    /// Node injection bandwidth as percent of link capacity (Figure 1).
+    pub node_injection_pct: MetricId,
+    // filesystem
+    /// Bytes/s read from an OST.
+    pub ost_read_bps: MetricId,
+    /// Bytes/s written to an OST.
+    pub ost_write_bps: MetricId,
+    /// OST I/O latency.
+    pub ost_latency: MetricId,
+    /// MDS metadata-op latency.
+    pub mds_latency: MetricId,
+    /// Aggregate filesystem read bytes/s (Figure 4 top panel).
+    pub fs_agg_read_bps: MetricId,
+    /// Aggregate filesystem write bytes/s.
+    pub fs_agg_write_bps: MetricId,
+    /// Per-node filesystem read bytes/s attribution (Figure 4 drill-down).
+    pub node_fs_read_bps: MetricId,
+    // environment
+    /// Machine-room temperature.
+    pub env_temp: MetricId,
+    /// Relative humidity.
+    pub env_humidity: MetricId,
+    /// SO₂ concentration.
+    pub env_so2: MetricId,
+    /// Particulate count.
+    pub env_particulates: MetricId,
+    // scheduler
+    /// Jobs waiting in the batch queue.
+    pub queue_depth: MetricId,
+    /// Jobs currently running.
+    pub running_jobs: MetricId,
+    /// Free in-service nodes.
+    pub free_nodes: MetricId,
+    /// Nodes administratively out of service.
+    pub nodes_out_of_service: MetricId,
+    // GPU
+    /// Healthy GPUs on a node.
+    pub gpu_healthy: MetricId,
+    // burst buffer
+    /// Bytes buffered on a burst-buffer node awaiting drain.
+    pub bb_occupancy: MetricId,
+    /// Bytes/s a burst-buffer node absorbed last interval.
+    pub bb_absorb_bps: MetricId,
+    /// Bytes/s a burst-buffer node drained to the PFS last interval.
+    pub bb_drain_bps: MetricId,
+    /// 1.0 when the buffer node passes its configuration check.
+    pub bb_configured: MetricId,
+    // probes
+    /// Probed OST I/O latency (client-side view).
+    pub probe_ost_latency: MetricId,
+    /// Probed MDS metadata latency (client-side view).
+    pub probe_mds_latency: MetricId,
+    /// Probed network round-trip inflation between a probe pair.
+    pub probe_net_inflation: MetricId,
+    // benchmark suite
+    /// Compute benchmark time-to-solution.
+    pub bench_compute: MetricId,
+    /// Memory benchmark time-to-solution.
+    pub bench_memory: MetricId,
+    /// I/O benchmark time-to-solution.
+    pub bench_io: MetricId,
+    /// Network benchmark time-to-solution.
+    pub bench_network: MetricId,
+    /// Metadata benchmark time-to-solution.
+    pub bench_metadata: MetricId,
+    /// Fraction of health checks passing, `[0, 1]`.
+    pub bench_pass_rate: MetricId,
+    // analysis results (Table I: "analysis results should be able to be
+    // stored with raw data")
+    /// Signals emitted by the analysis pipeline this tick.
+    pub analysis_signals: MetricId,
+    /// Response actions taken this tick.
+    pub analysis_actions: MetricId,
+}
+
+impl StdMetrics {
+    /// Register (or resolve) all standard metrics in `reg`.
+    pub fn register(reg: &MetricRegistry) -> StdMetrics {
+        StdMetrics {
+            node_cpu: reg.register(
+                "node.cpu_util",
+                Unit::Ratio,
+                "Fraction of CPU cycles used on the node over the last interval",
+            ),
+            node_mem_used: reg.register(
+                "node.mem_used",
+                Unit::Bytes,
+                "Bytes of physical memory in use (OS + job + leaks)",
+            ),
+            node_free_mem: reg.register(
+                "node.free_mem",
+                Unit::Bytes,
+                "Bytes of physical memory free; LANL checks this against a floor",
+            ),
+            node_health: reg.register(
+                "node.health_ok",
+                Unit::Ratio,
+                "1 when the node passes the full health check, else 0",
+            ),
+            node_power: reg.register(
+                "power.node_w",
+                Unit::Watts,
+                "Instantaneous node power draw, CPU + GPUs",
+            ),
+            cabinet_power: reg.register(
+                "power.cabinet_w",
+                Unit::Watts,
+                "Sum of node power over a cabinet (Figure 3 bottom panel)",
+            ),
+            system_power: reg.register(
+                "power.system_w",
+                Unit::Watts,
+                "Total machine power (Figure 3 top panel)",
+            ),
+            link_traffic: reg.register(
+                "hsn.link.traffic_bytes",
+                Unit::Bytes,
+                "Bytes moved over the link during the last interval",
+            ),
+            link_stalls: reg.register(
+                "hsn.link.stall_bytes",
+                Unit::Bytes,
+                "Excess offered bytes the link could not carry (credit-stall analogue)",
+            ),
+            link_errors: reg.register(
+                "hsn.link.errors",
+                Unit::Count,
+                "CRC/bit errors observed on the link during the last interval",
+            ),
+            link_util: reg.register(
+                "hsn.link.utilization",
+                Unit::Ratio,
+                "Link bytes carried / link capacity for the interval",
+            ),
+            node_injection_pct: reg.register(
+                "hsn.node.injection_pct",
+                Unit::Percent,
+                "Node injection bandwidth as percent of one link's capacity (Figure 1 metric)",
+            ),
+            ost_read_bps: reg.register(
+                "fs.ost.read_bps",
+                Unit::BytesPerSec,
+                "Read bytes/second served by the OST",
+            ),
+            ost_write_bps: reg.register(
+                "fs.ost.write_bps",
+                Unit::BytesPerSec,
+                "Write bytes/second absorbed by the OST",
+            ),
+            ost_latency: reg.register(
+                "fs.ost.latency_ms",
+                Unit::Millis,
+                "Server-side OST I/O latency (load- and degradation-dependent)",
+            ),
+            mds_latency: reg.register(
+                "fs.mds.latency_ms",
+                Unit::Millis,
+                "Server-side metadata-operation latency",
+            ),
+            fs_agg_read_bps: reg.register(
+                "fs.agg.read_bps",
+                Unit::BytesPerSec,
+                "Filesystem-wide read rate (Figure 4 aggregate view)",
+            ),
+            fs_agg_write_bps: reg.register(
+                "fs.agg.write_bps",
+                Unit::BytesPerSec,
+                "Filesystem-wide write rate",
+            ),
+            node_fs_read_bps: reg.register(
+                "fs.node.read_bps",
+                Unit::BytesPerSec,
+                "Per-node share of filesystem reads (drill-down attribution)",
+            ),
+            env_temp: reg.register(
+                "env.temp_c",
+                Unit::Celsius,
+                "Machine-room dry-bulb temperature",
+            ),
+            env_humidity: reg.register(
+                "env.humidity_pct",
+                Unit::Percent,
+                "Machine-room relative humidity",
+            ),
+            env_so2: reg.register(
+                "env.so2_ppb",
+                Unit::Ppb,
+                "SO2 concentration; ASHRAE G1 boundary is 10 ppb (ORNL corrosion watch)",
+            ),
+            env_particulates: reg.register(
+                "env.particulates",
+                Unit::Count,
+                "Particulate count, ISO-class-like units",
+            ),
+            queue_depth: reg.register(
+                "sched.queue_depth",
+                Unit::Count,
+                "Jobs waiting in the batch queue (CSC/NERSC backlog signal)",
+            ),
+            running_jobs: reg.register(
+                "sched.running_jobs",
+                Unit::Count,
+                "Jobs currently executing",
+            ),
+            free_nodes: reg.register(
+                "sched.free_nodes",
+                Unit::Count,
+                "Schedulable idle nodes",
+            ),
+            nodes_out_of_service: reg.register(
+                "sched.nodes_oos",
+                Unit::Count,
+                "Nodes sidelined by health checks or failures",
+            ),
+            gpu_healthy: reg.register(
+                "gpu.healthy_count",
+                Unit::Count,
+                "GPUs on the node passing their health test",
+            ),
+            bb_occupancy: reg.register(
+                "bb.occupancy_bytes",
+                Unit::Bytes,
+                "Bytes buffered on the burst-buffer node awaiting drain to the PFS",
+            ),
+            bb_absorb_bps: reg.register(
+                "bb.absorb_bps",
+                Unit::BytesPerSec,
+                "Write bytes/second the buffer node absorbed last interval",
+            ),
+            bb_drain_bps: reg.register(
+                "bb.drain_bps",
+                Unit::BytesPerSec,
+                "Bytes/second drained from the buffer node to the PFS last interval",
+            ),
+            bb_configured: reg.register(
+                "bb.configured",
+                Unit::Ratio,
+                "1 when the buffer node passes the LANL-style configuration check",
+            ),
+            probe_ost_latency: reg.register(
+                "probe.ost.latency_ms",
+                Unit::Millis,
+                "Client-observed OST I/O latency from the distributed probe set",
+            ),
+            probe_mds_latency: reg.register(
+                "probe.mds.latency_ms",
+                Unit::Millis,
+                "Client-observed metadata latency from the distributed probe set",
+            ),
+            probe_net_inflation: reg.register(
+                "probe.net.inflation",
+                Unit::Ratio,
+                "Probe-pair transfer-time inflation vs an idle network (1.0 = idle)",
+            ),
+            bench_compute: reg.register(
+                "bench.compute_s",
+                Unit::Seconds,
+                "Compute micro-benchmark time-to-solution",
+            ),
+            bench_memory: reg.register(
+                "bench.memory_s",
+                Unit::Seconds,
+                "Memory-bandwidth micro-benchmark time-to-solution",
+            ),
+            bench_io: reg.register(
+                "bench.io_s",
+                Unit::Seconds,
+                "File-I/O micro-benchmark time-to-solution",
+            ),
+            bench_network: reg.register(
+                "bench.network_s",
+                Unit::Seconds,
+                "Network micro-benchmark time-to-solution",
+            ),
+            bench_metadata: reg.register(
+                "bench.metadata_s",
+                Unit::Seconds,
+                "Metadata micro-benchmark time-to-solution",
+            ),
+            bench_pass_rate: reg.register(
+                "bench.pass_rate",
+                Unit::Ratio,
+                "Fraction of functional health checks passing this round",
+            ),
+            analysis_signals: reg.register(
+                "analysis.signals",
+                Unit::Count,
+                "Signals emitted by the analysis pipeline during the tick",
+            ),
+            analysis_actions: reg.register(
+                "analysis.actions",
+                Unit::Count,
+                "Response actions executed during the tick",
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_metrics_registered_with_descriptions() {
+        let reg = MetricRegistry::new();
+        let _m = StdMetrics::register(&reg);
+        assert!(reg.len() >= 30);
+        for meta in reg.all() {
+            assert!(!meta.description.is_empty(), "{} lacks a description", meta.name);
+            assert!(meta.name.contains('.'), "{} is not namespaced", meta.name);
+        }
+    }
+
+    #[test]
+    fn registration_is_idempotent() {
+        let reg = MetricRegistry::new();
+        let a = StdMetrics::register(&reg);
+        let n = reg.len();
+        let b = StdMetrics::register(&reg);
+        assert_eq!(reg.len(), n);
+        assert_eq!(a.node_cpu, b.node_cpu);
+        assert_eq!(a.bench_pass_rate, b.bench_pass_rate);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let reg = MetricRegistry::new();
+        StdMetrics::register(&reg);
+        let names: std::collections::HashSet<String> =
+            reg.all().into_iter().map(|m| m.name).collect();
+        assert_eq!(names.len(), reg.len());
+    }
+}

@@ -1,0 +1,693 @@
+//! Reproduction scenarios for every figure in the paper.
+//!
+//! Each function builds the machine + monitoring stack, injects the
+//! documented condition, runs the experiment, and returns the series the
+//! corresponding paper figure plots, plus the summary statistics
+//! `EXPERIMENTS.md` records.  The `hpcmon-bench` crate and the
+//! `examples/` binaries are thin wrappers over these.
+
+use crate::system::MonitoringSystem;
+use hpcmon_analysis::association::{associate, score, AssocEvent, AssocScore};
+use hpcmon_analysis::{CusumDetector, Detector, ImbalanceDetector};
+use hpcmon_metrics::{CompId, JobRecord, SeriesKey, Ts, MINUTE_MS};
+use hpcmon_sim::clock::DriftClock;
+use hpcmon_sim::sched::Placement;
+use hpcmon_sim::{AppProfile, FaultKind, JobSpec, Rng, SimConfig, SimEngine};
+use hpcmon_store::{AggFn, TimeRange};
+
+/// Output of the Figure 1 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig1Result {
+    /// Mean injection bandwidth (% of link capacity) per tick, pre-TAS.
+    pub pre_tas: Vec<(Ts, f64)>,
+    /// Same series with topology-aware scheduling.
+    pub post_tas: Vec<(Ts, f64)>,
+    /// Era mean, pre-TAS.
+    pub pre_mean: f64,
+    /// Era mean, with TAS.
+    pub post_mean: f64,
+}
+
+/// Figure 1 (NCSA): mean HSN injection bandwidth before/after
+/// topology-aware scheduling.  Paper: the mean utilization line "is
+/// significantly lower over the pre-TAS time period than when TAS was
+/// being utilized."
+pub fn fig1_tas(ticks: u64, seed: u64) -> Fig1Result {
+    let run_era = |placement: Placement| -> Vec<(Ts, f64)> {
+        let mut cfg = SimConfig::small();
+        cfg.topology = hpcmon_sim::TopologySpec::Torus3D { dims: [8, 8, 4], nodes_per_router: 2 };
+        // Capacity chosen so the comm-heavy mix congests hard under
+        // scattered placement but fits comfortably when contiguous.
+        cfg.link_capacity_bytes_per_sec = 2.0e9;
+        cfg.scheduler.placement = placement;
+        cfg.seed = seed;
+        let mut mon = MonitoringSystem::builder(cfg)
+            .bench_suite_every(None)
+            .with_probes(false)
+            .build();
+        // A steady mix of communicating jobs, submitted up front so both
+        // eras schedule the identical workload.
+        let mut rng = Rng::new(seed ^ 0x51);
+        for i in 0..64u64 {
+            let nodes = 16 + (rng.below(3) * 16) as u32; // 16/32/48
+            mon.submit_job(JobSpec::new(
+                AppProfile::comm_heavy(&format!("fft{i}")),
+                "user",
+                nodes,
+                (ticks / 2) * MINUTE_MS,
+                Ts::ZERO,
+            ));
+        }
+        let metrics = mon.metrics();
+        mon.run_ticks(ticks);
+        mon.query().aggregate_across_components(
+            metrics.node_injection_pct,
+            TimeRange::all(),
+            AggFn::Mean,
+        )
+    };
+    let pre_tas = run_era(Placement::Random);
+    let post_tas = run_era(Placement::TopologyAware);
+    let mean = |s: &[(Ts, f64)]| s.iter().map(|p| p.1).sum::<f64>() / s.len().max(1) as f64;
+    Fig1Result { pre_mean: mean(&pre_tas), post_mean: mean(&post_tas), pre_tas, post_tas }
+}
+
+/// Output of the Figure 2 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig2Result {
+    /// I/O benchmark time-to-solution over time.
+    pub io_series: Vec<(Ts, f64)>,
+    /// Network benchmark time-to-solution over time.
+    pub net_series: Vec<(Ts, f64)>,
+    /// Tick at which the filesystem degradation was injected.
+    pub injected_io_onset: Ts,
+    /// Tick at which the network contention began.
+    pub injected_net_onset: Ts,
+    /// CUSUM-detected I/O onset, if found.
+    pub detected_io_onset: Option<Ts>,
+    /// CUSUM-detected network onset, if found.
+    pub detected_net_onset: Option<Ts>,
+}
+
+/// Figure 2 (NERSC): periodic benchmark performance over time; the onset
+/// of degradations is apparent and drives investigation.
+pub fn fig2_bench_suite(seed: u64) -> Fig2Result {
+    let mut cfg = SimConfig::small();
+    cfg.seed = seed;
+    let mut mon =
+        MonitoringSystem::builder(cfg).bench_suite_every(Some(2)).with_probes(false).build();
+    let io_onset = Ts::from_mins(120);
+    let net_onset = Ts::from_mins(240);
+    for ost in 0..16 {
+        mon.schedule_fault(io_onset, FaultKind::OstDegrade { ost, factor: 4.0 });
+    }
+    // Network contention era: a machine-filling communication-heavy job.
+    let net_job = JobSpec::new(
+        AppProfile::comm_heavy("aggressor"),
+        "noisy",
+        128,
+        120 * MINUTE_MS,
+        net_onset,
+    );
+    let metrics = mon.metrics();
+    // Run to the net onset, submit, run the rest.
+    mon.run_ticks(240);
+    mon.submit_job(net_job);
+    mon.run_ticks(120);
+    let io_series = mon.query().series(
+        SeriesKey::new(metrics.bench_io, CompId::SYSTEM),
+        TimeRange::all(),
+    );
+    let net_series = mon.query().series(
+        SeriesKey::new(metrics.bench_network, CompId::SYSTEM),
+        TimeRange::all(),
+    );
+    let detect = |series: &[(Ts, f64)]| -> Option<Ts> {
+        let mut cusum = CusumDetector::new(30, 0.5, 8.0);
+        for &(t, v) in series {
+            if let Some(a) = cusum.observe(t, v) {
+                return Some(a.ts);
+            }
+        }
+        None
+    };
+    Fig2Result {
+        detected_io_onset: detect(&io_series),
+        detected_net_onset: detect(&net_series),
+        io_series,
+        net_series,
+        injected_io_onset: io_onset,
+        injected_net_onset: net_onset,
+    }
+}
+
+/// Output of the Figure 3 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig3Result {
+    /// Total system power over time (top panel).
+    pub total_power: Vec<(Ts, f64)>,
+    /// Per-cabinet power over time (bottom panel).
+    pub cabinet_power: Vec<(CompId, Vec<(Ts, f64)>)>,
+    /// Max/min cabinet power ratio inside the imbalance window.
+    pub window_cabinet_ratio: f64,
+    /// Balanced-era total power divided by imbalance-window total power.
+    pub draw_ratio: f64,
+    /// Ticks at which the imbalance detector flagged.
+    pub flagged_ticks: Vec<Ts>,
+    /// The injected imbalance window (job-relative, minutes).
+    pub window_mins: (u64, u64),
+}
+
+/// Figure 3 (KAUST): full-machine power (top) and per-cabinet power
+/// (bottom).  Paper: "Around 17-22 minutes, power usage variation of up to
+/// 3 times was observed between different cabinets and full system power
+/// draw was almost 1.9 times lower during this period."
+pub fn fig3_power(seed: u64) -> Fig3Result {
+    let mut cfg = SimConfig::small();
+    cfg.topology = hpcmon_sim::TopologySpec::Torus3D { dims: [8, 4, 4], nodes_per_router: 2 };
+    cfg.seed = seed;
+    let mut mon =
+        MonitoringSystem::builder(cfg).bench_suite_every(None).with_probes(false).build();
+    let nodes = mon.engine().num_nodes();
+    // One machine-filling job whose ranks 30%..100% idle between minutes
+    // 17 and 22 of the run (the KAUST load-imbalance pathology).
+    let mut app = AppProfile::compute_heavy("vasp");
+    app.imbalance = Some((17 * MINUTE_MS, 22 * MINUTE_MS, 0.7));
+    mon.submit_job(JobSpec::new(app, "kaust_user", nodes, 40 * MINUTE_MS, Ts::ZERO));
+    let metrics = mon.metrics();
+    mon.run_ticks(42);
+
+    let total_power = mon.query().series(
+        SeriesKey::new(metrics.system_power, CompId::SYSTEM),
+        TimeRange::all(),
+    );
+    let cabinet_power = mon.query().components_of_kind(
+        metrics.cabinet_power,
+        hpcmon_metrics::CompKind::Cabinet,
+        TimeRange::all(),
+    );
+    // Job starts at tick 1, so job-minute 17..22 is wall minutes 18..23.
+    let window = TimeRange::new(Ts::from_mins(19), Ts::from_mins(22));
+    let mut ratio: f64 = 1.0;
+    let det = ImbalanceDetector::new();
+    let mut flagged = Vec::new();
+    for t in (1..=42).map(Ts::from_mins) {
+        let cabs: Vec<f64> = cabinet_power
+            .iter()
+            .filter_map(|(_, pts)| {
+                pts.iter().find(|&&(pt, _)| pt == t).map(|&(_, v)| v)
+            })
+            .collect();
+        if cabs.is_empty() {
+            continue;
+        }
+        let r = det.assess(&cabs);
+        if window.contains(t) {
+            ratio = ratio.max(r.max_min_ratio);
+        }
+        if r.flagged {
+            flagged.push(t);
+        }
+    }
+    let mean_in = |range: TimeRange| {
+        let pts: Vec<f64> = total_power
+            .iter()
+            .filter(|&&(t, _)| range.contains(t))
+            .map(|&(_, v)| v)
+            .collect();
+        pts.iter().sum::<f64>() / pts.len().max(1) as f64
+    };
+    let balanced = mean_in(TimeRange::new(Ts::from_mins(5), Ts::from_mins(15)));
+    let imbalanced = mean_in(window);
+    Fig3Result {
+        total_power,
+        cabinet_power,
+        window_cabinet_ratio: ratio,
+        draw_ratio: balanced / imbalanced.max(1.0),
+        flagged_ticks: flagged,
+        window_mins: (17, 22),
+    }
+}
+
+/// Output of the Figure 4 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig4Result {
+    /// Aggregate filesystem read rate over time (top panel).
+    pub aggregate_read: Vec<(Ts, f64)>,
+    /// Time of the read spike.
+    pub peak: Ts,
+    /// Top nodes by read rate at the peak (drill-down table).
+    pub top_nodes: Vec<(CompId, f64)>,
+    /// The job attributed to the spike.
+    pub attributed: Option<JobRecord>,
+    /// The job that actually caused it (ground truth).
+    pub culprit: JobRecord,
+}
+
+/// Figure 4 (NCSA): a system-aggregate I/O spike is drilled down to the
+/// responsible nodes and attributed to the job running on them.
+pub fn fig4_drilldown(seed: u64) -> Fig4Result {
+    let mut cfg = SimConfig::small();
+    cfg.seed = seed;
+    let mut mon =
+        MonitoringSystem::builder(cfg).bench_suite_every(None).with_probes(false).build();
+    // Background compute jobs...
+    for i in 0..4 {
+        mon.submit_job(JobSpec::new(
+            AppProfile::compute_heavy(&format!("bg{i}")),
+            "alice",
+            16,
+            90 * MINUTE_MS,
+            Ts::ZERO,
+        ));
+    }
+    mon.run_ticks(20);
+    // ...then the storm.
+    let culprit_id = mon.submit_job(JobSpec::new(
+        AppProfile::io_storm("untarball"),
+        "carol",
+        16,
+        20 * MINUTE_MS,
+        Ts::from_mins(20),
+    ));
+    mon.run_ticks(40);
+    let metrics = mon.metrics();
+    let aggregate_read = mon.query().series(
+        SeriesKey::new(metrics.fs_agg_read_bps, CompId::SYSTEM),
+        TimeRange::all(),
+    );
+    let peak = hpcmon_viz::DrilldownView::peak_of(&aggregate_read).expect("data exists");
+    let top_nodes = mon.query().top_components_at(metrics.node_fs_read_bps, peak, MINUTE_MS, 8);
+    // Attribution: the job whose allocation owns the top node at the peak.
+    let attributed = top_nodes.first().and_then(|(comp, _)| {
+        mon.engine()
+            .scheduler()
+            .records()
+            .iter()
+            .find(|r| r.uses_node(comp.index) && r.running_at(peak))
+            .cloned()
+    });
+    let culprit = mon.engine().scheduler().record(culprit_id).clone();
+    Fig4Result { aggregate_read, peak, top_nodes, attributed, culprit }
+}
+
+/// Output of the Figure 5 reproduction.
+#[derive(Debug, Clone)]
+pub struct Fig5Result {
+    /// The instrumented job.
+    pub job: JobRecord,
+    /// Rendered multi-metric panel text.
+    pub panel_text: String,
+    /// The downloadable CSV behind the panel.
+    pub csv: String,
+}
+
+/// Figure 5 (NCSA): per-job multi-metric timeseries condensed by summing
+/// and averaging over nodes, with plot + CSV download.
+pub fn fig5_perjob(seed: u64) -> Fig5Result {
+    let mut cfg = SimConfig::small();
+    cfg.seed = seed;
+    let mut mon =
+        MonitoringSystem::builder(cfg).bench_suite_every(None).with_probes(false).build();
+    let id = mon.submit_job(JobSpec::new(
+        AppProfile::checkpointing("climate"),
+        "bob",
+        32,
+        30 * MINUTE_MS,
+        Ts::ZERO,
+    ));
+    mon.run_ticks(35);
+    let metrics = mon.metrics();
+    let job = mon.engine().scheduler().record(id).clone();
+    let q = mon.query();
+    let panel = hpcmon_viz::JobPanel::new(job.clone())
+        .add("cpu util", hpcmon_viz::panels::Condense::Mean, q.job_series(&job, metrics.node_cpu))
+        .add("power W", hpcmon_viz::panels::Condense::Sum, q.job_series(&job, metrics.node_power))
+        .add(
+            "mem bytes",
+            hpcmon_viz::panels::Condense::Sum,
+            q.job_series(&job, metrics.node_mem_used),
+        )
+        .add(
+            "inj %",
+            hpcmon_viz::panels::Condense::Mean,
+            q.job_series(&job, metrics.node_injection_pct),
+        );
+    Fig5Result { panel_text: panel.render(), csv: panel.csv(), job }
+}
+
+/// Output of the health-gating experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatingResult {
+    /// Jobs that failed on a bad node (gating off).
+    pub failed_without_gating: usize,
+    /// Jobs that failed on a bad node (gating on).
+    pub failed_with_gating: usize,
+    /// Jobs completed, gating off.
+    pub completed_without_gating: usize,
+    /// Jobs completed, gating on.
+    pub completed_with_gating: usize,
+}
+
+/// CSCS health gating: "a problem should only be encountered by at most
+/// one batch job."  Injects repeated service failures and compares job
+/// casualties with gating on and off.
+pub fn gating_experiment(seed: u64) -> GatingResult {
+    let run = |gating: bool| -> (usize, usize) {
+        let mut cfg = SimConfig::small();
+        cfg.scheduler.health_gating = gating;
+        cfg.seed = seed;
+        let mut engine = SimEngine::new(cfg);
+        // A stream of short jobs...
+        for i in 0..120u64 {
+            engine.submit_job(JobSpec::new(
+                AppProfile::compute_heavy("short"),
+                "u",
+                8,
+                10 * MINUTE_MS,
+                Ts::from_mins(i),
+            ));
+        }
+        // ...and a rolling set of nodes losing a service (which does not
+        // kill running jobs, but poisons future placements: exactly what
+        // pre-job checks exist to catch) plus a few hard crashes.
+        let mut rng = Rng::new(seed ^ 0x6A7E);
+        for k in 0..10u64 {
+            let node = rng.below(128) as u32;
+            engine.schedule_fault(
+                Ts::from_mins(5 + k * 12),
+                FaultKind::ServiceDown { node, service: (k % 4) as u8 },
+            );
+            if k % 3 == 0 {
+                let victim = rng.below(128) as u32;
+                engine
+                    .schedule_fault(Ts::from_mins(8 + k * 12), FaultKind::NodeCrash { node: victim });
+            }
+        }
+        engine.run_until(Ts::from_mins(240));
+        let failed = engine
+            .scheduler()
+            .records()
+            .iter()
+            .filter(|r| r.state == hpcmon_metrics::JobState::Failed)
+            .count();
+        let completed = engine
+            .scheduler()
+            .records()
+            .iter()
+            .filter(|r| r.state == hpcmon_metrics::JobState::Completed)
+            .count();
+        (failed, completed)
+    };
+    let (failed_without_gating, completed_without_gating) = run(false);
+    let (failed_with_gating, completed_with_gating) = run(true);
+    GatingResult {
+        failed_without_gating,
+        failed_with_gating,
+        completed_without_gating,
+        completed_with_gating,
+    }
+}
+
+/// One point of the SNL p-state sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PstatePoint {
+    /// CPU frequency scale.
+    pub scale: f64,
+    /// Job runtime, ms.
+    pub runtime_ms: u64,
+    /// Mean system power during the run, watts.
+    pub mean_power_w: f64,
+    /// Total energy for the run, joules.
+    pub energy_j: f64,
+}
+
+/// SNL power profiling (§II-9): sweep the p-state for a fixed workload
+/// and report the time/power/energy tradeoff.  Energy is typically
+/// minimized at an interior p-state because idle power keeps burning
+/// while a down-clocked job runs longer.
+pub fn pstate_sweep(scales: &[f64], seed: u64) -> Vec<PstatePoint> {
+    scales
+        .iter()
+        .map(|&scale| {
+            let mut cfg = SimConfig::small();
+            cfg.seed = seed;
+            let mut engine = SimEngine::new(cfg);
+            engine.set_pstate(scale);
+            let id = engine.submit_job(JobSpec::new(
+                AppProfile::compute_heavy("stencil3d"),
+                "snl",
+                128,
+                30 * MINUTE_MS,
+                Ts::ZERO,
+            ));
+            let mut energy = 0.0;
+            let mut power_sum = 0.0;
+            let mut power_ticks = 0u64;
+            for _ in 0..300 {
+                engine.step();
+                let total: f64 = (0..engine.num_nodes()).map(|n| engine.node_power_w(n)).sum();
+                if engine.scheduler().record(id).state == hpcmon_metrics::JobState::Running {
+                    energy += total * 60.0; // W × 60 s tick
+                    power_sum += total;
+                    power_ticks += 1;
+                }
+                if engine.scheduler().record(id).state == hpcmon_metrics::JobState::Completed {
+                    break;
+                }
+            }
+            PstatePoint {
+                scale,
+                runtime_ms: engine.scheduler().record(id).runtime_ms().unwrap_or(u64::MAX),
+                mean_power_w: power_sum / power_ticks.max(1) as f64,
+                energy_j: energy,
+            }
+        })
+        .collect()
+}
+
+/// Output of the SNL congestion-region scenario.
+#[derive(Debug, Clone)]
+pub struct CongestionScenarioResult {
+    /// Region congestion map at the peak of the hotspot.
+    pub map: hpcmon_analysis::CongestionMap,
+    /// The cabinet the hotspot job lives in (ground truth).
+    pub hot_cabinet: u32,
+    /// Regions flagged at Medium or worse.
+    pub hot_regions: Vec<u32>,
+}
+
+/// SNL congestion regions (§II-9): synchronized stall counters over the
+/// whole HSN, banded into levels and localized to regions; a hotspot job
+/// in one cabinet should light up that region and not the rest.
+pub fn congestion_regions(seed: u64) -> CongestionScenarioResult {
+    use hpcmon_analysis::congestion::LinkCounters;
+    let mut cfg = SimConfig::small();
+    cfg.topology = hpcmon_sim::TopologySpec::Torus3D { dims: [8, 4, 4], nodes_per_router: 2 };
+    cfg.link_capacity_bytes_per_sec = 1.0e9;
+    cfg.seed = seed;
+    let mut engine = SimEngine::new(cfg);
+    // Quiet background everywhere...
+    for i in 0..6 {
+        engine.submit_job(JobSpec::new(
+            AppProfile::compute_heavy(&format!("bg{i}")),
+            "u",
+            16,
+            120 * MINUTE_MS,
+            Ts::ZERO,
+        ));
+    }
+    // ...and one saturating job confined (by TAS placement) to the tail
+    // cabinet of the machine.
+    let nodes = engine.num_nodes();
+    let per_cabinet = nodes / engine.topology().num_cabinets();
+    engine.submit_job(JobSpec::new(
+        AppProfile::comm_heavy("hotspot"),
+        "noisy",
+        per_cabinet,
+        120 * MINUTE_MS,
+        Ts::ZERO,
+    ));
+    engine.run_until(Ts::from_mins(5));
+    let hotspot_rec = engine
+        .scheduler()
+        .records()
+        .iter()
+        .find(|r| r.name == "hotspot")
+        .expect("hotspot scheduled")
+        .clone();
+    let hot_cabinet = engine.topology().cabinet_of(hotspot_rec.nodes[0]);
+
+    let counters: Vec<LinkCounters> = (0..engine.network().num_links() as u32)
+        .map(|l| LinkCounters {
+            link: l,
+            traffic_bytes: engine.network().link_traffic_bytes(l),
+            stall_bytes: engine.network().link_stall_bytes(l),
+        })
+        .collect();
+    // Region of a link: the cabinet of its source router's first node.
+    let topo = engine.topology().clone();
+    let map = hpcmon_analysis::CongestionMap::build(&counters, |l| {
+        let from = topo.link(l).from;
+        topo.cabinet_of(topo.nodes_of_router(from).start)
+    });
+    let hot_regions = map.hot_regions(hpcmon_analysis::CongestionLevel::Medium);
+    CongestionScenarioResult { map, hot_cabinet, hot_regions }
+}
+
+/// Output of the clock-synchronization ablation.
+#[derive(Debug, Clone, Copy)]
+pub struct ClockSyncResult {
+    /// Association quality with synchronized clocks.
+    pub synced: AssocScore,
+    /// Quality with drifting clocks, uncorrected.
+    pub drifting: AssocScore,
+    /// Quality with drifting clocks after model-based correction.
+    pub corrected: AssocScore,
+}
+
+/// The §III-B hazard quantified: cross-component event association with
+/// synchronized clocks, with drifting clocks, and with drift correction.
+pub fn clock_sync_ablation(incidents: u32, seed: u64) -> ClockSyncResult {
+    let nodes = 64usize;
+    let mut rng = Rng::new(seed);
+    let drift = DriftClock::drifting(nodes, 30_000, 200.0, &mut rng);
+    // Ground truth: `incidents` bursts, 6 events each, 0.5 s apart within
+    // a burst, bursts 10 minutes apart.
+    let mut truth: Vec<AssocEvent> = Vec::new();
+    for inc in 0..incidents {
+        let base = Ts::from_mins(10 + inc as u64 * 10);
+        for e in 0..6u64 {
+            let node = rng.below(nodes as u64) as u32;
+            truth.push(AssocEvent {
+                ts: base.add_ms(e * 500),
+                comp: CompId::node(node),
+                tag: inc,
+            });
+        }
+    }
+    // Causally related events land within seconds of each other, so a
+    // short window is the right operational choice — which is exactly why
+    // multi-second clock offsets are fatal to association.
+    let window = 5_000;
+    let synced = score(&associate(truth.clone(), window));
+    let skewed: Vec<AssocEvent> = truth
+        .iter()
+        .map(|e| AssocEvent { ts: drift.local_time(e.comp.index, e.ts), ..*e })
+        .collect();
+    let drifting = score(&associate(skewed.clone(), window));
+    let corrected_events: Vec<AssocEvent> = skewed
+        .iter()
+        .map(|e| AssocEvent { ts: drift.to_global(e.comp.index, e.ts), ..*e })
+        .collect();
+    let corrected = score(&associate(corrected_events, window));
+    ClockSyncResult { synced, drifting, corrected }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig1_tas_improves_injection() {
+        let r = fig1_tas(20, 7);
+        assert!(!r.pre_tas.is_empty() && !r.post_tas.is_empty());
+        assert!(
+            r.post_mean > r.pre_mean * 1.1,
+            "TAS should raise mean injection: pre {} post {}",
+            r.pre_mean,
+            r.post_mean
+        );
+    }
+
+    #[test]
+    fn fig3_matches_paper_shape() {
+        let r = fig3_power(7);
+        assert!(
+            r.window_cabinet_ratio > 2.0,
+            "cabinet variation ~3x, got {}",
+            r.window_cabinet_ratio
+        );
+        assert!(
+            r.draw_ratio > 1.4 && r.draw_ratio < 2.5,
+            "total draw ~1.9x lower, got {}",
+            r.draw_ratio
+        );
+        assert!(!r.flagged_ticks.is_empty(), "imbalance detector fired");
+        // Flags fall inside (or at the edges of) the window.
+        assert!(r
+            .flagged_ticks
+            .iter()
+            .all(|t| *t >= Ts::from_mins(17) && *t <= Ts::from_mins(24)));
+    }
+
+    #[test]
+    fn fig4_attributes_the_storm() {
+        let r = fig4_drilldown(7);
+        assert!(r.peak >= Ts::from_mins(20), "spike is in the storm era");
+        assert!(!r.top_nodes.is_empty());
+        let attributed = r.attributed.expect("attribution found");
+        assert_eq!(attributed.id, r.culprit.id, "the io_storm job is blamed");
+        assert_eq!(attributed.user, "carol");
+    }
+
+    #[test]
+    fn fig5_panel_and_csv_consistent() {
+        let r = fig5_perjob(7);
+        assert!(r.panel_text.contains("climate"));
+        assert!(r.panel_text.contains("cpu util"));
+        assert!(r.panel_text.contains("power W"));
+        let header = r.csv.lines().next().unwrap();
+        assert_eq!(header, "time_ms,cpu util,power W,mem bytes,inj %");
+        assert!(r.csv.lines().count() > 10);
+    }
+
+    #[test]
+    fn gating_protects_jobs() {
+        let r = gating_experiment(7);
+        assert!(
+            r.failed_with_gating <= r.failed_without_gating,
+            "gating must not increase casualties: {r:?}"
+        );
+        assert!(r.completed_with_gating > 0);
+    }
+
+    #[test]
+    fn pstate_sweep_shows_the_tradeoff() {
+        let sweep = pstate_sweep(&[0.5, 0.8, 1.0], 7);
+        assert_eq!(sweep.len(), 3);
+        // Runtime decreases with frequency; power increases.
+        assert!(sweep[0].runtime_ms > sweep[1].runtime_ms);
+        assert!(sweep[1].runtime_ms > sweep[2].runtime_ms);
+        assert!(sweep[0].mean_power_w < sweep[2].mean_power_w);
+        // Every point completed.
+        assert!(sweep.iter().all(|p| p.runtime_ms != u64::MAX));
+        assert!(sweep.iter().all(|p| p.energy_j > 0.0));
+    }
+
+    #[test]
+    fn congestion_map_localizes_the_hotspot() {
+        let r = congestion_regions(7);
+        assert!(
+            r.hot_regions.contains(&r.hot_cabinet),
+            "hotspot cabinet {} must be flagged; flagged: {:?}",
+            r.hot_cabinet,
+            r.hot_regions
+        );
+        assert!(
+            r.hot_regions.len() <= 3,
+            "congestion is localized, not global: {:?}",
+            r.hot_regions
+        );
+        let worst = r.map.worst().expect("active regions");
+        assert_eq!(worst.region, r.hot_cabinet, "worst region is the hotspot's");
+    }
+
+    #[test]
+    fn clock_ablation_shows_drift_damage() {
+        let r = clock_sync_ablation(12, 7);
+        assert_eq!(r.synced.f1, 1.0, "synchronized association is perfect");
+        assert!(r.drifting.f1 < 0.9, "drift hurts: {:?}", r.drifting);
+        assert!(r.corrected.f1 > r.drifting.f1, "correction recovers quality");
+    }
+}

@@ -1,0 +1,928 @@
+//! The assembled monitoring system.
+//!
+//! One [`MonitoringSystem::tick`] advances the simulated machine by one
+//! interval and runs the complete monitoring pipeline over it, in the
+//! order a real deployment would: collect → transport → store → analyze →
+//! respond.  Everything the paper's Table I asks for is exercised on every
+//! tick: synchronized collection, native-format transport with drop
+//! accounting, tiered storage, streaming analysis, and configurable
+//! response with actions fed back to the scheduler.
+
+use crate::pipeline::{finding_to_signal, DetectorAttachment};
+use hpcmon_analysis::{Correlator, Deadman, ImbalanceDetector, NoveltyDetector, Rule};
+use hpcmon_collect::collectors::standard_collectors;
+use hpcmon_collect::{BenchmarkSuite, Collector, FsProbe, LogHarvester, NetworkProbe, StdMetrics};
+use hpcmon_metrics::{
+    CompId, CompKind, Frame, JobId, LogRecord, MetricRegistry, Severity, Ts,
+};
+use hpcmon_response::{
+    AccessPolicy, Action, ActionTaken, ResponseEngine, ResponseRule, Signal, SignalKind,
+};
+use hpcmon_sim::{FaultKind, JobSpec, SimConfig, SimEngine};
+use hpcmon_store::{Archive, LogStore, QueryEngine, RetentionPolicy, TimeSeriesStore};
+use hpcmon_viz::{ClassStatus, StatusBoard};
+use hpcmon_transport::{
+    topics, BackpressurePolicy, Broker, Payload, Subscription, TopicFilter,
+};
+use std::sync::Arc;
+
+/// Builder for a [`MonitoringSystem`].
+pub struct MonitorBuilder {
+    config: SimConfig,
+    registry: MetricRegistry,
+    metrics: StdMetrics,
+    bench_every_ticks: Option<u64>,
+    probes: bool,
+    probe_pairs: u32,
+    response_rules: Vec<ResponseRule>,
+    correlator_rules: Vec<Rule>,
+    detectors: Vec<DetectorAttachment>,
+    novelty_training_ticks: u64,
+    imbalance: ImbalanceDetector,
+    retention: Option<(RetentionPolicy, u64)>,
+    extra_collectors: Vec<Box<dyn Collector>>,
+    power_cap_w: Option<f64>,
+}
+
+impl MonitorBuilder {
+    /// Start from a machine configuration.
+    pub fn new(config: SimConfig) -> MonitorBuilder {
+        let registry = MetricRegistry::new();
+        let metrics = StdMetrics::register(&registry);
+        MonitorBuilder {
+            config,
+            registry,
+            metrics,
+            bench_every_ticks: Some(10),
+            probes: true,
+            probe_pairs: 16,
+            response_rules: ResponseEngine::production_rules(),
+            correlator_rules: Correlator::production_rules(),
+            detectors: Vec::new(),
+            novelty_training_ticks: 30,
+            imbalance: ImbalanceDetector::new(),
+            retention: None,
+            extra_collectors: Vec::new(),
+            power_cap_w: None,
+        }
+    }
+
+    /// Enforce a machine-level power cap: when total draw exceeds the cap
+    /// the controller steps the p-state down (and back up when there is
+    /// headroom) — the power-aware-operation vision from §III-C of the
+    /// paper, closed-loop over the monitoring data itself.
+    pub fn power_cap_w(mut self, cap_w: f64) -> MonitorBuilder {
+        assert!(cap_w > 0.0);
+        self.power_cap_w = Some(cap_w);
+        self
+    }
+
+    /// Install a site-specific collector alongside the standard set —
+    /// the Table I extensibility requirement ("extensibility and
+    /// modularity are fundamental") as an API.  Register custom metrics
+    /// against [`MonitorBuilder::registry`] so ids resolve in the built
+    /// system.
+    pub fn install_collector(mut self, collector: Box<dyn Collector>) -> MonitorBuilder {
+        self.extra_collectors.push(collector);
+        self
+    }
+
+    /// The metric registry the built system will use; custom collectors
+    /// register their metrics here before `build()`.
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.registry
+    }
+
+    /// The resolved standard metric ids (for detector attachments).
+    pub fn metrics(&self) -> StdMetrics {
+        self.metrics
+    }
+
+    /// Enforce a retention policy every `every_ticks` ticks.
+    pub fn retention(mut self, policy: RetentionPolicy, every_ticks: u64) -> MonitorBuilder {
+        assert!(every_ticks > 0);
+        self.retention = Some((policy, every_ticks));
+        self
+    }
+
+    /// Run the benchmark suite every `n` ticks (`None` disables).
+    pub fn bench_suite_every(mut self, n: Option<u64>) -> MonitorBuilder {
+        self.bench_every_ticks = n;
+        self
+    }
+
+    /// Enable or disable the active probes.
+    pub fn with_probes(mut self, enabled: bool) -> MonitorBuilder {
+        self.probes = enabled;
+        self
+    }
+
+    /// Replace the response rule set.
+    pub fn response_rules(mut self, rules: Vec<ResponseRule>) -> MonitorBuilder {
+        self.response_rules = rules;
+        self
+    }
+
+    /// Replace the log correlation rule set.
+    pub fn correlator_rules(mut self, rules: Vec<Rule>) -> MonitorBuilder {
+        self.correlator_rules = rules;
+        self
+    }
+
+    /// Attach a streaming detector to a series.
+    pub fn attach_detector(mut self, attachment: DetectorAttachment) -> MonitorBuilder {
+        self.detectors.push(attachment);
+        self
+    }
+
+    /// Set the imbalance detector parameters.
+    pub fn imbalance_detector(mut self, det: ImbalanceDetector) -> MonitorBuilder {
+        self.imbalance = det;
+        self
+    }
+
+    /// Ticks of log-novelty training before flagging begins.
+    pub fn novelty_training_ticks(mut self, ticks: u64) -> MonitorBuilder {
+        self.novelty_training_ticks = ticks;
+        self
+    }
+
+    /// Assemble the system.
+    pub fn build(self) -> MonitoringSystem {
+        let engine = SimEngine::new(self.config.clone());
+        let registry = self.registry;
+        let metrics = self.metrics;
+        let broker = Broker::new();
+        // The store consumes frames losslessly off the broker.
+        let store_sub =
+            broker.subscribe(TopicFilter::new("metrics/#"), 4_096, BackpressurePolicy::Block);
+        let mut collectors: Vec<Box<dyn Collector>> = standard_collectors(metrics);
+        collectors.extend(self.extra_collectors);
+        if self.probes {
+            collectors.push(Box::new(FsProbe::new(metrics, self.config.seed ^ 0xF5)));
+            collectors.push(Box::new(NetworkProbe::spread(
+                metrics,
+                engine.num_nodes(),
+                self.probe_pairs,
+            )));
+        }
+        MonitoringSystem {
+            bench_suite: BenchmarkSuite::new(metrics, self.config.seed ^ 0xBE, 16),
+            bench_every_ticks: self.bench_every_ticks,
+            harvester: LogHarvester::new(Some(broker.clone())),
+            correlator: Correlator::new(self.correlator_rules),
+            novelty: NoveltyDetector::new(),
+            novelty_training_ticks: self.novelty_training_ticks,
+            response: ResponseEngine::new(self.response_rules),
+            imbalance: self.imbalance,
+            detectors: self.detectors,
+            store: Arc::new(TimeSeriesStore::new()),
+            log_store: Arc::new(LogStore::new()),
+            archive: Archive::new(),
+            signals: Vec::new(),
+            store_sub,
+            deadman: Deadman::new(self.config.tick_ms),
+            deadman_armed: false,
+            retention: self.retention,
+            power_cap_w: self.power_cap_w,
+            collectors,
+            engine,
+            registry,
+            metrics,
+            broker,
+        }
+    }
+}
+
+/// Per-tick outcome.
+#[derive(Debug, Clone, Default)]
+pub struct TickReport {
+    /// Samples collected this tick.
+    pub samples: usize,
+    /// Log records harvested this tick.
+    pub logs: usize,
+    /// Signals emitted this tick.
+    pub signals: Vec<Signal>,
+    /// Response actions taken this tick.
+    pub actions: Vec<ActionTaken>,
+}
+
+/// Whole-run summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunSummary {
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Samples ingested into the store.
+    pub samples: u64,
+    /// Log records stored.
+    pub logs: u64,
+    /// Signals emitted.
+    pub signals: u64,
+    /// Actions taken.
+    pub actions: u64,
+}
+
+/// The machine plus its full monitoring stack.
+pub struct MonitoringSystem {
+    engine: SimEngine,
+    registry: MetricRegistry,
+    metrics: StdMetrics,
+    broker: Arc<Broker>,
+    store: Arc<TimeSeriesStore>,
+    log_store: Arc<LogStore>,
+    archive: Archive,
+    collectors: Vec<Box<dyn Collector>>,
+    bench_suite: BenchmarkSuite,
+    bench_every_ticks: Option<u64>,
+    harvester: LogHarvester,
+    correlator: Correlator,
+    novelty: NoveltyDetector,
+    novelty_training_ticks: u64,
+    response: ResponseEngine,
+    imbalance: ImbalanceDetector,
+    detectors: Vec<DetectorAttachment>,
+    signals: Vec<Signal>,
+    store_sub: Subscription,
+    deadman: Deadman,
+    deadman_armed: bool,
+    retention: Option<(RetentionPolicy, u64)>,
+    power_cap_w: Option<f64>,
+}
+
+impl MonitoringSystem {
+    /// Start building a system.
+    pub fn builder(config: SimConfig) -> MonitorBuilder {
+        MonitorBuilder::new(config)
+    }
+
+    // ----- delegation to the machine -----
+
+    /// Submit a job.
+    pub fn submit_job(&mut self, spec: JobSpec) -> JobId {
+        self.engine.submit_job(spec)
+    }
+
+    /// Schedule a fault injection.
+    pub fn schedule_fault(&mut self, at: Ts, kind: FaultKind) {
+        self.engine.schedule_fault(at, kind);
+    }
+
+    // ----- the pipeline -----
+
+    /// Advance machine + monitoring by one tick.
+    pub fn tick(&mut self) -> TickReport {
+        self.engine.step();
+        let now = self.engine.now();
+        let mut report = TickReport::default();
+
+        // 1. Synchronized collection into one frame, with deadman beats
+        //    per contributing collector (silence must not look like
+        //    health).  Expectations arm on the first tick: collectors that
+        //    are legitimately empty for this machine config never arm.
+        let mut frame = Frame::new(now);
+        for c in &mut self.collectors {
+            let before = frame.len();
+            c.collect(&self.engine, &mut frame);
+            let contributed = frame.len() > before;
+            if contributed {
+                if !self.deadman_armed {
+                    self.deadman.register(c.name());
+                }
+                self.deadman.beat(c.name(), now);
+            }
+        }
+        self.deadman_armed = true;
+        let mut bench_logs: Vec<LogRecord> = Vec::new();
+        if let Some(every) = self.bench_every_ticks {
+            if self.engine.tick_count().is_multiple_of(every) {
+                self.bench_suite.run(&self.engine, &mut frame, &mut bench_logs);
+            }
+        }
+        report.samples = frame.len();
+
+        // 2. Transport: publish, then the store consumer drains.
+        self.broker.publish(&topics::metrics("frame"), Payload::Frame(Arc::new(frame.clone())));
+        for env in self.store_sub.drain() {
+            if let Some(f) = env.payload.as_frame() {
+                self.store.insert_frame(f);
+            }
+        }
+
+        // 3. Logs: harvest (normalizing vendor formats), store, analyze.
+        let mut records = self.harvester.harvest(&mut self.engine);
+        records.extend(bench_logs);
+        report.logs = records.len();
+        let training = self.engine.tick_count() <= self.novelty_training_ticks;
+        if !training && self.novelty.is_training() {
+            self.novelty.freeze();
+        }
+        let mut signals: Vec<Signal> = Vec::new();
+        for rec in &records {
+            for finding in self.correlator.observe(rec) {
+                signals.push(finding_to_signal(&finding));
+            }
+            if self.novelty.observe(rec) {
+                signals.push(Signal::new(
+                    rec.ts,
+                    SignalKind::LogNovelty,
+                    Severity::Notice,
+                    rec.comp,
+                    1.0,
+                    format!("novel log shape: {}", rec.message),
+                ));
+            }
+        }
+        self.log_store.append_batch(records);
+
+        // 4. Streaming metric analysis on the fresh frame.
+        for att in &mut self.detectors {
+            for s in frame.samples.iter().filter(|s| s.key == att.key) {
+                if let Some(anomaly) = att.detector.observe(s.ts, s.value) {
+                    signals.push(Signal::new(
+                        anomaly.ts,
+                        att.kind,
+                        att.severity,
+                        att.key.comp,
+                        anomaly.score,
+                        format!("{} (value {:.4})", att.label, anomaly.value),
+                    ));
+                }
+            }
+        }
+
+        // 5. Built-in analyses: cabinet imbalance, ASHRAE, health checks.
+        let cabinets: Vec<f64> = {
+            let mut cabs: Vec<(u32, f64)> = frame
+                .of_metric(self.metrics.cabinet_power)
+                .map(|s| (s.key.comp.index, s.value))
+                .collect();
+            cabs.sort_by_key(|&(i, _)| i);
+            cabs.into_iter().map(|(_, v)| v).collect()
+        };
+        let reading = self.imbalance.assess(&cabinets);
+        if reading.flagged {
+            let user = self.dominant_user();
+            let mut sig = Signal::new(
+                now,
+                SignalKind::PowerAnomaly,
+                Severity::Warning,
+                CompId::SYSTEM,
+                reading.max_min_ratio,
+                format!(
+                    "cabinet power imbalance: max/min {:.2}, cv {:.2}",
+                    reading.max_min_ratio, reading.cv
+                ),
+            );
+            if let Some(u) = user {
+                sig = sig.with_user(&u);
+            }
+            signals.push(sig);
+        }
+        if self.engine.environment().exceeds_ashrae_gas_limit() {
+            signals.push(Signal::new(
+                now,
+                SignalKind::EnvironmentViolation,
+                Severity::Warning,
+                CompId::ENVIRONMENT,
+                self.engine.environment().so2_ppb,
+                "SO2 above ASHRAE G1 limit",
+            ));
+        }
+        for s in frame.of_metric(self.metrics.node_health) {
+            if s.value == 0.0 {
+                let node = s.key.comp.index;
+                let mut sig = Signal::new(
+                    now,
+                    SignalKind::HealthCheckFailure,
+                    Severity::Warning,
+                    s.key.comp,
+                    1.0,
+                    format!("node {node} fails health check"),
+                );
+                if let Some(id) = self.engine.scheduler().job_on_node(node) {
+                    sig = sig.with_user(&self.engine.scheduler().record(id).user.clone());
+                }
+                signals.push(sig);
+            }
+        }
+
+        for silent in self.deadman.check(now) {
+            signals.push(Signal::new(
+                now,
+                SignalKind::MonitoringGap,
+                Severity::Error,
+                CompId::SYSTEM,
+                silent.overdue_ms as f64 / 1_000.0,
+                format!(
+                    "collector '{}' silent (last seen {:?})",
+                    silent.feed, silent.last_seen
+                ),
+            ));
+        }
+
+        // 5b. Power-cap control loop: throttle p-state on overdraw,
+        //     recover when there is headroom.  The actuation is itself a
+        //     signal so operators see every throttle decision.
+        if let Some(cap) = self.power_cap_w {
+            let total = frame
+                .of_metric(self.metrics.system_power)
+                .next()
+                .map(|s| s.value)
+                .unwrap_or(0.0);
+            let pstate = self.engine.pstate();
+            if total > cap && pstate > 0.3 {
+                let next = (pstate - 0.05).max(0.3);
+                self.engine.set_pstate(next);
+                signals.push(Signal::new(
+                    now,
+                    SignalKind::PowerAnomaly,
+                    Severity::Notice,
+                    CompId::SYSTEM,
+                    total / cap,
+                    format!(
+                        "power cap: {total:.0} W over {cap:.0} W cap, p-state -> {next:.2}"
+                    ),
+                ));
+            } else if total < 0.85 * cap && pstate < 1.0 {
+                self.engine.set_pstate((pstate + 0.05).min(1.0));
+            }
+        }
+
+        // 5c. Retention enforcement on its configured cadence.
+        if let Some((policy, every)) = self.retention {
+            if self.engine.tick_count().is_multiple_of(every) {
+                policy.enforce(now, &self.store, &mut self.archive);
+            }
+        }
+
+        // 6. Respond, feeding actions back to the machine.
+        for sig in &signals {
+            let actions = self.response.handle(sig);
+            for action in &actions {
+                self.apply_action(action);
+            }
+            report.actions.extend(actions);
+        }
+        // 7. Analysis results are stored WITH the raw data (Table I):
+        //    per-tick counts as ordinary series, and each signal as a
+        //    searchable log record from the `analysis` source.
+        let mut results = Frame::new(now);
+        results.push(self.metrics.analysis_signals, CompId::SYSTEM, signals.len() as f64);
+        results.push(self.metrics.analysis_actions, CompId::SYSTEM, report.actions.len() as f64);
+        self.store.insert_frame(&results);
+        for sig in &signals {
+            self.log_store.append(LogRecord::new(
+                sig.ts,
+                sig.comp,
+                sig.severity,
+                "analysis",
+                sig.detail.clone(),
+            ));
+        }
+        self.signals.extend(signals.iter().cloned());
+        report.signals = signals;
+        report
+    }
+
+    fn apply_action(&mut self, action: &ActionTaken) {
+        // Alerts/notifications are journaled; only node actions drive the
+        // machine.
+        if let (Action::SidelineNode | Action::DrainNode, CompKind::Node) =
+            (&action.action, action.comp.kind)
+        {
+            self.engine.scheduler_mut().take_out_of_service(action.comp.index);
+        }
+    }
+
+    fn dominant_user(&self) -> Option<String> {
+        self.engine
+            .scheduler()
+            .running()
+            .iter()
+            .max_by_key(|r| r.nodes.len())
+            .map(|r| r.spec.user.clone())
+    }
+
+    /// Advance `n` ticks, accumulating a summary.
+    pub fn run_ticks(&mut self, n: u64) -> RunSummary {
+        let mut summary = RunSummary::default();
+        for _ in 0..n {
+            let r = self.tick();
+            summary.ticks += 1;
+            summary.samples += r.samples as u64;
+            summary.logs += r.logs as u64;
+            summary.signals += r.signals.len() as u64;
+            summary.actions += r.actions.len() as u64;
+        }
+        summary
+    }
+
+    // ----- accessors -----
+
+    /// The simulated machine.
+    pub fn engine(&self) -> &SimEngine {
+        &self.engine
+    }
+
+    /// Mutable machine access (fault injection mid-run, scheduler pokes).
+    pub fn engine_mut(&mut self) -> &mut SimEngine {
+        &mut self.engine
+    }
+
+    /// The metric registry (names, units, descriptions).
+    pub fn registry(&self) -> &MetricRegistry {
+        &self.registry
+    }
+
+    /// Resolved standard metric ids.
+    pub fn metrics(&self) -> StdMetrics {
+        self.metrics
+    }
+
+    /// The transport broker (subscribe for live consumers).
+    pub fn broker(&self) -> &Arc<Broker> {
+        &self.broker
+    }
+
+    /// The time-series store.
+    pub fn store(&self) -> &TimeSeriesStore {
+        &self.store
+    }
+
+    /// The log store.
+    pub fn log_store(&self) -> &LogStore {
+        &self.log_store
+    }
+
+    /// The archive (cold tier).
+    pub fn archive(&self) -> &Archive {
+        &self.archive
+    }
+
+    /// Mutable archive access (archiving/reloading flows).
+    pub fn archive_mut(&mut self) -> &mut Archive {
+        &mut self.archive
+    }
+
+    /// A query engine over the store.
+    pub fn query(&self) -> QueryEngine<'_> {
+        QueryEngine::new(&self.store)
+    }
+
+    /// Every signal emitted so far.
+    pub fn signals(&self) -> &[Signal] {
+        &self.signals
+    }
+
+    /// Every response action taken so far.
+    pub fn actions(&self) -> &[ActionTaken] {
+        self.response.journal()
+    }
+
+    /// Alerts delivered on a named route.
+    pub fn response_alerts(&self, route: &str) -> Vec<&ActionTaken> {
+        self.response.alerts_on_route(route)
+    }
+
+    /// Signals visible to a given consumer under the access policy.
+    pub fn signals_for(&self, consumer: &hpcmon_response::Consumer) -> Vec<&Signal> {
+        AccessPolicy.filter(consumer, &self.signals)
+    }
+
+    /// Estimated queue wait for a hypothetical `nodes`-node job submitted
+    /// now (the CSC user-facing number); `None` when it can never fit.
+    pub fn estimate_wait_ms(&self, nodes: u32) -> Option<u64> {
+        self.engine.scheduler().estimate_wait_ms(nodes, self.engine.now())
+    }
+
+    /// Assemble the current operations report: machine state, alerts by
+    /// rule, benchmark trends, loudest log templates.
+    pub fn ops_report(&self) -> String {
+        use hpcmon_analysis::TemplateMiner;
+        let m = self.metrics;
+        let q = self.query();
+        let bench_io: Vec<f64> = q
+            .series(
+                hpcmon_metrics::SeriesKey::new(m.bench_io, CompId::SYSTEM),
+                hpcmon_store::TimeRange::all(),
+            )
+            .into_iter()
+            .map(|p| p.1)
+            .collect();
+        let bench_net: Vec<f64> = q
+            .series(
+                hpcmon_metrics::SeriesKey::new(m.bench_network, CompId::SYSTEM),
+                hpcmon_store::TimeRange::all(),
+            )
+            .into_iter()
+            .map(|p| p.1)
+            .collect();
+        let mut miner = TemplateMiner::new();
+        for i in 0..self.log_store.len() as u32 {
+            if let Some(rec) = self.log_store.get(i) {
+                miner.observe(&rec);
+            }
+        }
+        let templates = miner
+            .top_k(5)
+            .into_iter()
+            .map(|t| (t.count, t.example))
+            .collect();
+        hpcmon_viz::OpsReport::new("Operations report")
+            .period(Ts::ZERO, self.engine.now())
+            .status_board(&self.status_board())
+            .alerts(self.response.journal().iter().map(|a| (a.rule.as_str(), a.ts)))
+            .benchmark("io bench tts (s)", bench_io)
+            .benchmark("network bench tts (s)", bench_net)
+            .top_templates(templates)
+            .render()
+    }
+
+    /// The at-a-glance component-state board ("percentage of components in
+    /// a state, regardless of location").
+    pub fn status_board(&self) -> StatusBoard {
+        use hpcmon_sim::node::NodeHealth;
+        let e = &self.engine;
+        let oos: std::collections::HashSet<u32> =
+            e.scheduler().out_of_service().into_iter().collect();
+        let (mut up, mut hung, mut down, mut sidelined) = (0, 0, 0, 0);
+        for n in 0..e.num_nodes() {
+            if oos.contains(&n) && e.node(n).health == NodeHealth::Up {
+                sidelined += 1;
+                continue;
+            }
+            match e.node(n).health {
+                NodeHealth::Up => up += 1,
+                NodeHealth::Hung => hung += 1,
+                NodeHealth::Down => down += 1,
+            }
+        }
+        let links = e.network().num_links() as u32;
+        let links_up = (0..links).filter(|&l| e.network().link_is_up(l)).count();
+        let osts = e.filesystem().num_osts();
+        let osts_ok =
+            (0..osts).filter(|&o| e.filesystem().ost_degradation(o) <= 1.0).count();
+        let gpus_total = e.num_nodes() as usize * e.config().gpus_per_node as usize;
+        let gpus_ok = (0..gpus_total as u32).filter(|&g| e.gpu(g).healthy).count();
+        let mut board = StatusBoard::new(&format!("Machine state at {}", e.now()))
+            .add(ClassStatus::new(
+                "nodes",
+                vec![("up", up), ("hung", hung), ("down", down), ("sidelined", sidelined)],
+            ))
+            .add(ClassStatus::new(
+                "links",
+                vec![("up", links_up), ("down", links as usize - links_up)],
+            ))
+            .add(ClassStatus::new(
+                "OSTs",
+                vec![("healthy", osts_ok), ("degraded", osts as usize - osts_ok)],
+            ));
+        if gpus_total > 0 {
+            board = board.add(ClassStatus::new(
+                "GPUs",
+                vec![("healthy", gpus_ok), ("failed", gpus_total - gpus_ok)],
+            ));
+        }
+        board
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcmon_analysis::ZScoreDetector;
+    use hpcmon_metrics::SeriesKey;
+    use hpcmon_sim::AppProfile;
+
+    fn quick_system() -> MonitoringSystem {
+        MonitoringSystem::builder(SimConfig::small()).build()
+    }
+
+    #[test]
+    fn tick_collects_stores_and_reports() {
+        let mut mon = quick_system();
+        mon.submit_job(JobSpec::new(
+            AppProfile::compute_heavy("stencil"),
+            "alice",
+            16,
+            30 * 60_000,
+            Ts::ZERO,
+        ));
+        let r = mon.tick();
+        assert!(r.samples > 500, "full sweep: {}", r.samples);
+        let stats = mon.store().stats();
+        assert!(stats.series > 500);
+        // Collected samples plus the 2 per-tick analysis-result samples
+        // stored alongside the raw data (Table I).
+        assert_eq!(stats.hot_points + stats.warm_points, r.samples + 2);
+        // Job-start log made it to the log store.
+        assert!(!mon.log_store().is_empty());
+    }
+
+    #[test]
+    fn run_summary_accumulates() {
+        let mut mon = quick_system();
+        let s = mon.run_ticks(5);
+        assert_eq!(s.ticks, 5);
+        assert!(s.samples > 2_000);
+    }
+
+    #[test]
+    fn node_crash_produces_critical_signal_and_page() {
+        let mut mon = quick_system();
+        mon.schedule_fault(Ts::from_mins(2), FaultKind::NodeCrash { node: 7 });
+        mon.run_ticks(4);
+        assert!(mon
+            .signals()
+            .iter()
+            .any(|s| s.kind == SignalKind::LogCorrelation && s.severity == Severity::Critical));
+        assert!(!mon.response_alerts("ops-pager").is_empty());
+        // Health-check failure signal also emitted and the node sidelined.
+        assert!(mon.signals().iter().any(|s| s.kind == SignalKind::HealthCheckFailure));
+        assert!(mon.engine().scheduler().out_of_service().contains(&7));
+    }
+
+    #[test]
+    fn gas_spike_raises_environment_signal() {
+        let mut mon = quick_system();
+        mon.schedule_fault(
+            Ts::from_mins(1),
+            FaultKind::GasSpike { added_ppb: 50.0, duration_ms: 3_600_000 },
+        );
+        mon.run_ticks(3);
+        assert!(mon.signals().iter().any(|s| s.kind == SignalKind::EnvironmentViolation));
+    }
+
+    #[test]
+    fn attached_detector_fires_on_ost_degradation() {
+        let mut mon = MonitoringSystem::builder(SimConfig::small())
+            .attach_detector(DetectorAttachment::new(
+                SeriesKey::new(
+                    StdMetrics::register(&MetricRegistry::new()).probe_ost_latency,
+                    CompId::ost(3),
+                ),
+                Box::new(ZScoreDetector::new(32, 6.0).with_sigma_floor(0.05)),
+                SignalKind::MetricAnomaly,
+                Severity::Error,
+                "OST latency anomaly",
+            ))
+            .build();
+        // Re-registering against a fresh registry yields the same ids as
+        // the system's own registry because registration order is fixed.
+        mon.run_ticks(15);
+        mon.schedule_fault(Ts::from_mins(16), FaultKind::OstDegrade { ost: 3, factor: 12.0 });
+        mon.run_ticks(5);
+        assert!(
+            mon.signals().iter().any(|s| s.kind == SignalKind::MetricAnomaly),
+            "detector saw the degradation"
+        );
+    }
+
+    #[test]
+    fn access_policy_scopes_user_view() {
+        let mut mon = quick_system();
+        mon.schedule_fault(Ts::from_mins(2), FaultKind::NodeCrash { node: 7 });
+        mon.run_ticks(4);
+        let admin = hpcmon_response::Consumer::admin("ops");
+        let user = hpcmon_response::Consumer::user("portal", "nobody");
+        assert!(mon.signals_for(&admin).len() >= mon.signals_for(&user).len());
+    }
+
+    #[test]
+    fn transport_path_is_lossless_for_store() {
+        let mut mon = quick_system();
+        mon.run_ticks(10);
+        let stats = mon.broker().stats();
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.published as usize, 10 + mon.log_store().len());
+    }
+
+    #[test]
+    fn status_board_reflects_faults() {
+        let mut mon = quick_system();
+        mon.schedule_fault(Ts::from_mins(1), FaultKind::NodeCrash { node: 0 });
+        mon.schedule_fault(Ts::from_mins(1), FaultKind::NodeHang { node: 1 });
+        mon.schedule_fault(Ts::from_mins(1), FaultKind::LinkDown { link: 2 });
+        mon.schedule_fault(Ts::from_mins(1), FaultKind::OstDegrade { ost: 3, factor: 2.0 });
+        mon.run_ticks(2);
+        let text = mon.status_board().render();
+        assert!(text.contains("down=1"), "{text}");
+        assert!(text.contains("hung=1"));
+        assert!(text.contains("degraded=1"));
+        assert!(text.contains("GPUs"));
+        let board = mon.status_board();
+        assert!(board.worst().is_some());
+    }
+
+    #[test]
+    fn wait_estimate_grows_with_backlog() {
+        let mut mon = quick_system();
+        assert_eq!(mon.estimate_wait_ms(64), Some(0));
+        for _ in 0..8 {
+            mon.submit_job(JobSpec::new(
+                AppProfile::compute_heavy("big"),
+                "u",
+                128,
+                30 * 60_000,
+                Ts::ZERO,
+            ));
+        }
+        mon.run_ticks(1);
+        let wait = mon.estimate_wait_ms(64).expect("fits eventually");
+        assert!(wait > 60 * 60_000, "deep backlog means a long wait: {wait}");
+    }
+
+    #[test]
+    fn retention_archives_on_cadence() {
+        let mut mon = MonitoringSystem::builder(SimConfig::small())
+            .retention(
+                hpcmon_store::RetentionPolicy {
+                    keep_performant_ms: 10 * 60_000,
+                    purge_after_ms: None,
+                    rollup_bucket_ms: None,
+                },
+                10,
+            )
+            .build();
+        mon.run_ticks(35);
+        assert!(!mon.archive().catalog().is_empty(), "old data aged into the archive");
+        // Archived data remains reachable via locate + reload.
+        let seg = mon.archive().catalog()[0].segment;
+        assert!(mon.archive().reload_into(seg, mon.store()));
+    }
+
+    #[test]
+    fn power_cap_throttles_and_recovers() {
+        // Full-machine compute load draws ~46 kW uncapped; cap at 30 kW.
+        let mut mon = MonitoringSystem::builder(SimConfig::small())
+            .power_cap_w(30_000.0)
+            .bench_suite_every(None)
+            .with_probes(false)
+            .build();
+        mon.submit_job(JobSpec::new(
+            AppProfile::compute_heavy("vasp"),
+            "u",
+            128,
+            60 * 60_000,
+            Ts::ZERO,
+        ));
+        mon.run_ticks(30);
+        // Controller throttled below full speed...
+        assert!(mon.engine().pstate() < 1.0, "pstate {}", mon.engine().pstate());
+        // ...and every throttle decision is a visible signal.
+        assert!(mon.signals().iter().any(|s| s.detail.contains("power cap")));
+        // Power is now at or under the cap (within one control step).
+        let m = mon.metrics();
+        let last_power = mon
+            .query()
+            .series(
+                hpcmon_metrics::SeriesKey::new(m.system_power, CompId::SYSTEM),
+                hpcmon_store::TimeRange::all(),
+            )
+            .last()
+            .map(|&(_, v)| v)
+            .unwrap();
+        assert!(last_power < 33_000.0, "converged near cap: {last_power}");
+        // When the job ends, the controller recovers toward full speed.
+        mon.run_ticks(80);
+        assert!(mon.engine().pstate() > 0.9, "recovered: {}", mon.engine().pstate());
+    }
+
+    #[test]
+    fn analysis_results_are_stored_with_raw_data() {
+        let mut mon = quick_system();
+        mon.schedule_fault(Ts::from_mins(2), FaultKind::NodeCrash { node: 7 });
+        mon.run_ticks(5);
+        // Per-tick result counts are ordinary series...
+        let m = mon.metrics();
+        let series = mon.query().series(
+            hpcmon_metrics::SeriesKey::new(m.analysis_signals, CompId::SYSTEM),
+            hpcmon_store::TimeRange::all(),
+        );
+        assert_eq!(series.len(), 5);
+        assert!(series.iter().any(|&(_, v)| v > 0.0), "the crash produced signals");
+        // ...and each signal is a searchable log record next to raw logs.
+        let hits = mon
+            .log_store()
+            .search(&hpcmon_store::LogQuery::default().with_source("analysis"));
+        assert_eq!(hits.len() as u64, series.iter().map(|&(_, v)| v as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn determinism_end_to_end() {
+        let run = || {
+            let mut mon = quick_system();
+            mon.submit_job(JobSpec::new(
+                AppProfile::checkpointing("climate"),
+                "bob",
+                32,
+                40 * 60_000,
+                Ts::ZERO,
+            ));
+            mon.schedule_fault(Ts::from_mins(5), FaultKind::NodeHang { node: 3 });
+            let s = mon.run_ticks(20);
+            (s, mon.signals().len(), mon.store().stats().warm_points)
+        };
+        assert_eq!(run(), run());
+    }
+}

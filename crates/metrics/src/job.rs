@@ -1,0 +1,184 @@
+//! Batch job records.
+//!
+//! Per-job analysis "requires storing and extraction of job allocations and
+//! timeframes" (paper, §III-B).  [`JobRecord`] is that stored allocation:
+//! it is what lets Figure 4's drill-down attribute an I/O spike to a job and
+//! Figure 5's per-job panels select the right nodes and time window.
+
+use crate::{CompId, Ts};
+use serde::{Deserialize, Serialize};
+
+/// Job identifier (dense, assigned by the scheduler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u32);
+
+/// Lifecycle state of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JobState {
+    /// Waiting in the batch queue.
+    Queued,
+    /// Running on an allocation.
+    Running,
+    /// Finished successfully.
+    Completed,
+    /// Terminated by failure (its own or a node's).
+    Failed,
+    /// Killed before start by a failed pre-job health check (CSCS gating).
+    RejectedByHealthCheck,
+}
+
+impl JobState {
+    /// Whether the job has reached a terminal state.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Completed | JobState::Failed | JobState::RejectedByHealthCheck
+        )
+    }
+}
+
+/// A job's allocation and timeframe, as stored for later attribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobRecord {
+    /// Scheduler-assigned id.
+    pub id: JobId,
+    /// Owning user (for access-controlled data exposure).
+    pub user: String,
+    /// Human-readable application name.
+    pub name: String,
+    /// Global node indices allocated to the job.
+    pub nodes: Vec<u32>,
+    /// Submission time.
+    pub submit: Ts,
+    /// Start of execution (`None` while queued or if rejected).
+    pub start: Option<Ts>,
+    /// End of execution (`None` while running).
+    pub end: Option<Ts>,
+    /// Current state.
+    pub state: JobState,
+}
+
+impl JobRecord {
+    /// A freshly submitted job.
+    pub fn submitted(
+        id: JobId,
+        user: impl Into<String>,
+        name: impl Into<String>,
+        nodes: Vec<u32>,
+        submit: Ts,
+    ) -> JobRecord {
+        JobRecord {
+            id,
+            user: user.into(),
+            name: name.into(),
+            nodes,
+            submit,
+            start: None,
+            end: None,
+            state: JobState::Queued,
+        }
+    }
+
+    /// The job's component id for per-job series.
+    pub fn comp(&self) -> CompId {
+        CompId::job(self.id.0)
+    }
+
+    /// Whether the job was running (inclusive start, exclusive end) at `ts`.
+    pub fn running_at(&self, ts: Ts) -> bool {
+        match (self.start, self.end) {
+            (Some(s), Some(e)) => ts >= s && ts < e,
+            (Some(s), None) => ts >= s && self.state == JobState::Running,
+            _ => false,
+        }
+    }
+
+    /// Whether the job's allocation includes `node`.
+    pub fn uses_node(&self, node: u32) -> bool {
+        self.nodes.contains(&node)
+    }
+
+    /// Wall-clock runtime, if the job both started and ended.
+    pub fn runtime_ms(&self) -> Option<u64> {
+        match (self.start, self.end) {
+            (Some(s), Some(e)) if e >= s => Some(e.0 - s.0),
+            _ => None,
+        }
+    }
+
+    /// Queue wait time: submission until start (if started).
+    pub fn wait_ms(&self) -> Option<u64> {
+        self.start.map(|s| s.0.saturating_sub(self.submit.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> JobRecord {
+        JobRecord::submitted(JobId(1), "alice", "lammps", vec![0, 1, 2], Ts(100))
+    }
+
+    #[test]
+    fn fresh_job_is_queued() {
+        let j = job();
+        assert_eq!(j.state, JobState::Queued);
+        assert!(!j.state.is_terminal());
+        assert!(!j.running_at(Ts(150)));
+        assert_eq!(j.runtime_ms(), None);
+        assert_eq!(j.wait_ms(), None);
+    }
+
+    #[test]
+    fn running_window_is_half_open() {
+        let mut j = job();
+        j.start = Some(Ts(200));
+        j.end = Some(Ts(300));
+        j.state = JobState::Completed;
+        assert!(!j.running_at(Ts(199)));
+        assert!(j.running_at(Ts(200)));
+        assert!(j.running_at(Ts(299)));
+        assert!(!j.running_at(Ts(300)));
+        assert_eq!(j.runtime_ms(), Some(100));
+        assert_eq!(j.wait_ms(), Some(100));
+    }
+
+    #[test]
+    fn open_ended_running_job() {
+        let mut j = job();
+        j.start = Some(Ts(200));
+        j.state = JobState::Running;
+        assert!(j.running_at(Ts(10_000)));
+        assert_eq!(j.runtime_ms(), None);
+    }
+
+    #[test]
+    fn node_membership() {
+        let j = job();
+        assert!(j.uses_node(1));
+        assert!(!j.uses_node(5));
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(JobState::Completed.is_terminal());
+        assert!(JobState::Failed.is_terminal());
+        assert!(JobState::RejectedByHealthCheck.is_terminal());
+        assert!(!JobState::Running.is_terminal());
+        assert!(!JobState::Queued.is_terminal());
+    }
+
+    #[test]
+    fn comp_id_uses_job_id() {
+        assert_eq!(job().comp(), CompId::job(1));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let j = job();
+        let s = serde_json::to_string(&j).unwrap();
+        let back: JobRecord = serde_json::from_str(&s).unwrap();
+        assert_eq!(j, back);
+    }
+}

@@ -1,0 +1,165 @@
+//! Textual events: log records and severities.
+//!
+//! The paper's sites passively collect "all pertinent log messages ... as
+//! they asynchronously occur" and then struggle with per-vendor formats
+//! (ALCF: ≥20 per-day files, varying time formats, multi-line and binary
+//! records).  `hpcmon` normalizes everything to [`LogRecord`] at the
+//! harvester boundary so downstream analysis sees one shape.
+
+use crate::{CompId, Ts};
+use serde::{Deserialize, Serialize};
+
+/// Syslog-style severity, ordered from least to most severe.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[repr(u8)]
+pub enum Severity {
+    /// Debug chatter.
+    Debug,
+    /// Routine information.
+    #[default]
+    Info,
+    /// Notable but non-failing condition.
+    Notice,
+    /// Something degraded.
+    Warning,
+    /// A component failed.
+    Error,
+    /// A subsystem is unusable.
+    Critical,
+}
+
+impl Severity {
+    /// All severities in ascending order.
+    pub const ALL: [Severity; 6] = [
+        Severity::Debug,
+        Severity::Info,
+        Severity::Notice,
+        Severity::Warning,
+        Severity::Error,
+        Severity::Critical,
+    ];
+
+    /// Uppercase label as it appears in rendered log lines.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Debug => "DEBUG",
+            Severity::Info => "INFO",
+            Severity::Notice => "NOTICE",
+            Severity::Warning => "WARN",
+            Severity::Error => "ERROR",
+            Severity::Critical => "CRIT",
+        }
+    }
+
+    /// Parse a label produced by [`Severity::label`].
+    pub fn parse(s: &str) -> Option<Severity> {
+        Severity::ALL.iter().copied().find(|sev| sev.label() == s)
+    }
+}
+
+/// A normalized log/event record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// When the event occurred (source-local clock; may drift).
+    pub ts: Ts,
+    /// Which component emitted it.
+    pub comp: CompId,
+    /// Severity.
+    pub severity: Severity,
+    /// Source subsystem, e.g. `hsn`, `fs`, `console`, `hwerr`, `sched`.
+    pub source: String,
+    /// The message text.
+    pub message: String,
+    /// Stable template id when the message came from a known generator;
+    /// `None` for free-form text.  Novelty detection keys off this.
+    pub template: Option<u32>,
+}
+
+impl LogRecord {
+    /// Construct a free-form record.
+    pub fn new(
+        ts: Ts,
+        comp: CompId,
+        severity: Severity,
+        source: impl Into<String>,
+        message: impl Into<String>,
+    ) -> LogRecord {
+        LogRecord {
+            ts,
+            comp,
+            severity,
+            source: source.into(),
+            message: message.into(),
+            template: None,
+        }
+    }
+
+    /// Attach a template id.
+    pub fn with_template(mut self, template: u32) -> LogRecord {
+        self.template = Some(template);
+        self
+    }
+
+    /// Render in the canonical single-line transport format:
+    /// `<ts_ms> <severity> <comp> <source>: <message>`.
+    pub fn render(&self) -> String {
+        format!(
+            "{} {} {} {}: {}",
+            self.ts.0,
+            self.severity.label(),
+            self.comp.path(),
+            self.source,
+            self.message
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Warning < Severity::Error);
+        assert!(Severity::Error < Severity::Critical);
+    }
+
+    #[test]
+    fn severity_label_round_trip() {
+        for sev in Severity::ALL {
+            assert_eq!(Severity::parse(sev.label()), Some(sev));
+        }
+        assert_eq!(Severity::parse("nonsense"), None);
+    }
+
+    #[test]
+    fn record_construction_and_template() {
+        let r = LogRecord::new(Ts(10), CompId::node(3), Severity::Error, "hsn", "link down")
+            .with_template(7);
+        assert_eq!(r.template, Some(7));
+        assert_eq!(r.severity, Severity::Error);
+        assert_eq!(r.source, "hsn");
+    }
+
+    #[test]
+    fn render_format() {
+        let r = LogRecord::new(Ts(1500), CompId::link(4), Severity::Warning, "hsn", "crc retry");
+        assert_eq!(r.render(), "1500 WARN link/4 hsn: crc retry");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let r = LogRecord::new(Ts(9), CompId::SYSTEM, Severity::Notice, "sched", "queue drained");
+        let s = serde_json::to_string(&r).unwrap();
+        let back: LogRecord = serde_json::from_str(&s).unwrap();
+        assert_eq!(r, back);
+    }
+
+    #[test]
+    fn default_severity_is_info() {
+        assert_eq!(Severity::default(), Severity::Info);
+    }
+}

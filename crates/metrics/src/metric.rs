@@ -1,0 +1,259 @@
+//! Metric names and the metric registry.
+//!
+//! Metric names are interned to [`MetricId`]s (u32) so samples stay small
+//! and series lookups are integer comparisons.  The registry also carries
+//! [`MetricMeta`] — units and a human description — because Table I of the
+//! paper requires that "the meaning of all raw data should be provided";
+//! an id without documented semantics is exactly the vendor failure mode
+//! the sites complain about.
+
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Interned metric name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MetricId(pub u32);
+
+/// Engineering unit of a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Unit {
+    /// Dimensionless count.
+    Count,
+    /// Ratio in `[0, 1]`.
+    Ratio,
+    /// Percent in `[0, 100]`.
+    Percent,
+    /// Bytes.
+    Bytes,
+    /// Bytes per second.
+    BytesPerSec,
+    /// Seconds.
+    Seconds,
+    /// Milliseconds.
+    Millis,
+    /// Watts.
+    Watts,
+    /// Degrees Celsius.
+    Celsius,
+    /// Operations per second.
+    OpsPerSec,
+    /// Parts per billion (corrosive gas concentration).
+    Ppb,
+    /// Bit errors per second on a link.
+    ErrorsPerSec,
+}
+
+impl Unit {
+    /// Short suffix for chart axes.
+    pub fn suffix(self) -> &'static str {
+        match self {
+            Unit::Count => "",
+            Unit::Ratio => "ratio",
+            Unit::Percent => "%",
+            Unit::Bytes => "B",
+            Unit::BytesPerSec => "B/s",
+            Unit::Seconds => "s",
+            Unit::Millis => "ms",
+            Unit::Watts => "W",
+            Unit::Celsius => "degC",
+            Unit::OpsPerSec => "op/s",
+            Unit::Ppb => "ppb",
+            Unit::ErrorsPerSec => "err/s",
+        }
+    }
+}
+
+/// Descriptive metadata registered alongside a metric name.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricMeta {
+    /// Canonical dotted name, e.g. `hsn.link.bandwidth_pct`.
+    pub name: String,
+    /// Engineering unit.
+    pub unit: Unit,
+    /// What the raw value means and how it may be combined — the
+    /// documentation requirement from Table I.
+    pub description: String,
+}
+
+#[derive(Default)]
+struct Inner {
+    by_name: HashMap<String, MetricId>,
+    metas: Vec<MetricMeta>,
+}
+
+/// Thread-safe interner from metric names to [`MetricId`]s.
+///
+/// Cloning is cheap (it is an `Arc`); all clones share the same table, so a
+/// collector thread and a query thread agree on ids.
+#[derive(Clone, Default)]
+pub struct MetricRegistry {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl MetricRegistry {
+    /// Create an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register (or look up) a metric with full metadata.  Re-registering an
+    /// existing name returns the original id and keeps the first metadata.
+    pub fn register(&self, name: &str, unit: Unit, description: &str) -> MetricId {
+        let mut inner = self.inner.write();
+        if let Some(&id) = inner.by_name.get(name) {
+            return id;
+        }
+        let id = MetricId(inner.metas.len() as u32);
+        inner.by_name.insert(name.to_owned(), id);
+        inner.metas.push(MetricMeta {
+            name: name.to_owned(),
+            unit,
+            description: description.to_owned(),
+        });
+        id
+    }
+
+    /// Look up an id by exact name.
+    pub fn lookup(&self, name: &str) -> Option<MetricId> {
+        self.inner.read().by_name.get(name).copied()
+    }
+
+    /// Metadata for an id, if registered.
+    pub fn meta(&self, id: MetricId) -> Option<MetricMeta> {
+        self.inner.read().metas.get(id.0 as usize).cloned()
+    }
+
+    /// Canonical name for an id, or `metric/<raw>` for unknown ids.
+    pub fn name(&self, id: MetricId) -> String {
+        self.meta(id)
+            .map(|m| m.name)
+            .unwrap_or_else(|| format!("metric/{}", id.0))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.inner.read().metas.len()
+    }
+
+    /// Whether no metrics have been registered yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all metadata, in id order (for documentation export).
+    pub fn all(&self) -> Vec<MetricMeta> {
+        self.inner.read().metas.clone()
+    }
+}
+
+impl std::fmt::Debug for MetricRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricRegistry").field("len", &self.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_lookup() {
+        let reg = MetricRegistry::new();
+        let id = reg.register("node.cpu_util", Unit::Percent, "CPU busy fraction");
+        assert_eq!(reg.lookup("node.cpu_util"), Some(id));
+        assert_eq!(reg.lookup("nope"), None);
+        let meta = reg.meta(id).unwrap();
+        assert_eq!(meta.name, "node.cpu_util");
+        assert_eq!(meta.unit, Unit::Percent);
+    }
+
+    #[test]
+    fn reregister_is_idempotent() {
+        let reg = MetricRegistry::new();
+        let a = reg.register("m", Unit::Count, "first");
+        let b = reg.register("m", Unit::Watts, "second");
+        assert_eq!(a, b);
+        assert_eq!(reg.len(), 1);
+        // First metadata wins.
+        assert_eq!(reg.meta(a).unwrap().unit, Unit::Count);
+    }
+
+    #[test]
+    fn ids_are_dense() {
+        let reg = MetricRegistry::new();
+        let a = reg.register("a", Unit::Count, "");
+        let b = reg.register("b", Unit::Count, "");
+        assert_eq!(a, MetricId(0));
+        assert_eq!(b, MetricId(1));
+    }
+
+    #[test]
+    fn unknown_id_name_is_stable() {
+        let reg = MetricRegistry::new();
+        assert_eq!(reg.name(MetricId(7)), "metric/7");
+    }
+
+    #[test]
+    fn clones_share_table() {
+        let reg = MetricRegistry::new();
+        let clone = reg.clone();
+        let id = reg.register("shared", Unit::Count, "");
+        assert_eq!(clone.lookup("shared"), Some(id));
+    }
+
+    #[test]
+    fn concurrent_registration_is_consistent() {
+        let reg = MetricRegistry::new();
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let reg = reg.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut ids = Vec::new();
+                for i in 0..100 {
+                    ids.push(reg.register(&format!("m{}", i), Unit::Count, ""));
+                    let _ = t; // thread index is irrelevant to the names
+                }
+                ids
+            }));
+        }
+        let all: Vec<Vec<MetricId>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        // Every thread must observe the same name->id mapping.
+        for ids in &all[1..] {
+            assert_eq!(ids, &all[0]);
+        }
+        assert_eq!(reg.len(), 100);
+    }
+
+    #[test]
+    fn all_returns_in_id_order() {
+        let reg = MetricRegistry::new();
+        reg.register("x", Unit::Count, "");
+        reg.register("y", Unit::Watts, "");
+        let metas = reg.all();
+        assert_eq!(metas[0].name, "x");
+        assert_eq!(metas[1].name, "y");
+    }
+
+    #[test]
+    fn unit_suffixes_defined() {
+        // Axis labels must never be missing for dimensioned units.
+        for u in [
+            Unit::Percent,
+            Unit::Bytes,
+            Unit::BytesPerSec,
+            Unit::Seconds,
+            Unit::Millis,
+            Unit::Watts,
+            Unit::Celsius,
+            Unit::OpsPerSec,
+            Unit::Ppb,
+            Unit::ErrorsPerSec,
+            Unit::Ratio,
+        ] {
+            assert!(!u.suffix().is_empty());
+        }
+        assert_eq!(Unit::Count.suffix(), "");
+    }
+}

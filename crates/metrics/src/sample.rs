@@ -1,0 +1,160 @@
+//! Numeric observations: samples, series keys, and synchronized frames.
+
+use crate::{CompId, MetricId, Ts};
+use serde::{Deserialize, Serialize};
+
+/// The identity of a time series: which metric on which component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SeriesKey {
+    /// Which metric.
+    pub metric: MetricId,
+    /// Which component it was observed on.
+    pub comp: CompId,
+}
+
+impl SeriesKey {
+    /// Construct a series key.
+    pub fn new(metric: MetricId, comp: CompId) -> SeriesKey {
+        SeriesKey { metric, comp }
+    }
+}
+
+/// One numeric observation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Sample {
+    /// Series identity.
+    pub key: SeriesKey,
+    /// When it was observed (collector-side timestamp).
+    pub ts: Ts,
+    /// The observed value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// Construct a sample.
+    pub fn new(metric: MetricId, comp: CompId, ts: Ts, value: f64) -> Sample {
+        Sample { key: SeriesKey::new(metric, comp), ts, value }
+    }
+}
+
+/// A synchronized collection frame: every sample gathered at one aligned
+/// system-wide tick (the NCSA pattern — "collection times are synchronized
+/// across the entire system").
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// The aligned tick this frame belongs to.
+    pub ts: Ts,
+    /// All samples collected at this tick.
+    pub samples: Vec<Sample>,
+}
+
+impl Frame {
+    /// An empty frame at `ts`.
+    pub fn new(ts: Ts) -> Frame {
+        Frame { ts, samples: Vec::new() }
+    }
+
+    /// Append a sample, stamping it with the frame's tick.
+    pub fn push(&mut self, metric: MetricId, comp: CompId, value: f64) {
+        self.samples.push(Sample::new(metric, comp, self.ts, value));
+    }
+
+    /// Number of samples in the frame.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the frame holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Iterate over samples of one metric.
+    pub fn of_metric(&self, metric: MetricId) -> impl Iterator<Item = &Sample> {
+        self.samples.iter().filter(move |s| s.key.metric == metric)
+    }
+
+    /// Sum of values for one metric across all components in the frame.
+    pub fn sum_of(&self, metric: MetricId) -> f64 {
+        self.of_metric(metric).map(|s| s.value).sum()
+    }
+
+    /// Mean of values for one metric, or `None` if absent.
+    pub fn mean_of(&self, metric: MetricId) -> Option<f64> {
+        let mut n = 0usize;
+        let mut sum = 0.0;
+        for s in self.of_metric(metric) {
+            n += 1;
+            sum += s.value;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mid(n: u32) -> MetricId {
+        MetricId(n)
+    }
+
+    #[test]
+    fn sample_construction() {
+        let s = Sample::new(mid(1), CompId::node(2), Ts(30), 4.5);
+        assert_eq!(s.key.metric, mid(1));
+        assert_eq!(s.key.comp, CompId::node(2));
+        assert_eq!(s.ts, Ts(30));
+        assert_eq!(s.value, 4.5);
+    }
+
+    #[test]
+    fn frame_push_stamps_tick() {
+        let mut f = Frame::new(Ts::from_mins(1));
+        f.push(mid(0), CompId::node(0), 1.0);
+        f.push(mid(0), CompId::node(1), 3.0);
+        assert_eq!(f.len(), 2);
+        assert!(f.samples.iter().all(|s| s.ts == Ts::from_mins(1)));
+    }
+
+    #[test]
+    fn frame_aggregates() {
+        let mut f = Frame::new(Ts(0));
+        f.push(mid(0), CompId::node(0), 1.0);
+        f.push(mid(0), CompId::node(1), 3.0);
+        f.push(mid(1), CompId::node(0), 100.0);
+        assert_eq!(f.sum_of(mid(0)), 4.0);
+        assert_eq!(f.mean_of(mid(0)), Some(2.0));
+        assert_eq!(f.sum_of(mid(1)), 100.0);
+        assert_eq!(f.mean_of(mid(9)), None);
+        assert_eq!(f.of_metric(mid(0)).count(), 2);
+    }
+
+    #[test]
+    fn empty_frame() {
+        let f = Frame::new(Ts(0));
+        assert!(f.is_empty());
+        assert_eq!(f.sum_of(mid(0)), 0.0);
+        assert_eq!(f.mean_of(mid(0)), None);
+    }
+
+    #[test]
+    fn series_key_ordering_is_metric_major() {
+        let a = SeriesKey::new(mid(0), CompId::node(9));
+        let b = SeriesKey::new(mid(1), CompId::node(0));
+        assert!(a < b);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut f = Frame::new(Ts(5));
+        f.push(mid(2), CompId::ost(1), 9.25);
+        let s = serde_json::to_string(&f).unwrap();
+        let back: Frame = serde_json::from_str(&s).unwrap();
+        assert_eq!(f, back);
+    }
+}

@@ -1,0 +1,292 @@
+//! The cold storage tier.
+//!
+//! Table I: hierarchical storage "with the ability to locate and reload
+//! data as needed", where "solutions must address both the mechanics of
+//! the archiving and reloading and tracking the locations and contents of
+//! archived data."  An [`Archive`] holds serialized segments; the
+//! [`ArchiveCatalog`] is the tracking index (what range, which series,
+//! how many bytes, where).
+
+use crate::tsdb::{SeriesBlock, TimeSeriesStore};
+use hpcmon_metrics::Ts;
+use serde::{Deserialize, Serialize};
+
+/// Catalog entry describing one archived segment.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ArchiveCatalog {
+    /// Segment id (dense).
+    pub segment: u32,
+    /// Earliest point in the segment.
+    pub start: Ts,
+    /// Latest point in the segment.
+    pub end: Ts,
+    /// Number of series blocks.
+    pub blocks: usize,
+    /// Total points.
+    pub points: u64,
+    /// Serialized size in bytes.
+    pub bytes: usize,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Segment {
+    catalog: ArchiveCatalog,
+    blocks: Vec<SeriesBlock>,
+}
+
+/// The cold tier: archived segments plus their catalog.
+#[derive(Debug, Default)]
+pub struct Archive {
+    segments: Vec<Option<Segment>>,
+}
+
+impl Archive {
+    /// Empty archive.
+    pub fn new() -> Archive {
+        Archive::default()
+    }
+
+    /// Archive everything in `store` older than `cutoff`: seals hot
+    /// buffers, evicts the eligible warm blocks, and files them as a new
+    /// segment.  Returns the catalog entry, or `None` if nothing was old
+    /// enough.
+    pub fn archive_before(&mut self, store: &TimeSeriesStore, cutoff: Ts) -> Option<ArchiveCatalog> {
+        store.seal_all();
+        let blocks = store.evict_warm_before(cutoff);
+        if blocks.is_empty() {
+            return None;
+        }
+        Some(self.file_segment(blocks))
+    }
+
+    /// File an explicit set of blocks as a segment.
+    pub fn file_segment(&mut self, blocks: Vec<SeriesBlock>) -> ArchiveCatalog {
+        assert!(!blocks.is_empty(), "cannot archive an empty segment");
+        let start = blocks.iter().map(|b| b.start).min().expect("non-empty");
+        let end = blocks.iter().map(|b| b.end).max().expect("non-empty");
+        let points: u64 = blocks.iter().map(|b| b.count as u64).sum();
+        let bytes: usize = blocks.iter().map(|b| b.compressed_bytes()).sum();
+        let catalog = ArchiveCatalog {
+            segment: self.segments.len() as u32,
+            start,
+            end,
+            blocks: blocks.len(),
+            points,
+            bytes,
+        };
+        self.segments.push(Some(Segment { catalog: catalog.clone(), blocks }));
+        catalog
+    }
+
+    /// The catalog: every segment still in the archive, in id order.
+    pub fn catalog(&self) -> Vec<ArchiveCatalog> {
+        self.segments.iter().flatten().map(|s| s.catalog.clone()).collect()
+    }
+
+    /// Locate segments overlapping a time range (the "locate" half).
+    pub fn locate(&self, from: Ts, to: Ts) -> Vec<ArchiveCatalog> {
+        self.segments
+            .iter()
+            .flatten()
+            .filter(|s| s.catalog.start <= to && s.catalog.end >= from)
+            .map(|s| s.catalog.clone())
+            .collect()
+    }
+
+    /// Reload a segment's blocks back into a store (the "reload" half).
+    /// The segment stays in the archive — reloading is a cache fill, not a
+    /// move — so repeated historical analyses need no re-archive step.
+    pub fn reload_into(&self, segment: u32, store: &TimeSeriesStore) -> bool {
+        match self.segments.get(segment as usize).and_then(|s| s.as_ref()) {
+            Some(seg) => {
+                store.reload_blocks(seg.blocks.clone());
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Permanently delete a segment (end of retention).
+    pub fn purge(&mut self, segment: u32) -> bool {
+        match self.segments.get_mut(segment as usize) {
+            Some(slot @ Some(_)) => {
+                *slot = None;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Total archived bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.segments.iter().flatten().map(|s| s.catalog.bytes).sum()
+    }
+
+    /// Write a segment to a file (the real cold tier: tape/object-store
+    /// stand-in).  The format is self-describing JSON of the compressed
+    /// blocks; the blocks themselves stay Gorilla-compressed inside it.
+    pub fn save_segment(&self, segment: u32, path: &std::path::Path) -> std::io::Result<()> {
+        let seg = self
+            .segments
+            .get(segment as usize)
+            .and_then(|s| s.as_ref())
+            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no such segment"))?;
+        let json = serde_json::to_vec(seg).map_err(std::io::Error::other)?;
+        std::fs::write(path, json)
+    }
+
+    /// Load a previously saved segment file into this archive under a new
+    /// segment id.  Returns the new catalog entry.
+    pub fn load_segment(&mut self, path: &std::path::Path) -> std::io::Result<ArchiveCatalog> {
+        let bytes = std::fs::read(path)?;
+        let seg: Segment = serde_json::from_slice(&bytes).map_err(std::io::Error::other)?;
+        Ok(self.file_segment(seg.blocks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcmon_metrics::{CompId, MetricId, Sample, SeriesKey};
+
+    fn fill(store: &TimeSeriesStore, node: u32, minutes: std::ops::Range<u64>) {
+        for m in minutes {
+            store.insert(&Sample::new(
+                MetricId(0),
+                CompId::node(node),
+                Ts::from_mins(m),
+                m as f64,
+            ));
+        }
+    }
+
+    #[test]
+    fn archive_locate_reload_round_trip() {
+        // Seal threshold 50 so minutes 0..49 form a sealed block per series
+        // (archiving moves whole sealed blocks, never splits them).
+        let store = TimeSeriesStore::with_options(4, 50);
+        fill(&store, 0, 0..100);
+        fill(&store, 1, 0..100);
+        let mut archive = Archive::new();
+        let cat = archive.archive_before(&store, Ts::from_mins(50)).unwrap();
+        assert_eq!(cat.points, 100, "two series × 50 old points");
+        assert_eq!(cat.blocks, 2);
+        // Old data is gone from the store...
+        let key = SeriesKey::new(MetricId(0), CompId::node(0));
+        assert_eq!(store.query(key, Ts::ZERO, Ts::from_mins(49)).len(), 0);
+        // ...locatable in the catalog...
+        let found = archive.locate(Ts::from_mins(10), Ts::from_mins(20));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].segment, cat.segment);
+        // ...and reloadable for historical + current joint queries.
+        assert!(archive.reload_into(cat.segment, &store));
+        assert_eq!(store.query(key, Ts::ZERO, Ts(u64::MAX)).len(), 100);
+    }
+
+    #[test]
+    fn archive_nothing_when_all_recent() {
+        let store = TimeSeriesStore::new();
+        fill(&store, 0, 90..100);
+        let mut archive = Archive::new();
+        assert!(archive.archive_before(&store, Ts::from_mins(50)).is_none());
+        assert!(archive.catalog().is_empty());
+    }
+
+    #[test]
+    fn reload_is_idempotent_cache_fill() {
+        let store = TimeSeriesStore::new();
+        fill(&store, 0, 0..10);
+        let mut archive = Archive::new();
+        let cat = archive.archive_before(&store, Ts::from_mins(100)).unwrap();
+        assert!(archive.reload_into(cat.segment, &store));
+        // Segment remains locatable after reload.
+        assert_eq!(archive.locate(Ts::ZERO, Ts(u64::MAX)).len(), 1);
+    }
+
+    #[test]
+    fn purge_removes_segment() {
+        let store = TimeSeriesStore::new();
+        fill(&store, 0, 0..10);
+        let mut archive = Archive::new();
+        let cat = archive.archive_before(&store, Ts::from_mins(100)).unwrap();
+        assert!(archive.total_bytes() > 0);
+        assert!(archive.purge(cat.segment));
+        assert!(!archive.purge(cat.segment), "double purge is false");
+        assert!(!archive.reload_into(cat.segment, &store));
+        assert_eq!(archive.total_bytes(), 0);
+    }
+
+    #[test]
+    fn multiple_segments_catalogued_in_order() {
+        let store = TimeSeriesStore::new();
+        let mut archive = Archive::new();
+        fill(&store, 0, 0..10);
+        let c1 = archive.archive_before(&store, Ts::from_mins(100)).unwrap();
+        fill(&store, 0, 100..110);
+        let c2 = archive.archive_before(&store, Ts::from_mins(200)).unwrap();
+        assert_eq!(c1.segment, 0);
+        assert_eq!(c2.segment, 1);
+        let cat = archive.catalog();
+        assert_eq!(cat.len(), 2);
+        assert!(cat[0].end < cat[1].start);
+    }
+
+    #[test]
+    fn locate_misses_disjoint_ranges() {
+        let store = TimeSeriesStore::new();
+        fill(&store, 0, 0..10);
+        let mut archive = Archive::new();
+        archive.archive_before(&store, Ts::from_mins(100)).unwrap();
+        assert!(archive.locate(Ts::from_mins(500), Ts::from_mins(600)).is_empty());
+    }
+
+    #[test]
+    fn save_and_load_segment_file_round_trip() {
+        let store = TimeSeriesStore::with_options(2, 16);
+        fill(&store, 0, 0..64);
+        let mut archive = Archive::new();
+        let cat = archive.archive_before(&store, Ts::from_mins(100)).unwrap();
+        let path = std::env::temp_dir().join(format!(
+            "hpcmon_archive_test_{}.json",
+            std::process::id()
+        ));
+        archive.save_segment(cat.segment, &path).unwrap();
+        // A fresh archive (say, at a disaster-recovery site) loads it.
+        let mut restored = Archive::new();
+        let new_cat = restored.load_segment(&path).unwrap();
+        assert_eq!(new_cat.points, cat.points);
+        assert_eq!(new_cat.start, cat.start);
+        assert_eq!(new_cat.end, cat.end);
+        let fresh = TimeSeriesStore::new();
+        assert!(restored.reload_into(new_cat.segment, &fresh));
+        let key = SeriesKey::new(MetricId(0), CompId::node(0));
+        assert_eq!(fresh.query(key, Ts::ZERO, Ts(u64::MAX)).len(), 64);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_unknown_segment_errors() {
+        let archive = Archive::new();
+        let path = std::env::temp_dir().join("hpcmon_never_written.json");
+        assert!(archive.save_segment(9, &path).is_err());
+    }
+
+    #[test]
+    fn load_garbage_file_errors() {
+        let path = std::env::temp_dir().join(format!(
+            "hpcmon_garbage_{}.json",
+            std::process::id()
+        ));
+        std::fs::write(&path, b"not json at all").unwrap();
+        let mut archive = Archive::new();
+        assert!(archive.load_segment(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unknown_segment_reload_fails() {
+        let archive = Archive::new();
+        let store = TimeSeriesStore::new();
+        assert!(!archive.reload_into(42, &store));
+    }
+}

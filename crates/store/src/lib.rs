@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! `hpcmon-store` — storage for monitoring data.
+//!
+//! Table I (Data Storage and Formats): *"Easy access to historical data and
+//! the ability to access historical data in conjunction with current data
+//! is required ... hierarchical storage models with the ability to locate
+//! and reload data as needed are desirable.  Analysis results should be
+//! able to be stored with raw data."*
+//!
+//! The pieces:
+//!
+//! * [`compress`] — delta-of-delta timestamps + Gorilla XOR floats; regular
+//!   one-minute cadences compress to ~2 bytes/sample.
+//! * [`tsdb::TimeSeriesStore`] — sharded hot buffers that seal into
+//!   compressed warm blocks; one store holds raw metrics *and* analysis
+//!   outputs (they are just more series).
+//! * [`archive::Archive`] — the cold tier: whole time ranges serialized
+//!   out, catalogued, and reloadable into the query path.
+//! * [`logstore::LogStore`] — append-only log storage with a token inverted
+//!   index and a full-scan fallback (the `abl_logindex` ablation measures
+//!   the difference).
+//! * [`query`] — range scans, group-by, per-bucket aggregation,
+//!   downsampling, and per-job extraction against stored allocations.
+
+pub mod archive;
+pub mod compress;
+pub mod logstore;
+pub mod query;
+pub mod retention;
+pub mod tsdb;
+
+pub use archive::{Archive, ArchiveCatalog};
+pub use logstore::{LogQuery, LogStore};
+pub use query::{AggFn, QueryEngine, TimeRange};
+pub use retention::{RetentionPolicy, RetentionReport};
+pub use tsdb::{SeriesBlock, StoreStats, TimeSeriesStore};

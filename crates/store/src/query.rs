@@ -1,0 +1,427 @@
+//! The query engine: range scans, aggregation, group-by, downsampling, and
+//! per-job extraction.
+//!
+//! Table I: "the data store should be designed to support arbitrary
+//! extractions and computations" and "concurrent conditions on disparate
+//! components should be able to be identified."  The primitives here are
+//! what every figure-reproduction scenario is built from: Figure 4's
+//! aggregate-then-drill-down is `aggregate_per_bucket` + `top_components_at`;
+//! Figure 5's per-job panels are `job_series`.
+
+use crate::tsdb::TimeSeriesStore;
+use hpcmon_metrics::{CompId, CompKind, JobRecord, MetricId, SeriesKey, Ts};
+use serde::{Deserialize, Serialize};
+
+/// An inclusive time range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TimeRange {
+    /// Inclusive start.
+    pub from: Ts,
+    /// Inclusive end.
+    pub to: Ts,
+}
+
+impl TimeRange {
+    /// Construct; panics if inverted.
+    pub fn new(from: Ts, to: Ts) -> TimeRange {
+        assert!(from <= to, "inverted time range");
+        TimeRange { from, to }
+    }
+
+    /// Everything ever.
+    pub fn all() -> TimeRange {
+        TimeRange { from: Ts::ZERO, to: Ts(u64::MAX) }
+    }
+
+    /// Whether `t` lies inside.
+    pub fn contains(&self, t: Ts) -> bool {
+        t >= self.from && t <= self.to
+    }
+}
+
+/// Aggregation functions over a set of values.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AggFn {
+    /// Sum of values.
+    Sum,
+    /// Arithmetic mean.
+    Mean,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Count of values.
+    Count,
+    /// Quantile in `[0, 1]` (nearest-rank on sorted values).
+    Quantile(f64),
+}
+
+impl AggFn {
+    /// Apply to a non-empty value set; returns `None` for empty input.
+    pub fn apply(&self, values: &[f64]) -> Option<f64> {
+        if values.is_empty() {
+            return None;
+        }
+        Some(match self {
+            AggFn::Sum => values.iter().sum(),
+            AggFn::Mean => values.iter().sum::<f64>() / values.len() as f64,
+            AggFn::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+            AggFn::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            AggFn::Count => values.len() as f64,
+            AggFn::Quantile(q) => {
+                let mut sorted = values.to_vec();
+                sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in quantile input"));
+                let rank = ((q.clamp(0.0, 1.0)) * (sorted.len() - 1) as f64).round() as usize;
+                sorted[rank]
+            }
+        })
+    }
+}
+
+/// Query operations over a [`TimeSeriesStore`].
+pub struct QueryEngine<'a> {
+    store: &'a TimeSeriesStore,
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Wrap a store.
+    pub fn new(store: &'a TimeSeriesStore) -> QueryEngine<'a> {
+        QueryEngine { store }
+    }
+
+    /// Raw points of one series.
+    pub fn series(&self, key: SeriesKey, range: TimeRange) -> Vec<(Ts, f64)> {
+        self.store.query(key, range.from, range.to)
+    }
+
+    /// For each timestamp present across all components of `metric`,
+    /// aggregate the per-component values: the system-wide series
+    /// (Figure 4 top panel, Figure 1's mean utilization).
+    pub fn aggregate_across_components(
+        &self,
+        metric: MetricId,
+        range: TimeRange,
+        agg: AggFn,
+    ) -> Vec<(Ts, f64)> {
+        let per_comp = self.store.query_metric(metric, range.from, range.to);
+        let mut by_ts: std::collections::BTreeMap<Ts, Vec<f64>> = std::collections::BTreeMap::new();
+        for (_, pts) in per_comp {
+            for (t, v) in pts {
+                by_ts.entry(t).or_default().push(v);
+            }
+        }
+        by_ts
+            .into_iter()
+            .filter_map(|(t, vals)| agg.apply(&vals).map(|v| (t, v)))
+            .collect()
+    }
+
+    /// Aggregate one metric per component *kind* group — e.g. power summed
+    /// per cabinet requires the caller to have stored cabinet-level series;
+    /// this groups whatever granularity exists.
+    pub fn components_of_kind(
+        &self,
+        metric: MetricId,
+        kind: CompKind,
+        range: TimeRange,
+    ) -> Vec<(CompId, Vec<(Ts, f64)>)> {
+        self.store
+            .query_metric(metric, range.from, range.to)
+            .into_iter()
+            .filter(|(c, _)| c.kind == kind)
+            .collect()
+    }
+
+    /// The per-component values of `metric` nearest to `at` (within
+    /// `tolerance_ms`), largest first — the Figure 4 drill-down table.
+    pub fn top_components_at(
+        &self,
+        metric: MetricId,
+        at: Ts,
+        tolerance_ms: u64,
+        limit: usize,
+    ) -> Vec<(CompId, f64)> {
+        let range = TimeRange::new(at.sub_ms(tolerance_ms), at.add_ms(tolerance_ms));
+        let mut rows: Vec<(CompId, f64)> = self
+            .store
+            .query_metric(metric, range.from, range.to)
+            .into_iter()
+            .filter_map(|(c, pts)| {
+                pts.iter()
+                    .min_by_key(|(t, _)| t.delta(at).abs_ms())
+                    .map(|&(_, v)| (c, v))
+            })
+            .collect();
+        rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN in metric values"));
+        rows.truncate(limit);
+        rows
+    }
+
+    /// Downsample one series into fixed buckets of `bucket_ms`, applying
+    /// `agg` within each bucket.  Bucket timestamps are the bucket starts.
+    pub fn downsample(
+        &self,
+        key: SeriesKey,
+        range: TimeRange,
+        bucket_ms: u64,
+        agg: AggFn,
+    ) -> Vec<(Ts, f64)> {
+        assert!(bucket_ms > 0);
+        let pts = self.series(key, range);
+        Self::downsample_points(&pts, bucket_ms, agg)
+    }
+
+    /// Downsample already-fetched points.
+    pub fn downsample_points(pts: &[(Ts, f64)], bucket_ms: u64, agg: AggFn) -> Vec<(Ts, f64)> {
+        assert!(bucket_ms > 0);
+        let mut out = Vec::new();
+        let mut bucket_start: Option<Ts> = None;
+        let mut bucket_vals: Vec<f64> = Vec::new();
+        for &(t, v) in pts {
+            let start = t.align_down(bucket_ms);
+            match bucket_start {
+                Some(b) if b == start => bucket_vals.push(v),
+                Some(b) => {
+                    if let Some(a) = agg.apply(&bucket_vals) {
+                        out.push((b, a));
+                    }
+                    bucket_start = Some(start);
+                    bucket_vals.clear();
+                    bucket_vals.push(v);
+                }
+                None => {
+                    bucket_start = Some(start);
+                    bucket_vals.push(v);
+                }
+            }
+        }
+        if let (Some(b), false) = (bucket_start, bucket_vals.is_empty()) {
+            if let Some(a) = agg.apply(&bucket_vals) {
+                out.push((b, a));
+            }
+        }
+        out
+    }
+
+    /// Align two series on exactly-equal timestamps (inner join) — the
+    /// primitive for correlating e.g. power against network traffic.
+    pub fn align_join(
+        &self,
+        a: SeriesKey,
+        b: SeriesKey,
+        range: TimeRange,
+    ) -> Vec<(Ts, f64, f64)> {
+        let pa = self.series(a, range);
+        let pb = self.series(b, range);
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < pa.len() && j < pb.len() {
+            match pa[i].0.cmp(&pb[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push((pa[i].0, pa[i].1, pb[j].1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Per-node series of `metric` for a job's allocation and timeframe,
+    /// plus the across-nodes aggregate at each tick (sum and mean) — the
+    /// Figure 5 condensation ("summing and averaging over nodes enables
+    /// condensation of high dimensional data").
+    pub fn job_series(
+        &self,
+        job: &JobRecord,
+        metric: MetricId,
+    ) -> JobSeries {
+        let from = job.start.unwrap_or(job.submit);
+        let to = job.end.unwrap_or(Ts(u64::MAX));
+        let range = TimeRange::new(from, to);
+        let per_node: Vec<(CompId, Vec<(Ts, f64)>)> = job
+            .nodes
+            .iter()
+            .map(|&n| {
+                let key = SeriesKey::new(metric, CompId::node(n));
+                (CompId::node(n), self.series(key, range))
+            })
+            .collect();
+        let mut by_ts: std::collections::BTreeMap<Ts, Vec<f64>> = std::collections::BTreeMap::new();
+        for (_, pts) in &per_node {
+            for &(t, v) in pts {
+                by_ts.entry(t).or_default().push(v);
+            }
+        }
+        let sum: Vec<(Ts, f64)> =
+            by_ts.iter().map(|(t, vs)| (*t, vs.iter().sum::<f64>())).collect();
+        let mean: Vec<(Ts, f64)> = by_ts
+            .iter()
+            .map(|(t, vs)| (*t, vs.iter().sum::<f64>() / vs.len() as f64))
+            .collect();
+        JobSeries { metric, per_node, sum, mean }
+    }
+}
+
+/// Output of [`QueryEngine::job_series`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSeries {
+    /// The queried metric.
+    pub metric: MetricId,
+    /// Per-node raw points.
+    pub per_node: Vec<(CompId, Vec<(Ts, f64)>)>,
+    /// Sum across nodes per tick.
+    pub sum: Vec<(Ts, f64)>,
+    /// Mean across nodes per tick.
+    pub mean: Vec<(Ts, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcmon_metrics::{JobId, JobState, Sample};
+
+    fn store_with_grid() -> TimeSeriesStore {
+        // metric 0 on nodes 0..4, minutes 0..10, value = node + minute.
+        let store = TimeSeriesStore::new();
+        for n in 0..4u32 {
+            for m in 0..10u64 {
+                store.insert(&Sample::new(
+                    MetricId(0),
+                    CompId::node(n),
+                    Ts::from_mins(m),
+                    (n as u64 + m) as f64,
+                ));
+            }
+        }
+        store
+    }
+
+    #[test]
+    fn agg_fns() {
+        let vals = [3.0, 1.0, 2.0, 4.0];
+        assert_eq!(AggFn::Sum.apply(&vals), Some(10.0));
+        assert_eq!(AggFn::Mean.apply(&vals), Some(2.5));
+        assert_eq!(AggFn::Min.apply(&vals), Some(1.0));
+        assert_eq!(AggFn::Max.apply(&vals), Some(4.0));
+        assert_eq!(AggFn::Count.apply(&vals), Some(4.0));
+        assert_eq!(AggFn::Quantile(0.0).apply(&vals), Some(1.0));
+        assert_eq!(AggFn::Quantile(1.0).apply(&vals), Some(4.0));
+        assert_eq!(AggFn::Quantile(0.5).apply(&vals), Some(3.0)); // nearest rank
+        assert_eq!(AggFn::Sum.apply(&[]), None);
+    }
+
+    #[test]
+    fn aggregate_across_components() {
+        let store = store_with_grid();
+        let q = QueryEngine::new(&store);
+        let sums = q.aggregate_across_components(MetricId(0), TimeRange::all(), AggFn::Sum);
+        assert_eq!(sums.len(), 10);
+        // minute m: values m, m+1, m+2, m+3 → sum 4m+6.
+        for (i, &(t, v)) in sums.iter().enumerate() {
+            assert_eq!(t, Ts::from_mins(i as u64));
+            assert_eq!(v, 4.0 * i as f64 + 6.0);
+        }
+    }
+
+    #[test]
+    fn top_components_at_ranks_descending() {
+        let store = store_with_grid();
+        let q = QueryEngine::new(&store);
+        let top = q.top_components_at(MetricId(0), Ts::from_mins(5), 30_000, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0], (CompId::node(3), 8.0));
+        assert_eq!(top[1], (CompId::node(2), 7.0));
+    }
+
+    #[test]
+    fn top_components_respects_tolerance() {
+        let store = store_with_grid();
+        let q = QueryEngine::new(&store);
+        // Querying off-grid with tiny tolerance finds nothing.
+        let top = q.top_components_at(MetricId(0), Ts(30_500), 100, 5);
+        assert!(top.is_empty());
+    }
+
+    #[test]
+    fn downsample_means() {
+        let pts: Vec<(Ts, f64)> = (0..6).map(|i| (Ts(i * 1_000), i as f64)).collect();
+        let out = QueryEngine::downsample_points(&pts, 2_000, AggFn::Mean);
+        assert_eq!(out, vec![(Ts(0), 0.5), (Ts(2_000), 2.5), (Ts(4_000), 4.5)]);
+    }
+
+    #[test]
+    fn downsample_handles_gaps() {
+        let pts = vec![(Ts(0), 1.0), (Ts(10_000), 5.0)];
+        let out = QueryEngine::downsample_points(&pts, 2_000, AggFn::Sum);
+        assert_eq!(out, vec![(Ts(0), 1.0), (Ts(10_000), 5.0)]);
+        assert!(QueryEngine::downsample_points(&[], 1_000, AggFn::Sum).is_empty());
+    }
+
+    #[test]
+    fn align_join_inner_semantics() {
+        let store = TimeSeriesStore::new();
+        let ka = SeriesKey::new(MetricId(0), CompId::node(0));
+        let kb = SeriesKey::new(MetricId(1), CompId::node(0));
+        for t in [0u64, 1_000, 2_000] {
+            store.insert(&Sample::new(MetricId(0), CompId::node(0), Ts(t), t as f64));
+        }
+        for t in [1_000u64, 2_000, 3_000] {
+            store.insert(&Sample::new(MetricId(1), CompId::node(0), Ts(t), -(t as f64)));
+        }
+        let q = QueryEngine::new(&store);
+        let joined = q.align_join(ka, kb, TimeRange::all());
+        assert_eq!(joined, vec![(Ts(1_000), 1_000.0, -1_000.0), (Ts(2_000), 2_000.0, -2_000.0)]);
+    }
+
+    #[test]
+    fn job_series_condenses_nodes() {
+        let store = store_with_grid();
+        let q = QueryEngine::new(&store);
+        let job = JobRecord {
+            id: JobId(1),
+            user: "alice".into(),
+            name: "app".into(),
+            nodes: vec![0, 1],
+            submit: Ts::ZERO,
+            start: Some(Ts::from_mins(2)),
+            end: Some(Ts::from_mins(5)),
+            state: JobState::Completed,
+        };
+        let js = q.job_series(&job, MetricId(0));
+        assert_eq!(js.per_node.len(), 2);
+        // Ticks 2..=5 inclusive (range is inclusive on both ends).
+        assert_eq!(js.sum.len(), 4);
+        // minute 2: nodes 0,1 → 2 + 3 = 5.
+        assert_eq!(js.sum[0], (Ts::from_mins(2), 5.0));
+        assert_eq!(js.mean[0], (Ts::from_mins(2), 2.5));
+    }
+
+    #[test]
+    fn components_of_kind_filters() {
+        let store = TimeSeriesStore::new();
+        store.insert(&Sample::new(MetricId(0), CompId::node(0), Ts(0), 1.0));
+        store.insert(&Sample::new(MetricId(0), CompId::cabinet(0), Ts(0), 2.0));
+        let q = QueryEngine::new(&store);
+        let cabs = q.components_of_kind(MetricId(0), CompKind::Cabinet, TimeRange::all());
+        assert_eq!(cabs.len(), 1);
+        assert_eq!(cabs[0].0, CompId::cabinet(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted time range")]
+    fn inverted_range_rejected() {
+        TimeRange::new(Ts(10), Ts(5));
+    }
+
+    #[test]
+    fn time_range_contains() {
+        let r = TimeRange::new(Ts(5), Ts(10));
+        assert!(r.contains(Ts(5)));
+        assert!(r.contains(Ts(10)));
+        assert!(!r.contains(Ts(4)));
+        assert!(!r.contains(Ts(11)));
+    }
+}

@@ -1,0 +1,474 @@
+//! The tiered time-series store.
+//!
+//! Layout: `SeriesKey → { warm: Vec<SeriesBlock>, hot: Vec<(Ts, f64)> }`,
+//! sharded by key hash behind `parking_lot` RwLocks so collector threads
+//! ingest concurrently with query threads.  Hot buffers seal into
+//! compressed warm blocks at a size threshold; `archive` (cold tier) can
+//! evict warm blocks wholesale and reload them later.
+
+use crate::compress;
+use hpcmon_metrics::{CompId, Frame, MetricId, Sample, SeriesKey, Ts};
+use parking_lot::RwLock;
+use serde::{Deserialize, Serialize};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+
+/// A sealed, compressed run of one series.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeriesBlock {
+    /// The series this block belongs to.
+    pub key: SeriesKey,
+    /// First timestamp in the block.
+    pub start: Ts,
+    /// Last timestamp in the block.
+    pub end: Ts,
+    /// Number of points.
+    pub count: u32,
+    /// Compressed timestamps.
+    pub ts_bytes: Vec<u8>,
+    /// Compressed values.
+    pub val_bytes: Vec<u8>,
+}
+
+impl SeriesBlock {
+    /// Compress a non-empty, time-ordered run of points.
+    pub fn compress(key: SeriesKey, points: &[(Ts, f64)]) -> SeriesBlock {
+        assert!(!points.is_empty(), "cannot seal an empty block");
+        debug_assert!(points.windows(2).all(|w| w[0].0 <= w[1].0), "points must be ordered");
+        let ts: Vec<Ts> = points.iter().map(|p| p.0).collect();
+        let vals: Vec<f64> = points.iter().map(|p| p.1).collect();
+        SeriesBlock {
+            key,
+            start: ts[0],
+            end: *ts.last().expect("non-empty"),
+            count: points.len() as u32,
+            ts_bytes: compress::compress_timestamps(&ts),
+            val_bytes: compress::compress_values(&vals),
+        }
+    }
+
+    /// Decompress back to points.  Panics if the block is corrupt — blocks
+    /// are produced internally, so corruption is a logic error.
+    pub fn decompress(&self) -> Vec<(Ts, f64)> {
+        let ts = compress::decompress_timestamps(&self.ts_bytes).expect("corrupt ts block");
+        let vals = compress::decompress_values(&self.val_bytes).expect("corrupt value block");
+        assert_eq!(ts.len(), vals.len());
+        ts.into_iter().zip(vals).collect()
+    }
+
+    /// Compressed size in bytes.
+    pub fn compressed_bytes(&self) -> usize {
+        self.ts_bytes.len() + self.val_bytes.len()
+    }
+
+    /// Whether the block overlaps `[from, to]`.
+    pub fn overlaps(&self, from: Ts, to: Ts) -> bool {
+        self.start <= to && self.end >= from
+    }
+}
+
+#[derive(Debug, Default)]
+struct SeriesData {
+    warm: Vec<SeriesBlock>,
+    hot: Vec<(Ts, f64)>,
+}
+
+#[derive(Default)]
+struct Shard {
+    series: HashMap<SeriesKey, SeriesData>,
+}
+
+/// Occupancy and compression statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct StoreStats {
+    /// Number of distinct series.
+    pub series: usize,
+    /// Points in hot buffers.
+    pub hot_points: usize,
+    /// Points in warm (compressed) blocks.
+    pub warm_points: usize,
+    /// Bytes used by warm blocks.
+    pub warm_bytes: usize,
+    /// Compressed bytes per warm point (0 when no warm data).
+    pub bytes_per_point: f64,
+}
+
+/// The store.
+///
+/// ```
+/// use hpcmon_store::TimeSeriesStore;
+/// use hpcmon_metrics::{CompId, MetricId, Sample, SeriesKey, Ts};
+///
+/// let store = TimeSeriesStore::new();
+/// for minute in 0..10 {
+///     store.insert(&Sample::new(
+///         MetricId(0), CompId::node(7), Ts::from_mins(minute), 200.0 + minute as f64,
+///     ));
+/// }
+/// let key = SeriesKey::new(MetricId(0), CompId::node(7));
+/// let points = store.query(key, Ts::from_mins(3), Ts::from_mins(5));
+/// assert_eq!(points.len(), 3);
+/// assert_eq!(points[0].1, 203.0);
+/// ```
+pub struct TimeSeriesStore {
+    shards: Vec<RwLock<Shard>>,
+    seal_threshold: usize,
+}
+
+impl TimeSeriesStore {
+    /// Default seal threshold: points per series before a hot buffer seals.
+    pub const DEFAULT_SEAL_THRESHOLD: usize = 512;
+
+    /// A store with 16 shards and the default seal threshold.
+    pub fn new() -> TimeSeriesStore {
+        TimeSeriesStore::with_options(16, Self::DEFAULT_SEAL_THRESHOLD)
+    }
+
+    /// Full control over sharding and sealing.
+    pub fn with_options(shards: usize, seal_threshold: usize) -> TimeSeriesStore {
+        assert!(shards > 0 && seal_threshold > 0);
+        TimeSeriesStore {
+            shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
+            seal_threshold,
+        }
+    }
+
+    fn shard_of(&self, key: &SeriesKey) -> &RwLock<Shard> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % self.shards.len()]
+    }
+
+    /// Insert one sample.  Out-of-order samples (older than the hot tail)
+    /// are accepted but land in order within the hot buffer.
+    pub fn insert(&self, sample: &Sample) {
+        let mut shard = self.shard_of(&sample.key).write();
+        let data = shard.series.entry(sample.key).or_default();
+        // Common case: append in order.
+        match data.hot.last() {
+            Some(&(last, _)) if last > sample.ts => {
+                let pos = data.hot.partition_point(|&(t, _)| t <= sample.ts);
+                data.hot.insert(pos, (sample.ts, sample.value));
+            }
+            _ => data.hot.push((sample.ts, sample.value)),
+        }
+        if data.hot.len() >= self.seal_threshold {
+            let block = SeriesBlock::compress(sample.key, &data.hot);
+            data.warm.push(block);
+            data.hot.clear();
+        }
+    }
+
+    /// Insert every sample of a frame.
+    pub fn insert_frame(&self, frame: &Frame) {
+        for s in &frame.samples {
+            self.insert(s);
+        }
+    }
+
+    /// All points of one series in `[from, to]`, time-ordered.
+    pub fn query(&self, key: SeriesKey, from: Ts, to: Ts) -> Vec<(Ts, f64)> {
+        let shard = self.shard_of(&key).read();
+        let Some(data) = shard.series.get(&key) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for block in &data.warm {
+            if block.overlaps(from, to) {
+                out.extend(block.decompress().into_iter().filter(|&(t, _)| t >= from && t <= to));
+            }
+        }
+        out.extend(data.hot.iter().copied().filter(|&(t, _)| t >= from && t <= to));
+        out.sort_by_key(|&(t, _)| t);
+        out
+    }
+
+    /// All series keys for a metric (any component).
+    pub fn series_of_metric(&self, metric: MetricId) -> Vec<SeriesKey> {
+        let mut keys: Vec<SeriesKey> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.read().series.keys().filter(|k| k.metric == metric).copied().collect::<Vec<_>>()
+            })
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// All distinct series keys.
+    pub fn all_series(&self) -> Vec<SeriesKey> {
+        let mut keys: Vec<SeriesKey> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.read().series.keys().copied().collect::<Vec<_>>())
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Per-component points of one metric in a range: the fan-in for
+    /// group-by queries.
+    pub fn query_metric(
+        &self,
+        metric: MetricId,
+        from: Ts,
+        to: Ts,
+    ) -> Vec<(CompId, Vec<(Ts, f64)>)> {
+        self.series_of_metric(metric)
+            .into_iter()
+            .map(|k| (k.comp, self.query(k, from, to)))
+            .filter(|(_, pts)| !pts.is_empty())
+            .collect()
+    }
+
+    /// Force-seal every non-empty hot buffer (used before archiving).
+    pub fn seal_all(&self) {
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            for (key, data) in shard.series.iter_mut() {
+                if !data.hot.is_empty() {
+                    let block = SeriesBlock::compress(*key, &data.hot);
+                    data.warm.push(block);
+                    data.hot.clear();
+                }
+            }
+        }
+    }
+
+    /// Remove and return all warm blocks that end at or before `cutoff`
+    /// (the eviction half of the archive flow).
+    pub fn evict_warm_before(&self, cutoff: Ts) -> Vec<SeriesBlock> {
+        let mut evicted = Vec::new();
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            for data in shard.series.values_mut() {
+                let (old, keep): (Vec<_>, Vec<_>) =
+                    data.warm.drain(..).partition(|b| b.end <= cutoff);
+                evicted.extend(old);
+                data.warm = keep;
+            }
+        }
+        evicted
+    }
+
+    /// Re-insert previously evicted blocks (the reload half).
+    pub fn reload_blocks(&self, blocks: Vec<SeriesBlock>) {
+        for block in blocks {
+            let mut shard = self.shard_of(&block.key).write();
+            let data = shard.series.entry(block.key).or_default();
+            data.warm.push(block);
+            data.warm.sort_by_key(|b| b.start);
+        }
+    }
+
+    /// Delete series whose data ends before `cutoff` and have no hot points
+    /// (hard retention; returns dropped series count).
+    pub fn drop_series_before(&self, cutoff: Ts) -> usize {
+        let mut dropped = 0;
+        for shard in &self.shards {
+            let mut shard = shard.write();
+            shard.series.retain(|_, data| {
+                let dead = data.hot.is_empty()
+                    && !data.warm.is_empty()
+                    && data.warm.iter().all(|b| b.end < cutoff);
+                if dead {
+                    dropped += 1;
+                }
+                !dead
+            });
+        }
+        dropped
+    }
+
+    /// Occupancy statistics.
+    pub fn stats(&self) -> StoreStats {
+        let mut s = StoreStats::default();
+        for shard in &self.shards {
+            let shard = shard.read();
+            s.series += shard.series.len();
+            for data in shard.series.values() {
+                s.hot_points += data.hot.len();
+                for b in &data.warm {
+                    s.warm_points += b.count as usize;
+                    s.warm_bytes += b.compressed_bytes();
+                }
+            }
+        }
+        s.bytes_per_point =
+            if s.warm_points > 0 { s.warm_bytes as f64 / s.warm_points as f64 } else { 0.0 };
+        s
+    }
+}
+
+impl Default for TimeSeriesStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcmon_metrics::MINUTE_MS;
+
+    fn key(m: u32, n: u32) -> SeriesKey {
+        SeriesKey::new(MetricId(m), CompId::node(n))
+    }
+
+    fn sample(m: u32, n: u32, ts: u64, v: f64) -> Sample {
+        Sample::new(MetricId(m), CompId::node(n), Ts(ts), v)
+    }
+
+    #[test]
+    fn insert_and_query_range() {
+        let store = TimeSeriesStore::new();
+        for i in 0..10u64 {
+            store.insert(&sample(0, 1, i * MINUTE_MS, i as f64));
+        }
+        let pts = store.query(key(0, 1), Ts(2 * MINUTE_MS), Ts(5 * MINUTE_MS));
+        assert_eq!(pts.len(), 4);
+        assert_eq!(pts[0], (Ts(2 * MINUTE_MS), 2.0));
+        assert_eq!(pts[3], (Ts(5 * MINUTE_MS), 5.0));
+    }
+
+    #[test]
+    fn unknown_series_is_empty() {
+        let store = TimeSeriesStore::new();
+        assert!(store.query(key(9, 9), Ts::ZERO, Ts(u64::MAX)).is_empty());
+    }
+
+    #[test]
+    fn sealing_preserves_data_across_tiers() {
+        let store = TimeSeriesStore::with_options(4, 100);
+        for i in 0..250u64 {
+            store.insert(&sample(0, 1, i * 1_000, (i as f64).sqrt()));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.warm_points, 200, "two sealed blocks");
+        assert_eq!(stats.hot_points, 50);
+        let pts = store.query(key(0, 1), Ts::ZERO, Ts(u64::MAX));
+        assert_eq!(pts.len(), 250);
+        for (i, &(t, v)) in pts.iter().enumerate() {
+            assert_eq!(t, Ts(i as u64 * 1_000));
+            assert_eq!(v, (i as f64).sqrt());
+        }
+    }
+
+    #[test]
+    fn out_of_order_inserts_sorted_on_query() {
+        let store = TimeSeriesStore::new();
+        store.insert(&sample(0, 1, 3_000, 3.0));
+        store.insert(&sample(0, 1, 1_000, 1.0));
+        store.insert(&sample(0, 1, 2_000, 2.0));
+        let pts = store.query(key(0, 1), Ts::ZERO, Ts(u64::MAX));
+        assert_eq!(pts, vec![(Ts(1_000), 1.0), (Ts(2_000), 2.0), (Ts(3_000), 3.0)]);
+    }
+
+    #[test]
+    fn query_metric_groups_components() {
+        let store = TimeSeriesStore::new();
+        for n in 0..4u32 {
+            store.insert(&sample(7, n, 1_000, n as f64));
+        }
+        store.insert(&sample(8, 0, 1_000, 99.0)); // other metric
+        let by_comp = store.query_metric(MetricId(7), Ts::ZERO, Ts(u64::MAX));
+        assert_eq!(by_comp.len(), 4);
+        assert!(by_comp.iter().all(|(c, pts)| pts[0].1 == c.index as f64));
+    }
+
+    #[test]
+    fn seal_all_then_evict_and_reload() {
+        let store = TimeSeriesStore::with_options(2, 1_000);
+        for i in 0..100u64 {
+            store.insert(&sample(0, 1, i * MINUTE_MS, i as f64));
+        }
+        store.seal_all();
+        assert_eq!(store.stats().hot_points, 0);
+        let evicted = store.evict_warm_before(Ts(u64::MAX));
+        assert_eq!(evicted.len(), 1);
+        assert!(store.query(key(0, 1), Ts::ZERO, Ts(u64::MAX)).is_empty());
+        store.reload_blocks(evicted);
+        assert_eq!(store.query(key(0, 1), Ts::ZERO, Ts(u64::MAX)).len(), 100);
+    }
+
+    #[test]
+    fn evict_respects_cutoff() {
+        let store = TimeSeriesStore::with_options(2, 10);
+        for i in 0..30u64 {
+            store.insert(&sample(0, 1, i * 1_000, i as f64));
+        }
+        // Blocks: [0..9], [10..19], [20..29] sealed at threshold 10.
+        let evicted = store.evict_warm_before(Ts(15_000));
+        assert_eq!(evicted.len(), 1, "only the fully-old block leaves");
+        let remaining = store.query(key(0, 1), Ts::ZERO, Ts(u64::MAX));
+        assert_eq!(remaining.len(), 20);
+    }
+
+    #[test]
+    fn drop_series_before_removes_dead_series() {
+        let store = TimeSeriesStore::with_options(2, 10);
+        for i in 0..10u64 {
+            store.insert(&sample(0, 1, i * 1_000, 0.0)); // seals exactly
+        }
+        for i in 0..5u64 {
+            store.insert(&sample(0, 2, 100_000 + i * 1_000, 0.0)); // stays hot
+        }
+        let dropped = store.drop_series_before(Ts(50_000));
+        assert_eq!(dropped, 1);
+        assert!(store.query(key(0, 1), Ts::ZERO, Ts(u64::MAX)).is_empty());
+        assert_eq!(store.query(key(0, 2), Ts::ZERO, Ts(u64::MAX)).len(), 5);
+    }
+
+    #[test]
+    fn stats_report_compression() {
+        let store = TimeSeriesStore::with_options(2, 1_000);
+        for i in 0..1_000u64 {
+            store.insert(&sample(0, 1, i * MINUTE_MS, 200.0));
+        }
+        let stats = store.stats();
+        assert_eq!(stats.series, 1);
+        assert_eq!(stats.warm_points, 1_000);
+        assert!(stats.bytes_per_point < 2.0, "constant series ~1B/pt, got {}", stats.bytes_per_point);
+    }
+
+    #[test]
+    fn concurrent_ingest_is_complete() {
+        let store = std::sync::Arc::new(TimeSeriesStore::new());
+        let mut handles = Vec::new();
+        for t in 0..8u32 {
+            let store = store.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..1_000u64 {
+                    store.insert(&sample(0, t, i * 1_000, i as f64));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for t in 0..8u32 {
+            assert_eq!(store.query(key(0, t), Ts::ZERO, Ts(u64::MAX)).len(), 1_000);
+        }
+    }
+
+    #[test]
+    fn block_round_trip_and_overlap() {
+        let pts: Vec<(Ts, f64)> = (0..50).map(|i| (Ts(i * 10), i as f64 * 0.5)).collect();
+        let b = SeriesBlock::compress(key(0, 0), &pts);
+        assert_eq!(b.decompress(), pts);
+        assert_eq!(b.start, Ts(0));
+        assert_eq!(b.end, Ts(490));
+        assert!(b.overlaps(Ts(490), Ts(1_000)));
+        assert!(b.overlaps(Ts(0), Ts(0)));
+        assert!(!b.overlaps(Ts(491), Ts(1_000)));
+        assert!(b.compressed_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty block")]
+    fn empty_block_rejected() {
+        SeriesBlock::compress(key(0, 0), &[]);
+    }
+}

@@ -1,0 +1,435 @@
+//! The topic-based publish/subscribe event router.
+//!
+//! Design points taken from the paper's requirements table:
+//!
+//! * **Multiple consumers per topic** — fan-out is a reference-count bump
+//!   per subscriber, so "directing the data and analysis results to
+//!   multiple consumers" is cheap.
+//! * **Explicit backpressure** — every subscriber has a bounded queue and a
+//!   declared policy ([`BackpressurePolicy::Block`] for must-not-lose
+//!   consumers like the store, [`BackpressurePolicy::DropOldest`] for
+//!   dashboards).  Drops are *counted*, never silent.
+//! * **Reconfigurable data paths** — subscriptions can be added and dropped
+//!   at any time; a dropped receiver is pruned on the next publish.
+
+use crate::message::{Envelope, Payload};
+use crate::topic::TopicFilter;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// What to do when a subscriber's queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackpressurePolicy {
+    /// Block the publisher until there is room (lossless; can stall).
+    Block,
+    /// Drop the oldest queued message to make room (lossy; never stalls).
+    DropOldest,
+    /// Drop the new message (lossy; never stalls, preserves history).
+    DropNewest,
+}
+
+/// Counters describing broker activity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BrokerStats {
+    /// Messages published.
+    pub published: u64,
+    /// Deliveries made (one per matching subscriber).
+    pub delivered: u64,
+    /// Messages dropped due to backpressure policies.
+    pub dropped: u64,
+    /// Approximate payload bytes published.
+    pub bytes_published: u64,
+}
+
+struct SubscriberEntry {
+    filter: TopicFilter,
+    sender: Sender<Envelope>,
+    receiver_for_drop_oldest: Receiver<Envelope>,
+    policy: BackpressurePolicy,
+    // Shared with the Subscription; a strong count of 1 means the
+    // Subscription handle was dropped and this entry is dead.
+    dropped: Arc<AtomicU64>,
+}
+
+impl SubscriberEntry {
+    fn is_closed(&self) -> bool {
+        Arc::strong_count(&self.dropped) == 1
+    }
+}
+
+/// A subscription handle: a bounded receiver plus drop accounting.
+pub struct Subscription {
+    receiver: Receiver<Envelope>,
+    dropped: Arc<AtomicU64>,
+    filter: TopicFilter,
+}
+
+impl Subscription {
+    /// Blocking receive; `None` when the broker is gone.
+    pub fn recv(&self) -> Option<Envelope> {
+        self.receiver.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope> {
+        self.receiver.try_recv().ok()
+    }
+
+    /// Drain everything currently queued.
+    pub fn drain(&self) -> Vec<Envelope> {
+        let mut out = Vec::new();
+        while let Some(env) = self.try_recv() {
+            out.push(env);
+        }
+        out
+    }
+
+    /// Messages dropped for this subscriber so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Messages currently queued.
+    pub fn queued(&self) -> usize {
+        self.receiver.len()
+    }
+
+    /// The filter this subscription was created with.
+    pub fn filter(&self) -> &TopicFilter {
+        &self.filter
+    }
+}
+
+/// The event router.
+///
+/// ```
+/// use hpcmon_transport::{BackpressurePolicy, Broker, Payload, TopicFilter};
+/// use bytes::Bytes;
+///
+/// let broker = Broker::new();
+/// let sub = broker.subscribe(TopicFilter::new("logs/#"), 16, BackpressurePolicy::Block);
+/// broker.publish("logs/console", Payload::Raw(Bytes::from_static(b"hello")));
+/// broker.publish("metrics/node", Payload::Raw(Bytes::from_static(b"ignored")));
+/// assert_eq!(sub.drain().len(), 1);
+/// assert_eq!(broker.stats().published, 2);
+/// ```
+pub struct Broker {
+    subscribers: RwLock<Vec<SubscriberEntry>>,
+    // Serializes DropOldest pop+push so concurrent publishers cannot
+    // interleave into a double-drop.
+    drop_oldest_lock: Mutex<()>,
+    seq: AtomicU64,
+    published: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    bytes_published: AtomicU64,
+}
+
+impl Broker {
+    /// A broker with no subscribers.
+    pub fn new() -> Arc<Broker> {
+        Arc::new(Broker {
+            subscribers: RwLock::new(Vec::new()),
+            drop_oldest_lock: Mutex::new(()),
+            seq: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            bytes_published: AtomicU64::new(0),
+        })
+    }
+
+    /// Subscribe with a filter, queue capacity, and backpressure policy.
+    pub fn subscribe(
+        &self,
+        filter: TopicFilter,
+        capacity: usize,
+        policy: BackpressurePolicy,
+    ) -> Subscription {
+        assert!(capacity > 0, "subscription capacity must be positive");
+        let (tx, rx) = bounded(capacity);
+        let dropped = Arc::new(AtomicU64::new(0));
+        self.subscribers.write().push(SubscriberEntry {
+            filter: filter.clone(),
+            sender: tx,
+            receiver_for_drop_oldest: rx.clone(),
+            policy,
+            dropped: dropped.clone(),
+        });
+        Subscription { receiver: rx, dropped, filter }
+    }
+
+    /// Publish a payload on a topic, fanning out to matching subscribers.
+    /// Returns the number of deliveries.
+    pub fn publish(&self, topic: &str, payload: Payload) -> usize {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.published.fetch_add(1, Ordering::Relaxed);
+        self.bytes_published.fetch_add(payload.approx_bytes() as u64, Ordering::Relaxed);
+        let mut delivered = 0usize;
+        let mut saw_closed = false;
+        {
+            let subs = self.subscribers.read();
+            for sub in subs.iter() {
+                if sub.is_closed() {
+                    saw_closed = true;
+                    continue;
+                }
+                if !sub.filter.matches(topic) {
+                    continue;
+                }
+                let env = Envelope { topic: topic.to_owned(), seq, payload: payload.clone() };
+                match sub.policy {
+                    BackpressurePolicy::Block => {
+                        if sub.sender.send(env).is_ok() {
+                            delivered += 1;
+                        } else {
+                            saw_closed = true;
+                        }
+                    }
+                    BackpressurePolicy::DropNewest => match sub.sender.try_send(env) {
+                        Ok(()) => delivered += 1,
+                        Err(TrySendError::Full(_)) => {
+                            sub.dropped.fetch_add(1, Ordering::Relaxed);
+                            self.dropped.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(TrySendError::Disconnected(_)) => saw_closed = true,
+                    },
+                    BackpressurePolicy::DropOldest => {
+                        let mut env = env;
+                        loop {
+                            match sub.sender.try_send(env) {
+                                Ok(()) => {
+                                    delivered += 1;
+                                    break;
+                                }
+                                Err(TrySendError::Full(e)) => {
+                                    let _g = self.drop_oldest_lock.lock();
+                                    if sub.receiver_for_drop_oldest.try_recv().is_ok() {
+                                        sub.dropped.fetch_add(1, Ordering::Relaxed);
+                                        self.dropped.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                    env = e;
+                                }
+                                Err(TrySendError::Disconnected(_)) => {
+                                    saw_closed = true;
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if saw_closed {
+            self.prune_closed();
+        }
+        self.delivered.fetch_add(delivered as u64, Ordering::Relaxed);
+        delivered
+    }
+
+    fn prune_closed(&self) {
+        self.subscribers.write().retain(|s| !s.is_closed());
+    }
+
+    /// Remove subscribers matching a predicate on their filter pattern
+    /// (explicit data-path reconfiguration).
+    pub fn unsubscribe_where(&self, pred: impl Fn(&TopicFilter) -> bool) -> usize {
+        let mut subs = self.subscribers.write();
+        let before = subs.len();
+        subs.retain(|s| !pred(&s.filter));
+        before - subs.len()
+    }
+
+    /// Current subscriber count.
+    pub fn subscriber_count(&self) -> usize {
+        self.subscribers.read().len()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> BrokerStats {
+        BrokerStats {
+            published: self.published.load(Ordering::Relaxed),
+            delivered: self.delivered.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            bytes_published: self.bytes_published.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Broker {
+    fn default() -> Self {
+        Broker {
+            subscribers: RwLock::new(Vec::new()),
+            drop_oldest_lock: Mutex::new(()),
+            seq: AtomicU64::new(0),
+            published: AtomicU64::new(0),
+            delivered: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            bytes_published: AtomicU64::new(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+
+    fn raw(n: u8) -> Payload {
+        Payload::Raw(Bytes::from(vec![n]))
+    }
+
+    #[test]
+    fn fan_out_to_matching_subscribers() {
+        let b = Broker::new();
+        let s1 = b.subscribe(TopicFilter::new("metrics/#"), 16, BackpressurePolicy::Block);
+        let s2 = b.subscribe(TopicFilter::new("logs/#"), 16, BackpressurePolicy::Block);
+        let s3 = b.subscribe(TopicFilter::all(), 16, BackpressurePolicy::Block);
+        let n = b.publish("metrics/node", raw(1));
+        assert_eq!(n, 2);
+        assert!(s1.try_recv().is_some());
+        assert!(s2.try_recv().is_none());
+        assert!(s3.try_recv().is_some());
+    }
+
+    #[test]
+    fn sequence_numbers_increase() {
+        let b = Broker::new();
+        let s = b.subscribe(TopicFilter::all(), 16, BackpressurePolicy::Block);
+        b.publish("a", raw(0));
+        b.publish("a", raw(1));
+        let e1 = s.recv().unwrap();
+        let e2 = s.recv().unwrap();
+        assert!(e2.seq > e1.seq);
+        assert_eq!(e1.topic, "a");
+    }
+
+    #[test]
+    fn drop_newest_counts_drops() {
+        let b = Broker::new();
+        let s = b.subscribe(TopicFilter::all(), 2, BackpressurePolicy::DropNewest);
+        for i in 0..5 {
+            b.publish("t", raw(i));
+        }
+        assert_eq!(s.dropped(), 3);
+        assert_eq!(b.stats().dropped, 3);
+        // Oldest two survive.
+        let got: Vec<u8> = s
+            .drain()
+            .iter()
+            .map(|e| match &e.payload {
+                Payload::Raw(b) => b[0],
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn drop_oldest_keeps_latest() {
+        let b = Broker::new();
+        let s = b.subscribe(TopicFilter::all(), 2, BackpressurePolicy::DropOldest);
+        for i in 0..5 {
+            b.publish("t", raw(i));
+        }
+        assert_eq!(s.dropped(), 3);
+        let got: Vec<u8> = s
+            .drain()
+            .iter()
+            .map(|e| match &e.payload {
+                Payload::Raw(b) => b[0],
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(got, vec![3, 4]);
+    }
+
+    #[test]
+    fn stats_track_published_and_delivered() {
+        let b = Broker::new();
+        let _s1 = b.subscribe(TopicFilter::all(), 16, BackpressurePolicy::Block);
+        let _s2 = b.subscribe(TopicFilter::all(), 16, BackpressurePolicy::Block);
+        b.publish("x", raw(0));
+        b.publish("x", raw(1));
+        let st = b.stats();
+        assert_eq!(st.published, 2);
+        assert_eq!(st.delivered, 4);
+        assert_eq!(st.dropped, 0);
+        assert!(st.bytes_published >= 2);
+    }
+
+    #[test]
+    fn unsubscribe_where_removes_paths() {
+        let b = Broker::new();
+        let _s1 = b.subscribe(TopicFilter::new("metrics/#"), 4, BackpressurePolicy::Block);
+        let _s2 = b.subscribe(TopicFilter::new("logs/#"), 4, BackpressurePolicy::Block);
+        assert_eq!(b.subscriber_count(), 2);
+        let removed = b.unsubscribe_where(|f| f.pattern().starts_with("logs"));
+        assert_eq!(removed, 1);
+        assert_eq!(b.subscriber_count(), 1);
+        assert_eq!(b.publish("logs/x", raw(0)), 0);
+        assert_eq!(b.publish("metrics/x", raw(0)), 1);
+    }
+
+    #[test]
+    fn no_subscribers_is_fine() {
+        let b = Broker::new();
+        assert_eq!(b.publish("anything", raw(9)), 0);
+        assert_eq!(b.stats().published, 1);
+    }
+
+    #[test]
+    fn concurrent_publishers_lose_nothing_with_block() {
+        let b = Broker::new();
+        let s = b.subscribe(TopicFilter::all(), 1_024, BackpressurePolicy::Block);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let b = b.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    b.publish(&format!("t/{t}"), raw(i as u8));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.drain().len(), 400);
+        assert_eq!(s.dropped(), 0);
+    }
+
+    #[test]
+    fn drain_empties_queue() {
+        let b = Broker::new();
+        let s = b.subscribe(TopicFilter::all(), 16, BackpressurePolicy::Block);
+        for i in 0..5 {
+            b.publish("t", raw(i));
+        }
+        assert_eq!(s.queued(), 5);
+        assert_eq!(s.drain().len(), 5);
+        assert_eq!(s.queued(), 0);
+        assert!(s.try_recv().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let b = Broker::new();
+        b.subscribe(TopicFilter::all(), 0, BackpressurePolicy::Block);
+    }
+
+    #[test]
+    fn dropped_subscription_is_pruned_and_never_blocks() {
+        let b = Broker::new();
+        let s = b.subscribe(TopicFilter::all(), 1, BackpressurePolicy::Block);
+        drop(s);
+        assert_eq!(b.subscriber_count(), 1);
+        // A dead Block subscriber with a full queue must not stall
+        // publishers; it is skipped and pruned instead.
+        b.publish("t", raw(0));
+        b.publish("t", raw(1));
+        assert_eq!(b.subscriber_count(), 0);
+    }
+}

@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! `hpcmon-transport` — data transport for monitoring pipelines.
+//!
+//! Table I of the paper (Architecture) demands: multiple flexible data
+//! paths; platform owners choosing their own transport/storage tradeoffs;
+//! native-format transport; and extensibility.  This crate provides the
+//! pieces:
+//!
+//! * [`broker::Broker`] — a topic-based publish/subscribe event router (the
+//!   role Cray's ERD, LDMS, or RabbitMQ play at the paper's sites), with
+//!   per-subscriber bounded queues, explicit backpressure policies, and
+//!   drop accounting (a transport that silently loses data is exactly the
+//!   vendor failure mode the paper complains about).
+//! * [`relay::Relay`] — store-and-forward between brokers (ERD forwarding
+//!   off the SMW).
+//! * [`syslog`] — the one transport the sites actually had in common:
+//!   line-oriented log forwarding, with render/parse round-tripping.
+//! * [`sync::CollectionSync`] — the NCSA-style synchronized collection
+//!   schedule: all collectors sample at the same aligned instants.
+
+pub mod broker;
+pub mod message;
+pub mod relay;
+pub mod seq;
+pub mod sync;
+pub mod syslog;
+pub mod topic;
+
+pub use broker::{BackpressurePolicy, Broker, BrokerStats, Subscription};
+pub use message::{Envelope, Payload};
+pub use relay::Relay;
+pub use seq::SeqTracker;
+pub use sync::CollectionSync;
+pub use topic::{topics, TopicFilter};

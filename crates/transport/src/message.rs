@@ -1,0 +1,149 @@
+//! Message envelope and payloads.
+//!
+//! Payloads travel in **native form** — typed frames and log records, or
+//! raw bytes for anything else — honoring the Table I requirement that
+//! "tools to transport and store the data in native format are highly
+//! desirable" (ALCF's Deluge exists because Cray's translation/filtration
+//! lost information).
+
+use bytes::Bytes;
+use hpcmon_metrics::{Frame, JobRecord, LogRecord};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The content of a message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// A synchronized frame of numeric samples.
+    Frame(Arc<Frame>),
+    /// One log record.
+    Log(Arc<LogRecord>),
+    /// A job record (scheduler stream).
+    Job(Arc<JobRecord>),
+    /// Uninterpreted bytes (vendor-native blobs pass through untouched).
+    #[serde(with = "raw_bytes")]
+    Raw(Bytes),
+}
+
+mod raw_bytes {
+    use bytes::Bytes;
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(b: &Bytes, s: S) -> Result<S::Ok, S::Error> {
+        b.as_ref().serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<Bytes, D::Error> {
+        Ok(Bytes::from(Vec::<u8>::deserialize(d)?))
+    }
+}
+
+impl Payload {
+    /// Approximate in-memory size, for throughput accounting.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Payload::Frame(f) => f.samples.len() * std::mem::size_of::<hpcmon_metrics::Sample>(),
+            Payload::Log(l) => l.message.len() + l.source.len() + 32,
+            Payload::Job(j) => j.nodes.len() * 4 + j.user.len() + j.name.len() + 48,
+            Payload::Raw(b) => b.len(),
+        }
+    }
+
+    /// The frame, if this is a frame payload.
+    pub fn as_frame(&self) -> Option<&Frame> {
+        match self {
+            Payload::Frame(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The log record, if this is a log payload.
+    pub fn as_log(&self) -> Option<&LogRecord> {
+        match self {
+            Payload::Log(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The job record, if this is a job payload.
+    pub fn as_job(&self) -> Option<&JobRecord> {
+        match self {
+            Payload::Job(j) => Some(j),
+            _ => None,
+        }
+    }
+}
+
+/// A routed message: topic + sequence number + payload.
+///
+/// Payloads are `Arc`-shared, so fanning out to N subscribers costs N
+/// reference bumps, not N copies — the broker stays cheap at high rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// The topic it was published on.
+    pub topic: String,
+    /// Broker-assigned sequence number (gap detection at consumers).
+    pub seq: u64,
+    /// The content.
+    pub payload: Payload,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcmon_metrics::{CompId, MetricId, Severity, Ts};
+
+    #[test]
+    fn accessors_are_exclusive() {
+        let mut frame = Frame::new(Ts(1));
+        frame.push(MetricId(0), CompId::node(0), 1.0);
+        let p = Payload::Frame(Arc::new(frame));
+        assert!(p.as_frame().is_some());
+        assert!(p.as_log().is_none());
+        assert!(p.as_job().is_none());
+
+        let l = Payload::Log(Arc::new(LogRecord::new(
+            Ts(1),
+            CompId::node(0),
+            Severity::Info,
+            "console",
+            "hello",
+        )));
+        assert!(l.as_log().is_some());
+        assert!(l.as_frame().is_none());
+    }
+
+    #[test]
+    fn approx_bytes_positive_for_content() {
+        let mut frame = Frame::new(Ts(1));
+        frame.push(MetricId(0), CompId::node(0), 1.0);
+        assert!(Payload::Frame(Arc::new(frame)).approx_bytes() > 0);
+        assert_eq!(Payload::Raw(Bytes::from_static(b"abc")).approx_bytes(), 3);
+    }
+
+    #[test]
+    fn clone_shares_frame_storage() {
+        let mut frame = Frame::new(Ts(1));
+        for i in 0..1_000 {
+            frame.push(MetricId(0), CompId::node(i), i as f64);
+        }
+        let p = Payload::Frame(Arc::new(frame));
+        let q = p.clone();
+        match (&p, &q) {
+            (Payload::Frame(a), Payload::Frame(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn envelope_serde_round_trip() {
+        let env = Envelope {
+            topic: "logs/console".into(),
+            seq: 7,
+            payload: Payload::Raw(Bytes::from_static(b"\x00\x01\x02")),
+        };
+        let s = serde_json::to_string(&env).unwrap();
+        let back: Envelope = serde_json::from_str(&s).unwrap();
+        assert_eq!(env, back);
+    }
+}

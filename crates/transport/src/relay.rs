@@ -1,0 +1,160 @@
+//! Store-and-forward relay between brokers.
+//!
+//! Cray's PMDB "can be stored separately via ERD forwarding capabilities"
+//! (paper §IV-C); sites likewise forward syslog off-system.  [`Relay`]
+//! plays that role: a worker thread consumes a subscription on a source
+//! broker and republishes every envelope into a destination broker,
+//! optionally rewriting the topic prefix (so a site can mount a remote
+//! machine's stream under `remote/<site>/...`).
+
+use crate::broker::{BackpressurePolicy, Broker, Subscription};
+use crate::topic::TopicFilter;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A running relay.  Dropping it stops the worker.
+pub struct Relay {
+    stop: Arc<AtomicBool>,
+    forwarded: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl Relay {
+    /// Start forwarding messages matching `filter` from `src` to `dst`.
+    /// If `prefix` is non-empty, forwarded topics become
+    /// `<prefix>/<original topic>`.
+    pub fn start(src: &Arc<Broker>, dst: Arc<Broker>, filter: TopicFilter, prefix: &str) -> Relay {
+        // The relay must not lose data between brokers: Block policy with a
+        // deep queue is the store-and-forward buffer.
+        let sub: Subscription = src.subscribe(filter, 4_096, BackpressurePolicy::Block);
+        let stop = Arc::new(AtomicBool::new(false));
+        let forwarded = Arc::new(AtomicU64::new(0));
+        let prefix = prefix.to_owned();
+        let stop2 = stop.clone();
+        let forwarded2 = forwarded.clone();
+        let handle = std::thread::spawn(move || {
+            while !stop2.load(Ordering::Relaxed) {
+                // Poll with a short timeout so stop requests are honored.
+                match sub.try_recv() {
+                    Some(env) => {
+                        let topic = if prefix.is_empty() {
+                            env.topic
+                        } else {
+                            format!("{prefix}/{}", env.topic)
+                        };
+                        dst.publish(&topic, env.payload);
+                        forwarded2.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => std::thread::sleep(std::time::Duration::from_millis(1)),
+                }
+            }
+            // Drain what is left so a graceful stop is lossless.
+            for env in sub.drain() {
+                let topic = if prefix.is_empty() {
+                    env.topic
+                } else {
+                    format!("{prefix}/{}", env.topic)
+                };
+                dst.publish(&topic, env.payload);
+                forwarded2.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        Relay { stop, forwarded, handle: Some(handle) }
+    }
+
+    /// Messages forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded.load(Ordering::Relaxed)
+    }
+
+    /// Stop the worker and wait for it to drain.
+    pub fn stop(mut self) -> u64 {
+        self.stop_inner();
+        self.forwarded()
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Relay {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::Payload;
+    use bytes::Bytes;
+
+    fn raw(n: u8) -> Payload {
+        Payload::Raw(Bytes::from(vec![n]))
+    }
+
+    #[test]
+    fn forwards_matching_messages() {
+        let src = Broker::new();
+        let dst = Broker::new();
+        let sink = dst.subscribe(TopicFilter::all(), 1_024, BackpressurePolicy::Block);
+        let relay = Relay::start(&src, dst.clone(), TopicFilter::new("logs/#"), "");
+        for i in 0..50 {
+            src.publish("logs/console", raw(i));
+            src.publish("metrics/node", raw(i)); // filtered out
+        }
+        let n = relay.stop();
+        assert_eq!(n, 50);
+        let got = sink.drain();
+        assert_eq!(got.len(), 50);
+        assert!(got.iter().all(|e| e.topic == "logs/console"));
+    }
+
+    #[test]
+    fn prefix_rewrites_topics() {
+        let src = Broker::new();
+        let dst = Broker::new();
+        let sink = dst.subscribe(TopicFilter::all(), 64, BackpressurePolicy::Block);
+        let relay = Relay::start(&src, dst.clone(), TopicFilter::all(), "remote/siteA");
+        src.publish("logs/console", raw(1));
+        relay.stop();
+        let got = sink.drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].topic, "remote/siteA/logs/console");
+    }
+
+    #[test]
+    fn drop_stops_worker() {
+        let src = Broker::new();
+        let dst = Broker::new();
+        {
+            let _relay = Relay::start(&src, dst.clone(), TopicFilter::all(), "");
+            src.publish("x", raw(0));
+        } // drop joins the thread without hanging
+        assert!(src.subscriber_count() <= 1);
+    }
+
+    #[test]
+    fn chained_relays_compose() {
+        // src -> mid -> dst, as in SMW -> site store -> offsite.
+        let src = Broker::new();
+        let mid = Broker::new();
+        let dst = Broker::new();
+        let sink = dst.subscribe(TopicFilter::all(), 64, BackpressurePolicy::Block);
+        let r1 = Relay::start(&src, mid.clone(), TopicFilter::all(), "");
+        let r2 = Relay::start(&mid, dst.clone(), TopicFilter::all(), "archive");
+        for i in 0..10 {
+            src.publish("metrics/power", raw(i));
+        }
+        r1.stop();
+        r2.stop();
+        let got = sink.drain();
+        assert_eq!(got.len(), 10);
+        assert_eq!(got[0].topic, "archive/metrics/power");
+    }
+}

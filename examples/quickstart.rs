@@ -1,0 +1,65 @@
+//! Quickstart: stand up a monitored machine, run a small workload, look
+//! at the ops dashboard, and inspect what the monitoring stack produced.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use hpcmon::{MonitoringSystem, SimConfig};
+use hpcmon_metrics::{Ts, MINUTE_MS};
+use hpcmon_sim::{AppProfile, FaultKind, JobSpec};
+use hpcmon_store::TimeRange;
+use hpcmon_viz::Dashboard;
+
+fn main() {
+    // A 128-node machine with the full monitoring pipeline attached.
+    let mut mon = MonitoringSystem::builder(SimConfig::small()).build();
+
+    // A small workload mix.
+    for (i, app) in [
+        AppProfile::compute_heavy("stencil3d"),
+        AppProfile::comm_heavy("spectral_fft"),
+        AppProfile::checkpointing("climate"),
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        mon.submit_job(JobSpec::new(app, "alice", 32, 25 * MINUTE_MS, Ts::from_mins(i as u64)));
+    }
+
+    // Something will go wrong at minute 20.
+    mon.schedule_fault(Ts::from_mins(20), FaultKind::NodeCrash { node: 17 });
+
+    // One hour of operation.
+    let summary = mon.run_ticks(60);
+    println!("ran {} ticks: {} samples, {} log records, {} signals, {} actions\n",
+        summary.ticks, summary.samples, summary.logs, summary.signals, summary.actions);
+
+    // The shared ops dashboard, rendered against the live store.
+    let dashboard = Dashboard::ops_default();
+    println!("{}", dashboard.render(mon.store(), mon.registry(), TimeRange::all()));
+
+    // What did the response engine do about the crash?
+    println!("response actions:");
+    for action in mon.actions().iter().take(8) {
+        println!("  [{}] {} -> {:?} on {}", action.ts, action.rule, action.action, action.comp);
+    }
+
+    // At-a-glance state board and a user-facing wait estimate.
+    println!("\n{}", mon.status_board().render());
+    match mon.estimate_wait_ms(64) {
+        Some(ms) => println!("estimated wait for a 64-node job: {:.1} min", ms as f64 / 60_000.0),
+        None => println!("a 64-node job cannot currently fit"),
+    }
+
+    // The one-page operations report (markdown for the wiki).
+    println!("\n--- ops report ---\n{}", mon.ops_report());
+
+    // Storage footprint: the Table I "keep all data" argument in numbers.
+    let stats = mon.store().stats();
+    println!(
+        "\nstore: {} series, {} hot + {} warm points, {:.2} compressed bytes/point",
+        stats.series, stats.hot_points, stats.warm_points, stats.bytes_per_point
+    );
+    println!("logs: {} records stored", mon.log_store().len());
+}

@@ -1,0 +1,102 @@
+//! CSC-style queue monitoring (paper §II-4).
+//!
+//! CSC watches queue depth "to provide users a realistic view into the
+//! expected wait time for the currently submitted workload" and plans to
+//! correlate queue behaviour with system issues "such as shared file
+//! system problems".  This example does both: live wait estimates while a
+//! backlog builds, and a queue-depth threshold alarm that fires when an
+//! injected filesystem degradation silently blocks throughput.
+//!
+//! ```sh
+//! cargo run --release --example site_csc_queue
+//! ```
+
+use hpcmon::pipeline::DetectorAttachment;
+use hpcmon::{MonitoringSystem, SimConfig};
+use hpcmon_analysis::ThresholdDetector;
+use hpcmon_metrics::{CompId, Severity, SeriesKey, Ts, MINUTE_MS};
+use hpcmon_response::SignalKind;
+use hpcmon_sim::{AppProfile, FaultKind, JobSpec};
+use hpcmon_store::TimeRange;
+use hpcmon_viz::LineChart;
+
+fn main() {
+    let builder = MonitoringSystem::builder(SimConfig::small());
+    let queue_metric = builder.metrics().queue_depth;
+    let mut mon = builder
+        .attach_detector(DetectorAttachment::new(
+            SeriesKey::new(queue_metric, CompId::SYSTEM),
+            Box::new(ThresholdDetector::above(4.0)),
+            SignalKind::MetricAnomaly,
+            Severity::Warning,
+            "queue backlog",
+        ))
+        .build();
+
+    // I/O-bound jobs that fit comfortably when the filesystem is healthy.
+    for k in 0..60u64 {
+        mon.submit_job(JobSpec::new(
+            AppProfile::io_storm(&format!("io{k}")),
+            "user",
+            16,
+            5 * MINUTE_MS,
+            Ts::from_mins(k * 8),
+        ));
+    }
+
+    // Healthy hour, printing the user-facing estimate periodically.
+    println!("healthy era:");
+    for _ in 0..6 {
+        mon.run_ticks(10);
+        report(&mon);
+    }
+
+    // The filesystem silently degrades: jobs stretch, the queue backs up.
+    println!("\n>>> filesystem degrades 10x at {} (no log line) <<<\n", mon.engine().now());
+    for ost in 0..16 {
+        mon.schedule_fault(mon.engine().now().add_ms(60_000), FaultKind::OstDegrade {
+            ost,
+            factor: 10.0,
+        });
+    }
+    println!("degraded era:");
+    for _ in 0..12 {
+        mon.run_ticks(10);
+        report(&mon);
+    }
+
+    let depth = mon.query().series(
+        SeriesKey::new(queue_metric, CompId::SYSTEM),
+        TimeRange::all(),
+    );
+    println!(
+        "\n{}",
+        LineChart::new("Batch queue depth over time", 70, 8)
+            .with_unit("jobs")
+            .add_series("queued", depth)
+            .render()
+    );
+    let alarms =
+        mon.signals().iter().filter(|s| s.detail.contains("queue backlog")).count();
+    println!("queue-backlog alarms raised: {alarms}");
+    println!(
+        "(the alarm plus the filesystem probe series is what lets CSC 'identify and \
+         diagnose system issues such as shared file system problems')"
+    );
+}
+
+fn report(mon: &MonitoringSystem) {
+    let now = mon.engine().now();
+    let depth = mon.engine().scheduler().queue_depth_at(now);
+    let wait = mon
+        .estimate_wait_ms(16)
+        .map(|ms| format!("{:.0} min", ms as f64 / 60_000.0))
+        .unwrap_or_else(|| "never".into());
+    println!(
+        "  {}  queued={:<3} running={:<2}  est. wait for 16 nodes: {}",
+        now,
+        depth,
+        mon.engine().scheduler().running().len(),
+        wait
+    );
+}

@@ -1,0 +1,72 @@
+//! KAUST-style power monitoring (paper §II-7, Figure 3).
+//!
+//! Runs a full-machine application with an injected load-imbalance window
+//! and shows the detection chain: total + per-cabinet power series, the
+//! cabinet heatmap at the worst moment, the imbalance detector's flags,
+//! and a power-profile comparison against a known-good run.
+//!
+//! ```sh
+//! cargo run --release --example site_kaust_power
+//! ```
+
+use hpcmon::scenarios::fig3_power;
+use hpcmon_analysis::PowerProfileLibrary;
+use hpcmon_metrics::Ts;
+use hpcmon_viz::{CabinetHeatmap, LineChart};
+
+fn main() {
+    let r = fig3_power(2018);
+
+    println!("{}", LineChart::new("Total system power (Figure 3, top)", 70, 10)
+        .with_unit("W")
+        .add_series("system", r.total_power.clone())
+        .add_marker(Ts::from_mins(18))
+        .add_marker(Ts::from_mins(23))
+        .render());
+
+    // Per-cabinet view at the most imbalanced minute.
+    let worst = r.flagged_ticks.first().copied().unwrap_or(Ts::from_mins(20));
+    let cabs: Vec<f64> = r
+        .cabinet_power
+        .iter()
+        .filter_map(|(_, pts)| pts.iter().find(|&&(t, _)| t == worst).map(|&(_, v)| v))
+        .collect();
+    println!(
+        "{}",
+        CabinetHeatmap::new(
+            &format!("Cabinet power at {} (Figure 3, bottom)", worst.display_hms()),
+            8,
+            cabs
+        )
+        .render()
+    );
+
+    println!("cabinet max/min in window: {:.2}x   (paper: up to 3x)", r.window_cabinet_ratio);
+    println!("balanced/imbalanced total draw: {:.2}x (paper: almost 1.9x)", r.draw_ratio);
+    println!(
+        "imbalance detector flagged {} ticks: {:?}",
+        r.flagged_ticks.len(),
+        r.flagged_ticks.iter().map(|t| t.display_hms()).collect::<Vec<_>>()
+    );
+
+    // Profile matching: the imbalanced run deviates from the healthy one.
+    let healthy = fig3_power(99); // different seed, but same app without...
+    // (the scenario always injects the window, so build the reference from
+    // the healthy minutes of the run instead)
+    let healthy_profile: Vec<f64> = healthy
+        .total_power
+        .iter()
+        .filter(|&&(t, _)| t <= Ts::from_mins(15))
+        .map(|&(_, v)| v)
+        .collect();
+    let mut lib = PowerProfileLibrary::new();
+    lib.tolerance = 0.05; // KAUST-tight: profiles repeat within a few percent
+    lib.record_reference("vasp", &healthy_profile);
+    let run_profile: Vec<f64> = r.total_power.iter().map(|&(_, v)| v).collect();
+    let verdict = lib.compare("vasp", &run_profile).expect("reference recorded");
+    println!(
+        "\npower-profile comparison vs known-good: deviation {:.1}% -> {}",
+        verdict.deviation * 100.0,
+        if verdict.matches { "matches (unexpected!)" } else { "MISMATCH — investigate" }
+    );
+}

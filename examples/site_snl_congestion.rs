@@ -1,0 +1,59 @@
+//! SNL-style congestion regions and power/p-state sweeps (paper §II-9).
+//!
+//! Part 1: synchronized HSN stall counters banded into congestion levels
+//! and localized to regions — a hotspot job in one cabinet lights up its
+//! region only.  Part 2: the p-state sweep showing the energy/runtime
+//! tradeoff SNL explores "with the goal of improving application and
+//! system energy efficiency while maintaining performance targets".
+//!
+//! ```sh
+//! cargo run --release --example site_snl_congestion
+//! ```
+
+use hpcmon::scenarios::{congestion_regions, pstate_sweep};
+use hpcmon_viz::CabinetHeatmap;
+
+fn main() {
+    // --- congestion regions ---
+    let r = congestion_regions(2018);
+    println!("=== HSN congestion by region (stall-counter analysis) ===\n");
+    println!("{:<8} {:>12} {:>8}  level", "region", "stall ratio", "links");
+    for region in &r.map.regions {
+        println!(
+            "{:<8} {:>12.3} {:>8}  {:?}",
+            region.region, region.stall_ratio, region.active_links, region.level
+        );
+    }
+    let values: Vec<f64> = r.map.regions.iter().map(|x| x.stall_ratio).collect();
+    println!("\n{}", CabinetHeatmap::new("Congestion heatmap (by cabinet)", 8, values).render());
+    println!(
+        "hotspot job lives in cabinet {}; regions flagged Medium+: {:?} -> {}",
+        r.hot_cabinet,
+        r.hot_regions,
+        if r.hot_regions.contains(&r.hot_cabinet) { "LOCALIZED CORRECTLY" } else { "missed" }
+    );
+
+    // --- p-state sweep ---
+    println!("\n=== p-state sweep: runtime / power / energy ===\n");
+    println!("{:>6} {:>12} {:>14} {:>14}", "scale", "runtime (m)", "mean power kW", "energy MJ");
+    let sweep = pstate_sweep(&[0.5, 0.6, 0.7, 0.8, 0.9, 1.0], 2018);
+    for p in &sweep {
+        println!(
+            "{:>6.2} {:>12.1} {:>14.1} {:>14.2}",
+            p.scale,
+            p.runtime_ms as f64 / 60_000.0,
+            p.mean_power_w / 1_000.0,
+            p.energy_j / 1e6
+        );
+    }
+    let best = sweep
+        .iter()
+        .min_by(|a, b| a.energy_j.partial_cmp(&b.energy_j).expect("no NaN"))
+        .expect("non-empty sweep");
+    println!(
+        "\nenergy-optimal p-state: {:.2} ({:.2} MJ, {:.0}% longer than full speed)",
+        best.scale,
+        best.energy_j / 1e6,
+        100.0 * (best.runtime_ms as f64 / sweep.last().unwrap().runtime_ms as f64 - 1.0)
+    );
+}

@@ -1,0 +1,103 @@
+//! LANL burst-buffer story end-to-end: configuration checks catch the
+//! silently misconfigured buffer node, and the monitoring data shows the
+//! traffic spilling to the parallel filesystem.
+
+use hpcmon::{MonitoringSystem, SimConfig};
+use hpcmon_metrics::{CompId, SeriesKey, Ts, MINUTE_MS};
+use hpcmon_sim::{AppProfile, BbConfig, FaultKind, JobSpec};
+use hpcmon_store::{LogQuery, TimeRange};
+
+fn bb_system() -> MonitoringSystem {
+    let mut cfg = SimConfig::small();
+    cfg.burst_buffer = Some(BbConfig::small());
+    MonitoringSystem::builder(cfg).bench_suite_every(Some(2)).build()
+}
+
+#[test]
+fn bb_metrics_are_collected() {
+    let mut mon = bb_system();
+    mon.submit_job(JobSpec::new(
+        AppProfile::checkpointing("climate"),
+        "u",
+        64,
+        60 * MINUTE_MS,
+        Ts::ZERO,
+    ));
+    mon.run_ticks(15);
+    let m = mon.metrics();
+    // Per-bb-node series exist and show absorption during write phases.
+    let occupancy = mon.query().series(
+        SeriesKey::new(m.bb_occupancy, CompId::bb(0)),
+        TimeRange::all(),
+    );
+    assert_eq!(occupancy.len(), 15);
+    let configured = mon.query().series(
+        SeriesKey::new(m.bb_configured, CompId::bb(0)),
+        TimeRange::all(),
+    );
+    assert!(configured.iter().all(|&(_, v)| v == 1.0));
+    // The checkpoint burst at job-minutes 8..10 shows up somewhere.
+    let absorb = mon.query().aggregate_across_components(
+        m.bb_absorb_bps,
+        TimeRange::all(),
+        hpcmon_store::AggFn::Sum,
+    );
+    assert!(absorb.iter().any(|&(_, v)| v > 1.0e9), "checkpoint burst absorbed");
+}
+
+#[test]
+fn misconfiguration_caught_by_config_check_not_logs() {
+    let mut mon = bb_system();
+    mon.run_ticks(4);
+    mon.schedule_fault(Ts::from_mins(5), FaultKind::BbMisconfigure { bb: 1 });
+    mon.run_ticks(6);
+    // The config check failed and logged a bench warning naming the node.
+    let hits = mon.log_store().search(&LogQuery::tokens(&["bb", "configured"]));
+    assert!(!hits.is_empty(), "configuration check caught it");
+    assert!(hits.iter().any(|r| r.message.contains("[1]")), "{hits:?}");
+    // The configured metric for node 1 dropped to 0.
+    let m = mon.metrics();
+    let configured = mon.query().series(
+        SeriesKey::new(m.bb_configured, CompId::bb(1)),
+        TimeRange::new(Ts::from_mins(6), Ts(u64::MAX)),
+    );
+    assert!(configured.iter().all(|&(_, v)| v == 0.0));
+    // Repair clears the check.
+    mon.schedule_fault(Ts::from_mins(12), FaultKind::BbRepair { bb: 1 });
+    mon.run_ticks(4);
+    assert!(mon.engine().burst_buffer().unwrap().all_configured());
+}
+
+#[test]
+fn spill_pressure_is_visible_on_the_filesystem() {
+    // Misconfigure ALL buffer nodes: every checkpoint byte spills to the
+    // PFS, and the fs write-rate series shows it.
+    let measure = |sabotage: bool| -> f64 {
+        let mut mon = bb_system();
+        if sabotage {
+            for i in 0..4 {
+                mon.schedule_fault(Ts::from_mins(1), FaultKind::BbMisconfigure { bb: i });
+            }
+        }
+        mon.submit_job(JobSpec::new(
+            AppProfile::checkpointing("climate"),
+            "u",
+            64,
+            60 * MINUTE_MS,
+            Ts::ZERO,
+        ));
+        mon.run_ticks(25);
+        let m = mon.metrics();
+        mon.query()
+            .series(SeriesKey::new(m.fs_agg_write_bps, CompId::SYSTEM), TimeRange::all())
+            .iter()
+            .map(|p| p.1)
+            .fold(0.0, f64::max)
+    };
+    let healthy_peak = measure(false);
+    let sabotaged_peak = measure(true);
+    assert!(
+        sabotaged_peak > 2.0 * healthy_peak.max(1.0),
+        "spill shows on the PFS: healthy {healthy_peak} sabotaged {sabotaged_peak}"
+    );
+}

@@ -1,0 +1,170 @@
+//! Failure-injection integration tests: every fault kind produces the
+//! observable consequences the monitoring stack depends on.
+
+use hpcmon::{MonitoringSystem, SimConfig};
+use hpcmon_metrics::{CompId, JobState, Severity, Ts, MINUTE_MS};
+use hpcmon_response::SignalKind;
+use hpcmon_sim::node::NodeHealth;
+use hpcmon_sim::{AppProfile, FaultKind, JobSpec};
+use hpcmon_store::{LogQuery, TimeRange};
+
+fn system() -> MonitoringSystem {
+    MonitoringSystem::builder(SimConfig::small()).build()
+}
+
+#[test]
+fn link_flap_is_logged_and_recovers() {
+    let mut mon = system();
+    mon.submit_job(JobSpec::new(
+        AppProfile::comm_heavy("fft"),
+        "u",
+        64,
+        60 * MINUTE_MS,
+        Ts::ZERO,
+    ));
+    mon.schedule_fault(Ts::from_mins(3), FaultKind::LinkDown { link: 10 });
+    mon.schedule_fault(Ts::from_mins(8), FaultKind::LinkUp { link: 10 });
+    mon.run_ticks(12);
+    assert!(mon.engine().network().link_is_up(10));
+    // Restrict to the hwerr source: the analysis pipeline also stores its
+    // own finding about this line (results live with raw data).
+    let down = mon
+        .log_store()
+        .search(&LogQuery::tokens(&["lcb", "failure"]).with_source("hwerr"));
+    let up = mon.log_store().search(&LogQuery::tokens(&["recovered"]).with_source("hwerr"));
+    assert_eq!(down.len(), 1);
+    assert!(!up.is_empty());
+    assert!(down[0].ts < up[0].ts);
+}
+
+#[test]
+fn mds_degradation_slows_metadata_benchmark() {
+    let mut mon = MonitoringSystem::builder(SimConfig::small())
+        .bench_suite_every(Some(1))
+        .build();
+    mon.run_ticks(10);
+    let m = mon.metrics();
+    let series_before = mon.query().series(
+        hpcmon_metrics::SeriesKey::new(m.bench_metadata, CompId::SYSTEM),
+        TimeRange::all(),
+    );
+    let baseline = series_before.iter().map(|p| p.1).sum::<f64>() / series_before.len() as f64;
+    mon.schedule_fault(Ts::from_mins(11), FaultKind::MdsDegrade { factor: 6.0 });
+    mon.run_ticks(5);
+    let series_after = mon.query().series(
+        hpcmon_metrics::SeriesKey::new(m.bench_metadata, CompId::SYSTEM),
+        TimeRange::new(Ts::from_mins(12), Ts(u64::MAX)),
+    );
+    let degraded = series_after.iter().map(|p| p.1).sum::<f64>() / series_after.len() as f64;
+    assert!(degraded > 3.0 * baseline, "baseline {baseline} degraded {degraded}");
+    // Restore.
+    mon.schedule_fault(Ts::from_mins(17), FaultKind::MdsRestore);
+    mon.run_ticks(3);
+    assert!(mon.engine().filesystem().mds_latency_ms() < 3.0 * baseline);
+}
+
+#[test]
+fn node_recovery_returns_capacity() {
+    let mut mon = system();
+    mon.schedule_fault(Ts::from_mins(2), FaultKind::NodeCrash { node: 9 });
+    mon.schedule_fault(Ts::from_mins(10), FaultKind::NodeRecover { node: 9 });
+    mon.run_ticks(12);
+    assert_eq!(mon.engine().node(9).health, NodeHealth::Up);
+    assert!(!mon.engine().scheduler().out_of_service().contains(&9));
+    // Boot log present.
+    assert!(!mon.log_store().search(&LogQuery::tokens(&["boot", "complete"])).is_empty());
+}
+
+#[test]
+fn service_flap_changes_health_and_back() {
+    let mut mon = system();
+    mon.schedule_fault(Ts::from_mins(2), FaultKind::ServiceDown { node: 3, service: 1 });
+    mon.run_ticks(3);
+    assert!(!mon.engine().node(3).passes_health_check());
+    assert!(mon
+        .signals()
+        .iter()
+        .any(|s| s.kind == SignalKind::HealthCheckFailure && s.comp == CompId::node(3)));
+    mon.schedule_fault(Ts::from_mins(6), FaultKind::ServiceRestore { node: 3, service: 1 });
+    mon.run_ticks(3);
+    assert!(mon.engine().node(3).passes_health_check());
+}
+
+#[test]
+fn fs_unmount_logged_as_error() {
+    let mut mon = system();
+    mon.schedule_fault(Ts::from_mins(1), FaultKind::FsUnmount { node: 12 });
+    mon.run_ticks(2);
+    let hits = mon
+        .log_store()
+        .search(&LogQuery::tokens(&["lustre"]).with_min_severity(Severity::Error));
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].comp, CompId::node(12));
+}
+
+#[test]
+fn gpu_corrosion_chain_env_to_hwerr() {
+    // Gas spike → dose accumulates → GPUs drift → XID errors appear →
+    // environment signal raised throughout.
+    let mut cfg = SimConfig::small();
+    cfg.gpu_corrosion_pct_per_ppb_s = 3e-3;
+    let mut mon = MonitoringSystem::builder(cfg).build();
+    mon.schedule_fault(
+        Ts::from_mins(2),
+        FaultKind::GasSpike { added_ppb: 90.0, duration_ms: 12 * 3_600_000 },
+    );
+    mon.run_ticks(400);
+    assert!(mon.engine().environment().corrosion_dose_ppb_s > 0.0);
+    assert!(mon.signals().iter().any(|s| s.kind == SignalKind::EnvironmentViolation));
+    let xids = mon.log_store().search(&LogQuery::tokens(&["xid"]));
+    assert!(!xids.is_empty(), "corroded GPUs eventually fail with XID logs");
+}
+
+#[test]
+fn stochastic_failures_drive_background_noise() {
+    let mut cfg = SimConfig::small();
+    cfg.failure_rates = hpcmon_sim::failure::FailureRates {
+        node_crash_per_hour: 5e-3,
+        node_hang_per_hour: 2e-3,
+        link_down_per_hour: 1e-3,
+        service_down_per_hour: 5e-3,
+        link_errors_per_gb: 0.1,
+    };
+    let mut mon = MonitoringSystem::builder(cfg).build();
+    mon.submit_job(JobSpec::new(
+        AppProfile::comm_heavy("fft"),
+        "u",
+        64,
+        240 * MINUTE_MS,
+        Ts::ZERO,
+    ));
+    mon.run_ticks(120);
+    // The machine degrades visibly over two hours at these rates.
+    let truth = mon.engine().truth_log();
+    assert!(!truth.is_empty(), "stochastic failures occurred");
+    assert!(!mon.signals().is_empty());
+    assert!(!mon.actions().is_empty());
+}
+
+#[test]
+fn job_failure_cleans_up_node_state() {
+    let mut mon = system();
+    let id = mon.submit_job(JobSpec::new(
+        AppProfile::compute_heavy("stencil"),
+        "u",
+        16,
+        60 * MINUTE_MS,
+        Ts::ZERO,
+    ));
+    mon.run_ticks(2);
+    let nodes = mon.engine().scheduler().record(id).nodes.clone();
+    mon.schedule_fault(Ts::from_mins(4), FaultKind::NodeCrash { node: nodes[0] });
+    mon.run_ticks(3);
+    assert_eq!(mon.engine().scheduler().record(id).state, JobState::Failed);
+    // Surviving nodes are idle again: no cpu load, no job binding.
+    for &n in &nodes[1..] {
+        let node = mon.engine().node(n);
+        assert!(node.running_job.is_none());
+        assert!(node.cpu_util < 0.1);
+    }
+}

@@ -1,0 +1,138 @@
+//! Figure-reproduction integration tests: each asserts the *shape* the
+//! paper reports, not absolute numbers (our substrate is a simulator).
+
+use hpcmon::scenarios;
+use hpcmon_metrics::Ts;
+
+#[test]
+fn figure1_pre_tas_injection_is_significantly_lower() {
+    let r = scenarios::fig1_tas(20, 11);
+    // Paper: mean bandwidth utilization "significantly lower over the
+    // pre-TAS time period (left) than when TAS was being utilized".
+    assert!(
+        r.post_mean > 1.15 * r.pre_mean,
+        "pre {} vs TAS {}",
+        r.pre_mean,
+        r.post_mean
+    );
+    // Both eras produced full-length series.
+    assert_eq!(r.pre_tas.len(), 20);
+    assert_eq!(r.post_tas.len(), 20);
+}
+
+#[test]
+fn figure2_onsets_are_detected_near_injection() {
+    let r = scenarios::fig2_bench_suite(11);
+    // Benchmarks ran throughout.
+    assert!(r.io_series.len() > 150);
+    assert!(r.net_series.len() > 150);
+    // The I/O onset is found within 30 minutes of the injection.
+    let io = r.detected_io_onset.expect("io onset detected");
+    assert!(
+        io >= r.injected_io_onset && io <= r.injected_io_onset.add_ms(30 * 60_000),
+        "io onset {} vs injected {}",
+        io,
+        r.injected_io_onset
+    );
+    // The network onset likewise.
+    let net = r.detected_net_onset.expect("net onset detected");
+    assert!(
+        net >= r.injected_net_onset && net <= r.injected_net_onset.add_ms(30 * 60_000),
+        "net onset {} vs injected {}",
+        net,
+        r.injected_net_onset
+    );
+    // And the degraded eras are visibly worse than the baselines.
+    let baseline_io: f64 = r.io_series.iter().take(30).map(|p| p.1).sum::<f64>() / 30.0;
+    let degraded_io: f64 =
+        r.io_series.iter().rev().take(30).map(|p| p.1).sum::<f64>() / 30.0;
+    assert!(degraded_io > 2.0 * baseline_io, "{baseline_io} -> {degraded_io}");
+}
+
+#[test]
+fn figure3_power_ratios_match_paper() {
+    let r = scenarios::fig3_power(11);
+    // Paper: "power usage variation of up to 3 times ... between different
+    // cabinets and full system power draw was almost 1.9 times lower".
+    assert!(
+        (2.2..=3.8).contains(&r.window_cabinet_ratio),
+        "cabinet ratio {}",
+        r.window_cabinet_ratio
+    );
+    assert!((1.5..=2.3).contains(&r.draw_ratio), "draw ratio {}", r.draw_ratio);
+    // Detection: flagged inside the window, not outside.
+    assert!(!r.flagged_ticks.is_empty());
+    for t in &r.flagged_ticks {
+        assert!(*t >= Ts::from_mins(17) && *t <= Ts::from_mins(24), "flag at {t}");
+    }
+}
+
+#[test]
+fn figure4_drilldown_attributes_correctly() {
+    let r = scenarios::fig4_drilldown(11);
+    let attributed = r.attributed.expect("attribution");
+    assert_eq!(attributed.id, r.culprit.id);
+    assert_eq!(attributed.name, "untarball");
+    // The drill-down's top nodes all belong to the culprit's allocation.
+    for (comp, _) in &r.top_nodes {
+        assert!(r.culprit.uses_node(comp.index), "{comp} not in culprit allocation");
+    }
+    // The spike dominates the background.
+    let peak_val =
+        r.aggregate_read.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let background: f64 = r.aggregate_read.iter().take(15).map(|p| p.1).sum::<f64>() / 15.0;
+    assert!(peak_val > 5.0 * background.max(1.0), "peak {peak_val} background {background}");
+}
+
+#[test]
+fn figure5_csv_matches_panel() {
+    let r = scenarios::fig5_perjob(11);
+    assert_eq!(r.job.name, "climate");
+    assert!(r.panel_text.contains("cpu util"));
+    assert!(r.panel_text.contains("window"));
+    let rows: Vec<&str> = r.csv.lines().collect();
+    assert_eq!(rows[0], "time_ms,cpu util,power W,mem bytes,inj %");
+    // Every row after the header parses and is within the job window.
+    let start = r.job.start.unwrap().0;
+    let end = r.job.end.unwrap().0;
+    for row in &rows[1..] {
+        let t: u64 = row.split(',').next().unwrap().parse().unwrap();
+        assert!(t >= start && t <= end, "row time {t} outside window");
+    }
+    // Round-trip through the CSV parser.
+    let parsed = hpcmon_viz::csv::parse_series_csv(&r.csv).expect("parses");
+    assert_eq!(parsed.len(), 4);
+    assert_eq!(parsed[0].1.len(), rows.len() - 1);
+}
+
+#[test]
+fn gating_shape_matches_cscs_goal() {
+    let r = scenarios::gating_experiment(11);
+    // Without gating, bad nodes eat many jobs; with gating, almost none.
+    assert!(
+        r.failed_without_gating >= 3 * r.failed_with_gating.max(1),
+        "{r:?}"
+    );
+    // Gating must not tank throughput.
+    assert!(r.completed_with_gating as f64 >= 0.9 * r.completed_without_gating as f64, "{r:?}");
+}
+
+#[test]
+fn clock_ablation_ordering() {
+    let r = scenarios::clock_sync_ablation(20, 11);
+    assert_eq!(r.synced.f1, 1.0);
+    assert!(r.corrected.f1 >= 0.99, "correction restores association: {:?}", r.corrected);
+    assert!(r.drifting.f1 < r.corrected.f1);
+}
+
+#[test]
+fn scenarios_are_deterministic() {
+    let a = scenarios::fig3_power(5);
+    let b = scenarios::fig3_power(5);
+    assert_eq!(a.total_power, b.total_power);
+    assert_eq!(a.window_cabinet_ratio, b.window_cabinet_ratio);
+    let a4 = scenarios::fig4_drilldown(5);
+    let b4 = scenarios::fig4_drilldown(5);
+    assert_eq!(a4.peak, b4.peak);
+    assert_eq!(a4.top_nodes, b4.top_nodes);
+}

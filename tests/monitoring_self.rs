@@ -1,0 +1,142 @@
+//! The monitoring system watching itself (and the CSC queue-backlog
+//! story): gaps in expected data must surface as signals, and queue
+//! anomalies must be traceable to filesystem problems.
+
+use hpcmon::pipeline::DetectorAttachment;
+use hpcmon::{MonitoringSystem, SimConfig};
+use hpcmon_analysis::ThresholdDetector;
+use hpcmon_collect::Collector;
+use hpcmon_metrics::{CompId, Frame, MetricId, Severity, SeriesKey, Ts, Unit, MINUTE_MS};
+use hpcmon_response::SignalKind;
+use hpcmon_sim::{AppProfile, FaultKind, JobSpec, SimEngine};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A site-specific collector that can be switched off mid-run — the
+/// stand-in for a crashed collection daemon.
+struct FlakyCollector {
+    metric: MetricId,
+    dead: Arc<AtomicBool>,
+}
+
+impl Collector for FlakyCollector {
+    fn name(&self) -> &str {
+        "site_custom"
+    }
+
+    fn collect(&mut self, engine: &SimEngine, frame: &mut Frame) {
+        if self.dead.load(Ordering::Relaxed) {
+            return; // silence: the failure mode under test
+        }
+        frame.push(self.metric, CompId::SYSTEM, engine.tick_count() as f64);
+    }
+}
+
+#[test]
+fn dead_collector_raises_monitoring_gap() {
+    let builder = MonitoringSystem::builder(SimConfig::small());
+    let metric = builder.registry().register("site.custom_counter", Unit::Count, "test feed");
+    let dead = Arc::new(AtomicBool::new(false));
+    let mut mon = builder
+        .install_collector(Box::new(FlakyCollector { metric, dead: dead.clone() }))
+        .build();
+    mon.run_ticks(10);
+    assert!(
+        !mon.signals().iter().any(|s| s.kind == SignalKind::MonitoringGap),
+        "healthy feeds raise nothing"
+    );
+    // The daemon dies silently.
+    dead.store(true, Ordering::Relaxed);
+    mon.run_ticks(5);
+    let gaps: Vec<_> =
+        mon.signals().iter().filter(|s| s.kind == SignalKind::MonitoringGap).collect();
+    assert!(!gaps.is_empty(), "silence detected");
+    assert!(gaps.iter().all(|s| s.detail.contains("site_custom")));
+    // Recovery clears the condition for subsequent ticks.
+    dead.store(false, Ordering::Relaxed);
+    let before = gaps.len();
+    mon.run_ticks(1); // one tick to beat again
+    mon.run_ticks(3);
+    let after = mon
+        .signals()
+        .iter()
+        .filter(|s| s.kind == SignalKind::MonitoringGap)
+        .count();
+    // Cooldowns aside: no *new* gap signals once the feed is back.
+    assert!(after <= before + 1, "before {before} after {after}");
+}
+
+#[test]
+fn custom_collector_data_lands_in_the_store() {
+    let builder = MonitoringSystem::builder(SimConfig::small());
+    let metric = builder.registry().register("site.custom_counter", Unit::Count, "test feed");
+    let mut mon = builder
+        .install_collector(Box::new(FlakyCollector {
+            metric,
+            dead: Arc::new(AtomicBool::new(false)),
+        }))
+        .build();
+    mon.run_ticks(5);
+    // The metric registered via the builder resolves in the built system.
+    assert_eq!(mon.registry().lookup("site.custom_counter"), Some(metric));
+    let pts = mon.query().series(
+        SeriesKey::new(metric, CompId::SYSTEM),
+        hpcmon_store::TimeRange::all(),
+    );
+    assert_eq!(pts.len(), 5);
+    assert_eq!(pts[0].1, 1.0);
+    assert_eq!(pts[4].1, 5.0);
+}
+
+#[test]
+fn queue_backlog_anomaly_traces_to_filesystem() {
+    // CSC/NERSC: "large or sudden changes in outstanding demand can
+    // indicate ... a blockage in the queue"; here the blockage is a
+    // degraded filesystem stretching I/O jobs so the queue backs up, and
+    // a z-score detector on queue depth fires.
+    // A backlog builds *gradually*, which evades windowed z-scores (the
+    // baseline absorbs the ramp) — so sites watch the queue with a plain
+    // threshold, and that is what we attach here.
+    let builder = MonitoringSystem::builder(SimConfig::small());
+    let queue_metric = builder.metrics().queue_depth;
+    let mut mon = builder
+        .attach_detector(DetectorAttachment::new(
+            SeriesKey::new(queue_metric, CompId::SYSTEM),
+            Box::new(ThresholdDetector::above(4.0)),
+            SignalKind::MetricAnomaly,
+            Severity::Warning,
+            "queue depth anomaly",
+        ))
+        .build();
+    // A stream of I/O jobs that fits comfortably when the filesystem is
+    // healthy (~7.5 min effective runtime, one submitted every 8 min).
+    for k in 0..90u64 {
+        mon.submit_job(JobSpec::new(
+            AppProfile::io_storm(&format!("io{k}")),
+            "u",
+            16,
+            5 * MINUTE_MS,
+            Ts::from_mins(k * 8),
+        ));
+    }
+    mon.run_ticks(60);
+    let healthy_anoms = mon
+        .signals()
+        .iter()
+        .filter(|s| s.detail.contains("queue depth"))
+        .count();
+    // Cripple the filesystem: jobs stretch ~10x, the queue backs up.
+    for ost in 0..16 {
+        mon.schedule_fault(Ts::from_mins(61), FaultKind::OstDegrade { ost, factor: 10.0 });
+    }
+    mon.run_ticks(120);
+    let anoms: Vec<_> = mon
+        .signals()
+        .iter()
+        .filter(|s| s.detail.contains("queue depth"))
+        .collect();
+    assert!(anoms.len() > healthy_anoms, "backlog anomaly detected: {}", anoms.len());
+    // And the operator's wait estimate balloons accordingly.
+    let wait = mon.estimate_wait_ms(64).expect("fits eventually");
+    assert!(wait > 30 * MINUTE_MS, "wait estimate reflects the backlog: {wait}");
+}

@@ -1,0 +1,270 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! inputs, exercised through the public APIs.
+
+use hpcmon_analysis::association::{associate, AssocEvent};
+use hpcmon_metrics::{CompId, MetricId, Sample, SeriesKey, Ts};
+use hpcmon_sim::routing::minimal_route;
+use hpcmon_sim::topology::{Topology, TopologySpec};
+use hpcmon_store::{Archive, TimeSeriesStore};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever goes into the store comes back out, in order, regardless
+    /// of insertion order and seal threshold.
+    #[test]
+    fn store_round_trips_arbitrary_series(
+        mut points in proptest::collection::vec((0u64..10_000_000, -1.0e9f64..1.0e9), 1..200),
+        seal in 1usize..64,
+    ) {
+        let store = TimeSeriesStore::with_options(4, seal);
+        for &(t, v) in &points {
+            store.insert(&Sample::new(MetricId(0), CompId::node(0), Ts(t), v));
+        }
+        let got = store.query(
+            SeriesKey::new(MetricId(0), CompId::node(0)),
+            Ts::ZERO,
+            Ts(u64::MAX),
+        );
+        points.sort_by_key(|p| p.0);
+        prop_assert_eq!(got.len(), points.len());
+        // Timestamps sorted; multiset of values preserved.
+        prop_assert!(got.windows(2).all(|w| w[0].0 <= w[1].0));
+        let mut got_vals: Vec<u64> = got.iter().map(|p| p.1.to_bits()).collect();
+        let mut want_vals: Vec<u64> = points.iter().map(|p| p.1.to_bits()).collect();
+        got_vals.sort_unstable();
+        want_vals.sort_unstable();
+        prop_assert_eq!(got_vals, want_vals);
+    }
+
+    /// Archiving then reloading is lossless for any cutoff.
+    #[test]
+    fn archive_reload_is_lossless(
+        n_points in 1u64..300,
+        cutoff in 0u64..400,
+    ) {
+        let store = TimeSeriesStore::with_options(2, 16);
+        for i in 0..n_points {
+            store.insert(&Sample::new(MetricId(0), CompId::node(0), Ts(i * 1_000), i as f64));
+        }
+        let mut archive = Archive::new();
+        if let Some(cat) = archive.archive_before(&store, Ts(cutoff * 1_000)) {
+            prop_assert!(archive.reload_into(cat.segment, &store));
+        }
+        let got = store.query(
+            SeriesKey::new(MetricId(0), CompId::node(0)),
+            Ts::ZERO,
+            Ts(u64::MAX),
+        );
+        prop_assert_eq!(got.len() as u64, n_points);
+    }
+
+    /// Every torus route is a contiguous path of existing links reaching
+    /// its destination, with length bounded by the Manhattan diameter.
+    #[test]
+    fn torus_routes_are_valid_paths(
+        dx in 1u32..6, dy in 1u32..6, dz in 1u32..6,
+        src_seed in 0u32..1000, dst_seed in 0u32..1000,
+    ) {
+        let topo = Topology::build(TopologySpec::Torus3D {
+            dims: [dx, dy, dz],
+            nodes_per_router: 1,
+        });
+        let n = topo.num_routers();
+        let src = src_seed % n;
+        let dst = dst_seed % n;
+        let path = minimal_route(&topo, src, dst);
+        let mut cur = src;
+        for &lid in &path {
+            let link = topo.link(lid);
+            prop_assert_eq!(link.from, cur);
+            cur = link.to;
+        }
+        prop_assert_eq!(cur, dst);
+        let diameter = (dx / 2 + dy / 2 + dz / 2) as usize;
+        prop_assert!(path.len() <= diameter.max(1) * 3);
+    }
+
+    /// Association output is a partition: every event appears exactly
+    /// once, incidents are time-ordered internally, and gaps between
+    /// consecutive incidents exceed the window.
+    #[test]
+    fn association_is_a_partition(
+        times in proptest::collection::vec(0u64..1_000_000, 0..100),
+        window in 1u64..50_000,
+    ) {
+        let events: Vec<AssocEvent> = times
+            .iter()
+            .enumerate()
+            .map(|(i, &t)| AssocEvent { ts: Ts(t), comp: CompId::node(i as u32), tag: 0 })
+            .collect();
+        let incidents = associate(events.clone(), window);
+        let total: usize = incidents.iter().map(|i| i.events.len()).sum();
+        prop_assert_eq!(total, events.len());
+        for inc in &incidents {
+            prop_assert!(inc.events.windows(2).all(|w| w[0].ts <= w[1].ts));
+            prop_assert!(inc
+                .events
+                .windows(2)
+                .all(|w| w[1].ts.0 - w[0].ts.0 <= window));
+        }
+        for pair in incidents.windows(2) {
+            let last = pair[0].events.last().unwrap().ts;
+            let first = pair[1].events.first().unwrap().ts;
+            prop_assert!(first.0 - last.0 > window, "incidents are maximal");
+        }
+    }
+
+    /// CSV round-trip preserves any single series exactly.
+    #[test]
+    fn csv_round_trip(
+        mut pts in proptest::collection::vec((0u64..10_000_000, -1.0e12f64..1.0e12), 0..100),
+    ) {
+        pts.sort_by_key(|p| p.0);
+        pts.dedup_by_key(|p| p.0);
+        let series = vec![(
+            "metric".to_owned(),
+            pts.iter().map(|&(t, v)| (Ts(t), v)).collect::<Vec<_>>(),
+        )];
+        let csv = hpcmon_viz::series_to_csv(&series);
+        let back = hpcmon_viz::csv::parse_series_csv(&csv).unwrap();
+        prop_assert_eq!(back, series);
+    }
+
+    /// Every dragonfly route is a valid contiguous path of at most 3 hops
+    /// with at most one global link, for arbitrary shapes.
+    #[test]
+    fn dragonfly_routes_are_valid(
+        groups in 1u32..8, rpg in 1u32..8,
+        src_seed in 0u32..1000, dst_seed in 0u32..1000,
+    ) {
+        let topo = Topology::build(TopologySpec::Dragonfly {
+            groups,
+            routers_per_group: rpg,
+            nodes_per_router: 1,
+        });
+        let n = topo.num_routers();
+        let src = src_seed % n;
+        let dst = dst_seed % n;
+        let path = minimal_route(&topo, src, dst);
+        let mut cur = src;
+        let mut globals = 0;
+        for &lid in &path {
+            let link = topo.link(lid);
+            prop_assert_eq!(link.from, cur);
+            globals += link.global as usize;
+            cur = link.to;
+        }
+        prop_assert_eq!(cur, dst);
+        prop_assert!(path.len() <= 3);
+        prop_assert!(globals <= 1);
+        if src == dst {
+            prop_assert!(path.is_empty());
+        }
+    }
+
+    /// The P² estimator stays within a small rank error of the exact
+    /// quantile on uniform-ish data.
+    #[test]
+    fn p2_quantile_tracks_exact(
+        seed in 0u64..10_000,
+        q in 0.1f64..0.9,
+    ) {
+        use hpcmon_analysis::P2Quantile;
+        let mut est = P2Quantile::new(q);
+        let mut values = Vec::with_capacity(2_000);
+        let mut x = seed.wrapping_mul(2_654_435_761).wrapping_add(1);
+        for _ in 0..2_000 {
+            x = x.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+            let v = (x >> 11) as f64 / (1u64 << 53) as f64;
+            est.push(v);
+            values.push(v);
+        }
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = values[((q * (values.len() - 1) as f64).round()) as usize];
+        let got = est.value().unwrap();
+        // Rank error tolerance: uniform data → value error ≈ rank error.
+        prop_assert!((got - exact).abs() < 0.05, "q={q} exact={exact} got={got}");
+    }
+
+    /// Burst-buffer conservation: absorbed never exceeds offered, and
+    /// occupancy equals absorbed minus drained.
+    #[test]
+    fn burst_buffer_conserves_bytes(
+        offers in proptest::collection::vec(0.0f64..500.0, 1..50),
+        drain_accept in 0.0f64..50.0,
+    ) {
+        use hpcmon_sim::{BbConfig, BurstBuffer};
+        let mut bb = BurstBuffer::new(BbConfig {
+            num_nodes: 3,
+            capacity_bytes: 1_000.0,
+            absorb_bytes_per_sec: 100.0,
+            drain_bytes_per_sec: 20.0,
+        });
+        let mut absorbed_total = 0.0;
+        let mut drained_total = 0.0;
+        for &offer in &offers {
+            bb.begin_tick();
+            let got = bb.absorb(offer, 1_000);
+            prop_assert!(got <= offer + 1e-9);
+            prop_assert!(got <= 300.0 + 1e-9, "bandwidth bound");
+            absorbed_total += got;
+            for i in 0..3 {
+                let demand = bb.drain_demand(1_000)[i as usize];
+                let accept = demand.min(drain_accept);
+                bb.complete_drain(i, accept);
+                drained_total += accept;
+            }
+        }
+        prop_assert!((bb.total_occupancy() - (absorbed_total - drained_total)).abs() < 1e-6);
+        prop_assert!(bb.total_occupancy() <= 3_000.0 + 1e-6, "capacity bound");
+    }
+
+    /// Template mining conserves record counts across arbitrary streams.
+    #[test]
+    fn template_miner_conserves_counts(
+        msgs in proptest::collection::vec("[a-z ]{1,20}", 0..100),
+    ) {
+        use hpcmon_analysis::TemplateMiner;
+        use hpcmon_metrics::{LogRecord, Severity};
+        let mut miner = TemplateMiner::new();
+        for m in &msgs {
+            miner.observe(&LogRecord::new(
+                Ts(0),
+                CompId::node(0),
+                Severity::Info,
+                "src",
+                m.as_str(),
+            ));
+        }
+        prop_assert_eq!(miner.total(), msgs.len() as u64);
+        let top: u64 = miner.top_k(usize::MAX).iter().map(|t| t.count).sum();
+        prop_assert_eq!(top, msgs.len() as u64);
+        prop_assert!(miner.distinct() <= msgs.len());
+    }
+
+    /// The broker delivers everything to a Block subscriber in order.
+    #[test]
+    fn broker_block_is_lossless_ordered(count in 1usize..200) {
+        use hpcmon_transport::{BackpressurePolicy, Broker, Payload, TopicFilter};
+        let broker = Broker::new();
+        let sub = broker.subscribe(TopicFilter::all(), count.max(8), BackpressurePolicy::Block);
+        for i in 0..count {
+            broker.publish("t", Payload::Raw(bytes::Bytes::from(vec![
+                (i & 0xFF) as u8,
+                ((i >> 8) & 0xFF) as u8,
+            ])));
+        }
+        let got = sub.drain();
+        prop_assert_eq!(got.len(), count);
+        for (i, env) in got.iter().enumerate() {
+            match &env.payload {
+                Payload::Raw(b) => {
+                    prop_assert_eq!(b[0] as usize | ((b[1] as usize) << 8), i)
+                }
+                _ => prop_assert!(false),
+            }
+        }
+    }
+}
