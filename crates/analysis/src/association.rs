@@ -157,10 +157,8 @@ mod tests {
 
     #[test]
     fn perfect_clustering_scores_one() {
-        let incidents = associate(
-            vec![ev(0, 0, 1), ev(100, 1, 1), ev(60_000, 2, 2), ev(60_100, 3, 2)],
-            1_000,
-        );
+        let incidents =
+            associate(vec![ev(0, 0, 1), ev(100, 1, 1), ev(60_000, 2, 2), ev(60_100, 3, 2)], 1_000);
         let s = score(&incidents);
         assert_eq!(s.precision, 1.0);
         assert_eq!(s.recall, 1.0);
@@ -193,8 +191,7 @@ mod tests {
 
     #[test]
     fn span_and_comps_dedup() {
-        let incidents =
-            associate(vec![ev(0, 7, 1), ev(10, 7, 1), ev(20, 8, 1)], 100);
+        let incidents = associate(vec![ev(0, 7, 1), ev(10, 7, 1), ev(20, 8, 1)], 100);
         assert_eq!(incidents[0].comps(), vec![CompId::node(7), CompId::node(8)]);
         assert_eq!(incidents[0].span_ms(), 20);
     }

@@ -87,10 +87,7 @@ pub struct CongestionMap {
 
 impl CongestionMap {
     /// Build from a counter snapshot and a link→region mapping.
-    pub fn build(
-        counters: &[LinkCounters],
-        region_of_link: impl Fn(u32) -> u32,
-    ) -> CongestionMap {
+    pub fn build(counters: &[LinkCounters], region_of_link: impl Fn(u32) -> u32) -> CongestionMap {
         let mut acc: HashMap<u32, (f64, usize)> = HashMap::new();
         for c in counters {
             if c.traffic_bytes <= 0.0 && c.stall_bytes <= 0.0 {

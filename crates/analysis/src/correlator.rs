@@ -178,6 +178,8 @@ enum RuleState {
 /// ```
 pub struct Correlator {
     rules: Vec<(Rule, RuleState)>,
+    records_observed: u64,
+    findings_emitted: u64,
 }
 
 impl Correlator {
@@ -194,7 +196,13 @@ impl Correlator {
                 (r, state)
             })
             .collect();
-        Correlator { rules }
+        Correlator { rules, records_observed: 0, findings_emitted: 0 }
+    }
+
+    /// Lifetime evaluation counts: (records observed, findings emitted) —
+    /// the self-telemetry feed for this analysis stage.
+    pub fn eval_counts(&self) -> (u64, u64) {
+        (self.records_observed, self.findings_emitted)
     }
 
     /// The default production rule set over the simulator's templates.
@@ -207,22 +215,10 @@ impl Correlator {
                 name: "node-heartbeat-lost".into(),
                 m: EventMatch::template(1).with_min_severity(Severity::Critical),
             },
-            Rule::Single {
-                name: "link-failed".into(),
-                m: EventMatch::template(3),
-            },
-            Rule::Single {
-                name: "fs-mount-lost".into(),
-                m: EventMatch::template(7),
-            },
-            Rule::Single {
-                name: "gpu-xid".into(),
-                m: EventMatch::template(8),
-            },
-            Rule::Single {
-                name: "oom-kill".into(),
-                m: EventMatch::template(13),
-            },
+            Rule::Single { name: "link-failed".into(), m: EventMatch::template(3) },
+            Rule::Single { name: "fs-mount-lost".into(), m: EventMatch::template(7) },
+            Rule::Single { name: "gpu-xid".into(), m: EventMatch::template(8) },
+            Rule::Single { name: "oom-kill".into(), m: EventMatch::template(13) },
             Rule::Threshold {
                 name: "crc-retry-storm".into(),
                 m: EventMatch::template(5),
@@ -246,6 +242,7 @@ impl Correlator {
 
     /// Observe one record; returns the findings it completes.
     pub fn observe(&mut self, rec: &LogRecord) -> Vec<Finding> {
+        self.records_observed += 1;
         let mut findings = Vec::new();
         for (rule, state) in &mut self.rules {
             match (rule, state) {
@@ -259,7 +256,10 @@ impl Correlator {
                         });
                     }
                 }
-                (Rule::Threshold { name, m, count, window_ms }, RuleState::Threshold { recent }) => {
+                (
+                    Rule::Threshold { name, m, count, window_ms },
+                    RuleState::Threshold { recent },
+                ) => {
                     if m.matches(rec) {
                         recent.push_back(rec.ts);
                         let cutoff = rec.ts.sub_ms(*window_ms);
@@ -277,7 +277,10 @@ impl Correlator {
                         }
                     }
                 }
-                (Rule::Pair { name, first, second, window_ms }, RuleState::Pair { pending_first }) => {
+                (
+                    Rule::Pair { name, first, second, window_ms },
+                    RuleState::Pair { pending_first },
+                ) => {
                     // Check consequent before adding new antecedents so a
                     // record matching both does not pair with itself.
                     if second.matches(rec) {
@@ -307,6 +310,7 @@ impl Correlator {
                 _ => unreachable!("state always matches its rule"),
             }
         }
+        self.findings_emitted += findings.len() as u64;
         findings
     }
 
@@ -342,10 +346,8 @@ mod tests {
 
     #[test]
     fn single_rule_fires_every_match() {
-        let mut c = Correlator::new(vec![Rule::Single {
-            name: "s".into(),
-            m: EventMatch::template(3),
-        }]);
+        let mut c =
+            Correlator::new(vec![Rule::Single { name: "s".into(), m: EventMatch::template(3) }]);
         let hits = c.observe_all(&[
             rec(0, CompId::link(0), Severity::Error, "a", 3),
             rec(1, CompId::link(1), Severity::Error, "b", 4),

@@ -33,7 +33,9 @@ pub mod template_miner;
 pub mod trend;
 pub mod variability;
 
-pub use anomaly::{Anomaly, CusumDetector, Detector, MadDetector, ThresholdDetector, ZScoreDetector};
+pub use anomaly::{
+    Anomaly, CusumDetector, Detector, MadDetector, ThresholdDetector, ZScoreDetector,
+};
 pub use association::{associate, Incident};
 pub use congestion::{CongestionLevel, CongestionMap};
 pub use correlator::{Correlator, EventMatch, Finding, Rule};

@@ -85,11 +85,7 @@ impl PowerProfileLibrary {
         if ref_mean <= 0.0 {
             return Some(ProfileVerdict { deviation: 0.0, matches: true });
         }
-        let mad = reference
-            .iter()
-            .zip(&run)
-            .map(|(r, x)| (r - x).abs())
-            .sum::<f64>()
+        let mad = reference.iter().zip(&run).map(|(r, x)| (r - x).abs()).sum::<f64>()
             / reference.len() as f64;
         let deviation = mad / ref_mean;
         Some(ProfileVerdict { deviation, matches: deviation <= self.tolerance })

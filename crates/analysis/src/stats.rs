@@ -194,7 +194,8 @@ impl P2Quantile {
             if (d >= 1.0 && step_fwd > 1.0) || (d <= -1.0 && step_bwd < -1.0) {
                 let d = d.signum();
                 let candidate = self.parabolic(i, d);
-                self.heights[i] = if candidate > self.heights[i - 1] && candidate < self.heights[i + 1]
+                self.heights[i] = if candidate > self.heights[i - 1]
+                    && candidate < self.heights[i + 1]
                 {
                     candidate
                 } else {

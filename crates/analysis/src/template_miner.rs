@@ -110,8 +110,7 @@ impl TemplateMiner {
                 count as f64 * 1_000.0 / total as f64
             }
         };
-        let mut all_sigs: Vec<&String> =
-            self.counts.keys().chain(baseline.counts.keys()).collect();
+        let mut all_sigs: Vec<&String> = self.counts.keys().chain(baseline.counts.keys()).collect();
         all_sigs.sort();
         all_sigs.dedup();
         let mut shifts = Vec::new();
@@ -129,7 +128,9 @@ impl TemplateMiner {
             } else {
                 cr / br
             };
-            if ratio >= min_factor || (ratio > 0.0 && ratio <= 1.0 / min_factor) || (cr == 0.0 && br > 0.0)
+            if ratio >= min_factor
+                || (ratio > 0.0 && ratio <= 1.0 / min_factor)
+                || (cr == 0.0 && br > 0.0)
             {
                 shifts.push(OccurrenceShift {
                     signature: sig.clone(),
@@ -190,7 +191,11 @@ mod tests {
         let mut m = TemplateMiner::new();
         for i in 0..5 {
             for _ in 0..=i {
-                m.observe(&rec(&format!("event type {} letter{}", 9, ["a","b","c","d","e"][i])));
+                m.observe(&rec(&format!(
+                    "event type {} letter{}",
+                    9,
+                    ["a", "b", "c", "d", "e"][i]
+                )));
             }
         }
         let top = m.top_k(3);

@@ -55,8 +55,10 @@ pub fn classify_jobs(
     cv_threshold: f64,
     min_runs: usize,
 ) -> Vec<VariabilityReport> {
-    let completed: Vec<&JobRecord> =
-        records.iter().filter(|r| r.state == JobState::Completed && r.runtime_ms().is_some()).collect();
+    let completed: Vec<&JobRecord> = records
+        .iter()
+        .filter(|r| r.state == JobState::Completed && r.runtime_ms().is_some())
+        .collect();
 
     // Group runtimes by application.
     let mut by_app: HashMap<&str, Vec<&JobRecord>> = HashMap::new();

@@ -48,7 +48,9 @@ fn bench(c: &mut Criterion) {
     for n in [10_000u64, 100_000] {
         let store = build_store(n);
         group.bench_with_input(BenchmarkId::new("indexed_search", n), &n, |b, _| {
-            b.iter(|| std::hint::black_box(store.search(&LogQuery::tokens(&["lcb", "failure"])).len()))
+            b.iter(|| {
+                std::hint::black_box(store.search(&LogQuery::tokens(&["lcb", "failure"])).len())
+            })
         });
         group.bench_with_input(BenchmarkId::new("substring_scan", n), &n, |b, _| {
             b.iter(|| std::hint::black_box(store.scan_substring("LCB failure").len()))

@@ -29,11 +29,7 @@ fn print_capability() {
     fill(&tiered, 64, 2_000);
     tiered.seal_all();
     let ts = tiered.stats();
-    println!(
-        "  flat:   {} hot points (~{} KiB raw)",
-        fs.hot_points,
-        fs.hot_points * 16 / 1024
-    );
+    println!("  flat:   {} hot points (~{} KiB raw)", fs.hot_points, fs.hot_points * 16 / 1024);
     println!(
         "  tiered: {} warm points in {} KiB ({:.2} B/pt, {:.1}x smaller)\n",
         ts.warm_points,

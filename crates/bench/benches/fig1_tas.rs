@@ -50,9 +50,10 @@ fn bench(c: &mut Criterion) {
     regenerate();
     let mut group = c.benchmark_group("fig1_tas");
     group.sample_size(10);
-    for (label, placement) in
-        [("tick_random_placement", Placement::Random), ("tick_tas_placement", Placement::TopologyAware)]
-    {
+    for (label, placement) in [
+        ("tick_random_placement", Placement::Random),
+        ("tick_tas_placement", Placement::TopologyAware),
+    ] {
         let mut mon = tick_under_placement(placement);
         group.bench_function(label, |b| {
             b.iter(|| {

@@ -21,7 +21,10 @@ fn regenerate() {
         "  window (job min {}..{}): cabinet max/min {:.2}x (paper: up to 3x); balanced/imbalanced total draw {:.2}x (paper: almost 1.9x)",
         r.window_mins.0, r.window_mins.1, r.window_cabinet_ratio, r.draw_ratio
     );
-    println!("  imbalance detector flagged at: {:?}\n", r.flagged_ticks.iter().map(|t| t.display_hms()).collect::<Vec<_>>());
+    println!(
+        "  imbalance detector flagged at: {:?}\n",
+        r.flagged_ticks.iter().map(|t| t.display_hms()).collect::<Vec<_>>()
+    );
 }
 
 fn bench(c: &mut Criterion) {

@@ -15,7 +15,11 @@ fn regenerate() {
     let r = fig5_perjob(BENCH_SEED);
     println!("\n=== Figure 5: per-job multi-metric panel ===");
     println!("{}", r.panel_text);
-    println!("  CSV download: {} rows, header: {}", r.csv.lines().count() - 1, r.csv.lines().next().unwrap_or(""));
+    println!(
+        "  CSV download: {} rows, header: {}",
+        r.csv.lines().count() - 1,
+        r.csv.lines().next().unwrap_or("")
+    );
 }
 
 fn bench(c: &mut Criterion) {

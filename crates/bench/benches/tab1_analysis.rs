@@ -19,10 +19,10 @@ fn log_stream(n: u64) -> Vec<LogRecord> {
     (0..n)
         .map(|i| {
             let template = match i % 50 {
-                0 => 3,  // link failed
-                1 => 11, // job failed (pairs with 3)
+                0 => 3,     // link failed
+                1 => 11,    // job failed (pairs with 3)
                 2..=7 => 5, // crc retries (threshold rule)
-                _ => 14, // routine
+                _ => 14,    // routine
             };
             LogRecord::new(
                 Ts::from_secs(i * 10),

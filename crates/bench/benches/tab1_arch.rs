@@ -34,8 +34,12 @@ fn print_capability() {
         "  published {}  delivered {}  dropped {} (all on the 8-deep lossy dashboard sub)",
         stats.published, stats.delivered, stats.dropped
     );
-    println!("  lossless consumers each queued {} msgs; lossy retained {} (dropped {})\n",
-        subs[0].queued(), lossy.queued(), lossy.dropped());
+    println!(
+        "  lossless consumers each queued {} msgs; lossy retained {} (dropped {})\n",
+        subs[0].queued(),
+        lossy.queued(),
+        lossy.dropped()
+    );
 }
 
 fn bench(c: &mut Criterion) {

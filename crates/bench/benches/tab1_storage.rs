@@ -64,9 +64,7 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("query_range_100_points", |b| {
         b.iter(|| {
-            std::hint::black_box(
-                store.query(key, Ts::from_mins(400), Ts::from_mins(499)).len(),
-            )
+            std::hint::black_box(store.query(key, Ts::from_mins(400), Ts::from_mins(499)).len())
         })
     });
 

@@ -91,21 +91,20 @@ impl BenchmarkSuite {
         results.push(Self::check("free_memory", &mem_fail));
         // LANL's burst-buffer configuration check, on machines that have one.
         if let Some(bb) = engine.burst_buffer() {
-            let bad: Vec<u32> =
-                (0..bb.num_nodes()).filter(|&i| !bb.node(i).configured).collect();
+            let bad: Vec<u32> = (0..bb.num_nodes()).filter(|&i| !bb.node(i).configured).collect();
             results.push(Self::check("bb_configured", &bad));
         }
 
         // ---- micro-benchmarks (NERSC style) ----
         // Compute: slowed by CPU contention on the sampled nodes.
-        let mean_cpu = nodes.iter().map(|&n| engine.node(n).cpu_util).sum::<f64>()
-            / nodes.len() as f64;
+        let mean_cpu =
+            nodes.iter().map(|&n| engine.node(n).cpu_util).sum::<f64>() / nodes.len() as f64;
         let compute = self.jitter(Self::COMPUTE_BASE_S * (1.0 + 0.8 * mean_cpu));
         results.push(Self::bench("compute", compute));
 
         // Memory: slowed by memory pressure.
-        let mean_mem = nodes.iter().map(|&n| engine.node(n).mem_util()).sum::<f64>()
-            / nodes.len() as f64;
+        let mean_mem =
+            nodes.iter().map(|&n| engine.node(n).mem_util()).sum::<f64>() / nodes.len() as f64;
         let memory = self.jitter(Self::MEMORY_BASE_S * (1.0 + 0.5 * mean_mem));
         results.push(Self::bench("memory", memory));
 
@@ -160,8 +159,7 @@ impl BenchmarkSuite {
                 );
             }
         }
-        let pass_rate =
-            results.iter().filter(|r| r.passed).count() as f64 / results.len() as f64;
+        let pass_rate = results.iter().filter(|r| r.passed).count() as f64 / results.len() as f64;
         frame.push(m.bench_pass_rate, CompId::SYSTEM, pass_rate);
         results
     }
@@ -193,7 +191,12 @@ impl BenchmarkSuite {
     }
 
     fn bench(name: &str, seconds: f64) -> BenchResult {
-        BenchResult { name: name.to_owned(), passed: true, seconds: Some(seconds), detail: String::new() }
+        BenchResult {
+            name: name.to_owned(),
+            passed: true,
+            seconds: Some(seconds),
+            detail: String::new(),
+        }
     }
 }
 
@@ -207,7 +210,10 @@ mod tests {
         StdMetrics::register(&MetricRegistry::new())
     }
 
-    fn run_suite(engine: &SimEngine, suite: &mut BenchmarkSuite) -> (Frame, Vec<LogRecord>, Vec<BenchResult>) {
+    fn run_suite(
+        engine: &SimEngine,
+        suite: &mut BenchmarkSuite,
+    ) -> (Frame, Vec<LogRecord>, Vec<BenchResult>) {
         let mut frame = Frame::new(engine.now());
         let mut logs = Vec::new();
         let results = suite.run(engine, &mut frame, &mut logs);
@@ -291,7 +297,10 @@ mod tests {
         let mut engine = SimEngine::new(SimConfig::small());
         let leak = engine.config().node_mem_bytes * 0.3;
         for n in 0..engine.num_nodes() {
-            engine.schedule_fault(Ts::from_mins(1), FaultKind::MemoryLeak { node: n, bytes_per_tick: leak });
+            engine.schedule_fault(
+                Ts::from_mins(1),
+                FaultKind::MemoryLeak { node: n, bytes_per_tick: leak },
+            );
         }
         for _ in 0..5 {
             engine.step();

@@ -394,10 +394,7 @@ mod tests {
     fn fs_collector_reports_osts_and_aggregate() {
         let (engine, m) = setup();
         let frame = collect_one(&mut FsCollector::new(m), &engine);
-        assert_eq!(
-            frame.of_metric(m.ost_latency).count(),
-            engine.filesystem().num_osts() as usize
-        );
+        assert_eq!(frame.of_metric(m.ost_latency).count(), engine.filesystem().num_osts() as usize);
         assert_eq!(frame.of_metric(m.mds_latency).count(), 1);
         assert_eq!(frame.of_metric(m.fs_agg_read_bps).count(), 1);
         // All latencies positive.

@@ -10,8 +10,8 @@
 
 use hpcmon_metrics::{LogRecord, Severity, Ts};
 use hpcmon_sim::SimEngine;
-use hpcmon_transport::{topics, Broker, Payload};
 use hpcmon_transport::syslog;
+use hpcmon_transport::{topics, Broker, Payload};
 use std::sync::Arc;
 
 /// The on-disk formats the machine emits.
@@ -55,8 +55,7 @@ impl VendorFormat {
             VendorFormat::JsonEvent => {
                 // Hand-rolled JSON so this crate needs no serde_json dep;
                 // messages are escaped minimally (quotes and backslashes).
-                let esc =
-                    |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+                let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
                 format!(
                     "{{\"ts\":{},\"comp\":\"{}\",\"sev\":\"{}\",\"src\":\"{}\",\"msg\":\"{}\",\"tpl\":{}}}",
                     rec.ts.0,
@@ -122,8 +121,7 @@ fn parse_json_event(line: &str) -> Option<LogRecord> {
     let get_num = |key: &str| -> Option<u64> {
         let pat = format!("\"{key}\":");
         let start = line.find(&pat)? + pat.len();
-        let digits: String =
-            line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
+        let digits: String = line[start..].chars().take_while(|c| c.is_ascii_digit()).collect();
         digits.parse().ok()
     };
     let ts = Ts(get_num("ts")?);
@@ -269,7 +267,9 @@ mod tests {
         assert!(!records.is_empty());
         assert_eq!(harvester.stats().rejected, 0, "all machine formats parse");
         // Crash and link events survive normalization with templates.
-        assert!(records.iter().any(|r| r.comp == CompId::node(3) && r.severity == Severity::Critical));
+        assert!(records
+            .iter()
+            .any(|r| r.comp == CompId::node(3) && r.severity == Severity::Critical));
         assert!(records.iter().any(|r| r.comp == CompId::link(0)));
         // Drained: a second harvest is empty.
         assert!(harvester.harvest(&mut engine).is_empty());

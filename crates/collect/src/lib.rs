@@ -29,6 +29,7 @@ pub mod collectors;
 pub mod harvester;
 pub mod probes;
 pub mod registry;
+pub mod selfmon;
 
 pub use bench_suite::{BenchResult, BenchmarkSuite};
 pub use collectors::{
@@ -38,3 +39,4 @@ pub use collectors::{
 pub use harvester::{LogHarvester, VendorFormat};
 pub use probes::{FsProbe, NetworkProbe};
 pub use registry::StdMetrics;
+pub use selfmon::SelfCollector;

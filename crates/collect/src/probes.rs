@@ -170,10 +170,7 @@ mod tests {
         engine.step();
         let mut probe = NetworkProbe::spread(m, engine.num_nodes(), 16);
         let frame = collect_one(&mut probe, &engine);
-        let max = frame
-            .of_metric(m.probe_net_inflation)
-            .map(|s| s.value)
-            .fold(0.0, f64::max);
+        let max = frame.of_metric(m.probe_net_inflation).map(|s| s.value).fold(0.0, f64::max);
         assert!(max > 1.05, "machine-wide comm job inflates some probe: {max}");
     }
 

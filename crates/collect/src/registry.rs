@@ -239,11 +239,7 @@ impl StdMetrics {
                 Unit::Count,
                 "Jobs currently executing",
             ),
-            free_nodes: reg.register(
-                "sched.free_nodes",
-                Unit::Count,
-                "Schedulable idle nodes",
-            ),
+            free_nodes: reg.register("sched.free_nodes", Unit::Count, "Schedulable idle nodes"),
             nodes_out_of_service: reg.register(
                 "sched.nodes_oos",
                 Unit::Count,

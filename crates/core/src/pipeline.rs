@@ -2,7 +2,7 @@
 //! turning analysis outputs into response signals.
 
 use hpcmon_analysis::{Detector, Finding};
-use hpcmon_metrics::{Severity, SeriesKey};
+use hpcmon_metrics::{SeriesKey, Severity};
 use hpcmon_response::{Signal, SignalKind};
 
 /// A streaming detector attached to one series, with the signal shape it

@@ -41,10 +41,8 @@ pub fn fig1_tas(ticks: u64, seed: u64) -> Fig1Result {
         cfg.link_capacity_bytes_per_sec = 2.0e9;
         cfg.scheduler.placement = placement;
         cfg.seed = seed;
-        let mut mon = MonitoringSystem::builder(cfg)
-            .bench_suite_every(None)
-            .with_probes(false)
-            .build();
+        let mut mon =
+            MonitoringSystem::builder(cfg).bench_suite_every(None).with_probes(false).build();
         // A steady mix of communicating jobs, submitted up front so both
         // eras schedule the identical workload.
         let mut rng = Rng::new(seed ^ 0x51);
@@ -102,26 +100,17 @@ pub fn fig2_bench_suite(seed: u64) -> Fig2Result {
         mon.schedule_fault(io_onset, FaultKind::OstDegrade { ost, factor: 4.0 });
     }
     // Network contention era: a machine-filling communication-heavy job.
-    let net_job = JobSpec::new(
-        AppProfile::comm_heavy("aggressor"),
-        "noisy",
-        128,
-        120 * MINUTE_MS,
-        net_onset,
-    );
+    let net_job =
+        JobSpec::new(AppProfile::comm_heavy("aggressor"), "noisy", 128, 120 * MINUTE_MS, net_onset);
     let metrics = mon.metrics();
     // Run to the net onset, submit, run the rest.
     mon.run_ticks(240);
     mon.submit_job(net_job);
     mon.run_ticks(120);
-    let io_series = mon.query().series(
-        SeriesKey::new(metrics.bench_io, CompId::SYSTEM),
-        TimeRange::all(),
-    );
-    let net_series = mon.query().series(
-        SeriesKey::new(metrics.bench_network, CompId::SYSTEM),
-        TimeRange::all(),
-    );
+    let io_series =
+        mon.query().series(SeriesKey::new(metrics.bench_io, CompId::SYSTEM), TimeRange::all());
+    let net_series =
+        mon.query().series(SeriesKey::new(metrics.bench_network, CompId::SYSTEM), TimeRange::all());
     let detect = |series: &[(Ts, f64)]| -> Option<Ts> {
         let mut cusum = CusumDetector::new(30, 0.5, 8.0);
         for &(t, v) in series {
@@ -166,8 +155,7 @@ pub fn fig3_power(seed: u64) -> Fig3Result {
     let mut cfg = SimConfig::small();
     cfg.topology = hpcmon_sim::TopologySpec::Torus3D { dims: [8, 4, 4], nodes_per_router: 2 };
     cfg.seed = seed;
-    let mut mon =
-        MonitoringSystem::builder(cfg).bench_suite_every(None).with_probes(false).build();
+    let mut mon = MonitoringSystem::builder(cfg).bench_suite_every(None).with_probes(false).build();
     let nodes = mon.engine().num_nodes();
     // One machine-filling job whose ranks 30%..100% idle between minutes
     // 17 and 22 of the run (the KAUST load-imbalance pathology).
@@ -177,10 +165,8 @@ pub fn fig3_power(seed: u64) -> Fig3Result {
     let metrics = mon.metrics();
     mon.run_ticks(42);
 
-    let total_power = mon.query().series(
-        SeriesKey::new(metrics.system_power, CompId::SYSTEM),
-        TimeRange::all(),
-    );
+    let total_power =
+        mon.query().series(SeriesKey::new(metrics.system_power, CompId::SYSTEM), TimeRange::all());
     let cabinet_power = mon.query().components_of_kind(
         metrics.cabinet_power,
         hpcmon_metrics::CompKind::Cabinet,
@@ -194,9 +180,7 @@ pub fn fig3_power(seed: u64) -> Fig3Result {
     for t in (1..=42).map(Ts::from_mins) {
         let cabs: Vec<f64> = cabinet_power
             .iter()
-            .filter_map(|(_, pts)| {
-                pts.iter().find(|&&(pt, _)| pt == t).map(|&(_, v)| v)
-            })
+            .filter_map(|(_, pts)| pts.iter().find(|&&(pt, _)| pt == t).map(|&(_, v)| v))
             .collect();
         if cabs.is_empty() {
             continue;
@@ -210,11 +194,8 @@ pub fn fig3_power(seed: u64) -> Fig3Result {
         }
     }
     let mean_in = |range: TimeRange| {
-        let pts: Vec<f64> = total_power
-            .iter()
-            .filter(|&&(t, _)| range.contains(t))
-            .map(|&(_, v)| v)
-            .collect();
+        let pts: Vec<f64> =
+            total_power.iter().filter(|&&(t, _)| range.contains(t)).map(|&(_, v)| v).collect();
         pts.iter().sum::<f64>() / pts.len().max(1) as f64
     };
     let balanced = mean_in(TimeRange::new(Ts::from_mins(5), Ts::from_mins(15)));
@@ -249,8 +230,7 @@ pub struct Fig4Result {
 pub fn fig4_drilldown(seed: u64) -> Fig4Result {
     let mut cfg = SimConfig::small();
     cfg.seed = seed;
-    let mut mon =
-        MonitoringSystem::builder(cfg).bench_suite_every(None).with_probes(false).build();
+    let mut mon = MonitoringSystem::builder(cfg).bench_suite_every(None).with_probes(false).build();
     // Background compute jobs...
     for i in 0..4 {
         mon.submit_job(JobSpec::new(
@@ -272,10 +252,9 @@ pub fn fig4_drilldown(seed: u64) -> Fig4Result {
     ));
     mon.run_ticks(40);
     let metrics = mon.metrics();
-    let aggregate_read = mon.query().series(
-        SeriesKey::new(metrics.fs_agg_read_bps, CompId::SYSTEM),
-        TimeRange::all(),
-    );
+    let aggregate_read = mon
+        .query()
+        .series(SeriesKey::new(metrics.fs_agg_read_bps, CompId::SYSTEM), TimeRange::all());
     let peak = hpcmon_viz::DrilldownView::peak_of(&aggregate_read).expect("data exists");
     let top_nodes = mon.query().top_components_at(metrics.node_fs_read_bps, peak, MINUTE_MS, 8);
     // Attribution: the job whose allocation owns the top node at the peak.
@@ -307,8 +286,7 @@ pub struct Fig5Result {
 pub fn fig5_perjob(seed: u64) -> Fig5Result {
     let mut cfg = SimConfig::small();
     cfg.seed = seed;
-    let mut mon =
-        MonitoringSystem::builder(cfg).bench_suite_every(None).with_probes(false).build();
+    let mut mon = MonitoringSystem::builder(cfg).bench_suite_every(None).with_probes(false).build();
     let id = mon.submit_job(JobSpec::new(
         AppProfile::checkpointing("climate"),
         "bob",
@@ -380,8 +358,10 @@ pub fn gating_experiment(seed: u64) -> GatingResult {
             );
             if k % 3 == 0 {
                 let victim = rng.below(128) as u32;
-                engine
-                    .schedule_fault(Ts::from_mins(8 + k * 12), FaultKind::NodeCrash { node: victim });
+                engine.schedule_fault(
+                    Ts::from_mins(8 + k * 12),
+                    FaultKind::NodeCrash { node: victim },
+                );
             }
         }
         engine.run_until(Ts::from_mins(240));
@@ -559,11 +539,7 @@ pub fn clock_sync_ablation(incidents: u32, seed: u64) -> ClockSyncResult {
         let base = Ts::from_mins(10 + inc as u64 * 10);
         for e in 0..6u64 {
             let node = rng.below(nodes as u64) as u32;
-            truth.push(AssocEvent {
-                ts: base.add_ms(e * 500),
-                comp: CompId::node(node),
-                tag: inc,
-            });
+            truth.push(AssocEvent { ts: base.add_ms(e * 500), comp: CompId::node(node), tag: inc });
         }
     }
     // Causally related events land within seconds of each other, so a
@@ -615,10 +591,7 @@ mod tests {
         );
         assert!(!r.flagged_ticks.is_empty(), "imbalance detector fired");
         // Flags fall inside (or at the edges of) the window.
-        assert!(r
-            .flagged_ticks
-            .iter()
-            .all(|t| *t >= Ts::from_mins(17) && *t <= Ts::from_mins(24)));
+        assert!(r.flagged_ticks.iter().all(|t| *t >= Ts::from_mins(17) && *t <= Ts::from_mins(24)));
     }
 
     #[test]

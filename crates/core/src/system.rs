@@ -11,20 +11,22 @@
 use crate::pipeline::{finding_to_signal, DetectorAttachment};
 use hpcmon_analysis::{Correlator, Deadman, ImbalanceDetector, NoveltyDetector, Rule};
 use hpcmon_collect::collectors::standard_collectors;
-use hpcmon_collect::{BenchmarkSuite, Collector, FsProbe, LogHarvester, NetworkProbe, StdMetrics};
-use hpcmon_metrics::{
-    CompId, CompKind, Frame, JobId, LogRecord, MetricRegistry, Severity, Ts,
+use hpcmon_collect::{
+    BenchmarkSuite, Collector, FsProbe, LogHarvester, NetworkProbe, SelfCollector, StdMetrics,
 };
+use hpcmon_metrics::{CompId, CompKind, Frame, JobId, LogRecord, MetricRegistry, Severity, Ts};
 use hpcmon_response::{
     AccessPolicy, Action, ActionTaken, ResponseEngine, ResponseRule, Signal, SignalKind,
 };
 use hpcmon_sim::{FaultKind, JobSpec, SimConfig, SimEngine};
 use hpcmon_store::{Archive, LogStore, QueryEngine, RetentionPolicy, TimeSeriesStore};
-use hpcmon_viz::{ClassStatus, StatusBoard};
+use hpcmon_telemetry::{Counter, Gauge, Histogram, StageTimer, Telemetry, TelemetryReport};
 use hpcmon_transport::{
-    topics, BackpressurePolicy, Broker, Payload, Subscription, TopicFilter,
+    topics, BackpressurePolicy, Broker, Payload, Subscription, TopicFilter, TopicStats,
 };
+use hpcmon_viz::{ClassStatus, StatusBoard};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// Builder for a [`MonitoringSystem`].
 pub struct MonitorBuilder {
@@ -42,6 +44,7 @@ pub struct MonitorBuilder {
     retention: Option<(RetentionPolicy, u64)>,
     extra_collectors: Vec<Box<dyn Collector>>,
     power_cap_w: Option<f64>,
+    self_telemetry: bool,
 }
 
 impl MonitorBuilder {
@@ -64,7 +67,16 @@ impl MonitorBuilder {
             retention: None,
             extra_collectors: Vec::new(),
             power_cap_w: None,
+            self_telemetry: true,
         }
+    }
+
+    /// Enable or disable the self-telemetry layer (default on).  When off,
+    /// the pipeline's instruments become inert no-ops and no `SelfCollector`
+    /// is installed — the baseline configuration for overhead benchmarks.
+    pub fn self_telemetry(mut self, enabled: bool) -> MonitorBuilder {
+        self.self_telemetry = enabled;
+        self
     }
 
     /// Enforce a machine-level power cap: when total draw exceeds the cap
@@ -153,6 +165,9 @@ impl MonitorBuilder {
         let registry = self.registry;
         let metrics = self.metrics;
         let broker = Broker::new();
+        let store = Arc::new(TimeSeriesStore::new());
+        let telemetry =
+            Arc::new(if self.self_telemetry { Telemetry::new() } else { Telemetry::disabled() });
         // The store consumes frames losslessly off the broker.
         let store_sub =
             broker.subscribe(TopicFilter::new("metrics/#"), 4_096, BackpressurePolicy::Block);
@@ -166,6 +181,17 @@ impl MonitorBuilder {
                 self.probe_pairs,
             )));
         }
+        if self.self_telemetry {
+            // Last, so it observes the instruments every earlier collector
+            // and the previous tick's pipeline stages registered.
+            collectors.push(Box::new(SelfCollector::new(
+                telemetry.clone(),
+                broker.clone(),
+                store.clone(),
+                registry.clone(),
+            )));
+        }
+        let instruments = PipelineInstruments::new(&telemetry, &collectors, &self.detectors);
         MonitoringSystem {
             bench_suite: BenchmarkSuite::new(metrics, self.config.seed ^ 0xBE, 16),
             bench_every_ticks: self.bench_every_ticks,
@@ -176,7 +202,7 @@ impl MonitorBuilder {
             response: ResponseEngine::new(self.response_rules),
             imbalance: self.imbalance,
             detectors: self.detectors,
-            store: Arc::new(TimeSeriesStore::new()),
+            store,
             log_store: Arc::new(LogStore::new()),
             archive: Archive::new(),
             signals: Vec::new(),
@@ -190,6 +216,85 @@ impl MonitorBuilder {
             registry,
             metrics,
             broker,
+            telemetry,
+            instruments,
+        }
+    }
+}
+
+/// Advance a telemetry counter to an externally tracked lifetime total.
+fn sync_counter(c: &Counter, total: u64) {
+    c.add(total.saturating_sub(c.get()));
+}
+
+/// Instruments for one collector: collect latency and samples contributed.
+struct CollectorInstruments {
+    latency: Arc<Histogram>,
+    samples: Arc<Counter>,
+}
+
+/// Instruments for one attached detector.
+struct DetectorInstruments {
+    evals: Arc<Counter>,
+    latency: Arc<Histogram>,
+}
+
+/// Every telemetry handle the tick loop touches, resolved once at build so
+/// the hot path never formats an instrument name or takes a registry lock.
+/// The `collectors`/`detectors` vectors run parallel to the system's own.
+struct PipelineInstruments {
+    tick_count: Arc<Counter>,
+    stage_tick: Arc<Histogram>,
+    stage_collect: Arc<Histogram>,
+    stage_transport: Arc<Histogram>,
+    stage_store: Arc<Histogram>,
+    stage_analysis: Arc<Histogram>,
+    stage_response: Arc<Histogram>,
+    correlator_records: Arc<Counter>,
+    correlator_findings: Arc<Counter>,
+    deadman_feeds: Arc<Gauge>,
+    response_handled: Arc<Counter>,
+    response_suppressed: Arc<Counter>,
+    collectors: Vec<CollectorInstruments>,
+    detectors: Vec<DetectorInstruments>,
+}
+
+impl PipelineInstruments {
+    fn new(
+        t: &Telemetry,
+        collectors: &[Box<dyn Collector>],
+        detectors: &[DetectorAttachment],
+    ) -> PipelineInstruments {
+        PipelineInstruments {
+            tick_count: t.counter("tick.count"),
+            stage_tick: t.histogram("stage.tick"),
+            stage_collect: t.histogram("stage.collect"),
+            stage_transport: t.histogram("stage.transport"),
+            stage_store: t.histogram("stage.store"),
+            stage_analysis: t.histogram("stage.analysis"),
+            stage_response: t.histogram("stage.response"),
+            correlator_records: t.counter("analysis.correlator.records"),
+            correlator_findings: t.counter("analysis.correlator.findings"),
+            deadman_feeds: t.gauge("analysis.deadman.feeds"),
+            response_handled: t.counter("response.signals_handled"),
+            response_suppressed: t.counter("response.suppressed_by_cooldown"),
+            collectors: collectors
+                .iter()
+                .map(|c| CollectorInstruments {
+                    latency: t.histogram(&format!("collect.latency.{}", c.name())),
+                    samples: t.counter(&format!("collect.samples.{}", c.name())),
+                })
+                .collect(),
+            detectors: detectors
+                .iter()
+                .map(|att| {
+                    let label = att.label.replace(' ', "_");
+                    DetectorInstruments {
+                        evals: t.counter(&format!("analysis.detector.{label}.evals")),
+                        latency: t.histogram(&format!("analysis.detector.{label}.latency")),
+                    }
+                })
+                .collect(),
         }
     }
 }
@@ -247,6 +352,8 @@ pub struct MonitoringSystem {
     deadman_armed: bool,
     retention: Option<(RetentionPolicy, u64)>,
     power_cap_w: Option<f64>,
+    telemetry: Arc<Telemetry>,
+    instruments: PipelineInstruments,
 }
 
 impl MonitoringSystem {
@@ -271,6 +378,8 @@ impl MonitoringSystem {
 
     /// Advance machine + monitoring by one tick.
     pub fn tick(&mut self) -> TickReport {
+        let _tick_timer = StageTimer::new(self.instruments.stage_tick.clone());
+        self.instruments.tick_count.inc();
         self.engine.step();
         let now = self.engine.now();
         let mut report = TickReport::default();
@@ -279,12 +388,16 @@ impl MonitoringSystem {
         //    per contributing collector (silence must not look like
         //    health).  Expectations arm on the first tick: collectors that
         //    are legitimately empty for this machine config never arm.
+        let collect_timer = StageTimer::new(self.instruments.stage_collect.clone());
         let mut frame = Frame::new(now);
-        for c in &mut self.collectors {
+        for (c, inst) in self.collectors.iter_mut().zip(&self.instruments.collectors) {
             let before = frame.len();
+            let started = Instant::now();
             c.collect(&self.engine, &mut frame);
-            let contributed = frame.len() > before;
-            if contributed {
+            let contributed = frame.len() - before;
+            inst.latency.record_ns(started.elapsed().as_nanos() as u64);
+            inst.samples.add(contributed as u64);
+            if contributed > 0 {
                 if !self.deadman_armed {
                     self.deadman.register(c.name());
                 }
@@ -299,14 +412,20 @@ impl MonitoringSystem {
             }
         }
         report.samples = frame.len();
+        drop(collect_timer);
 
         // 2. Transport: publish, then the store consumer drains.
+        let transport_timer = StageTimer::new(self.instruments.stage_transport.clone());
         self.broker.publish(&topics::metrics("frame"), Payload::Frame(Arc::new(frame.clone())));
+        drop(transport_timer);
+        let store_timer = StageTimer::new(self.instruments.stage_store.clone());
         for env in self.store_sub.drain() {
             if let Some(f) = env.payload.as_frame() {
                 self.store.insert_frame(f);
             }
         }
+        drop(store_timer);
+        let analysis_timer = StageTimer::new(self.instruments.stage_analysis.clone());
 
         // 3. Logs: harvest (normalizing vendor formats), store, analyze.
         let mut records = self.harvester.harvest(&mut self.engine);
@@ -335,8 +454,11 @@ impl MonitoringSystem {
         self.log_store.append_batch(records);
 
         // 4. Streaming metric analysis on the fresh frame.
-        for att in &mut self.detectors {
+        for (att, inst) in self.detectors.iter_mut().zip(&self.instruments.detectors) {
+            let started = Instant::now();
+            let mut evals = 0u64;
             for s in frame.samples.iter().filter(|s| s.key == att.key) {
+                evals += 1;
                 if let Some(anomaly) = att.detector.observe(s.ts, s.value) {
                     signals.push(Signal::new(
                         anomaly.ts,
@@ -348,6 +470,8 @@ impl MonitoringSystem {
                     ));
                 }
             }
+            inst.evals.add(evals);
+            inst.latency.record_ns(started.elapsed().as_nanos() as u64);
         }
 
         // 5. Built-in analyses: cabinet imbalance, ASHRAE, health checks.
@@ -413,10 +537,7 @@ impl MonitoringSystem {
                 Severity::Error,
                 CompId::SYSTEM,
                 silent.overdue_ms as f64 / 1_000.0,
-                format!(
-                    "collector '{}' silent (last seen {:?})",
-                    silent.feed, silent.last_seen
-                ),
+                format!("collector '{}' silent (last seen {:?})", silent.feed, silent.last_seen),
             ));
         }
 
@@ -424,11 +545,8 @@ impl MonitoringSystem {
         //     recover when there is headroom.  The actuation is itself a
         //     signal so operators see every throttle decision.
         if let Some(cap) = self.power_cap_w {
-            let total = frame
-                .of_metric(self.metrics.system_power)
-                .next()
-                .map(|s| s.value)
-                .unwrap_or(0.0);
+            let total =
+                frame.of_metric(self.metrics.system_power).next().map(|s| s.value).unwrap_or(0.0);
             let pstate = self.engine.pstate();
             if total > cap && pstate > 0.3 {
                 let next = (pstate - 0.05).max(0.3);
@@ -439,9 +557,7 @@ impl MonitoringSystem {
                     Severity::Notice,
                     CompId::SYSTEM,
                     total / cap,
-                    format!(
-                        "power cap: {total:.0} W over {cap:.0} W cap, p-state -> {next:.2}"
-                    ),
+                    format!("power cap: {total:.0} W over {cap:.0} W cap, p-state -> {next:.2}"),
                 ));
             } else if total < 0.85 * cap && pstate < 1.0 {
                 self.engine.set_pstate((pstate + 0.05).min(1.0));
@@ -454,8 +570,16 @@ impl MonitoringSystem {
                 policy.enforce(now, &self.store, &mut self.archive);
             }
         }
+        // Lifetime evaluation totals from the analysis sub-engines, synced
+        // into telemetry so the self feed carries them as per-tick deltas.
+        let (correlated, findings) = self.correlator.eval_counts();
+        sync_counter(&self.instruments.correlator_records, correlated);
+        sync_counter(&self.instruments.correlator_findings, findings);
+        self.instruments.deadman_feeds.set(self.deadman.len() as f64);
+        drop(analysis_timer);
 
         // 6. Respond, feeding actions back to the machine.
+        let response_timer = StageTimer::new(self.instruments.stage_response.clone());
         for sig in &signals {
             let actions = self.response.handle(sig);
             for action in &actions {
@@ -463,6 +587,10 @@ impl MonitoringSystem {
             }
             report.actions.extend(actions);
         }
+        let (handled, suppressed) = self.response.eval_counts();
+        sync_counter(&self.instruments.response_handled, handled);
+        sync_counter(&self.instruments.response_suppressed, suppressed);
+        drop(response_timer);
         // 7. Analysis results are stored WITH the raw data (Table I):
         //    per-tick counts as ordinary series, and each signal as a
         //    searchable log record from the `analysis` source.
@@ -544,6 +672,37 @@ impl MonitoringSystem {
         &self.broker
     }
 
+    /// Per-topic publish/deliver/drop breakdown from the broker.
+    pub fn broker_topic_stats(&self) -> Vec<TopicStats> {
+        self.broker.topic_stats()
+    }
+
+    /// The self-instrumentation registry.
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Snapshot of the monitor's own health (stage latencies, counters).
+    pub fn telemetry_report(&self) -> TelemetryReport {
+        self.telemetry.report()
+    }
+
+    /// Remove a collector by name — the stand-in for a collection daemon
+    /// dying mid-run.  The deadman keeps expecting its feed, so silence
+    /// surfaces as `MonitoringGap`; the self feed shows its per-tick
+    /// `collect.samples` dropping to zero.  Returns whether one was removed.
+    pub fn silence_collector(&mut self, name: &str) -> bool {
+        let mut removed = false;
+        while let Some(i) = self.collectors.iter().position(|c| c.name() == name) {
+            // The instrument vector runs parallel to the collector list;
+            // keep the pairing intact.
+            self.collectors.remove(i);
+            self.instruments.collectors.remove(i);
+            removed = true;
+        }
+        removed
+    }
+
     /// The time-series store.
     pub fn store(&self) -> &TimeSeriesStore {
         &self.store
@@ -623,19 +782,18 @@ impl MonitoringSystem {
                 miner.observe(&rec);
             }
         }
-        let templates = miner
-            .top_k(5)
-            .into_iter()
-            .map(|t| (t.count, t.example))
-            .collect();
-        hpcmon_viz::OpsReport::new("Operations report")
+        let templates = miner.top_k(5).into_iter().map(|t| (t.count, t.example)).collect();
+        let mut report = hpcmon_viz::OpsReport::new("Operations report")
             .period(Ts::ZERO, self.engine.now())
             .status_board(&self.status_board())
             .alerts(self.response.journal().iter().map(|a| (a.rule.as_str(), a.ts)))
             .benchmark("io bench tts (s)", bench_io)
             .benchmark("network bench tts (s)", bench_net)
-            .top_templates(templates)
-            .render()
+            .top_templates(templates);
+        if self.telemetry.is_active() {
+            report = report.telemetry(&self.telemetry.report().render_text());
+        }
+        report.render()
     }
 
     /// The at-a-glance component-state board ("percentage of components in
@@ -660,8 +818,7 @@ impl MonitoringSystem {
         let links = e.network().num_links() as u32;
         let links_up = (0..links).filter(|&l| e.network().link_is_up(l)).count();
         let osts = e.filesystem().num_osts();
-        let osts_ok =
-            (0..osts).filter(|&o| e.filesystem().ost_degradation(o) <= 1.0).count();
+        let osts_ok = (0..osts).filter(|&o| e.filesystem().ost_degradation(o) <= 1.0).count();
         let gpus_total = e.num_nodes() as usize * e.config().gpus_per_node as usize;
         let gpus_ok = (0..gpus_total as u32).filter(|&g| e.gpu(g).healthy).count();
         let mut board = StatusBoard::new(&format!("Machine state at {}", e.now()))
@@ -902,9 +1059,8 @@ mod tests {
         assert_eq!(series.len(), 5);
         assert!(series.iter().any(|&(_, v)| v > 0.0), "the crash produced signals");
         // ...and each signal is a searchable log record next to raw logs.
-        let hits = mon
-            .log_store()
-            .search(&hpcmon_store::LogQuery::default().with_source("analysis"));
+        let hits =
+            mon.log_store().search(&hpcmon_store::LogQuery::default().with_source("analysis"));
         assert_eq!(hits.len() as u64, series.iter().map(|&(_, v)| v as u64).sum::<u64>());
     }
 

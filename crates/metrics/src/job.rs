@@ -30,10 +30,7 @@ pub enum JobState {
 impl JobState {
     /// Whether the job has reached a terminal state.
     pub fn is_terminal(self) -> bool {
-        matches!(
-            self,
-            JobState::Completed | JobState::Failed | JobState::RejectedByHealthCheck
-        )
+        matches!(self, JobState::Completed | JobState::Failed | JobState::RejectedByHealthCheck)
     }
 }
 

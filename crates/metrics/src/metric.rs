@@ -127,9 +127,7 @@ impl MetricRegistry {
 
     /// Canonical name for an id, or `metric/<raw>` for unknown ids.
     pub fn name(&self, id: MetricId) -> String {
-        self.meta(id)
-            .map(|m| m.name)
-            .unwrap_or_else(|| format!("metric/{}", id.0))
+        self.meta(id).map(|m| m.name).unwrap_or_else(|| format!("metric/{}", id.0))
     }
 
     /// Number of registered metrics.

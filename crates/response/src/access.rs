@@ -63,10 +63,7 @@ impl AccessPolicy {
                 // ...and system-scope conditions that affect everyone,
                 // but only if not attributed to someone else's job.
                 signal.user.is_none()
-                    && matches!(
-                        signal.comp.kind,
-                        CompKind::System | CompKind::Environment
-                    )
+                    && matches!(signal.comp.kind, CompKind::System | CompKind::Environment)
             }
         }
     }

@@ -110,12 +110,26 @@ pub struct ResponseEngine {
     rules: Vec<ResponseRule>,
     last_fired: HashMap<(usize, CompId), Ts>,
     journal: Vec<ActionTaken>,
+    signals_handled: u64,
+    suppressed_by_cooldown: u64,
 }
 
 impl ResponseEngine {
     /// Build from a rule set.
     pub fn new(rules: Vec<ResponseRule>) -> ResponseEngine {
-        ResponseEngine { rules, last_fired: HashMap::new(), journal: Vec::new() }
+        ResponseEngine {
+            rules,
+            last_fired: HashMap::new(),
+            journal: Vec::new(),
+            signals_handled: 0,
+            suppressed_by_cooldown: 0,
+        }
+    }
+
+    /// Lifetime evaluation counts: (signals handled, rule firings suppressed
+    /// by cooldown) — the self-telemetry feed for the response stage.
+    pub fn eval_counts(&self) -> (u64, u64) {
+        (self.signals_handled, self.suppressed_by_cooldown)
     }
 
     /// A production-flavored default rule set.
@@ -130,7 +144,10 @@ impl ResponseEngine {
             ResponseRule {
                 name: "sideline-unhealthy-node".into(),
                 m: SignalMatch::kind(SignalKind::HealthCheckFailure, Severity::Warning),
-                actions: vec![Action::SidelineNode, Action::Alert { route: "ops-dashboard".into() }],
+                actions: vec![
+                    Action::SidelineNode,
+                    Action::Alert { route: "ops-dashboard".into() },
+                ],
                 cooldown_ms: 10 * 60_000,
             },
             ResponseRule {
@@ -156,6 +173,7 @@ impl ResponseEngine {
 
     /// Handle one signal; returns the actions taken (also journaled).
     pub fn handle(&mut self, signal: &Signal) -> Vec<ActionTaken> {
+        self.signals_handled += 1;
         let mut taken = Vec::new();
         for (i, rule) in self.rules.iter().enumerate() {
             if !rule.m.matches(signal) {
@@ -164,6 +182,7 @@ impl ResponseEngine {
             let key = (i, signal.comp);
             if let Some(&last) = self.last_fired.get(&key) {
                 if signal.ts.0.saturating_sub(last.0) < rule.cooldown_ms {
+                    self.suppressed_by_cooldown += 1;
                     continue;
                 }
             }
@@ -222,12 +241,15 @@ mod tests {
             actions: vec![Action::SidelineNode],
             cooldown_ms: 0,
         });
-        let taken = e.handle(&sig(0, SignalKind::HealthCheckFailure, Severity::Error, CompId::node(3)));
+        let taken =
+            e.handle(&sig(0, SignalKind::HealthCheckFailure, Severity::Error, CompId::node(3)));
         assert_eq!(taken.len(), 1);
         assert_eq!(taken[0].action, Action::SidelineNode);
         assert_eq!(taken[0].comp, CompId::node(3));
         // Wrong kind: nothing.
-        assert!(e.handle(&sig(1, SignalKind::Congestion, Severity::Error, CompId::node(3))).is_empty());
+        assert!(e
+            .handle(&sig(1, SignalKind::Congestion, Severity::Error, CompId::node(3)))
+            .is_empty());
         // Too mild: nothing.
         assert!(e
             .handle(&sig(2, SignalKind::HealthCheckFailure, Severity::Info, CompId::node(3)))
@@ -308,8 +330,8 @@ mod tests {
             actions: vec![Action::NotifyUser],
             cooldown_ms: 0,
         });
-        let s = sig(0, SignalKind::PowerAnomaly, Severity::Warning, CompId::job(9))
-            .with_user("alice");
+        let s =
+            sig(0, SignalKind::PowerAnomaly, Severity::Warning, CompId::job(9)).with_user("alice");
         let taken = e.handle(&s);
         assert_eq!(taken[0].user.as_deref(), Some("alice"));
     }

@@ -126,7 +126,8 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let s = Signal::new(Ts(9), SignalKind::LogNovelty, Severity::Notice, CompId::SYSTEM, 1.0, "x");
+        let s =
+            Signal::new(Ts(9), SignalKind::LogNovelty, Severity::Notice, CompId::SYSTEM, 1.0, "x");
         let j = serde_json::to_string(&s).unwrap();
         let back: Signal = serde_json::from_str(&j).unwrap();
         assert_eq!(s, back);

@@ -41,7 +41,12 @@ impl DriftClock {
     /// `max_offset_ms` and rate errors up to `max_rate_ppm` (both uniform,
     /// signed).  Typical unsynchronized commodity clocks drift tens of ppm;
     /// offsets of seconds accumulate over days.
-    pub fn drifting(nodes: usize, max_offset_ms: u64, max_rate_ppm: f64, rng: &mut Rng) -> DriftClock {
+    pub fn drifting(
+        nodes: usize,
+        max_offset_ms: u64,
+        max_rate_ppm: f64,
+        rng: &mut Rng,
+    ) -> DriftClock {
         let drifts = (0..nodes)
             .map(|_| NodeDrift {
                 offset_ms: rng.range_f64(-(max_offset_ms as f64), max_offset_ms as f64 + 1.0)

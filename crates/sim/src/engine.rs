@@ -475,9 +475,10 @@ impl SimEngine {
                 })
                 .collect();
             for (job, nodes) in started {
-                let bad = nodes.iter().copied().find(|&n| {
-                    !Self::node_healthy_with_gpus(&self.nodes, &self.gpus, n)
-                });
+                let bad = nodes
+                    .iter()
+                    .copied()
+                    .find(|&n| !Self::node_healthy_with_gpus(&self.nodes, &self.gpus, n));
                 if let Some(bad_node) = bad {
                     let fail_events = self.sched.launch_failed(job, bad_node, now);
                     for &n in &nodes {
@@ -504,8 +505,7 @@ impl SimEngine {
                 if want <= 0.0 {
                     continue;
                 }
-                let (_, accepted) =
-                    self.fs.offer_io(1_000_000 + i as u32, 0.0, want, 0.0, dt);
+                let (_, accepted) = self.fs.offer_io(1_000_000 + i as u32, 0.0, want, 0.0, dt);
                 bb.complete_drain(i as u32, accepted);
             }
         }
@@ -662,7 +662,13 @@ impl SimEngine {
             }
             let mult = self.link_error_mult[l as usize];
             // A degraded link errors even under a zero base rate.
-            let base = if per_gb > 0.0 { per_gb } else if mult > 1.0 { 0.05 } else { 0.0 };
+            let base = if per_gb > 0.0 {
+                per_gb
+            } else if mult > 1.0 {
+                0.05
+            } else {
+                0.0
+            };
             let mean = base * mult * traffic_gb;
             if mean <= 0.0 {
                 continue;
@@ -720,8 +726,9 @@ impl SimEngine {
         // Stamp with the node's local clock: this is where drift-induced
         // mis-association comes from.
         let local = self.clock.local_time(node, self.now);
-        self.logs
-            .push(LogRecord::new(local, CompId::node(node), sev, source, msg).with_template(template));
+        self.logs.push(
+            LogRecord::new(local, CompId::node(node), sev, source, msg).with_template(template),
+        );
     }
 
     fn log_sched_events(&mut self, events: &[SchedEvent]) {
@@ -758,7 +765,8 @@ impl SimEngine {
                     templates::NODE_SIDELINED,
                 ),
             };
-            self.logs.push(LogRecord::new(self.now, comp, sev, "sched", msg).with_template(template));
+            self.logs
+                .push(LogRecord::new(self.now, comp, sev, "sched", msg).with_template(template));
         }
     }
 
@@ -1015,10 +1023,7 @@ mod tests {
         };
         let healthy = mk(false).expect("healthy run completes");
         let degraded = mk(true).expect("degraded run completes (slowly)");
-        assert!(
-            degraded as f64 > healthy as f64 * 1.5,
-            "healthy {healthy} degraded {degraded}"
-        );
+        assert!(degraded as f64 > healthy as f64 * 1.5, "healthy {healthy} degraded {degraded}");
     }
 
     #[test]
@@ -1027,13 +1032,16 @@ mod tests {
         let mut cfg = SimConfig::small();
         cfg.gpu_corrosion_pct_per_ppb_s = 3e-3;
         let mut e = SimEngine::new(cfg);
-        e.schedule_fault(Ts::from_mins(1), FaultKind::GasSpike { added_ppb: 80.0, duration_ms: 10 * 3_600_000 });
+        e.schedule_fault(
+            Ts::from_mins(1),
+            FaultKind::GasSpike { added_ppb: 80.0, duration_ms: 10 * 3_600_000 },
+        );
         for _ in 0..600 {
             e.step();
         }
-        let failed = (0..e.num_nodes()).filter(|&n| {
-            e.node(n).gpus.iter().any(|&g| !e.gpu(g).healthy)
-        }).count();
+        let failed = (0..e.num_nodes())
+            .filter(|&n| e.node(n).gpus.iter().any(|&g| !e.gpu(g).healthy))
+            .count();
         assert!(failed > 0, "corrosion should have killed some GPUs");
         assert!(e.environment().corrosion_dose_ppb_s > 0.0);
     }
@@ -1095,7 +1103,10 @@ mod tests {
                     .unwrap()
             })
             .unwrap();
-        e.schedule_fault(Ts::from_mins(2), FaultKind::LinkDegrade { link: hot, error_multiplier: 500.0 });
+        e.schedule_fault(
+            Ts::from_mins(2),
+            FaultKind::LinkDegrade { link: hot, error_multiplier: 500.0 },
+        );
         let mut errors = 0.0;
         for _ in 0..10 {
             e.step();
@@ -1249,9 +1260,7 @@ mod tests {
         e.step();
         e.step();
         // Under a machine-wide comm-heavy job some probe pair sees load.
-        let max = (0..16)
-            .map(|i| e.probe_route_max_utilization(i, 127 - i))
-            .fold(0.0, f64::max);
+        let max = (0..16).map(|i| e.probe_route_max_utilization(i, 127 - i)).fold(0.0, f64::max);
         assert!(max > 0.0);
     }
 }

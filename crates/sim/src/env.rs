@@ -72,8 +72,8 @@ impl EnvState {
         // Diurnal cycle with period 24h of simulated time.
         let day_fraction = (now.0 % 86_400_000) as f64 / 86_400_000.0;
         let phase = std::f64::consts::TAU * day_fraction;
-        self.temp_c = self.base_temp_c + self.temp_swing_c * phase.sin()
-            + rng.normal_with(0.0, 0.1);
+        self.temp_c =
+            self.base_temp_c + self.temp_swing_c * phase.sin() + rng.normal_with(0.0, 0.1);
         self.humidity_pct =
             (self.base_humidity_pct + 5.0 * (phase * 0.5).cos() + rng.normal_with(0.0, 0.5))
                 .clamp(0.0, 100.0);

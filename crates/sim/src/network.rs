@@ -115,11 +115,8 @@ impl NetworkState {
         }
         // Stall accounting: excess demand beyond capacity, per link.
         for li in 0..self.demand.len() {
-            let excess = if self.link_up[li] {
-                (self.demand[li] - cap).max(0.0)
-            } else {
-                self.demand[li]
-            };
+            let excess =
+                if self.link_up[li] { (self.demand[li] - cap).max(0.0) } else { self.demand[li] };
             self.stalls[li] = excess;
         }
         achieved

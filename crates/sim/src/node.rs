@@ -142,8 +142,8 @@ impl NodeState {
     /// memory cannot exceed installed memory.
     pub fn apply_leak(&mut self) {
         if self.mem_leak_bytes_per_tick > 0.0 {
-            self.leaked_bytes = (self.leaked_bytes + self.mem_leak_bytes_per_tick)
-                .min(0.95 * self.mem_total_bytes);
+            self.leaked_bytes =
+                (self.leaked_bytes + self.mem_leak_bytes_per_tick).min(0.95 * self.mem_total_bytes);
             self.mem_used_bytes =
                 (self.mem_used_bytes + self.mem_leak_bytes_per_tick).min(self.mem_total_bytes);
         }

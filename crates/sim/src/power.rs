@@ -42,12 +42,7 @@ impl PowerModel {
     /// `Hung` node draws idle power (which is how KAUST spots hangs —
     /// "anomalous power-use behaviors within a job ... such as hung
     /// nodes").
-    pub fn node_power_w(
-        &self,
-        node: &NodeState,
-        gpu_util: f64,
-        rng: &mut Rng,
-    ) -> f64 {
+    pub fn node_power_w(&self, node: &NodeState, gpu_util: f64, rng: &mut Rng) -> f64 {
         self.node_power_w_at(node, gpu_util, 1.0, rng)
     }
 

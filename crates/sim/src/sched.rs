@@ -39,7 +39,11 @@ pub struct SchedulerConfig {
 
 impl Default for SchedulerConfig {
     fn default() -> Self {
-        SchedulerConfig { placement: Placement::TopologyAware, health_gating: false, backfill: true }
+        SchedulerConfig {
+            placement: Placement::TopologyAware,
+            health_gating: false,
+            backfill: true,
+        }
     }
 }
 
@@ -398,8 +402,7 @@ impl Scheduler {
     pub fn estimate_wait_ms(&self, need: u32, now: Ts) -> Option<u64> {
         use std::cmp::Reverse;
         use std::collections::BinaryHeap;
-        let in_service =
-            (0..self.num_nodes).filter(|&n| !self.oos[n as usize]).count() as u32;
+        let in_service = (0..self.num_nodes).filter(|&n| !self.oos[n as usize]).count() as u32;
         if need == 0 || need > in_service {
             return None;
         }
@@ -543,10 +546,7 @@ mod tests {
 
     #[test]
     fn strict_fcfs_blocks_behind_head() {
-        let mut s = Scheduler::new(
-            SchedulerConfig { backfill: false, ..Default::default() },
-            8,
-        );
+        let mut s = Scheduler::new(SchedulerConfig { backfill: false, ..Default::default() }, 8);
         s.submit(spec(16));
         let small = s.submit(spec(4));
         let mut sh = no_shuffle();
@@ -556,10 +556,8 @@ mod tests {
 
     #[test]
     fn health_gating_sidelines_bad_nodes() {
-        let mut s = Scheduler::new(
-            SchedulerConfig { health_gating: true, ..Default::default() },
-            8,
-        );
+        let mut s =
+            Scheduler::new(SchedulerConfig { health_gating: true, ..Default::default() }, 8);
         let a = s.submit(spec(4));
         let unhealthy = |n: u32| n != 1; // node 1 is bad
         let mut sh = no_shuffle();
@@ -573,10 +571,8 @@ mod tests {
 
     #[test]
     fn post_job_check_sidelines_node() {
-        let mut s = Scheduler::new(
-            SchedulerConfig { health_gating: true, ..Default::default() },
-            8,
-        );
+        let mut s =
+            Scheduler::new(SchedulerConfig { health_gating: true, ..Default::default() }, 8);
         let a = s.submit(spec(2));
         let mut sh = no_shuffle();
         s.try_start(Ts::ZERO, &all_healthy, &mut sh);

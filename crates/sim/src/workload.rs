@@ -281,10 +281,8 @@ impl WorkloadGenerator {
     pub fn next_job(&self, submit: Ts, rng: &mut Rng) -> JobSpec {
         let app = rng.pick(&self.apps).clone();
         let user = rng.pick(&self.users).clone();
-        let nodes =
-            self.min_nodes + rng.below((self.max_nodes - self.min_nodes + 1) as u64) as u32;
-        let work =
-            self.min_work_ms + rng.below(self.max_work_ms - self.min_work_ms + 1);
+        let nodes = self.min_nodes + rng.below((self.max_nodes - self.min_nodes + 1) as u64) as u32;
+        let work = self.min_work_ms + rng.below(self.max_work_ms - self.min_work_ms + 1);
         JobSpec::new(app, &user, nodes, work, submit)
     }
 }

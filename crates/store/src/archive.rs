@@ -34,10 +34,24 @@ struct Segment {
     blocks: Vec<SeriesBlock>,
 }
 
+/// Monotonic archive operation counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ArchiveOpCounts {
+    /// Segments filed (archive or load).
+    pub segments_filed: u64,
+    /// Segments purged at end of retention.
+    pub segments_purged: u64,
+    /// Reloads back into a store.
+    pub reloads: u64,
+}
+
 /// The cold tier: archived segments plus their catalog.
 #[derive(Debug, Default)]
 pub struct Archive {
     segments: Vec<Option<Segment>>,
+    ops: ArchiveOpCounts,
+    // Separate from `ops` because reloads happen through `&self`.
+    reloads: std::sync::atomic::AtomicU64,
 }
 
 impl Archive {
@@ -50,7 +64,11 @@ impl Archive {
     /// buffers, evicts the eligible warm blocks, and files them as a new
     /// segment.  Returns the catalog entry, or `None` if nothing was old
     /// enough.
-    pub fn archive_before(&mut self, store: &TimeSeriesStore, cutoff: Ts) -> Option<ArchiveCatalog> {
+    pub fn archive_before(
+        &mut self,
+        store: &TimeSeriesStore,
+        cutoff: Ts,
+    ) -> Option<ArchiveCatalog> {
         store.seal_all();
         let blocks = store.evict_warm_before(cutoff);
         if blocks.is_empty() {
@@ -75,6 +93,7 @@ impl Archive {
             bytes,
         };
         self.segments.push(Some(Segment { catalog: catalog.clone(), blocks }));
+        self.ops.segments_filed += 1;
         catalog
     }
 
@@ -100,6 +119,7 @@ impl Archive {
         match self.segments.get(segment as usize).and_then(|s| s.as_ref()) {
             Some(seg) => {
                 store.reload_blocks(seg.blocks.clone());
+                self.reloads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 true
             }
             None => false,
@@ -111,9 +131,18 @@ impl Archive {
         match self.segments.get_mut(segment as usize) {
             Some(slot @ Some(_)) => {
                 *slot = None;
+                self.ops.segments_purged += 1;
                 true
             }
             _ => false,
+        }
+    }
+
+    /// Monotonic operation counters.
+    pub fn op_counts(&self) -> ArchiveOpCounts {
+        ArchiveOpCounts {
+            reloads: self.reloads.load(std::sync::atomic::Ordering::Relaxed),
+            ..self.ops
         }
     }
 
@@ -126,11 +155,10 @@ impl Archive {
     /// stand-in).  The format is self-describing JSON of the compressed
     /// blocks; the blocks themselves stay Gorilla-compressed inside it.
     pub fn save_segment(&self, segment: u32, path: &std::path::Path) -> std::io::Result<()> {
-        let seg = self
-            .segments
-            .get(segment as usize)
-            .and_then(|s| s.as_ref())
-            .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::NotFound, "no such segment"))?;
+        let seg =
+            self.segments.get(segment as usize).and_then(|s| s.as_ref()).ok_or_else(|| {
+                std::io::Error::new(std::io::ErrorKind::NotFound, "no such segment")
+            })?;
         let json = serde_json::to_vec(seg).map_err(std::io::Error::other)?;
         std::fs::write(path, json)
     }
@@ -151,12 +179,7 @@ mod tests {
 
     fn fill(store: &TimeSeriesStore, node: u32, minutes: std::ops::Range<u64>) {
         for m in minutes {
-            store.insert(&Sample::new(
-                MetricId(0),
-                CompId::node(node),
-                Ts::from_mins(m),
-                m as f64,
-            ));
+            store.insert(&Sample::new(MetricId(0), CompId::node(node), Ts::from_mins(m), m as f64));
         }
     }
 
@@ -246,10 +269,8 @@ mod tests {
         fill(&store, 0, 0..64);
         let mut archive = Archive::new();
         let cat = archive.archive_before(&store, Ts::from_mins(100)).unwrap();
-        let path = std::env::temp_dir().join(format!(
-            "hpcmon_archive_test_{}.json",
-            std::process::id()
-        ));
+        let path =
+            std::env::temp_dir().join(format!("hpcmon_archive_test_{}.json", std::process::id()));
         archive.save_segment(cat.segment, &path).unwrap();
         // A fresh archive (say, at a disaster-recovery site) loads it.
         let mut restored = Archive::new();
@@ -273,14 +294,25 @@ mod tests {
 
     #[test]
     fn load_garbage_file_errors() {
-        let path = std::env::temp_dir().join(format!(
-            "hpcmon_garbage_{}.json",
-            std::process::id()
-        ));
+        let path = std::env::temp_dir().join(format!("hpcmon_garbage_{}.json", std::process::id()));
         std::fs::write(&path, b"not json at all").unwrap();
         let mut archive = Archive::new();
         assert!(archive.load_segment(&path).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn op_counts_track_file_reload_purge() {
+        let store = TimeSeriesStore::new();
+        fill(&store, 0, 0..10);
+        let mut archive = Archive::new();
+        let cat = archive.archive_before(&store, Ts::from_mins(100)).unwrap();
+        archive.reload_into(cat.segment, &store);
+        archive.purge(cat.segment);
+        let ops = archive.op_counts();
+        assert_eq!(ops.segments_filed, 1);
+        assert_eq!(ops.reloads, 1);
+        assert_eq!(ops.segments_purged, 1);
     }
 
     #[test]

@@ -200,10 +200,7 @@ pub fn compress_values(values: &[f64]) -> Vec<u8> {
             w.write_bit(true);
             let leading = (xor.leading_zeros() as u8).min(31);
             let trailing = xor.trailing_zeros() as u8;
-            if prev_leading <= 64
-                && leading >= prev_leading
-                && trailing >= prev_trailing
-            {
+            if prev_leading <= 64 && leading >= prev_leading && trailing >= prev_trailing {
                 // Fits the previous window: control bit 0, meaningful bits.
                 w.write_bit(false);
                 let meaningful = 64 - prev_leading - prev_trailing;

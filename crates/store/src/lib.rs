@@ -30,8 +30,8 @@ pub mod query;
 pub mod retention;
 pub mod tsdb;
 
-pub use archive::{Archive, ArchiveCatalog};
+pub use archive::{Archive, ArchiveCatalog, ArchiveOpCounts};
 pub use logstore::{LogQuery, LogStore};
 pub use query::{AggFn, QueryEngine, TimeRange};
 pub use retention::{RetentionPolicy, RetentionReport};
-pub use tsdb::{SeriesBlock, StoreStats, TimeSeriesStore};
+pub use tsdb::{SeriesBlock, StoreOpCounts, StoreStats, TimeSeriesStore};

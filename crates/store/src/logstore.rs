@@ -158,12 +158,7 @@ impl LogStore {
     pub fn search(&self, query: &LogQuery) -> Vec<LogRecord> {
         let inner = self.inner.read();
         if query.tokens.is_empty() {
-            return inner
-                .records
-                .iter()
-                .filter(|r| query.matches_filters(r))
-                .cloned()
-                .collect();
+            return inner.records.iter().filter(|r| query.matches_filters(r)).cloned().collect();
         }
         // Start from the rarest token's postings.
         let mut postings: Vec<&Vec<u32>> = Vec::with_capacity(query.tokens.len());

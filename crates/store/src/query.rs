@@ -110,10 +110,7 @@ impl<'a> QueryEngine<'a> {
                 by_ts.entry(t).or_default().push(v);
             }
         }
-        by_ts
-            .into_iter()
-            .filter_map(|(t, vals)| agg.apply(&vals).map(|v| (t, v)))
-            .collect()
+        by_ts.into_iter().filter_map(|(t, vals)| agg.apply(&vals).map(|v| (t, v))).collect()
     }
 
     /// Aggregate one metric per component *kind* group — e.g. power summed
@@ -147,9 +144,7 @@ impl<'a> QueryEngine<'a> {
             .query_metric(metric, range.from, range.to)
             .into_iter()
             .filter_map(|(c, pts)| {
-                pts.iter()
-                    .min_by_key(|(t, _)| t.delta(at).abs_ms())
-                    .map(|&(_, v)| (c, v))
+                pts.iter().min_by_key(|(t, _)| t.delta(at).abs_ms()).map(|&(_, v)| (c, v))
             })
             .collect();
         rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("no NaN in metric values"));
@@ -205,12 +200,7 @@ impl<'a> QueryEngine<'a> {
 
     /// Align two series on exactly-equal timestamps (inner join) — the
     /// primitive for correlating e.g. power against network traffic.
-    pub fn align_join(
-        &self,
-        a: SeriesKey,
-        b: SeriesKey,
-        range: TimeRange,
-    ) -> Vec<(Ts, f64, f64)> {
+    pub fn align_join(&self, a: SeriesKey, b: SeriesKey, range: TimeRange) -> Vec<(Ts, f64, f64)> {
         let pa = self.series(a, range);
         let pb = self.series(b, range);
         let mut out = Vec::new();
@@ -233,11 +223,7 @@ impl<'a> QueryEngine<'a> {
     /// plus the across-nodes aggregate at each tick (sum and mean) — the
     /// Figure 5 condensation ("summing and averaging over nodes enables
     /// condensation of high dimensional data").
-    pub fn job_series(
-        &self,
-        job: &JobRecord,
-        metric: MetricId,
-    ) -> JobSeries {
+    pub fn job_series(&self, job: &JobRecord, metric: MetricId) -> JobSeries {
         let from = job.start.unwrap_or(job.submit);
         let to = job.end.unwrap_or(Ts(u64::MAX));
         let range = TimeRange::new(from, to);
@@ -257,10 +243,8 @@ impl<'a> QueryEngine<'a> {
         }
         let sum: Vec<(Ts, f64)> =
             by_ts.iter().map(|(t, vs)| (*t, vs.iter().sum::<f64>())).collect();
-        let mean: Vec<(Ts, f64)> = by_ts
-            .iter()
-            .map(|(t, vs)| (*t, vs.iter().sum::<f64>() / vs.len() as f64))
-            .collect();
+        let mean: Vec<(Ts, f64)> =
+            by_ts.iter().map(|(t, vs)| (*t, vs.iter().sum::<f64>() / vs.len() as f64)).collect();
         JobSeries { metric, per_node, sum, mean }
     }
 }

@@ -13,6 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A sealed, compressed run of one series.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -94,6 +95,20 @@ pub struct StoreStats {
     pub bytes_per_point: f64,
 }
 
+/// Monotonic operation counters: how much work the store has done, as
+/// opposed to [`StoreStats`] which reports what it currently holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct StoreOpCounts {
+    /// Samples accepted by `insert` / `insert_frame`.
+    pub samples_ingested: u64,
+    /// Hot buffers sealed into warm blocks (threshold or `seal_all`).
+    pub blocks_sealed: u64,
+    /// Warm blocks handed to the archive tier.
+    pub blocks_evicted: u64,
+    /// Warm blocks reloaded from the archive tier.
+    pub blocks_reloaded: u64,
+}
+
 /// The store.
 ///
 /// ```
@@ -114,6 +129,17 @@ pub struct StoreStats {
 pub struct TimeSeriesStore {
     shards: Vec<RwLock<Shard>>,
     seal_threshold: usize,
+    samples_ingested: AtomicU64,
+    blocks_sealed: AtomicU64,
+    blocks_evicted: AtomicU64,
+    blocks_reloaded: AtomicU64,
+    // Occupancy, maintained incrementally on every write path so
+    // `occupancy()` is O(1) — the self-telemetry feed reads it every tick,
+    // where the `stats()` scan would grow with the store.
+    series_count: AtomicU64,
+    hot_points: AtomicU64,
+    warm_points: AtomicU64,
+    warm_bytes: AtomicU64,
 }
 
 impl TimeSeriesStore {
@@ -131,6 +157,14 @@ impl TimeSeriesStore {
         TimeSeriesStore {
             shards: (0..shards).map(|_| RwLock::new(Shard::default())).collect(),
             seal_threshold,
+            samples_ingested: AtomicU64::new(0),
+            blocks_sealed: AtomicU64::new(0),
+            blocks_evicted: AtomicU64::new(0),
+            blocks_reloaded: AtomicU64::new(0),
+            series_count: AtomicU64::new(0),
+            hot_points: AtomicU64::new(0),
+            warm_points: AtomicU64::new(0),
+            warm_bytes: AtomicU64::new(0),
         }
     }
 
@@ -143,8 +177,12 @@ impl TimeSeriesStore {
     /// Insert one sample.  Out-of-order samples (older than the hot tail)
     /// are accepted but land in order within the hot buffer.
     pub fn insert(&self, sample: &Sample) {
+        self.samples_ingested.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard_of(&sample.key).write();
-        let data = shard.series.entry(sample.key).or_default();
+        let data = shard.series.entry(sample.key).or_insert_with(|| {
+            self.series_count.fetch_add(1, Ordering::Relaxed);
+            SeriesData::default()
+        });
         // Common case: append in order.
         match data.hot.last() {
             Some(&(last, _)) if last > sample.ts => {
@@ -153,11 +191,21 @@ impl TimeSeriesStore {
             }
             _ => data.hot.push((sample.ts, sample.value)),
         }
+        self.hot_points.fetch_add(1, Ordering::Relaxed);
         if data.hot.len() >= self.seal_threshold {
             let block = SeriesBlock::compress(sample.key, &data.hot);
+            self.account_seal(&block);
             data.warm.push(block);
             data.hot.clear();
         }
+    }
+
+    /// Move occupancy from hot to warm for a freshly sealed block.
+    fn account_seal(&self, block: &SeriesBlock) {
+        self.blocks_sealed.fetch_add(1, Ordering::Relaxed);
+        self.hot_points.fetch_sub(block.count as u64, Ordering::Relaxed);
+        self.warm_points.fetch_add(block.count as u64, Ordering::Relaxed);
+        self.warm_bytes.fetch_add(block.compressed_bytes() as u64, Ordering::Relaxed);
     }
 
     /// Insert every sample of a frame.
@@ -230,6 +278,7 @@ impl TimeSeriesStore {
             for (key, data) in shard.series.iter_mut() {
                 if !data.hot.is_empty() {
                     let block = SeriesBlock::compress(*key, &data.hot);
+                    self.account_seal(&block);
                     data.warm.push(block);
                     data.hot.clear();
                 }
@@ -250,14 +299,25 @@ impl TimeSeriesStore {
                 data.warm = keep;
             }
         }
+        self.blocks_evicted.fetch_add(evicted.len() as u64, Ordering::Relaxed);
+        let points: u64 = evicted.iter().map(|b| b.count as u64).sum();
+        let bytes: u64 = evicted.iter().map(|b| b.compressed_bytes() as u64).sum();
+        self.warm_points.fetch_sub(points, Ordering::Relaxed);
+        self.warm_bytes.fetch_sub(bytes, Ordering::Relaxed);
         evicted
     }
 
     /// Re-insert previously evicted blocks (the reload half).
     pub fn reload_blocks(&self, blocks: Vec<SeriesBlock>) {
+        self.blocks_reloaded.fetch_add(blocks.len() as u64, Ordering::Relaxed);
         for block in blocks {
+            self.warm_points.fetch_add(block.count as u64, Ordering::Relaxed);
+            self.warm_bytes.fetch_add(block.compressed_bytes() as u64, Ordering::Relaxed);
             let mut shard = self.shard_of(&block.key).write();
-            let data = shard.series.entry(block.key).or_default();
+            let data = shard.series.entry(block.key).or_insert_with(|| {
+                self.series_count.fetch_add(1, Ordering::Relaxed);
+                SeriesData::default()
+            });
             data.warm.push(block);
             data.warm.sort_by_key(|b| b.start);
         }
@@ -275,10 +335,15 @@ impl TimeSeriesStore {
                     && data.warm.iter().all(|b| b.end < cutoff);
                 if dead {
                     dropped += 1;
+                    let points: u64 = data.warm.iter().map(|b| b.count as u64).sum();
+                    let bytes: u64 = data.warm.iter().map(|b| b.compressed_bytes() as u64).sum();
+                    self.warm_points.fetch_sub(points, Ordering::Relaxed);
+                    self.warm_bytes.fetch_sub(bytes, Ordering::Relaxed);
                 }
                 !dead
             });
         }
+        self.series_count.fetch_sub(dropped as u64, Ordering::Relaxed);
         dropped
     }
 
@@ -299,6 +364,35 @@ impl TimeSeriesStore {
         s.bytes_per_point =
             if s.warm_points > 0 { s.warm_bytes as f64 / s.warm_points as f64 } else { 0.0 };
         s
+    }
+
+    /// Occupancy from the counters maintained on the write paths: O(1),
+    /// unlike the [`TimeSeriesStore::stats`] scan — the per-tick read for
+    /// the self-telemetry feed.
+    pub fn occupancy(&self) -> StoreStats {
+        let warm_points = self.warm_points.load(Ordering::Relaxed) as usize;
+        let warm_bytes = self.warm_bytes.load(Ordering::Relaxed) as usize;
+        StoreStats {
+            series: self.series_count.load(Ordering::Relaxed) as usize,
+            hot_points: self.hot_points.load(Ordering::Relaxed) as usize,
+            warm_points,
+            warm_bytes,
+            bytes_per_point: if warm_points > 0 {
+                warm_bytes as f64 / warm_points as f64
+            } else {
+                0.0
+            },
+        }
+    }
+
+    /// Monotonic operation counters.
+    pub fn op_counts(&self) -> StoreOpCounts {
+        StoreOpCounts {
+            samples_ingested: self.samples_ingested.load(Ordering::Relaxed),
+            blocks_sealed: self.blocks_sealed.load(Ordering::Relaxed),
+            blocks_evicted: self.blocks_evicted.load(Ordering::Relaxed),
+            blocks_reloaded: self.blocks_reloaded.load(Ordering::Relaxed),
+        }
     }
 }
 
@@ -430,7 +524,11 @@ mod tests {
         let stats = store.stats();
         assert_eq!(stats.series, 1);
         assert_eq!(stats.warm_points, 1_000);
-        assert!(stats.bytes_per_point < 2.0, "constant series ~1B/pt, got {}", stats.bytes_per_point);
+        assert!(
+            stats.bytes_per_point < 2.0,
+            "constant series ~1B/pt, got {}",
+            stats.bytes_per_point
+        );
     }
 
     #[test]
@@ -451,6 +549,51 @@ mod tests {
         for t in 0..8u32 {
             assert_eq!(store.query(key(0, t), Ts::ZERO, Ts(u64::MAX)).len(), 1_000);
         }
+    }
+
+    #[test]
+    fn op_counts_track_ingest_seal_evict_reload() {
+        let store = TimeSeriesStore::with_options(2, 10);
+        for i in 0..25u64 {
+            store.insert(&sample(0, 1, i * 1_000, i as f64));
+        }
+        let ops = store.op_counts();
+        assert_eq!(ops.samples_ingested, 25);
+        assert_eq!(ops.blocks_sealed, 2, "threshold 10 seals twice");
+        store.seal_all();
+        assert_eq!(store.op_counts().blocks_sealed, 3);
+        let evicted = store.evict_warm_before(Ts(u64::MAX));
+        assert_eq!(store.op_counts().blocks_evicted, 3);
+        store.reload_blocks(evicted);
+        assert_eq!(store.op_counts().blocks_reloaded, 3);
+    }
+
+    #[test]
+    fn occupancy_counters_match_the_stats_scan() {
+        // The O(1) occupancy counters must agree with the ground-truth
+        // scan through every transition: ingest, threshold seal, force
+        // seal, evict, reload, and hard retention.
+        let store = TimeSeriesStore::with_options(2, 10);
+        let check = |when: &str| {
+            let (scan, fast) = (store.stats(), store.occupancy());
+            assert_eq!(scan, fast, "after {when}");
+        };
+        for series in 0..3u32 {
+            for i in 0..25u64 {
+                store.insert(&sample(0, series, i * 1_000, i as f64));
+            }
+        }
+        check("ingest with threshold seals");
+        store.seal_all();
+        check("seal_all");
+        let evicted = store.evict_warm_before(Ts(15_000));
+        assert!(!evicted.is_empty());
+        check("evict");
+        store.reload_blocks(evicted);
+        check("reload");
+        assert_eq!(store.drop_series_before(Ts(u64::MAX)), 3, "all series all-warm");
+        check("drop_series_before");
+        assert_eq!(store.occupancy().series, 0);
     }
 
     #[test]

@@ -1,0 +1,514 @@
+#![warn(missing_docs)]
+
+//! `hpcmon-telemetry` — the monitor monitoring itself.
+//!
+//! The paper's Table I requires that the monitoring system's own health be
+//! observable: a dead collector must not impersonate a healthy machine, and
+//! at scale the monitor is itself a large distributed system whose queue
+//! depths, ingest rates, and per-stage latencies decide whether it keeps up.
+//! This crate is the instrumentation substrate for that requirement:
+//!
+//! * [`Counter`] / [`Gauge`] — single atomics, lock-free on the hot path.
+//! * [`Histogram`] — fixed log-spaced latency buckets with p50/p95/p99/max.
+//! * [`StageTimer`] — a span guard that records elapsed nanoseconds into a
+//!   histogram (and optionally a "last value" gauge) when dropped.
+//! * [`Telemetry`] — the registry. Registration takes a lock once; the
+//!   returned `Arc` handles are pure atomics afterwards.
+//! * [`TelemetryReport`] — a serializable snapshot, rendered as text for
+//!   the ops report or exported as JSON.
+//!
+//! The pipeline feeds these instruments and a `SelfCollector` (in
+//! `hpcmon-collect`) republishes them as ordinary `hpcmon.self.*` metrics
+//! into the system's own store, so the deadman detector, thresholds, and
+//! status board cover the monitor exactly like the machine it watches.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Instant;
+
+/// Number of log-spaced histogram buckets: 2 per octave over 1ns..~1100s.
+const BUCKETS: usize = 80;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+    active: bool,
+}
+
+impl Counter {
+    fn new(active: bool) -> Counter {
+        Counter { value: AtomicU64::new(0), active }
+    }
+
+    /// Add `n` events.
+    pub fn add(&self, n: u64) {
+        if self.active {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A point-in-time level (queue depth, last-tick latency, ...).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+    active: bool,
+}
+
+impl Gauge {
+    fn new(active: bool) -> Gauge {
+        Gauge { bits: AtomicU64::new(0), active }
+    }
+
+    /// Set the level.
+    pub fn set(&self, value: f64) {
+        if self.active {
+            self.bits.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current level.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+/// Fixed-bucket latency histogram (log-spaced, 2 buckets per octave).
+///
+/// Recording is a couple of relaxed atomic adds; quantiles are estimated at
+/// snapshot time from bucket midpoints, which is accurate to ~±19% (half an
+/// octave step) — plenty for "where does tick time go".
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+    active: bool,
+}
+
+impl Histogram {
+    fn new(active: bool) -> Histogram {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            active,
+        }
+    }
+
+    fn bucket_index(ns: u64) -> usize {
+        // Two buckets per octave: index = 2*log2(ns) + (ns in upper half).
+        let ns = ns.max(1);
+        let exp = 63 - ns.leading_zeros() as usize;
+        let half = (ns >> exp.saturating_sub(1)) & 1;
+        (exp * 2 + half as usize).min(BUCKETS - 1)
+    }
+
+    fn bucket_midpoint_ns(index: usize) -> u64 {
+        let exp = index / 2;
+        let base = 1u64 << exp;
+        // Midpoint of [base, 1.5*base) or [1.5*base, 2*base).
+        if index.is_multiple_of(2) {
+            base + base / 4
+        } else {
+            base + base / 2 + base / 4
+        }
+    }
+
+    /// Record one observation.
+    pub fn record_ns(&self, ns: u64) {
+        if !self.active {
+            return;
+        }
+        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Estimated quantile in nanoseconds (`q` in 0..=1).
+    pub fn quantile_ns(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Self::bucket_midpoint_ns(i);
+            }
+        }
+        self.max_ns.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot for reporting.
+    pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        let count = self.count();
+        let sum = self.sum_ns.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            name: name.to_string(),
+            count,
+            mean_ns: sum.checked_div(count).unwrap_or(0),
+            p50_ns: self.quantile_ns(0.50),
+            p95_ns: self.quantile_ns(0.95),
+            p99_ns: self.quantile_ns(0.99),
+            max_ns: self.max_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Span guard: times from construction to [`StageTimer::stop`] (or drop) and
+/// records into a histogram plus an optional last-value gauge.
+pub struct StageTimer {
+    hist: Option<Arc<Histogram>>,
+    last_gauge: Option<Arc<Gauge>>,
+    start: Instant,
+}
+
+impl StageTimer {
+    /// Start timing into `hist`.
+    pub fn new(hist: Arc<Histogram>) -> StageTimer {
+        StageTimer { hist: Some(hist), last_gauge: None, start: Instant::now() }
+    }
+
+    /// Also publish the elapsed time (in ms) to a gauge on completion.
+    pub fn with_gauge(mut self, gauge: Arc<Gauge>) -> StageTimer {
+        self.last_gauge = Some(gauge);
+        self
+    }
+
+    /// Stop explicitly, returning elapsed nanoseconds.
+    pub fn stop(mut self) -> u64 {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> u64 {
+        let ns = self.start.elapsed().as_nanos() as u64;
+        if let Some(h) = self.hist.take() {
+            h.record_ns(ns);
+            if let Some(g) = self.last_gauge.take() {
+                g.set(ns as f64 / 1e6);
+            }
+        }
+        ns
+    }
+}
+
+impl Drop for StageTimer {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    counters: Vec<(String, Arc<Counter>)>,
+    gauges: Vec<(String, Arc<Gauge>)>,
+    histograms: Vec<(String, Arc<Histogram>)>,
+}
+
+/// The instrumentation registry.
+///
+/// Registration (`counter`/`gauge`/`histogram`) takes a write lock once per
+/// name; the returned handles are lock-free. A registry built with
+/// [`Telemetry::disabled`] hands out inert instruments whose operations are
+/// a single predictable branch — the no-op baseline for the overhead bench.
+pub struct Telemetry {
+    inner: RwLock<Inner>,
+    active: bool,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Telemetry::new()
+    }
+}
+
+impl Telemetry {
+    /// An active registry.
+    pub fn new() -> Telemetry {
+        Telemetry { inner: RwLock::new(Inner::default()), active: true }
+    }
+
+    /// An inert registry: instruments exist but record nothing.
+    pub fn disabled() -> Telemetry {
+        Telemetry { inner: RwLock::new(Inner::default()), active: false }
+    }
+
+    /// Whether instruments record.
+    pub fn is_active(&self) -> bool {
+        self.active
+    }
+
+    /// Register or fetch a counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = lookup(&self.inner.read().unwrap().counters, name) {
+            return c;
+        }
+        let mut inner = self.inner.write().unwrap();
+        if let Some(c) = lookup(&inner.counters, name) {
+            return c;
+        }
+        let c = Arc::new(Counter::new(self.active));
+        inner.counters.push((name.to_string(), c.clone()));
+        c
+    }
+
+    /// Register or fetch a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = lookup(&self.inner.read().unwrap().gauges, name) {
+            return g;
+        }
+        let mut inner = self.inner.write().unwrap();
+        if let Some(g) = lookup(&inner.gauges, name) {
+            return g;
+        }
+        let g = Arc::new(Gauge::new(self.active));
+        inner.gauges.push((name.to_string(), g.clone()));
+        g
+    }
+
+    /// Register or fetch a histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = lookup(&self.inner.read().unwrap().histograms, name) {
+            return h;
+        }
+        let mut inner = self.inner.write().unwrap();
+        if let Some(h) = lookup(&inner.histograms, name) {
+            return h;
+        }
+        let h = Arc::new(Histogram::new(self.active));
+        inner.histograms.push((name.to_string(), h.clone()));
+        h
+    }
+
+    /// Start a span timer recording into histogram `name` and gauge
+    /// `<name>.last_ms`.
+    pub fn timer(&self, name: &str) -> StageTimer {
+        StageTimer::new(self.histogram(name)).with_gauge(self.gauge(&format!("{name}.last_ms")))
+    }
+
+    /// Visit every counter (registration order) with its current total.
+    pub fn visit_counters(&self, mut f: impl FnMut(&str, u64)) {
+        for (name, c) in &self.inner.read().unwrap().counters {
+            f(name, c.get());
+        }
+    }
+
+    /// Visit every gauge (registration order) with its current level.
+    pub fn visit_gauges(&self, mut f: impl FnMut(&str, f64)) {
+        for (name, g) in &self.inner.read().unwrap().gauges {
+            f(name, g.get());
+        }
+    }
+
+    /// Visit every histogram (registration order).  Allocation-free, unlike
+    /// [`Telemetry::report`] — the per-tick self-feed path.
+    pub fn visit_histograms(&self, mut f: impl FnMut(&str, &Histogram)) {
+        for (name, h) in &self.inner.read().unwrap().histograms {
+            f(name, h);
+        }
+    }
+
+    /// Snapshot everything for reporting/export.
+    pub fn report(&self) -> TelemetryReport {
+        let inner = self.inner.read().unwrap();
+        TelemetryReport {
+            counters: inner
+                .counters
+                .iter()
+                .map(|(n, c)| CounterSnapshot { name: n.clone(), value: c.get() })
+                .collect(),
+            gauges: inner
+                .gauges
+                .iter()
+                .map(|(n, g)| GaugeSnapshot { name: n.clone(), value: g.get() })
+                .collect(),
+            histograms: inner.histograms.iter().map(|(n, h)| h.snapshot(n)).collect(),
+        }
+    }
+}
+
+fn lookup<T>(entries: &[(String, Arc<T>)], name: &str) -> Option<Arc<T>> {
+    entries.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone())
+}
+
+/// Snapshot of one counter.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CounterSnapshot {
+    /// Instrument name.
+    pub name: String,
+    /// Total count.
+    pub value: u64,
+}
+
+/// Snapshot of one gauge.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GaugeSnapshot {
+    /// Instrument name.
+    pub name: String,
+    /// Current level.
+    pub value: f64,
+}
+
+/// Snapshot of one histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Instrument name.
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Mean, nanoseconds.
+    pub mean_ns: u64,
+    /// Median estimate, nanoseconds.
+    pub p50_ns: u64,
+    /// 95th percentile estimate, nanoseconds.
+    pub p95_ns: u64,
+    /// 99th percentile estimate, nanoseconds.
+    pub p99_ns: u64,
+    /// Exact maximum, nanoseconds.
+    pub max_ns: u64,
+}
+
+/// A full snapshot of the monitor's self-instrumentation.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TelemetryReport {
+    /// All counters.
+    pub counters: Vec<CounterSnapshot>,
+    /// All gauges.
+    pub gauges: Vec<GaugeSnapshot>,
+    /// All histograms.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl TelemetryReport {
+    /// Render as indented text (ops-report / status-board section).
+    pub fn render_text(&self) -> String {
+        fn fmt_ns(ns: u64) -> String {
+            if ns >= 1_000_000_000 {
+                format!("{:.2}s", ns as f64 / 1e9)
+            } else if ns >= 1_000_000 {
+                format!("{:.2}ms", ns as f64 / 1e6)
+            } else if ns >= 1_000 {
+                format!("{:.1}us", ns as f64 / 1e3)
+            } else {
+                format!("{ns}ns")
+            }
+        }
+        let mut out = String::from("self-telemetry\n");
+        if !self.histograms.is_empty() {
+            out.push_str("  stage latencies:\n");
+            for h in &self.histograms {
+                out.push_str(&format!(
+                    "    {:<32} n={:<8} p50={:<9} p95={:<9} p99={:<9} max={}\n",
+                    h.name,
+                    h.count,
+                    fmt_ns(h.p50_ns),
+                    fmt_ns(h.p95_ns),
+                    fmt_ns(h.p99_ns),
+                    fmt_ns(h.max_ns),
+                ));
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("  counters:\n");
+            for c in &self.counters {
+                out.push_str(&format!("    {:<40} {}\n", c.name, c.value));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("  gauges:\n");
+            for g in &self.gauges {
+                out.push_str(&format!("    {:<40} {:.3}\n", g.name, g.value));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let t = Telemetry::new();
+        let c = t.counter("a.b");
+        c.add(3);
+        c.inc();
+        assert_eq!(c.get(), 4);
+        assert!(Arc::ptr_eq(&c, &t.counter("a.b")));
+        let g = t.gauge("q.depth");
+        g.set(7.5);
+        assert_eq!(g.get(), 7.5);
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let t = Telemetry::disabled();
+        let c = t.counter("x");
+        c.add(10);
+        assert_eq!(c.get(), 0);
+        let h = t.histogram("h");
+        h.record_ns(500);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_data() {
+        let t = Telemetry::new();
+        let h = t.histogram("lat");
+        for ns in [100u64, 200, 400, 800, 1600, 3200, 6400, 12800, 25600, 1_000_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 10);
+        let p50 = h.quantile_ns(0.5);
+        assert!((400..=3200).contains(&p50), "p50 {p50}");
+        assert_eq!(h.snapshot("lat").max_ns, 1_000_000);
+        let p99 = h.quantile_ns(0.99);
+        assert!(p99 >= 500_000, "p99 {p99}");
+    }
+
+    #[test]
+    fn stage_timer_records_on_drop() {
+        let t = Telemetry::new();
+        {
+            let _timer = t.timer("stage.collect");
+        }
+        assert_eq!(t.histogram("stage.collect").count(), 1);
+    }
+
+    #[test]
+    fn report_json_round_trips() {
+        let t = Telemetry::new();
+        t.counter("c1").add(5);
+        t.gauge("g1").set(2.25);
+        t.histogram("h1").record_ns(1234);
+        let report = t.report();
+        let json = serde_json::to_string(&report).unwrap();
+        let back: TelemetryReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(report, back);
+        assert!(report.render_text().contains("c1"));
+    }
+}

@@ -43,6 +43,32 @@ pub struct BrokerStats {
     pub bytes_published: u64,
 }
 
+/// Per-topic counters: the drop/publish breakdown the global
+/// [`BrokerStats`] totals hide.  A transport that only reports "some
+/// messages were dropped" is the vendor failure mode the paper complains
+/// about — operators need to know *which* data path is lossy.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TopicStats {
+    /// Topic string as published.
+    pub topic: String,
+    /// Messages published on this topic.
+    pub published: u64,
+    /// Deliveries made for this topic (one per matching subscriber).
+    pub delivered: u64,
+    /// Messages dropped under backpressure while fanning out this topic.
+    pub dropped: u64,
+    /// Approximate payload bytes published on this topic.
+    pub bytes_published: u64,
+}
+
+#[derive(Default)]
+struct TopicCounters {
+    published: AtomicU64,
+    delivered: AtomicU64,
+    dropped: AtomicU64,
+    bytes_published: AtomicU64,
+}
+
 struct SubscriberEntry {
     filter: TopicFilter,
     sender: Sender<Envelope>,
@@ -125,20 +151,15 @@ pub struct Broker {
     delivered: AtomicU64,
     dropped: AtomicU64,
     bytes_published: AtomicU64,
+    // First-seen order; counters are atomics so publish only needs the
+    // read lock once the topic exists.
+    topics: RwLock<Vec<(String, Arc<TopicCounters>)>>,
 }
 
 impl Broker {
     /// A broker with no subscribers.
     pub fn new() -> Arc<Broker> {
-        Arc::new(Broker {
-            subscribers: RwLock::new(Vec::new()),
-            drop_oldest_lock: Mutex::new(()),
-            seq: AtomicU64::new(0),
-            published: AtomicU64::new(0),
-            delivered: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
-            bytes_published: AtomicU64::new(0),
-        })
+        Arc::new(Broker::default())
     }
 
     /// Subscribe with a filter, queue capacity, and backpressure policy.
@@ -165,8 +186,12 @@ impl Broker {
     /// Returns the number of deliveries.
     pub fn publish(&self, topic: &str, payload: Payload) -> usize {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let bytes = payload.approx_bytes() as u64;
         self.published.fetch_add(1, Ordering::Relaxed);
-        self.bytes_published.fetch_add(payload.approx_bytes() as u64, Ordering::Relaxed);
+        self.bytes_published.fetch_add(bytes, Ordering::Relaxed);
+        let per_topic = self.topic_counters(topic);
+        per_topic.published.fetch_add(1, Ordering::Relaxed);
+        per_topic.bytes_published.fetch_add(bytes, Ordering::Relaxed);
         let mut delivered = 0usize;
         let mut saw_closed = false;
         {
@@ -193,6 +218,7 @@ impl Broker {
                         Err(TrySendError::Full(_)) => {
                             sub.dropped.fetch_add(1, Ordering::Relaxed);
                             self.dropped.fetch_add(1, Ordering::Relaxed);
+                            per_topic.dropped.fetch_add(1, Ordering::Relaxed);
                         }
                         Err(TrySendError::Disconnected(_)) => saw_closed = true,
                     },
@@ -209,6 +235,7 @@ impl Broker {
                                     if sub.receiver_for_drop_oldest.try_recv().is_ok() {
                                         sub.dropped.fetch_add(1, Ordering::Relaxed);
                                         self.dropped.fetch_add(1, Ordering::Relaxed);
+                                        per_topic.dropped.fetch_add(1, Ordering::Relaxed);
                                     }
                                     env = e;
                                 }
@@ -226,7 +253,21 @@ impl Broker {
             self.prune_closed();
         }
         self.delivered.fetch_add(delivered as u64, Ordering::Relaxed);
+        per_topic.delivered.fetch_add(delivered as u64, Ordering::Relaxed);
         delivered
+    }
+
+    fn topic_counters(&self, topic: &str) -> Arc<TopicCounters> {
+        if let Some((_, c)) = self.topics.read().iter().find(|(t, _)| t == topic) {
+            return c.clone();
+        }
+        let mut topics = self.topics.write();
+        if let Some((_, c)) = topics.iter().find(|(t, _)| t == topic) {
+            return c.clone();
+        }
+        let c = Arc::new(TopicCounters::default());
+        topics.push((topic.to_owned(), c.clone()));
+        c
     }
 
     fn prune_closed(&self) {
@@ -256,6 +297,31 @@ impl Broker {
             bytes_published: self.bytes_published.load(Ordering::Relaxed),
         }
     }
+
+    /// Per-topic publish/deliver/drop breakdown, in first-publish order.
+    pub fn topic_stats(&self) -> Vec<TopicStats> {
+        self.topics
+            .read()
+            .iter()
+            .map(|(topic, c)| TopicStats {
+                topic: topic.clone(),
+                published: c.published.load(Ordering::Relaxed),
+                delivered: c.delivered.load(Ordering::Relaxed),
+                dropped: c.dropped.load(Ordering::Relaxed),
+                bytes_published: c.bytes_published.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Current queue depth per live subscriber, keyed by filter pattern.
+    pub fn queue_depths(&self) -> Vec<(String, usize)> {
+        self.subscribers
+            .read()
+            .iter()
+            .filter(|s| !s.is_closed())
+            .map(|s| (s.filter.pattern().to_owned(), s.receiver_for_drop_oldest.len()))
+            .collect()
+    }
 }
 
 impl Default for Broker {
@@ -268,6 +334,7 @@ impl Default for Broker {
             delivered: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             bytes_published: AtomicU64::new(0),
+            topics: RwLock::new(Vec::new()),
         }
     }
 }
@@ -325,6 +392,43 @@ mod tests {
             })
             .collect();
         assert_eq!(got, vec![0, 1]);
+    }
+
+    #[test]
+    fn per_topic_stats_track_publish_deliver_drop() {
+        let b = Broker::new();
+        let _all = b.subscribe(TopicFilter::all(), 2, BackpressurePolicy::DropNewest);
+        for i in 0..4 {
+            b.publish("metrics/node", raw(i));
+        }
+        b.publish("logs/syslog", raw(9));
+        let stats = b.topic_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].topic, "metrics/node");
+        assert_eq!(stats[0].published, 4);
+        assert_eq!(stats[0].delivered, 2);
+        assert_eq!(stats[0].dropped, 2);
+        assert!(stats[0].bytes_published > 0);
+        assert_eq!(stats[1].topic, "logs/syslog");
+        assert_eq!(stats[1].published, 1);
+        assert_eq!(stats[1].dropped, 1);
+        // Per-topic totals reconcile with the aggregate counters.
+        let agg = b.stats();
+        assert_eq!(stats.iter().map(|t| t.published).sum::<u64>(), agg.published);
+        assert_eq!(stats.iter().map(|t| t.dropped).sum::<u64>(), agg.dropped);
+        assert_eq!(stats.iter().map(|t| t.delivered).sum::<u64>(), agg.delivered);
+    }
+
+    #[test]
+    fn queue_depths_report_backlog() {
+        let b = Broker::new();
+        let s = b.subscribe(TopicFilter::new("metrics/#"), 8, BackpressurePolicy::Block);
+        b.publish("metrics/node", raw(0));
+        b.publish("metrics/node", raw(1));
+        let depths = b.queue_depths();
+        assert_eq!(depths, vec![(String::from("metrics/#"), 2)]);
+        s.drain();
+        assert_eq!(b.queue_depths(), vec![(String::from("metrics/#"), 0)]);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod sync;
 pub mod syslog;
 pub mod topic;
 
-pub use broker::{BackpressurePolicy, Broker, BrokerStats, Subscription};
+pub use broker::{BackpressurePolicy, Broker, BrokerStats, Subscription, TopicStats};
 pub use message::{Envelope, Payload};
 pub use relay::Relay;
 pub use seq::SeqTracker;

@@ -51,11 +51,8 @@ impl Relay {
             }
             // Drain what is left so a graceful stop is lossless.
             for env in sub.drain() {
-                let topic = if prefix.is_empty() {
-                    env.topic
-                } else {
-                    format!("{prefix}/{}", env.topic)
-                };
+                let topic =
+                    if prefix.is_empty() { env.topic } else { format!("{prefix}/{}", env.topic) };
                 dst.publish(&topic, env.payload);
                 forwarded2.fetch_add(1, Ordering::Relaxed);
             }

@@ -103,13 +103,8 @@ mod tests {
 
     #[test]
     fn message_with_colons_survives() {
-        let r = LogRecord::new(
-            Ts(1),
-            CompId::SYSTEM,
-            Severity::Info,
-            "console",
-            "mount: /scratch: ok",
-        );
+        let r =
+            LogRecord::new(Ts(1), CompId::SYSTEM, Severity::Info, "console", "mount: /scratch: ok");
         let back = parse_line(&render_line(&r)).unwrap();
         assert_eq!(back.message, "mount: /scratch: ok");
     }

@@ -103,8 +103,8 @@ impl LineChart {
         // Markers first so data overdraws them.
         for &m in &self.markers {
             if m >= t_min && m <= t_max {
-                let col = (((m.0 - t_min.0) as f64 / t_span) * (self.width - 1) as f64).round()
-                    as usize;
+                let col =
+                    (((m.0 - t_min.0) as f64 / t_span) * (self.width - 1) as f64).round() as usize;
                 for row in grid.iter_mut() {
                     row[col] = '|';
                 }
@@ -113,8 +113,8 @@ impl LineChart {
         for (si, (_, pts)) in self.series.iter().enumerate() {
             let glyph = GLYPHS[si % GLYPHS.len()];
             for &(t, v) in pts {
-                let col = (((t.0 - t_min.0) as f64 / t_span) * (self.width - 1) as f64).round()
-                    as usize;
+                let col =
+                    (((t.0 - t_min.0) as f64 / t_span) * (self.width - 1) as f64).round() as usize;
                 let rowf = ((v - v_min) / v_span) * (self.height - 1) as f64;
                 let row = self.height - 1 - rowf.round() as usize;
                 grid[row][col.min(self.width - 1)] = glyph;
@@ -169,9 +169,7 @@ mod tests {
 
     #[test]
     fn chart_renders_axes_and_legend() {
-        let chart = LineChart::new("Power", 40, 8)
-            .with_unit("W")
-            .add_series("total", ramp(30));
+        let chart = LineChart::new("Power", 40, 8).with_unit("W").add_series("total", ramp(30));
         let text = chart.render();
         assert!(text.starts_with("Power\n"));
         assert!(text.contains('*'), "series glyph plotted");
@@ -212,12 +210,8 @@ mod tests {
         // Only axis '|' characters from labels appear, not a full column:
         // count rows whose plot area contains '|'.
         let text = chart.render();
-        let plot_bars = text
-            .lines()
-            .skip(1)
-            .take(6)
-            .filter(|l| l.len() > 13 && l[13..].contains('|'))
-            .count();
+        let plot_bars =
+            text.lines().skip(1).take(6).filter(|l| l.len() > 13 && l[13..].contains('|')).count();
         assert_eq!(plot_bars, 0);
     }
 

@@ -18,8 +18,7 @@ pub fn series_to_csv(series: &[(String, Vec<(Ts, f64)>)]) -> String {
     }
     out.push('\n');
     // Union of timestamps, ordered.
-    let mut times: Vec<Ts> =
-        series.iter().flat_map(|(_, pts)| pts.iter().map(|p| p.0)).collect();
+    let mut times: Vec<Ts> = series.iter().flat_map(|(_, pts)| pts.iter().map(|p| p.0)).collect();
     times.sort_unstable();
     times.dedup();
     for t in times {
@@ -154,10 +153,7 @@ mod tests {
     fn table_export() {
         let csv = table_to_csv(
             &["node", "read B/s"],
-            &[
-                vec!["node/12".into(), "3.2e9".into()],
-                vec!["node/7".into(), "1.1e9".into()],
-            ],
+            &[vec!["node/12".into(), "3.2e9".into()], vec!["node/7".into(), "1.1e9".into()]],
         );
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "node,read B/s");

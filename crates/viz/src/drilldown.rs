@@ -44,10 +44,7 @@ impl DrilldownView {
     /// The timestamp of the aggregate's maximum (the natural drill-down
     /// point); `None` when the series is empty.
     pub fn peak_of(aggregate: &[(Ts, f64)]) -> Option<Ts> {
-        aggregate
-            .iter()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"))
-            .map(|p| p.0)
+        aggregate.iter().max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN")).map(|p| p.0)
     }
 
     /// Render to text.
@@ -62,7 +59,13 @@ impl DrilldownView {
             out.push_str("  (no component data)\n");
         }
         for (i, (comp, value)) in self.top.iter().enumerate() {
-            out.push_str(&format!("  {:>2}. {:<12} {:>14.3e} {}\n", i + 1, comp.path(), value, self.unit));
+            out.push_str(&format!(
+                "  {:>2}. {:<12} {:>14.3e} {}\n",
+                i + 1,
+                comp.path(),
+                value,
+                self.unit
+            ));
         }
         match &self.attributed {
             Some(job) => out.push_str(&format!(
@@ -79,11 +82,8 @@ impl DrilldownView {
 
     /// The drill-down table as CSV (the data-download path).
     pub fn table_csv(&self) -> String {
-        let rows: Vec<Vec<String>> = self
-            .top
-            .iter()
-            .map(|(c, v)| vec![c.path(), format!("{v}")])
-            .collect();
+        let rows: Vec<Vec<String>> =
+            self.top.iter().map(|(c, v)| vec![c.path(), format!("{v}")]).collect();
         table_to_csv(&["component", "value"], &rows)
     }
 }
@@ -107,9 +107,8 @@ mod tests {
     }
 
     fn view() -> DrilldownView {
-        let aggregate: Vec<(Ts, f64)> = (0..30)
-            .map(|i| (Ts::from_mins(i), if i == 20 { 5e9 } else { 1e8 }))
-            .collect();
+        let aggregate: Vec<(Ts, f64)> =
+            (0..30).map(|i| (Ts::from_mins(i), if i == 20 { 5e9 } else { 1e8 })).collect();
         let peak = DrilldownView::peak_of(&aggregate).unwrap();
         DrilldownView::new(
             "FS read B/s",

@@ -82,7 +82,11 @@ mod tests {
 
     #[test]
     fn renders_rows_and_scale() {
-        let hm = CabinetHeatmap::new("Cabinet power", 4, vec![10.0, 10.0, 10.0, 10.0, 30.0, 30.0, 30.0, 30.0]);
+        let hm = CabinetHeatmap::new(
+            "Cabinet power",
+            4,
+            vec![10.0, 10.0, 10.0, 10.0, 30.0, 30.0, 30.0, 30.0],
+        );
         let text = hm.render();
         assert!(text.starts_with("Cabinet power\n"));
         assert!(text.contains("row  0"));

@@ -67,9 +67,9 @@ impl JobPanel {
                 Condense::Mean => &series.mean,
             };
             let values: Vec<f64> = pts.iter().map(|p| p.1).collect();
-            let (min, max) = values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-                (lo.min(v), hi.max(v))
-            });
+            let (min, max) = values
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
             let tag = match condense {
                 Condense::Sum => "sum",
                 Condense::Mean => "mean",
@@ -129,13 +129,13 @@ mod tests {
         let store = TimeSeriesStore::new();
         for n in 0..2u32 {
             for m in 0..10u64 {
-                store.insert(&Sample::new(MetricId(0), CompId::node(n), Ts::from_mins(m), m as f64));
                 store.insert(&Sample::new(
-                    MetricId(1),
+                    MetricId(0),
                     CompId::node(n),
                     Ts::from_mins(m),
-                    0.5,
+                    m as f64,
                 ));
+                store.insert(&Sample::new(MetricId(1), CompId::node(n), Ts::from_mins(m), 0.5));
             }
         }
         store

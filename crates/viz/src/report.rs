@@ -31,6 +31,7 @@ pub struct OpsReport {
     alerts: Vec<AlertSummary>,
     benchmarks: Vec<(String, Vec<f64>)>,
     templates: Vec<(u64, String)>,
+    telemetry: Option<String>,
     notes: Vec<String>,
 }
 
@@ -82,6 +83,13 @@ impl OpsReport {
         self
     }
 
+    /// Attach the monitor's own telemetry (pre-rendered, e.g.
+    /// `TelemetryReport::render_text()`) — the monitor is a subsystem too.
+    pub fn telemetry(mut self, rendered: &str) -> OpsReport {
+        self.telemetry = Some(rendered.to_owned());
+        self
+    }
+
     /// Append a free-form note.
     pub fn note(mut self, text: &str) -> OpsReport {
         self.notes.push(text.to_owned());
@@ -109,9 +117,10 @@ impl OpsReport {
         if !self.benchmarks.is_empty() {
             out.push_str("## Benchmark trends\n\n");
             for (name, values) in &self.benchmarks {
-                let (min, max) = values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
-                    (lo.min(v), hi.max(v))
-                });
+                let (min, max) =
+                    values.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+                        (lo.min(v), hi.max(v))
+                    });
                 if values.is_empty() {
                     out.push_str(&format!("- `{name}`: (no data)\n"));
                 } else {
@@ -131,6 +140,14 @@ impl OpsReport {
                 out.push_str(&format!("- {count}× `{example}`\n"));
             }
             out.push('\n');
+        }
+        if let Some(telemetry) = &self.telemetry {
+            out.push_str("## Monitor self-telemetry\n\n```\n");
+            out.push_str(telemetry);
+            if !telemetry.ends_with('\n') {
+                out.push('\n');
+            }
+            out.push_str("```\n\n");
         }
         for note in &self.notes {
             out.push_str(&format!("> {note}\n"));
@@ -157,6 +174,7 @@ mod tests {
             ])
             .benchmark("io tts s", vec![45.0, 46.0, 44.5, 120.0, 118.0])
             .top_templates(vec![(740, "systemd: Started Session".into())])
+            .telemetry("self-telemetry\n  stage.collect p95=1.2ms\n")
             .note("OST 3 degradation under investigation.")
     }
 
@@ -174,6 +192,8 @@ mod tests {
         assert!(md.contains('▁'), "sparkline present");
         assert!(md.contains("## Loudest log templates"));
         assert!(md.contains("740×"));
+        assert!(md.contains("## Monitor self-telemetry"));
+        assert!(md.contains("stage.collect p95=1.2ms"));
         assert!(md.contains("> OST 3 degradation"));
     }
 

@@ -68,8 +68,7 @@ impl StatusBoard {
             let frac = row.healthy_fraction();
             let filled = (frac * 20.0).round() as usize;
             let bar: String = "#".repeat(filled) + &".".repeat(20 - filled.min(20));
-            let states: Vec<String> =
-                row.states.iter().map(|(s, c)| format!("{s}={c}")).collect();
+            let states: Vec<String> = row.states.iter().map(|(s, c)| format!("{s}={c}")).collect();
             out.push_str(&format!(
                 "  {:<label_w$} [{bar}] {:>6.1}% good   {}\n",
                 row.class,
@@ -82,9 +81,9 @@ impl StatusBoard {
 
     /// The worst (least healthy) class, if any rows exist.
     pub fn worst(&self) -> Option<&ClassStatus> {
-        self.rows.iter().min_by(|a, b| {
-            a.healthy_fraction().partial_cmp(&b.healthy_fraction()).expect("no NaN")
-        })
+        self.rows
+            .iter()
+            .min_by(|a, b| a.healthy_fraction().partial_cmp(&b.healthy_fraction()).expect("no NaN"))
     }
 }
 

@@ -105,8 +105,7 @@ mod tests {
 
     #[test]
     fn valid_svg_structure() {
-        let svg =
-            svg_line_chart("Power", "W", 640, 480, &[("total".to_owned(), pts(20))]);
+        let svg = svg_line_chart("Power", "W", 640, 480, &[("total".to_owned(), pts(20))]);
         assert!(svg.starts_with("<svg"));
         assert!(svg.trim_end().ends_with("</svg>"));
         assert!(svg.contains("<polyline"));

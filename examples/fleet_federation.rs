@@ -32,8 +32,10 @@ fn main() {
     let central = Broker::new();
 
     // Forward each site's log stream to the center, prefixed by site.
-    let relay_a = Relay::start(site_a.broker(), central.clone(), TopicFilter::new("logs/#"), "site/alpha");
-    let relay_b = Relay::start(site_b.broker(), central.clone(), TopicFilter::new("logs/#"), "site/beta");
+    let relay_a =
+        Relay::start(site_a.broker(), central.clone(), TopicFilter::new("logs/#"), "site/alpha");
+    let relay_b =
+        Relay::start(site_b.broker(), central.clone(), TopicFilter::new("logs/#"), "site/beta");
     let central_sub =
         central.subscribe(TopicFilter::new("site/#"), 1 << 14, BackpressurePolicy::Block);
 

@@ -32,8 +32,10 @@ fn main() {
 
     // One hour of operation.
     let summary = mon.run_ticks(60);
-    println!("ran {} ticks: {} samples, {} log records, {} signals, {} actions\n",
-        summary.ticks, summary.samples, summary.logs, summary.signals, summary.actions);
+    println!(
+        "ran {} ticks: {} samples, {} log records, {} signals, {} actions\n",
+        summary.ticks, summary.samples, summary.logs, summary.signals, summary.actions
+    );
 
     // The shared ops dashboard, rendered against the live store.
     let dashboard = Dashboard::ops_default();

@@ -68,14 +68,22 @@ fn main() {
 
     let stats = mon.store().stats();
     println!("\nafter 15 monitored minutes of a {}-node machine:", mon.engine().num_nodes());
-    println!("  {:>14} samples collected ({:.1}k samples/tick)", total_samples, total_samples as f64 / 15.0 / 1_000.0);
+    println!(
+        "  {:>14} samples collected ({:.1}k samples/tick)",
+        total_samples,
+        total_samples as f64 / 15.0 / 1_000.0
+    );
     println!("  {:>14.1} ms mean monitoring wall time per 1-minute tick", total_wall_ms / 15.0);
     println!(
         "  {:>14} series in the store; {} hot + {} warm points, {:.2} B/pt warm",
         stats.series, stats.hot_points, stats.warm_points, stats.bytes_per_point
     );
-    println!("  {:>14} log records; {} signals; {} actions",
-        mon.log_store().len(), mon.signals().len(), mon.actions().len());
+    println!(
+        "  {:>14} log records; {} signals; {} actions",
+        mon.log_store().len(),
+        mon.signals().len(),
+        mon.actions().len()
+    );
     println!("\n{}", mon.status_board().render());
     println!(
         "monitoring overhead: {:.4}% of the interval it monitors",

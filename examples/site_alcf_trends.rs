@@ -34,9 +34,7 @@ fn main() {
     // cable.
     let net = mon.engine().network();
     let hot_link = (0..net.num_links() as u32)
-        .max_by(|&a, &b| {
-            net.link_traffic_bytes(a).partial_cmp(&net.link_traffic_bytes(b)).unwrap()
-        })
+        .max_by(|&a, &b| net.link_traffic_bytes(a).partial_cmp(&net.link_traffic_bytes(b)).unwrap())
         .expect("links exist");
     for (i, mult) in [50.0, 150.0, 300.0, 600.0, 1_200.0].iter().enumerate() {
         mon.schedule_fault(
@@ -48,8 +46,7 @@ fn main() {
 
     let m = mon.metrics();
     let q = QueryEngine::new(mon.store());
-    let errors =
-        q.series(SeriesKey::new(m.link_errors, CompId::link(hot_link)), TimeRange::all());
+    let errors = q.series(SeriesKey::new(m.link_errors, CompId::link(hot_link)), TimeRange::all());
     println!(
         "{}",
         LineChart::new(&format!("Bit errors per interval, link {hot_link}"), 70, 10)
@@ -80,10 +77,6 @@ fn main() {
     }
 
     // The CRC-storm correlation rule also fired on the way up.
-    let storms = mon
-        .signals()
-        .iter()
-        .filter(|s| s.detail.contains("crc-retry-storm"))
-        .count();
+    let storms = mon.signals().iter().filter(|s| s.detail.contains("crc-retry-storm")).count();
     println!("crc-retry-storm rule fired {storms} times during the decay");
 }

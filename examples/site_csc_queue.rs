@@ -14,7 +14,7 @@
 use hpcmon::pipeline::DetectorAttachment;
 use hpcmon::{MonitoringSystem, SimConfig};
 use hpcmon_analysis::ThresholdDetector;
-use hpcmon_metrics::{CompId, Severity, SeriesKey, Ts, MINUTE_MS};
+use hpcmon_metrics::{CompId, SeriesKey, Severity, Ts, MINUTE_MS};
 use hpcmon_response::SignalKind;
 use hpcmon_sim::{AppProfile, FaultKind, JobSpec};
 use hpcmon_store::TimeRange;
@@ -54,10 +54,10 @@ fn main() {
     // The filesystem silently degrades: jobs stretch, the queue backs up.
     println!("\n>>> filesystem degrades 10x at {} (no log line) <<<\n", mon.engine().now());
     for ost in 0..16 {
-        mon.schedule_fault(mon.engine().now().add_ms(60_000), FaultKind::OstDegrade {
-            ost,
-            factor: 10.0,
-        });
+        mon.schedule_fault(
+            mon.engine().now().add_ms(60_000),
+            FaultKind::OstDegrade { ost, factor: 10.0 },
+        );
     }
     println!("degraded era:");
     for _ in 0..12 {
@@ -65,10 +65,7 @@ fn main() {
         report(&mon);
     }
 
-    let depth = mon.query().series(
-        SeriesKey::new(queue_metric, CompId::SYSTEM),
-        TimeRange::all(),
-    );
+    let depth = mon.query().series(SeriesKey::new(queue_metric, CompId::SYSTEM), TimeRange::all());
     println!(
         "\n{}",
         LineChart::new("Batch queue depth over time", 70, 8)
@@ -76,8 +73,7 @@ fn main() {
             .add_series("queued", depth)
             .render()
     );
-    let alarms =
-        mon.signals().iter().filter(|s| s.detail.contains("queue backlog")).count();
+    let alarms = mon.signals().iter().filter(|s| s.detail.contains("queue backlog")).count();
     println!("queue-backlog alarms raised: {alarms}");
     println!(
         "(the alarm plus the filesystem probe series is what lets CSC 'identify and \

@@ -17,8 +17,14 @@ use hpcmon_sim::{AppProfile, FaultKind, JobSpec};
 fn main() {
     let r = gating_experiment(2018);
     println!("=== health gating outcome (identical fault schedule) ===");
-    println!("  gating OFF: {:>3} jobs failed, {:>3} completed", r.failed_without_gating, r.completed_without_gating);
-    println!("  gating ON:  {:>3} jobs failed, {:>3} completed", r.failed_with_gating, r.completed_with_gating);
+    println!(
+        "  gating OFF: {:>3} jobs failed, {:>3} completed",
+        r.failed_without_gating, r.completed_without_gating
+    );
+    println!(
+        "  gating ON:  {:>3} jobs failed, {:>3} completed",
+        r.failed_with_gating, r.completed_with_gating
+    );
 
     // Live view of the gate in action: a GPU dies, the pre-job check
     // catches it, the job lands elsewhere.
@@ -43,11 +49,8 @@ fn main() {
     );
     println!("out-of-service list: {:?}", mon.engine().scheduler().out_of_service());
     println!("\nscheduler log lines:");
-    for rec in mon
-        .log_store()
-        .search(&hpcmon_store::LogQuery::tokens(&["health", "check"]))
-        .iter()
-        .take(5)
+    for rec in
+        mon.log_store().search(&hpcmon_store::LogQuery::tokens(&["health", "check"])).iter().take(5)
     {
         println!("  {}", rec.render());
     }

@@ -63,7 +63,10 @@ fn main() {
 
     let reports = classify_jobs(engine.scheduler().records(), 0.08, 4);
     println!("=== aggressor/victim classification (runtime variability) ===\n");
-    println!("{:<14} {:>5} {:>12} {:>8} {:>10}  class", "app", "runs", "mean rt (m)", "cv", "overlap");
+    println!(
+        "{:<14} {:>5} {:>12} {:>8} {:>10}  class",
+        "app", "runs", "mean rt (m)", "cv", "overlap"
+    );
     for r in &reports {
         println!(
             "{:<14} {:>5} {:>12.1} {:>8.3} {:>10.2}  {:?}",

@@ -17,12 +17,15 @@ use hpcmon_viz::{CabinetHeatmap, LineChart};
 fn main() {
     let r = fig3_power(2018);
 
-    println!("{}", LineChart::new("Total system power (Figure 3, top)", 70, 10)
-        .with_unit("W")
-        .add_series("system", r.total_power.clone())
-        .add_marker(Ts::from_mins(18))
-        .add_marker(Ts::from_mins(23))
-        .render());
+    println!(
+        "{}",
+        LineChart::new("Total system power (Figure 3, top)", 70, 10)
+            .with_unit("W")
+            .add_series("system", r.total_power.clone())
+            .add_marker(Ts::from_mins(18))
+            .add_marker(Ts::from_mins(23))
+            .render()
+    );
 
     // Per-cabinet view at the most imbalanced minute.
     let worst = r.flagged_ticks.first().copied().unwrap_or(Ts::from_mins(20));
@@ -51,8 +54,8 @@ fn main() {
 
     // Profile matching: the imbalanced run deviates from the healthy one.
     let healthy = fig3_power(99); // different seed, but same app without...
-    // (the scenario always injects the window, so build the reference from
-    // the healthy minutes of the run instead)
+                                  // (the scenario always injects the window, so build the reference from
+                                  // the healthy minutes of the run instead)
     let healthy_profile: Vec<f64> = healthy
         .total_power
         .iter()

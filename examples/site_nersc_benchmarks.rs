@@ -33,12 +33,16 @@ fn main() {
     }
     println!("{}", net_chart.render());
 
-    println!("I/O degradation: injected at {}, CUSUM detected at {}",
+    println!(
+        "I/O degradation: injected at {}, CUSUM detected at {}",
         r.injected_io_onset,
-        r.detected_io_onset.map(|t| t.display_hms()).unwrap_or_else(|| "MISSED".into()));
-    println!("network contention: injected at {}, CUSUM detected at {}",
+        r.detected_io_onset.map(|t| t.display_hms()).unwrap_or_else(|| "MISSED".into())
+    );
+    println!(
+        "network contention: injected at {}, CUSUM detected at {}",
         r.injected_net_onset,
-        r.detected_net_onset.map(|t| t.display_hms()).unwrap_or_else(|| "MISSED".into()));
+        r.detected_net_onset.map(|t| t.display_hms()).unwrap_or_else(|| "MISSED".into())
+    );
 
     // Publishable plot image, like NERSC's user-facing pages.
     let svg = svg_line_chart(

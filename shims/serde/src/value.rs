@@ -1,0 +1,39 @@
+//! `Serializer`/`Deserializer` adapters over the in-memory [`Value`] model.
+//!
+//! These are what `#[serde(with = "...")]` modules drive: the generated code
+//! calls `module::serialize(&field, ValueSerializer)` and
+//! `module::deserialize(ValueDeserializer::new(value))`.
+
+use crate::{Deserializer, Error, Serializer, Value};
+
+/// Serializer that yields the built [`Value`] directly.
+pub struct ValueSerializer;
+
+impl Serializer for ValueSerializer {
+    type Ok = Value;
+    type Error = Error;
+
+    fn accept_value(self, value: Value) -> Result<Value, Error> {
+        Ok(value)
+    }
+}
+
+/// Deserializer that reads from an existing [`Value`].
+pub struct ValueDeserializer {
+    value: Value,
+}
+
+impl ValueDeserializer {
+    /// Wrap a value for deserialization.
+    pub fn new(value: Value) -> Self {
+        ValueDeserializer { value }
+    }
+}
+
+impl<'de> Deserializer<'de> for ValueDeserializer {
+    type Error = Error;
+
+    fn take_value(self) -> Result<Value, Error> {
+        Ok(self.value)
+    }
+}

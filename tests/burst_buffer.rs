@@ -26,15 +26,11 @@ fn bb_metrics_are_collected() {
     mon.run_ticks(15);
     let m = mon.metrics();
     // Per-bb-node series exist and show absorption during write phases.
-    let occupancy = mon.query().series(
-        SeriesKey::new(m.bb_occupancy, CompId::bb(0)),
-        TimeRange::all(),
-    );
+    let occupancy =
+        mon.query().series(SeriesKey::new(m.bb_occupancy, CompId::bb(0)), TimeRange::all());
     assert_eq!(occupancy.len(), 15);
-    let configured = mon.query().series(
-        SeriesKey::new(m.bb_configured, CompId::bb(0)),
-        TimeRange::all(),
-    );
+    let configured =
+        mon.query().series(SeriesKey::new(m.bb_configured, CompId::bb(0)), TimeRange::all());
     assert!(configured.iter().all(|&(_, v)| v == 1.0));
     // The checkpoint burst at job-minutes 8..10 shows up somewhere.
     let absorb = mon.query().aggregate_across_components(

@@ -15,22 +15,14 @@ fn system() -> MonitoringSystem {
 #[test]
 fn link_flap_is_logged_and_recovers() {
     let mut mon = system();
-    mon.submit_job(JobSpec::new(
-        AppProfile::comm_heavy("fft"),
-        "u",
-        64,
-        60 * MINUTE_MS,
-        Ts::ZERO,
-    ));
+    mon.submit_job(JobSpec::new(AppProfile::comm_heavy("fft"), "u", 64, 60 * MINUTE_MS, Ts::ZERO));
     mon.schedule_fault(Ts::from_mins(3), FaultKind::LinkDown { link: 10 });
     mon.schedule_fault(Ts::from_mins(8), FaultKind::LinkUp { link: 10 });
     mon.run_ticks(12);
     assert!(mon.engine().network().link_is_up(10));
     // Restrict to the hwerr source: the analysis pipeline also stores its
     // own finding about this line (results live with raw data).
-    let down = mon
-        .log_store()
-        .search(&LogQuery::tokens(&["lcb", "failure"]).with_source("hwerr"));
+    let down = mon.log_store().search(&LogQuery::tokens(&["lcb", "failure"]).with_source("hwerr"));
     let up = mon.log_store().search(&LogQuery::tokens(&["recovered"]).with_source("hwerr"));
     assert_eq!(down.len(), 1);
     assert!(!up.is_empty());
@@ -39,15 +31,12 @@ fn link_flap_is_logged_and_recovers() {
 
 #[test]
 fn mds_degradation_slows_metadata_benchmark() {
-    let mut mon = MonitoringSystem::builder(SimConfig::small())
-        .bench_suite_every(Some(1))
-        .build();
+    let mut mon = MonitoringSystem::builder(SimConfig::small()).bench_suite_every(Some(1)).build();
     mon.run_ticks(10);
     let m = mon.metrics();
-    let series_before = mon.query().series(
-        hpcmon_metrics::SeriesKey::new(m.bench_metadata, CompId::SYSTEM),
-        TimeRange::all(),
-    );
+    let series_before = mon
+        .query()
+        .series(hpcmon_metrics::SeriesKey::new(m.bench_metadata, CompId::SYSTEM), TimeRange::all());
     let baseline = series_before.iter().map(|p| p.1).sum::<f64>() / series_before.len() as f64;
     mon.schedule_fault(Ts::from_mins(11), FaultKind::MdsDegrade { factor: 6.0 });
     mon.run_ticks(5);
@@ -95,9 +84,8 @@ fn fs_unmount_logged_as_error() {
     let mut mon = system();
     mon.schedule_fault(Ts::from_mins(1), FaultKind::FsUnmount { node: 12 });
     mon.run_ticks(2);
-    let hits = mon
-        .log_store()
-        .search(&LogQuery::tokens(&["lustre"]).with_min_severity(Severity::Error));
+    let hits =
+        mon.log_store().search(&LogQuery::tokens(&["lustre"]).with_min_severity(Severity::Error));
     assert_eq!(hits.len(), 1);
     assert_eq!(hits[0].comp, CompId::node(12));
 }
@@ -131,13 +119,7 @@ fn stochastic_failures_drive_background_noise() {
         link_errors_per_gb: 0.1,
     };
     let mut mon = MonitoringSystem::builder(cfg).build();
-    mon.submit_job(JobSpec::new(
-        AppProfile::comm_heavy("fft"),
-        "u",
-        64,
-        240 * MINUTE_MS,
-        Ts::ZERO,
-    ));
+    mon.submit_job(JobSpec::new(AppProfile::comm_heavy("fft"), "u", 64, 240 * MINUTE_MS, Ts::ZERO));
     mon.run_ticks(120);
     // The machine degrades visibly over two hours at these rates.
     let truth = mon.engine().truth_log();

@@ -9,12 +9,7 @@ fn figure1_pre_tas_injection_is_significantly_lower() {
     let r = scenarios::fig1_tas(20, 11);
     // Paper: mean bandwidth utilization "significantly lower over the
     // pre-TAS time period (left) than when TAS was being utilized".
-    assert!(
-        r.post_mean > 1.15 * r.pre_mean,
-        "pre {} vs TAS {}",
-        r.pre_mean,
-        r.post_mean
-    );
+    assert!(r.post_mean > 1.15 * r.pre_mean, "pre {} vs TAS {}", r.pre_mean, r.post_mean);
     // Both eras produced full-length series.
     assert_eq!(r.pre_tas.len(), 20);
     assert_eq!(r.post_tas.len(), 20);
@@ -44,8 +39,7 @@ fn figure2_onsets_are_detected_near_injection() {
     );
     // And the degraded eras are visibly worse than the baselines.
     let baseline_io: f64 = r.io_series.iter().take(30).map(|p| p.1).sum::<f64>() / 30.0;
-    let degraded_io: f64 =
-        r.io_series.iter().rev().take(30).map(|p| p.1).sum::<f64>() / 30.0;
+    let degraded_io: f64 = r.io_series.iter().rev().take(30).map(|p| p.1).sum::<f64>() / 30.0;
     assert!(degraded_io > 2.0 * baseline_io, "{baseline_io} -> {degraded_io}");
 }
 
@@ -78,8 +72,7 @@ fn figure4_drilldown_attributes_correctly() {
         assert!(r.culprit.uses_node(comp.index), "{comp} not in culprit allocation");
     }
     // The spike dominates the background.
-    let peak_val =
-        r.aggregate_read.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
+    let peak_val = r.aggregate_read.iter().map(|p| p.1).fold(f64::NEG_INFINITY, f64::max);
     let background: f64 = r.aggregate_read.iter().take(15).map(|p| p.1).sum::<f64>() / 15.0;
     assert!(peak_val > 5.0 * background.max(1.0), "peak {peak_val} background {background}");
 }
@@ -109,10 +102,7 @@ fn figure5_csv_matches_panel() {
 fn gating_shape_matches_cscs_goal() {
     let r = scenarios::gating_experiment(11);
     // Without gating, bad nodes eat many jobs; with gating, almost none.
-    assert!(
-        r.failed_without_gating >= 3 * r.failed_with_gating.max(1),
-        "{r:?}"
-    );
+    assert!(r.failed_without_gating >= 3 * r.failed_with_gating.max(1), "{r:?}");
     // Gating must not tank throughput.
     assert!(r.completed_with_gating as f64 >= 0.9 * r.completed_without_gating as f64, "{r:?}");
 }

@@ -6,7 +6,7 @@ use hpcmon::pipeline::DetectorAttachment;
 use hpcmon::{MonitoringSystem, SimConfig};
 use hpcmon_analysis::ThresholdDetector;
 use hpcmon_collect::Collector;
-use hpcmon_metrics::{CompId, Frame, MetricId, Severity, SeriesKey, Ts, Unit, MINUTE_MS};
+use hpcmon_metrics::{CompId, Frame, MetricId, SeriesKey, Severity, Ts, Unit, MINUTE_MS};
 use hpcmon_response::SignalKind;
 use hpcmon_sim::{AppProfile, FaultKind, JobSpec, SimEngine};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -37,9 +37,8 @@ fn dead_collector_raises_monitoring_gap() {
     let builder = MonitoringSystem::builder(SimConfig::small());
     let metric = builder.registry().register("site.custom_counter", Unit::Count, "test feed");
     let dead = Arc::new(AtomicBool::new(false));
-    let mut mon = builder
-        .install_collector(Box::new(FlakyCollector { metric, dead: dead.clone() }))
-        .build();
+    let mut mon =
+        builder.install_collector(Box::new(FlakyCollector { metric, dead: dead.clone() })).build();
     mon.run_ticks(10);
     assert!(
         !mon.signals().iter().any(|s| s.kind == SignalKind::MonitoringGap),
@@ -57,11 +56,7 @@ fn dead_collector_raises_monitoring_gap() {
     let before = gaps.len();
     mon.run_ticks(1); // one tick to beat again
     mon.run_ticks(3);
-    let after = mon
-        .signals()
-        .iter()
-        .filter(|s| s.kind == SignalKind::MonitoringGap)
-        .count();
+    let after = mon.signals().iter().filter(|s| s.kind == SignalKind::MonitoringGap).count();
     // Cooldowns aside: no *new* gap signals once the feed is back.
     assert!(after <= before + 1, "before {before} after {after}");
 }
@@ -79,13 +74,94 @@ fn custom_collector_data_lands_in_the_store() {
     mon.run_ticks(5);
     // The metric registered via the builder resolves in the built system.
     assert_eq!(mon.registry().lookup("site.custom_counter"), Some(metric));
-    let pts = mon.query().series(
-        SeriesKey::new(metric, CompId::SYSTEM),
-        hpcmon_store::TimeRange::all(),
-    );
+    let pts =
+        mon.query().series(SeriesKey::new(metric, CompId::SYSTEM), hpcmon_store::TimeRange::all());
     assert_eq!(pts.len(), 5);
     assert_eq!(pts[0].1, 1.0);
     assert_eq!(pts[4].1, 5.0);
+}
+
+#[test]
+fn self_telemetry_series_land_in_the_store() {
+    let mut mon = MonitoringSystem::builder(SimConfig::small()).build();
+    mon.run_ticks(5);
+    // Stage latencies and transport counters are ordinary queryable series
+    // under hpcmon.self.* — the monitor is a subsystem like any other.
+    for name in [
+        "hpcmon.self.stage.collect.p95_ms",
+        "hpcmon.self.stage.store.p95_ms",
+        "hpcmon.self.stage.analysis.p95_ms",
+        "hpcmon.self.transport.published",
+        "hpcmon.self.transport.dropped",
+        "hpcmon.self.store.samples_ingested",
+        "hpcmon.self.collect.samples.node",
+    ] {
+        let id = mon.registry().lookup(name).unwrap_or_else(|| panic!("{name} not registered"));
+        let pts =
+            mon.query().series(SeriesKey::new(id, CompId::SYSTEM), hpcmon_store::TimeRange::all());
+        assert!(!pts.is_empty(), "{name} has no points");
+    }
+    // The lossless store path means zero transport drops, visible in the
+    // self feed itself.
+    let id = mon.registry().lookup("hpcmon.self.transport.dropped").unwrap();
+    let pts =
+        mon.query().series(SeriesKey::new(id, CompId::SYSTEM), hpcmon_store::TimeRange::all());
+    assert!(pts.iter().all(|&(_, v)| v == 0.0));
+    // Per-topic breakdown is surfaced through the system facade.
+    let topics = mon.broker_topic_stats();
+    assert!(topics.iter().any(|t| t.topic == "metrics/frame" && t.published == 5));
+}
+
+#[test]
+fn killed_collector_zeroes_its_self_feed_and_raises_a_gap() {
+    let mut mon = MonitoringSystem::builder(SimConfig::small()).build();
+    mon.run_ticks(5);
+    assert!(mon.silence_collector("node"), "node collector exists");
+    mon.run_ticks(5);
+    // The gap is detected by the deadman as before...
+    let gaps: Vec<_> =
+        mon.signals().iter().filter(|s| s.kind == SignalKind::MonitoringGap).collect();
+    assert!(!gaps.is_empty(), "silenced feed detected");
+    assert!(gaps.iter().any(|s| s.detail.contains("'node'")), "{:?}", gaps[0]);
+    // ...and the positive instrumentation shows the same story: the
+    // per-tick sample count for the dead collector drops to zero while a
+    // healthy collector's stays up.
+    let dead = mon.registry().lookup("hpcmon.self.collect.samples.node").unwrap();
+    let pts =
+        mon.query().series(SeriesKey::new(dead, CompId::SYSTEM), hpcmon_store::TimeRange::all());
+    let (first, last) = (pts.first().unwrap().1, pts.last().unwrap().1);
+    assert!(first > 0.0, "was contributing before the kill: {first}");
+    assert_eq!(last, 0.0, "contributes nothing after the kill");
+    let alive = mon.registry().lookup("hpcmon.self.collect.samples.power").unwrap();
+    let pts =
+        mon.query().series(SeriesKey::new(alive, CompId::SYSTEM), hpcmon_store::TimeRange::all());
+    assert!(pts.last().unwrap().1 > 0.0, "healthy collector still reporting");
+}
+
+#[test]
+fn telemetry_report_json_round_trips() {
+    let mut mon = MonitoringSystem::builder(SimConfig::small()).build();
+    mon.run_ticks(3);
+    let report = mon.telemetry_report();
+    assert!(report.histograms.iter().any(|h| h.name == "stage.tick" && h.count == 3));
+    assert!(report.counters.iter().any(|c| c.name == "tick.count" && c.value == 3));
+    let json = serde_json::to_string(&report).unwrap();
+    let back: hpcmon::telemetry::TelemetryReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(report, back);
+    // The text rendering carries the stage taxonomy for the ops report.
+    let text = report.render_text();
+    assert!(text.contains("stage.collect"));
+    assert!(text.contains("collect.samples.node"));
+}
+
+#[test]
+fn disabling_self_telemetry_removes_the_feed() {
+    let mut mon = MonitoringSystem::builder(SimConfig::small()).self_telemetry(false).build();
+    mon.run_ticks(3);
+    assert!(mon.registry().lookup("hpcmon.self.stage.tick.p95_ms").is_none());
+    assert!(!mon.telemetry().is_active());
+    let report = mon.telemetry_report();
+    assert!(report.histograms.iter().all(|h| h.count == 0), "inert instruments");
 }
 
 #[test]
@@ -120,21 +196,13 @@ fn queue_backlog_anomaly_traces_to_filesystem() {
         ));
     }
     mon.run_ticks(60);
-    let healthy_anoms = mon
-        .signals()
-        .iter()
-        .filter(|s| s.detail.contains("queue depth"))
-        .count();
+    let healthy_anoms = mon.signals().iter().filter(|s| s.detail.contains("queue depth")).count();
     // Cripple the filesystem: jobs stretch ~10x, the queue backs up.
     for ost in 0..16 {
         mon.schedule_fault(Ts::from_mins(61), FaultKind::OstDegrade { ost, factor: 10.0 });
     }
     mon.run_ticks(120);
-    let anoms: Vec<_> = mon
-        .signals()
-        .iter()
-        .filter(|s| s.detail.contains("queue depth"))
-        .collect();
+    let anoms: Vec<_> = mon.signals().iter().filter(|s| s.detail.contains("queue depth")).collect();
     assert!(anoms.len() > healthy_anoms, "backlog anomaly detected: {}", anoms.len());
     // And the operator's wait estimate balloons accordingly.
     let wait = mon.estimate_wait_ms(64).expect("fits eventually");

@@ -4,7 +4,7 @@
 use hpcmon::pipeline::DetectorAttachment;
 use hpcmon::{MonitoringSystem, SimConfig};
 use hpcmon_analysis::{MadDetector, ZScoreDetector};
-use hpcmon_metrics::{CompId, JobState, Severity, SeriesKey, Ts, MINUTE_MS};
+use hpcmon_metrics::{CompId, JobState, SeriesKey, Severity, Ts, MINUTE_MS};
 use hpcmon_response::{Consumer, SignalKind};
 use hpcmon_sim::{AppProfile, FaultKind, JobSpec};
 use hpcmon_store::{AggFn, LogQuery, TimeRange};
@@ -43,11 +43,8 @@ fn full_hour_of_operations() {
     }
     // The store answers system-level queries.
     let m = mon.metrics();
-    let power = mon.query().aggregate_across_components(
-        m.system_power,
-        TimeRange::all(),
-        AggFn::Mean,
-    );
+    let power =
+        mon.query().aggregate_across_components(m.system_power, TimeRange::all(), AggFn::Mean);
     assert_eq!(power.len(), 60, "one point per synchronized tick");
     assert!(power.iter().all(|&(_, w)| w > 10_000.0));
 }
@@ -112,8 +109,10 @@ fn silent_degradation_found_by_probes_not_logs() {
         .collect();
     assert!(new_logs.is_empty(), "degradation is silent in machine logs: {new_logs:?}");
     // But the metric pipeline caught it.
-    assert!(mon.signals().iter().any(|s| s.kind == SignalKind::MetricAnomaly
-        && s.comp == CompId::ost(5)));
+    assert!(mon
+        .signals()
+        .iter()
+        .any(|s| s.kind == SignalKind::MetricAnomaly && s.comp == CompId::ost(5)));
 }
 
 #[test]
@@ -145,8 +144,9 @@ fn hung_node_caught_by_power_not_logs() {
     mon.schedule_fault(Ts::from_mins(21), FaultKind::NodeHang { node: 40 });
     mon.run_ticks(5);
     assert!(
-        mon.signals().iter().any(|s| s.kind == SignalKind::PowerAnomaly
-            && s.comp == CompId::node(40)),
+        mon.signals()
+            .iter()
+            .any(|s| s.kind == SignalKind::PowerAnomaly && s.comp == CompId::node(40)),
         "power detector must catch the silent hang"
     );
 }
@@ -212,13 +212,9 @@ fn live_consumer_rides_the_broker() {
     let mut mon = system();
     // An external dashboard subscribes to frames; a lossy deep-history
     // tool subscribes to logs.
-    let frames = mon.broker().subscribe(
-        TopicFilter::new("metrics/#"),
-        64,
-        BackpressurePolicy::DropOldest,
-    );
-    let logs =
-        mon.broker().subscribe(TopicFilter::new("logs/#"), 1_024, BackpressurePolicy::Block);
+    let frames =
+        mon.broker().subscribe(TopicFilter::new("metrics/#"), 64, BackpressurePolicy::DropOldest);
+    let logs = mon.broker().subscribe(TopicFilter::new("logs/#"), 1_024, BackpressurePolicy::Block);
     mon.schedule_fault(Ts::from_mins(3), FaultKind::LinkDown { link: 0 });
     mon.run_ticks(5);
     let frame_envs = frames.drain();
