@@ -1,0 +1,161 @@
+//! Ablation: the query gateway under synthetic multi-principal load.
+//!
+//! Drives a fixed client mix (admin dashboards plus per-user portals)
+//! against a populated system and reports qps, p99 latency, cache hit
+//! rate, and shed count for a cold cache (capacity 0 — every query
+//! evaluates) versus a warm cache (epoch-keyed LRU).  The claim under
+//! test: result caching turns repeat dashboard traffic into O(1) lookups
+//! without ever serving data across a store change.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcmon::{MonitoringSystem, SimConfig};
+use hpcmon_gateway::{GatewayConfig, QueryRequest};
+use hpcmon_metrics::{CompId, CompKind, SeriesKey, Ts};
+use hpcmon_response::Consumer;
+use hpcmon_sim::{AppProfile, JobSpec};
+use hpcmon_store::{AggFn, TimeRange};
+use std::time::{Duration, Instant};
+
+const CLIENTS: usize = 6;
+const QUERIES_PER_CLIENT: usize = 400;
+
+fn populated_system(cache_capacity: usize, rate_limit: bool) -> MonitoringSystem {
+    let mut mon = MonitoringSystem::builder(SimConfig::small())
+        .gateway(GatewayConfig {
+            cache_capacity,
+            default_deadline_ms: 10_000,
+            rate_limit_burst: if rate_limit { 50.0 } else { 0.0 },
+            rate_limit_per_sec: if rate_limit { 10.0 } else { 0.0 },
+            ..GatewayConfig::default()
+        })
+        .build();
+    mon.submit_job(JobSpec::new(AppProfile::compute_heavy("sim"), "alice", 8, 3_600_000, Ts::ZERO));
+    mon.submit_job(JobSpec::new(AppProfile::compute_heavy("ml"), "bob", 8, 3_600_000, Ts::ZERO));
+    mon.run_ticks(30);
+    mon
+}
+
+/// The per-client request mix: a handful of dashboard-shaped queries
+/// cycled per iteration (repeat traffic is what caches exist for).
+fn request_mix(mon: &MonitoringSystem) -> Vec<QueryRequest> {
+    let m = mon.metrics();
+    let all = TimeRange::all();
+    vec![
+        QueryRequest::Series { key: SeriesKey::new(m.system_power, CompId::SYSTEM), range: all },
+        QueryRequest::AggregateAcross { metric: m.node_power, range: all, agg: AggFn::Sum },
+        QueryRequest::TopComponentsAt {
+            metric: m.node_cpu,
+            at: Ts::from_mins(20),
+            tolerance_ms: 30_000,
+            limit: 8,
+        },
+        QueryRequest::Downsample {
+            key: SeriesKey::new(m.system_power, CompId::SYSTEM),
+            range: all,
+            bucket_ms: 300_000,
+            agg: AggFn::Mean,
+        },
+        QueryRequest::ComponentsOfKind {
+            metric: m.cabinet_power,
+            kind: CompKind::Cabinet,
+            range: all,
+        },
+    ]
+}
+
+struct LoadReport {
+    qps: f64,
+    p99_ms: f64,
+    hit_rate: f64,
+    shed: u64,
+}
+
+fn drive_load(mon: &MonitoringSystem) -> LoadReport {
+    let gw = mon.gateway().unwrap().clone();
+    let mix = request_mix(mon);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let gw = gw.clone();
+            let mix = mix.clone();
+            std::thread::spawn(move || {
+                // Half the clients are admin dashboards, half user portals.
+                let me = if i % 2 == 0 {
+                    Consumer::admin(&format!("dashboard-{i}"))
+                } else {
+                    Consumer::user(&format!("portal-{i}"), if i % 4 == 1 { "alice" } else { "bob" })
+                };
+                let mut latencies: Vec<Duration> = Vec::with_capacity(QUERIES_PER_CLIENT);
+                let mut shed = 0u64;
+                for k in 0..QUERIES_PER_CLIENT {
+                    let req = mix[k % mix.len()].clone();
+                    let t0 = Instant::now();
+                    match gw.query(&me, req) {
+                        Ok(_) => latencies.push(t0.elapsed()),
+                        Err(_) => shed += 1,
+                    }
+                }
+                (latencies, shed)
+            })
+        })
+        .collect();
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut shed = 0u64;
+    for h in handles {
+        let (l, s) = h.join().unwrap();
+        latencies.extend(l);
+        shed += s;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    latencies.sort();
+    let p99 =
+        latencies.get((latencies.len().saturating_sub(1)) * 99 / 100).copied().unwrap_or_default();
+    let stats = gw.cache_stats();
+    let lookups = (stats.hits + stats.misses).max(1);
+    LoadReport {
+        qps: latencies.len() as f64 / elapsed,
+        p99_ms: p99.as_secs_f64() * 1e3,
+        hit_rate: stats.hits as f64 / lookups as f64,
+        shed,
+    }
+}
+
+fn print_capability() {
+    println!("\n=== Ablation: query gateway (multi-principal load) ===");
+    println!("  {CLIENTS} clients x {QUERIES_PER_CLIENT} queries, mixed admin/user principals");
+    for (label, cache, limit) in
+        [("cold cache", 0, false), ("warm cache", 512, false), ("rate-limited", 512, true)]
+    {
+        let mon = populated_system(cache, limit);
+        let r = drive_load(&mon);
+        println!(
+            "  {label:<13} qps={:>9.0}  p99={:>7.3}ms  hit-rate={:>5.1}%  shed={}",
+            r.qps,
+            r.p99_ms,
+            r.hit_rate * 100.0,
+            r.shed
+        );
+    }
+    // Self-telemetry view of the same activity.
+    let mon = populated_system(512, false);
+    let _ = drive_load(&mon);
+    let report = mon.telemetry_report();
+    for c in report.counters.iter().filter(|c| c.name.starts_with("gateway.")) {
+        println!("  {:<32} {}", c.name, c.value);
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    print_capability();
+    let mut group = c.benchmark_group("abl_gateway");
+    group.sample_size(10);
+    for (label, cache) in [("cold_cache", 0usize), ("warm_cache", 512)] {
+        group.bench_function(format!("load_{label}"), |b| {
+            b.iter_with_setup(|| populated_system(cache, false), |mon| drive_load(&mon))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

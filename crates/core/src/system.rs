@@ -14,6 +14,7 @@ use hpcmon_collect::collectors::standard_collectors;
 use hpcmon_collect::{
     BenchmarkSuite, Collector, FsProbe, LogHarvester, NetworkProbe, SelfCollector, StdMetrics,
 };
+use hpcmon_gateway::{Gateway, GatewayConfig};
 use hpcmon_metrics::{CompId, CompKind, Frame, JobId, LogRecord, MetricRegistry, Severity, Ts};
 use hpcmon_response::{
     AccessPolicy, Action, ActionTaken, ResponseEngine, ResponseRule, Signal, SignalKind,
@@ -45,6 +46,7 @@ pub struct MonitorBuilder {
     extra_collectors: Vec<Box<dyn Collector>>,
     power_cap_w: Option<f64>,
     self_telemetry: bool,
+    gateway: Option<GatewayConfig>,
 }
 
 impl MonitorBuilder {
@@ -68,7 +70,17 @@ impl MonitorBuilder {
             extra_collectors: Vec::new(),
             power_cap_w: None,
             self_telemetry: true,
+            gateway: None,
         }
+    }
+
+    /// Serve queries through an [`hpcmon_gateway::Gateway`] built over the
+    /// system's store and broker (default off).  Its instruments register
+    /// under `gateway.*`, so with self-telemetry enabled gateway activity
+    /// appears as `hpcmon.self.gateway.*` series.
+    pub fn gateway(mut self, config: GatewayConfig) -> MonitorBuilder {
+        self.gateway = Some(config);
+        self
     }
 
     /// Enable or disable the self-telemetry layer (default on).  When off,
@@ -192,6 +204,9 @@ impl MonitorBuilder {
             )));
         }
         let instruments = PipelineInstruments::new(&telemetry, &collectors, &self.detectors);
+        let gateway = self
+            .gateway
+            .map(|cfg| Arc::new(Gateway::new(store.clone(), broker.clone(), &telemetry, cfg)));
         MonitoringSystem {
             bench_suite: BenchmarkSuite::new(metrics, self.config.seed ^ 0xBE, 16),
             bench_every_ticks: self.bench_every_ticks,
@@ -218,6 +233,7 @@ impl MonitorBuilder {
             broker,
             telemetry,
             instruments,
+            gateway,
         }
     }
 }
@@ -354,6 +370,7 @@ pub struct MonitoringSystem {
     power_cap_w: Option<f64>,
     telemetry: Arc<Telemetry>,
     instruments: PipelineInstruments,
+    gateway: Option<Arc<Gateway>>,
 }
 
 impl MonitoringSystem {
@@ -609,6 +626,14 @@ impl MonitoringSystem {
         }
         self.signals.extend(signals.iter().cloned());
         report.signals = signals;
+
+        // 8. Serve: refresh the gateway's scoping view with the
+        //    scheduler's current allocations, then evaluate standing
+        //    subscriptions against the freshly stored data.
+        if let Some(gw) = &self.gateway {
+            gw.update_jobs(self.engine.scheduler().records().to_vec());
+            gw.on_tick(now);
+        }
         report
     }
 
@@ -670,6 +695,13 @@ impl MonitoringSystem {
     /// The transport broker (subscribe for live consumers).
     pub fn broker(&self) -> &Arc<Broker> {
         &self.broker
+    }
+
+    /// The query gateway, if one was configured with
+    /// [`MonitorBuilder::gateway`].  Clone the `Arc` to issue queries from
+    /// consumer threads while the pipeline keeps ticking.
+    pub fn gateway(&self) -> Option<&Arc<Gateway>> {
+        self.gateway.as_ref()
     }
 
     /// Per-topic publish/deliver/drop breakdown from the broker.

@@ -1,0 +1,217 @@
+//! Admission control: per-principal token buckets plus a bounded queue
+//! that sheds expired work instead of stalling.
+//!
+//! The paper's Table I asks the serving side to protect the pipeline from
+//! its consumers ("analysis must not perturb the system under
+//! measurement").  Two mechanisms compose here:
+//!
+//! * [`TokenBuckets`] — each principal (consumer name) draws from its own
+//!   bucket; a principal that exceeds its refill rate is refused *at the
+//!   door* with a rate-limit error while everyone else proceeds untouched.
+//! * [`AdmissionQueue`] — a bounded FIFO between admission and the worker
+//!   pool.  When full, it first sheds queued entries whose deadline has
+//!   already passed (their waiters get a deadline error immediately —
+//!   nobody waits on work that can no longer be answered in time), and
+//!   only refuses the new request if the queue is still full of live work.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
+
+/// Per-principal token buckets.  `burst` is the bucket capacity, `per_sec`
+/// the refill rate; a non-positive `burst` disables limiting entirely.
+pub struct TokenBuckets {
+    burst: f64,
+    per_sec: f64,
+    inner: Mutex<HashMap<String, BucketState>>,
+}
+
+struct BucketState {
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBuckets {
+    /// A limiter with the given capacity and refill rate.
+    pub fn new(burst: f64, per_sec: f64) -> TokenBuckets {
+        TokenBuckets { burst, per_sec, inner: Mutex::new(HashMap::new()) }
+    }
+
+    /// Take one token for `principal` at time `now`; false means shed.
+    pub fn try_admit(&self, principal: &str, now: Instant) -> bool {
+        if self.burst <= 0.0 {
+            return true;
+        }
+        let mut inner = self.inner.lock();
+        let state = inner
+            .entry(principal.to_owned())
+            .or_insert(BucketState { tokens: self.burst, last: now });
+        let elapsed = now.saturating_duration_since(state.last).as_secs_f64();
+        state.tokens = (state.tokens + elapsed * self.per_sec).min(self.burst);
+        state.last = now;
+        if state.tokens >= 1.0 {
+            state.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Why a push was refused.
+pub enum PushError<T> {
+    /// Queue full of unexpired work; the item is handed back.
+    Full(T),
+    /// The queue was closed (gateway shutdown); the item is handed back.
+    Closed(T),
+}
+
+struct QueueState<T> {
+    q: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded FIFO with blocking pop and deadline-aware shedding on push.
+///
+/// Built on `std::sync::{Mutex, Condvar}` (blocking workers park on the
+/// condvar until work arrives or the queue closes).
+pub struct AdmissionQueue<T> {
+    inner: std::sync::Mutex<QueueState<T>>,
+    cv: std::sync::Condvar,
+    capacity: usize,
+}
+
+impl<T> AdmissionQueue<T> {
+    /// A queue admitting at most `capacity` entries.
+    pub fn new(capacity: usize) -> AdmissionQueue<T> {
+        AdmissionQueue {
+            inner: std::sync::Mutex::new(QueueState { q: VecDeque::new(), closed: false }),
+            cv: std::sync::Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue `item`.  When full, entries for which `expired` is true are
+    /// removed and passed to `shed` (which must answer their waiters);
+    /// if the queue is still full afterwards the push is refused.
+    pub fn push(
+        &self,
+        item: T,
+        expired: impl Fn(&T) -> bool,
+        mut shed: impl FnMut(T),
+    ) -> Result<(), PushError<T>> {
+        let mut state = self.inner.lock().expect("admission queue poisoned");
+        if state.closed {
+            return Err(PushError::Closed(item));
+        }
+        if state.q.len() >= self.capacity {
+            let mut live = VecDeque::with_capacity(state.q.len());
+            for entry in state.q.drain(..) {
+                if expired(&entry) {
+                    shed(entry);
+                } else {
+                    live.push_back(entry);
+                }
+            }
+            state.q = live;
+        }
+        if state.q.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        state.q.push_back(item);
+        drop(state);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop; `None` once the queue is closed *and* drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.inner.lock().expect("admission queue poisoned");
+        loop {
+            if let Some(item) = state.q.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cv.wait(state).expect("admission queue poisoned");
+        }
+    }
+
+    /// Close the queue: pending items remain poppable, waiters wake.
+    pub fn close(&self) {
+        self.inner.lock().expect("admission queue poisoned").closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("admission queue poisoned").q.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn token_bucket_sheds_over_limit_then_refills() {
+        let tb = TokenBuckets::new(2.0, 1.0);
+        let t0 = Instant::now();
+        assert!(tb.try_admit("alice", t0));
+        assert!(tb.try_admit("alice", t0));
+        assert!(!tb.try_admit("alice", t0), "burst spent");
+        // Another principal is unaffected.
+        assert!(tb.try_admit("bob", t0));
+        // After 1s one token is back.
+        assert!(tb.try_admit("alice", t0 + Duration::from_secs(1)));
+        assert!(!tb.try_admit("alice", t0 + Duration::from_secs(1)));
+    }
+
+    #[test]
+    fn non_positive_burst_means_unlimited() {
+        let tb = TokenBuckets::new(0.0, 0.0);
+        let t0 = Instant::now();
+        for _ in 0..1_000 {
+            assert!(tb.try_admit("anyone", t0));
+        }
+    }
+
+    #[test]
+    fn queue_sheds_expired_entries_before_refusing() {
+        // Items are (id, expired) pairs.
+        let q: AdmissionQueue<(u32, bool)> = AdmissionQueue::new(2);
+        assert!(q.push((1, true), |e| e.1, |_| {}).is_ok());
+        assert!(q.push((2, false), |e| e.1, |_| {}).is_ok());
+        // Full; entry 1 is expired and should be shed to make room.
+        let mut shed = Vec::new();
+        assert!(q.push((3, false), |e| e.1, |e| shed.push(e.0)).is_ok());
+        assert_eq!(shed, vec![1]);
+        // Full of live work now: refused.
+        match q.push((4, false), |e| e.1, |_| {}) {
+            Err(PushError::Full((4, _))) => {}
+            _ => panic!("expected Full"),
+        }
+        assert_eq!(q.pop().unwrap().0, 2, "FIFO order preserved");
+        assert_eq!(q.pop().unwrap().0, 3);
+    }
+
+    #[test]
+    fn close_wakes_poppers_and_drains() {
+        let q: AdmissionQueue<u32> = AdmissionQueue::new(4);
+        q.push(7, |_| false, |_| {}).ok();
+        q.close();
+        assert_eq!(q.pop(), Some(7), "queued work still drains after close");
+        assert_eq!(q.pop(), None);
+        match q.push(8, |_| false, |_| {}) {
+            Err(PushError::Closed(8)) => {}
+            _ => panic!("expected Closed"),
+        }
+    }
+}

@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! `hpcmon-gateway` — the concurrent query-serving frontend.
+//!
+//! Table I requires monitoring data to be "available to multiple
+//! consumers" under need-to-know access control, and the ROADMAP's north
+//! star is a serving path, not just a pipeline.  The pieces:
+//!
+//! * [`request`] — serde-serializable [`QueryRequest`]s mirroring every
+//!   `QueryEngine` operation, with value-typed errors (no panicking path
+//!   from consumer input).
+//! * [`service::Gateway`] — a sharded worker pool executing queries
+//!   concurrently against the shared [`hpcmon_store::TimeSeriesStore`],
+//!   with per-query deadline budgets.
+//! * [`cache::ResultCache`] — an LRU keyed on (normalized request, scope,
+//!   store epoch, job-view version); the store bumps its epoch on every
+//!   mutation, so a cached response is never served across a change.
+//! * [`admission`] — per-principal token buckets plus a bounded admission
+//!   queue that sheds expired requests instead of stalling.
+//! * Standing subscriptions — continuous queries re-evaluated each tick
+//!   and delivered through `hpcmon-transport` broker topics.
+//! * Self-telemetry — every instrument registers under `gateway.*`, so
+//!   the self-monitoring feed republishes gateway activity as
+//!   `hpcmon.self.gateway.*` series.
+
+pub mod admission;
+pub mod cache;
+pub mod request;
+pub mod service;
+
+pub use cache::{CacheStats, ResultCache};
+pub use request::{QueryError, QueryRequest, QueryResponse, SubscriptionUpdate};
+pub use service::{Gateway, GatewayConfig};

@@ -1,0 +1,560 @@
+//! The gateway service: sharded worker pool, scoped evaluation, result
+//! caching, and standing subscriptions.
+
+use crate::admission::{AdmissionQueue, PushError, TokenBuckets};
+use crate::cache::{CacheStats, ResultCache};
+use crate::request::{QueryError, QueryRequest, QueryResponse, SubscriptionUpdate};
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Sender};
+use hpcmon_metrics::{CompId, JobRecord, SeriesKey, Ts};
+use hpcmon_response::access::{AccessPolicy, Consumer, Role};
+use hpcmon_store::{QueryEngine, TimeSeriesStore};
+use hpcmon_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use hpcmon_transport::{Broker, Payload};
+use parking_lot::{Mutex, RwLock};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Gateway sizing and policy knobs.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Worker-pool shards; principals are hashed onto shards so one noisy
+    /// consumer contends with itself first.
+    pub shards: usize,
+    /// Worker threads per shard.
+    pub workers_per_shard: usize,
+    /// Admission-queue capacity per shard.
+    pub queue_capacity: usize,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Default per-query deadline budget.
+    pub default_deadline_ms: u64,
+    /// Token-bucket capacity per principal (≤ 0 disables rate limiting).
+    pub rate_limit_burst: f64,
+    /// Token refill rate per principal, tokens/second.
+    pub rate_limit_per_sec: f64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            shards: 2,
+            workers_per_shard: 2,
+            queue_capacity: 64,
+            cache_capacity: 256,
+            default_deadline_ms: 250,
+            rate_limit_burst: 0.0,
+            rate_limit_per_sec: 0.0,
+        }
+    }
+}
+
+/// Telemetry handles, registered once at construction (the self-collector
+/// requires append-only instrument ordering).  All names are under
+/// `gateway.`, so the self feed republishes them as `hpcmon.self.gateway.*`.
+struct GatewayMetrics {
+    queries: Arc<Counter>,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
+    cache_hit_ratio: Arc<Gauge>,
+    shed_rate_limited: Arc<Counter>,
+    shed_deadline: Arc<Counter>,
+    shed_queue_full: Arc<Counter>,
+    denied_access: Arc<Counter>,
+    eval: Arc<Histogram>,
+    queue_depth: Arc<Gauge>,
+    subs_active: Arc<Gauge>,
+    subs_delivered: Arc<Counter>,
+}
+
+impl GatewayMetrics {
+    fn new(t: &Telemetry) -> GatewayMetrics {
+        GatewayMetrics {
+            queries: t.counter("gateway.queries"),
+            cache_hits: t.counter("gateway.cache.hits"),
+            cache_misses: t.counter("gateway.cache.misses"),
+            cache_hit_ratio: t.gauge("gateway.cache.hit_ratio"),
+            shed_rate_limited: t.counter("gateway.shed.rate_limited"),
+            shed_deadline: t.counter("gateway.shed.deadline"),
+            shed_queue_full: t.counter("gateway.shed.queue_full"),
+            denied_access: t.counter("gateway.denied.access"),
+            eval: t.histogram("gateway.eval"),
+            queue_depth: t.gauge("gateway.queue.depth"),
+            subs_active: t.gauge("gateway.subscriptions.active"),
+            subs_delivered: t.counter("gateway.subscriptions.delivered"),
+        }
+    }
+}
+
+/// One admitted query waiting for a worker.
+struct Job {
+    consumer: Consumer,
+    request: QueryRequest,
+    deadline: Instant,
+    responder: Sender<Result<QueryResponse, QueryError>>,
+}
+
+/// One standing subscription.
+struct StandingSub {
+    id: u64,
+    consumer: Consumer,
+    request: QueryRequest,
+    topic: String,
+    /// `Series` subscriptions deliver incrementally: only points newer than
+    /// this watermark go out, and the watermark advances on delivery.
+    watermark: Option<Ts>,
+    /// Non-`Series` subscriptions re-evaluate fully and deliver on change.
+    last: Option<QueryResponse>,
+}
+
+struct GatewayInner {
+    store: Arc<TimeSeriesStore>,
+    broker: Arc<Broker>,
+    policy: AccessPolicy,
+    config: GatewayConfig,
+    /// The scheduler's job view, swapped wholesale by [`Gateway::update_jobs`].
+    jobs: RwLock<Arc<Vec<JobRecord>>>,
+    /// Bumped when the job view *changes* (scope epoch for the cache).
+    jobs_version: AtomicU64,
+    cache: ResultCache,
+    buckets: TokenBuckets,
+    queues: Vec<AdmissionQueue<Job>>,
+    subs: Mutex<Vec<StandingSub>>,
+    next_sub_id: AtomicU64,
+    shutdown: AtomicBool,
+    metrics: GatewayMetrics,
+}
+
+impl GatewayInner {
+    fn total_queued(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    fn scope_tag(consumer: &Consumer) -> String {
+        match &consumer.role {
+            Role::Admin => "admin".to_owned(),
+            Role::User(u) => format!("user:{u}"),
+        }
+    }
+
+    /// The cache key: scope fingerprint + canonical serde form of the
+    /// request.  Two consumers with the same *role scope* share entries
+    /// (two admin dashboards hit each other's cache); different scopes
+    /// never do.
+    fn cache_key(consumer: &Consumer, request: &QueryRequest) -> String {
+        let req = serde_json::to_string(request).unwrap_or_default();
+        format!("{}|{}", Self::scope_tag(consumer), req)
+    }
+
+    /// Execute with caching.  The store epoch and job version are captured
+    /// **before** evaluation, so a mutation racing the query conservatively
+    /// invalidates the entry rather than ever validating a stale one.
+    fn execute(
+        &self,
+        consumer: &Consumer,
+        request: &QueryRequest,
+    ) -> Result<Arc<QueryResponse>, QueryError> {
+        let started = Instant::now();
+        let store_epoch = self.store.epoch();
+        let jobs_version = self.jobs_version.load(Ordering::Acquire);
+        let epoch = (store_epoch, jobs_version);
+        let key = Self::cache_key(consumer, request);
+        if let Some(hit) = self.cache.get(&key, epoch) {
+            self.metrics.cache_hits.inc();
+            self.metrics.eval.record_ns(started.elapsed().as_nanos() as u64);
+            return Ok(hit);
+        }
+        self.metrics.cache_misses.inc();
+        let jobs = self.jobs.read().clone();
+        let result = self.evaluate(consumer, request, &jobs);
+        self.metrics.eval.record_ns(started.elapsed().as_nanos() as u64);
+        let resp = Arc::new(result?);
+        self.cache.put(key, epoch, resp.clone());
+        Ok(resp)
+    }
+
+    fn deny(&self, what: String) -> QueryError {
+        self.metrics.denied_access.inc();
+        QueryError::AccessDenied(what)
+    }
+
+    fn check_series(
+        &self,
+        consumer: &Consumer,
+        key: &SeriesKey,
+        jobs: &[JobRecord],
+    ) -> Result<(), QueryError> {
+        if self.policy.series_visible(consumer, key, jobs) {
+            Ok(())
+        } else {
+            Err(self.deny(format!("series {:?}/{:?}", key.metric, key.comp)))
+        }
+    }
+
+    /// Scoped evaluation against the store.  Admin principals get the
+    /// `QueryEngine` result verbatim; user principals see only series
+    /// passing [`AccessPolicy::series_visible`] for their job view.
+    fn evaluate(
+        &self,
+        consumer: &Consumer,
+        request: &QueryRequest,
+        jobs: &[JobRecord],
+    ) -> Result<QueryResponse, QueryError> {
+        request.validate()?;
+        let engine = QueryEngine::new(&self.store);
+        let is_admin = consumer.role == Role::Admin;
+        match request {
+            QueryRequest::Series { key, range } => {
+                self.check_series(consumer, key, jobs)?;
+                Ok(QueryResponse::Points(engine.series(*key, *range)))
+            }
+            QueryRequest::AggregateAcross { metric, range, agg } => {
+                if is_admin {
+                    return Ok(QueryResponse::Points(
+                        engine.aggregate_across_components(*metric, *range, *agg),
+                    ));
+                }
+                // Users aggregate over their visible components only: the
+                // sum of "my nodes" is meaningful, the machine-wide total
+                // is need-to-know.
+                let per_comp = self.store.query_metric(*metric, range.from, range.to);
+                let mut by_ts: std::collections::BTreeMap<Ts, Vec<f64>> = Default::default();
+                for (comp, pts) in per_comp {
+                    let key = SeriesKey::new(*metric, comp);
+                    if !self.policy.series_visible(consumer, &key, jobs) {
+                        continue;
+                    }
+                    for (t, v) in pts {
+                        by_ts.entry(t).or_default().push(v);
+                    }
+                }
+                Ok(QueryResponse::Points(
+                    by_ts
+                        .into_iter()
+                        .filter_map(|(t, vals)| agg.apply(&vals).map(|v| (t, v)))
+                        .collect(),
+                ))
+            }
+            QueryRequest::ComponentsOfKind { metric, kind, range } => {
+                let rows = engine
+                    .components_of_kind(*metric, *kind, *range)
+                    .into_iter()
+                    .filter(|(comp, _)| {
+                        is_admin
+                            || self.policy.series_visible(
+                                consumer,
+                                &SeriesKey::new(*metric, *comp),
+                                jobs,
+                            )
+                    })
+                    .collect();
+                Ok(QueryResponse::Grouped(rows))
+            }
+            QueryRequest::TopComponentsAt { metric, at, tolerance_ms, limit } => {
+                if is_admin {
+                    return Ok(QueryResponse::Ranked(engine.top_components_at(
+                        *metric,
+                        *at,
+                        *tolerance_ms,
+                        *limit,
+                    )));
+                }
+                // Rank everything first, filter to visible, then truncate —
+                // truncating before the filter would let invisible rows
+                // push visible ones out of the top-k.
+                let mut rows: Vec<(CompId, f64)> = engine
+                    .top_components_at(*metric, *at, *tolerance_ms, usize::MAX)
+                    .into_iter()
+                    .filter(|(comp, _)| {
+                        self.policy.series_visible(consumer, &SeriesKey::new(*metric, *comp), jobs)
+                    })
+                    .collect();
+                rows.truncate(*limit);
+                Ok(QueryResponse::Ranked(rows))
+            }
+            QueryRequest::Downsample { key, range, bucket_ms, agg } => {
+                self.check_series(consumer, key, jobs)?;
+                Ok(QueryResponse::Points(engine.downsample(*key, *range, *bucket_ms, *agg)?))
+            }
+            QueryRequest::AlignJoin { a, b, range } => {
+                self.check_series(consumer, a, jobs)?;
+                self.check_series(consumer, b, jobs)?;
+                Ok(QueryResponse::Joined(engine.align_join(*a, *b, *range)))
+            }
+            QueryRequest::JobSeries { job_id, metric } => {
+                let job = jobs
+                    .iter()
+                    .find(|j| j.id.0 == *job_id)
+                    .ok_or(QueryError::UnknownJob(*job_id))?;
+                let owned = matches!(&consumer.role, Role::User(u) if job.user == *u);
+                if !is_admin && !owned {
+                    return Err(self.deny(format!("job {job_id}")));
+                }
+                Ok(QueryResponse::Job(engine.job_series(job, *metric)))
+            }
+        }
+    }
+}
+
+/// The concurrent query-serving frontend.
+///
+/// Constructed over shared handles to the store, broker, and telemetry
+/// registry; owns its worker threads (joined on drop).
+pub struct Gateway {
+    inner: Arc<GatewayInner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Gateway {
+    /// Build the gateway and start its worker pool.
+    pub fn new(
+        store: Arc<TimeSeriesStore>,
+        broker: Arc<Broker>,
+        telemetry: &Telemetry,
+        config: GatewayConfig,
+    ) -> Gateway {
+        let shards = config.shards.max(1);
+        let workers_per_shard = config.workers_per_shard.max(1);
+        let queues = (0..shards).map(|_| AdmissionQueue::new(config.queue_capacity)).collect();
+        let inner = Arc::new(GatewayInner {
+            store,
+            broker,
+            policy: AccessPolicy,
+            jobs: RwLock::new(Arc::new(Vec::new())),
+            jobs_version: AtomicU64::new(0),
+            cache: ResultCache::new(config.cache_capacity),
+            buckets: TokenBuckets::new(config.rate_limit_burst, config.rate_limit_per_sec),
+            queues,
+            subs: Mutex::new(Vec::new()),
+            next_sub_id: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+            metrics: GatewayMetrics::new(telemetry),
+            config,
+        });
+        let mut workers = Vec::with_capacity(shards * workers_per_shard);
+        for shard in 0..shards {
+            for w in 0..workers_per_shard {
+                let inner = inner.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("gw-{shard}-{w}"))
+                    .spawn(move || Gateway::worker_loop(&inner, shard))
+                    .expect("spawn gateway worker");
+                workers.push(handle);
+            }
+        }
+        Gateway { inner, workers: Mutex::new(workers) }
+    }
+
+    fn worker_loop(inner: &GatewayInner, shard: usize) {
+        while let Some(job) = inner.queues[shard].pop() {
+            inner.metrics.queue_depth.set(inner.total_queued() as f64);
+            if Instant::now() > job.deadline {
+                inner.metrics.shed_deadline.inc();
+                let _ = job.responder.send(Err(QueryError::DeadlineExceeded));
+                continue;
+            }
+            let result = inner.execute(&job.consumer, &job.request).map(|arc| (*arc).clone());
+            let _ = job.responder.send(result);
+        }
+    }
+
+    /// Submit one query with the configured default deadline budget;
+    /// blocks until answered, shed, or timed out.
+    pub fn query(
+        &self,
+        consumer: &Consumer,
+        request: QueryRequest,
+    ) -> Result<QueryResponse, QueryError> {
+        let budget = Duration::from_millis(self.inner.config.default_deadline_ms);
+        self.query_with_deadline(consumer, request, budget)
+    }
+
+    /// Submit one query with an explicit deadline budget.
+    pub fn query_with_deadline(
+        &self,
+        consumer: &Consumer,
+        request: QueryRequest,
+        budget: Duration,
+    ) -> Result<QueryResponse, QueryError> {
+        let inner = &self.inner;
+        inner.metrics.queries.inc();
+        if inner.shutdown.load(Ordering::Acquire) {
+            return Err(QueryError::Shutdown);
+        }
+        if !inner.buckets.try_admit(&consumer.name, Instant::now()) {
+            inner.metrics.shed_rate_limited.inc();
+            return Err(QueryError::RateLimited { principal: consumer.name.clone() });
+        }
+        // Reject malformed requests before they occupy queue or worker.
+        request.validate()?;
+        let (tx, rx) = bounded(1);
+        let job = Job {
+            consumer: consumer.clone(),
+            request,
+            deadline: Instant::now() + budget,
+            responder: tx,
+        };
+        let shard = {
+            let mut h = DefaultHasher::new();
+            consumer.name.hash(&mut h);
+            (h.finish() as usize) % inner.queues.len()
+        };
+        let now = Instant::now();
+        let pushed = inner.queues[shard].push(
+            job,
+            |j| j.deadline < now,
+            |expired| {
+                inner.metrics.shed_deadline.inc();
+                let _ = expired.responder.send(Err(QueryError::DeadlineExceeded));
+            },
+        );
+        match pushed {
+            Ok(()) => inner.metrics.queue_depth.set(inner.total_queued() as f64),
+            Err(PushError::Full(_)) => {
+                inner.metrics.shed_queue_full.inc();
+                return Err(QueryError::QueueFull);
+            }
+            Err(PushError::Closed(_)) => return Err(QueryError::Shutdown),
+        }
+        match rx.recv() {
+            Ok(result) => result,
+            Err(_) => Err(QueryError::Shutdown),
+        }
+    }
+
+    /// Register a standing subscription: `request` is re-evaluated each
+    /// tick under `consumer`'s scope and deltas are published on `topic`
+    /// (as `Payload::Raw` JSON of [`SubscriptionUpdate`]).  Returns the
+    /// subscription id.
+    pub fn subscribe(
+        &self,
+        consumer: &Consumer,
+        request: QueryRequest,
+        topic: &str,
+    ) -> Result<u64, QueryError> {
+        request.validate()?;
+        let id = self.inner.next_sub_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut subs = self.inner.subs.lock();
+        subs.push(StandingSub {
+            id,
+            consumer: consumer.clone(),
+            request,
+            topic: topic.to_owned(),
+            watermark: None,
+            last: None,
+        });
+        self.inner.metrics.subs_active.set(subs.len() as f64);
+        Ok(id)
+    }
+
+    /// Remove a standing subscription; false if the id is unknown.
+    pub fn unsubscribe(&self, id: u64) -> bool {
+        let mut subs = self.inner.subs.lock();
+        let before = subs.len();
+        subs.retain(|s| s.id != id);
+        self.inner.metrics.subs_active.set(subs.len() as f64);
+        subs.len() != before
+    }
+
+    /// Replace the scheduler job view the scoping decisions run against.
+    /// The scope epoch only advances when the view actually changes, so a
+    /// steady job mix keeps the cache warm.
+    pub fn update_jobs(&self, jobs: Vec<JobRecord>) {
+        let changed = { *self.inner.jobs.read().as_ref() != jobs };
+        if changed {
+            *self.inner.jobs.write() = Arc::new(jobs);
+            self.inner.jobs_version.fetch_add(1, Ordering::Release);
+        }
+    }
+
+    /// Evaluate all standing subscriptions for the tick at `now` and
+    /// publish updates.  `Series` subscriptions send only points past
+    /// their watermark; other requests re-evaluate fully and send on
+    /// change.  Called from the pipeline's tick loop.
+    pub fn on_tick(&self, now: Ts) {
+        let inner = &self.inner;
+        if inner.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let jobs = inner.jobs.read().clone();
+        let mut subs = inner.subs.lock();
+        for sub in subs.iter_mut() {
+            let resp = match inner.evaluate(&sub.consumer, &sub.request, &jobs) {
+                Ok(r) => r,
+                // A subscription that has become unanswerable (job ended,
+                // access revoked) just goes quiet; it is not an admission
+                // failure.
+                Err(_) => continue,
+            };
+            let delivery = match (&sub.request, resp) {
+                (QueryRequest::Series { .. }, QueryResponse::Points(pts)) => {
+                    let fresh: Vec<(Ts, f64)> = match sub.watermark {
+                        Some(w) => pts.iter().copied().filter(|(t, _)| *t > w).collect(),
+                        None => pts,
+                    };
+                    match fresh.last() {
+                        Some(&(t, _)) => {
+                            sub.watermark = Some(sub.watermark.map_or(t, |w| w.max(t)));
+                            Some((true, QueryResponse::Points(fresh)))
+                        }
+                        None => None,
+                    }
+                }
+                (_, resp) => {
+                    if sub.last.as_ref() == Some(&resp) {
+                        None
+                    } else {
+                        sub.last = Some(resp.clone());
+                        Some((false, resp))
+                    }
+                }
+            };
+            if let Some((incremental, result)) = delivery {
+                let update = SubscriptionUpdate { id: sub.id, tick: now, incremental, result };
+                if let Ok(bytes) = serde_json::to_vec(&update) {
+                    inner.broker.publish(&sub.topic, Payload::Raw(Bytes::from(bytes)));
+                    inner.metrics.subs_delivered.inc();
+                }
+            }
+        }
+        inner.metrics.subs_active.set(subs.len() as f64);
+        drop(subs);
+        // Refresh the level-style gauges once per tick.
+        let stats = inner.cache.stats();
+        let lookups = stats.hits + stats.misses;
+        if lookups > 0 {
+            inner.metrics.cache_hit_ratio.set(stats.hits as f64 / lookups as f64);
+        }
+        inner.metrics.queue_depth.set(inner.total_queued() as f64);
+    }
+
+    /// Result-cache accounting.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.inner.cache.stats()
+    }
+
+    /// Stop accepting work and join the worker pool.  Queued jobs drain
+    /// first; callers still waiting get [`QueryError::Shutdown`] only if
+    /// their responder is dropped unanswered.
+    pub fn shutdown(&self) {
+        if self.inner.shutdown.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        for q in &self.inner.queues {
+            q.close();
+        }
+        let mut workers = self.workers.lock();
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

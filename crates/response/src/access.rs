@@ -13,7 +13,7 @@
 
 use crate::engine::ActionTaken;
 use crate::signal::Signal;
-use hpcmon_metrics::CompKind;
+use hpcmon_metrics::{CompKind, JobRecord, SeriesKey};
 use serde::{Deserialize, Serialize};
 
 /// Who a consumer is.
@@ -78,6 +78,26 @@ impl AccessPolicy {
         match &consumer.role {
             Role::Admin => true,
             Role::User(user) => action.user.as_deref() == Some(user.as_str()),
+        }
+    }
+
+    /// Data-level scoping: whether `consumer` may read the raw series `key`,
+    /// given the scheduler's job view.  Admins read everything.  A user
+    /// reads system/environment-scope series, series on nodes inside their
+    /// own jobs' allocations, and their own jobs' per-job series — never
+    /// other users' nodes or jobs, and never infrastructure internals
+    /// (routers, links, filesystem servers, ...).
+    pub fn series_visible(&self, consumer: &Consumer, key: &SeriesKey, jobs: &[JobRecord]) -> bool {
+        match &consumer.role {
+            Role::Admin => true,
+            Role::User(user) => match key.comp.kind {
+                CompKind::System | CompKind::Environment => true,
+                CompKind::Node => {
+                    jobs.iter().any(|j| j.user == *user && j.nodes.contains(&key.comp.index))
+                }
+                CompKind::Job => jobs.iter().any(|j| j.user == *user && j.id.0 == key.comp.index),
+                _ => false,
+            },
         }
     }
 }
@@ -164,6 +184,41 @@ mod tests {
         let signals = vec![sys_signal(), job_signal("alice"), job_signal("bob"), node_signal()];
         let visible = p.filter(&alice, &signals);
         assert_eq!(visible.len(), 2);
+    }
+
+    #[test]
+    fn series_visibility_scopes_to_job_allocations() {
+        use hpcmon_metrics::{JobId, MetricId, SeriesKey};
+        let p = AccessPolicy;
+        let jobs = vec![
+            JobRecord::submitted(JobId(3), "alice", "sim", vec![5, 6], Ts(0)),
+            JobRecord::submitted(JobId(4), "bob", "ml", vec![7], Ts(0)),
+        ];
+        let key = |comp| SeriesKey::new(MetricId(0), comp);
+        let admin = Consumer::admin("ops");
+        let alice = Consumer::user("alice-portal", "alice");
+
+        // Admin reads everything, including infrastructure internals.
+        for comp in [CompId::SYSTEM, CompId::node(7), CompId::job(4), CompId::router(1)] {
+            assert!(p.series_visible(&admin, &key(comp), &jobs));
+        }
+
+        // System/environment scope is public.
+        assert!(p.series_visible(&alice, &key(CompId::SYSTEM), &jobs));
+        assert!(p.series_visible(&alice, &key(CompId::ENVIRONMENT), &jobs));
+
+        // Own allocation's nodes and own job series: yes.
+        assert!(p.series_visible(&alice, &key(CompId::node(5)), &jobs));
+        assert!(p.series_visible(&alice, &key(CompId::node(6)), &jobs));
+        assert!(p.series_visible(&alice, &key(CompId::job(3)), &jobs));
+
+        // Foreign job's node/job series and unallocated nodes: no.
+        assert!(!p.series_visible(&alice, &key(CompId::node(7)), &jobs), "bob's node");
+        assert!(!p.series_visible(&alice, &key(CompId::job(4)), &jobs), "bob's job");
+        assert!(!p.series_visible(&alice, &key(CompId::node(9)), &jobs), "idle node");
+
+        // Infrastructure internals stay ops-only even for job owners.
+        assert!(!p.series_visible(&alice, &key(CompId::router(1)), &jobs));
     }
 
     #[test]

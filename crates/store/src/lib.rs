@@ -32,6 +32,6 @@ pub mod tsdb;
 
 pub use archive::{Archive, ArchiveCatalog, ArchiveOpCounts};
 pub use logstore::{LogQuery, LogStore};
-pub use query::{AggFn, QueryEngine, TimeRange};
+pub use query::{AggFn, InvalidParam, JobSeries, QueryEngine, TimeRange};
 pub use retention::{RetentionPolicy, RetentionReport};
 pub use tsdb::{SeriesBlock, StoreOpCounts, StoreStats, TimeSeriesStore};

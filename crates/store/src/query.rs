@@ -12,6 +12,20 @@ use crate::tsdb::TimeSeriesStore;
 use hpcmon_metrics::{CompId, CompKind, JobRecord, MetricId, SeriesKey, Ts};
 use serde::{Deserialize, Serialize};
 
+/// A malformed query parameter, reported instead of aborting the process:
+/// query parameters now arrive from external consumers (the gateway), so
+/// a bad request must be an error value, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InvalidParam(pub String);
+
+impl std::fmt::Display for InvalidParam {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid query parameter: {}", self.0)
+    }
+}
+
+impl std::error::Error for InvalidParam {}
+
 /// An inclusive time range.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TimeRange {
@@ -154,35 +168,51 @@ impl<'a> QueryEngine<'a> {
 
     /// Downsample one series into fixed buckets of `bucket_ms`, applying
     /// `agg` within each bucket.  Bucket timestamps are the bucket starts.
+    /// A non-positive bucket is an [`InvalidParam`] error, not a panic —
+    /// this path is reachable from external consumer requests.
     pub fn downsample(
         &self,
         key: SeriesKey,
         range: TimeRange,
         bucket_ms: u64,
         agg: AggFn,
-    ) -> Vec<(Ts, f64)> {
-        assert!(bucket_ms > 0);
+    ) -> Result<Vec<(Ts, f64)>, InvalidParam> {
         let pts = self.series(key, range);
         Self::downsample_points(&pts, bucket_ms, agg)
     }
 
-    /// Downsample already-fetched points.
-    pub fn downsample_points(pts: &[(Ts, f64)], bucket_ms: u64, agg: AggFn) -> Vec<(Ts, f64)> {
-        assert!(bucket_ms > 0);
-        let mut out = Vec::new();
+    /// Downsample already-fetched points.  Buckets are emitted in ascending
+    /// time order; points may arrive unsorted (duplicates and out-of-order
+    /// timestamps land in their proper bucket).
+    pub fn downsample_points(
+        pts: &[(Ts, f64)],
+        bucket_ms: u64,
+        agg: AggFn,
+    ) -> Result<Vec<(Ts, f64)>, InvalidParam> {
+        if bucket_ms == 0 {
+            return Err(InvalidParam("downsample bucket must be positive".into()));
+        }
+        // Fast path: time-ordered input (the store always returns sorted
+        // points) streams through one bucket accumulator.  A regression in
+        // order falls back to grouping the whole set.
+        let mut out: Vec<(Ts, f64)> = Vec::new();
         let mut bucket_start: Option<Ts> = None;
         let mut bucket_vals: Vec<f64> = Vec::new();
         for &(t, v) in pts {
             let start = t.align_down(bucket_ms);
             match bucket_start {
                 Some(b) if b == start => bucket_vals.push(v),
-                Some(b) => {
+                Some(b) if start > b => {
                     if let Some(a) = agg.apply(&bucket_vals) {
                         out.push((b, a));
                     }
                     bucket_start = Some(start);
                     bucket_vals.clear();
                     bucket_vals.push(v);
+                }
+                Some(_) => {
+                    // Out-of-order bucket: group everything instead.
+                    return Ok(Self::downsample_unordered(pts, bucket_ms, agg));
                 }
                 None => {
                     bucket_start = Some(start);
@@ -195,7 +225,18 @@ impl<'a> QueryEngine<'a> {
                 out.push((b, a));
             }
         }
-        out
+        Ok(out)
+    }
+
+    /// Slow path for unsorted input: regroup every point by bucket in one
+    /// full pass.  Only runs when the input really is out of order.
+    fn downsample_unordered(pts: &[(Ts, f64)], bucket_ms: u64, agg: AggFn) -> Vec<(Ts, f64)> {
+        let mut by_bucket: std::collections::BTreeMap<Ts, Vec<f64>> =
+            std::collections::BTreeMap::new();
+        for &(t, v) in pts {
+            by_bucket.entry(t.align_down(bucket_ms)).or_default().push(v);
+        }
+        by_bucket.into_iter().filter_map(|(b, vals)| agg.apply(&vals).map(|a| (b, a))).collect()
     }
 
     /// Align two series on exactly-equal timestamps (inner join) — the
@@ -250,7 +291,7 @@ impl<'a> QueryEngine<'a> {
 }
 
 /// Output of [`QueryEngine::job_series`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JobSeries {
     /// The queried metric.
     pub metric: MetricId,
@@ -332,16 +373,26 @@ mod tests {
     #[test]
     fn downsample_means() {
         let pts: Vec<(Ts, f64)> = (0..6).map(|i| (Ts(i * 1_000), i as f64)).collect();
-        let out = QueryEngine::downsample_points(&pts, 2_000, AggFn::Mean);
+        let out = QueryEngine::downsample_points(&pts, 2_000, AggFn::Mean).unwrap();
         assert_eq!(out, vec![(Ts(0), 0.5), (Ts(2_000), 2.5), (Ts(4_000), 4.5)]);
     }
 
     #[test]
     fn downsample_handles_gaps() {
         let pts = vec![(Ts(0), 1.0), (Ts(10_000), 5.0)];
-        let out = QueryEngine::downsample_points(&pts, 2_000, AggFn::Sum);
+        let out = QueryEngine::downsample_points(&pts, 2_000, AggFn::Sum).unwrap();
         assert_eq!(out, vec![(Ts(0), 1.0), (Ts(10_000), 5.0)]);
-        assert!(QueryEngine::downsample_points(&[], 1_000, AggFn::Sum).is_empty());
+        assert!(QueryEngine::downsample_points(&[], 1_000, AggFn::Sum).unwrap().is_empty());
+    }
+
+    #[test]
+    fn downsample_rejects_zero_bucket_and_merges_unordered() {
+        assert!(QueryEngine::downsample_points(&[(Ts(0), 1.0)], 0, AggFn::Sum).is_err());
+        // Out-of-order buckets and duplicate timestamps merge into the same
+        // buckets a sorted pass would produce.
+        let pts = vec![(Ts(5_000), 5.0), (Ts(0), 1.0), (Ts(5_000), 3.0), (Ts(1_000), 2.0)];
+        let out = QueryEngine::downsample_points(&pts, 2_000, AggFn::Sum).unwrap();
+        assert_eq!(out, vec![(Ts(0), 3.0), (Ts(4_000), 8.0)]);
     }
 
     #[test]

@@ -61,11 +61,15 @@ impl RetentionPolicy {
                 if let Some(bucket) = self.rollup_bucket_ms {
                     for block in &blocks {
                         let pts = block.decompress();
+                        // `with_rollup` rejects zero buckets, so this cannot
+                        // fail; an empty rollup is the safe fallback.
                         for (t, v) in crate::query::QueryEngine::downsample_points(
                             &pts,
                             bucket,
                             crate::query::AggFn::Mean,
-                        ) {
+                        )
+                        .unwrap_or_default()
+                        {
                             store.insert(&hpcmon_metrics::Sample {
                                 key: block.key,
                                 ts: t,

@@ -140,6 +140,11 @@ pub struct TimeSeriesStore {
     hot_points: AtomicU64,
     warm_points: AtomicU64,
     warm_bytes: AtomicU64,
+    // Bumped by every mutation (ingest, seal, evict, reload, retention
+    // drop).  Consumers that cache derived results — the gateway's query
+    // result cache — key entries on this value: an entry computed at epoch
+    // E is valid exactly while `epoch()` still returns E.
+    epoch: AtomicU64,
 }
 
 impl TimeSeriesStore {
@@ -165,7 +170,21 @@ impl TimeSeriesStore {
             hot_points: AtomicU64::new(0),
             warm_points: AtomicU64::new(0),
             warm_bytes: AtomicU64::new(0),
+            epoch: AtomicU64::new(0),
         }
+    }
+
+    /// The store's mutation epoch: a counter advanced by every write-path
+    /// operation (`insert`, sealing, eviction, reload, retention drops).
+    /// Two reads of the store separated by an unchanged epoch are
+    /// guaranteed to observe identical contents, which is what makes
+    /// query-result caching sound.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 
     fn shard_of(&self, key: &SeriesKey) -> &RwLock<Shard> {
@@ -198,6 +217,8 @@ impl TimeSeriesStore {
             data.warm.push(block);
             data.hot.clear();
         }
+        drop(shard);
+        self.bump_epoch();
     }
 
     /// Move occupancy from hot to warm for a freshly sealed block.
@@ -284,6 +305,7 @@ impl TimeSeriesStore {
                 }
             }
         }
+        self.bump_epoch();
     }
 
     /// Remove and return all warm blocks that end at or before `cutoff`
@@ -304,6 +326,7 @@ impl TimeSeriesStore {
         let bytes: u64 = evicted.iter().map(|b| b.compressed_bytes() as u64).sum();
         self.warm_points.fetch_sub(points, Ordering::Relaxed);
         self.warm_bytes.fetch_sub(bytes, Ordering::Relaxed);
+        self.bump_epoch();
         evicted
     }
 
@@ -321,6 +344,7 @@ impl TimeSeriesStore {
             data.warm.push(block);
             data.warm.sort_by_key(|b| b.start);
         }
+        self.bump_epoch();
     }
 
     /// Delete series whose data ends before `cutoff` and have no hot points
@@ -344,6 +368,7 @@ impl TimeSeriesStore {
             });
         }
         self.series_count.fetch_sub(dropped as u64, Ordering::Relaxed);
+        self.bump_epoch();
         dropped
     }
 
@@ -594,6 +619,29 @@ mod tests {
         assert_eq!(store.drop_series_before(Ts(u64::MAX)), 3, "all series all-warm");
         check("drop_series_before");
         assert_eq!(store.occupancy().series, 0);
+    }
+
+    #[test]
+    fn epoch_advances_on_every_mutation_class() {
+        let store = TimeSeriesStore::with_options(2, 10);
+        let e0 = store.epoch();
+        store.insert(&sample(0, 1, 1_000, 1.0));
+        let e1 = store.epoch();
+        assert!(e1 > e0, "insert advances the epoch");
+        assert_eq!(store.epoch(), e1, "queries do not");
+        store.query(key(0, 1), Ts::ZERO, Ts(u64::MAX));
+        assert_eq!(store.epoch(), e1);
+        store.seal_all();
+        let e2 = store.epoch();
+        assert!(e2 > e1, "sealing advances the epoch");
+        let evicted = store.evict_warm_before(Ts(u64::MAX));
+        let e3 = store.epoch();
+        assert!(e3 > e2, "eviction advances the epoch");
+        store.reload_blocks(evicted);
+        let e4 = store.epoch();
+        assert!(e4 > e3, "reload advances the epoch");
+        store.drop_series_before(Ts(u64::MAX));
+        assert!(store.epoch() > e4, "retention drop advances the epoch");
     }
 
     #[test]

@@ -139,6 +139,63 @@ fn killed_collector_zeroes_its_self_feed_and_raises_a_gap() {
 }
 
 #[test]
+fn gateway_activity_surfaces_in_self_feed() {
+    use hpcmon_gateway::{GatewayConfig, QueryRequest};
+    use hpcmon_response::Consumer;
+    use hpcmon_store::TimeRange;
+
+    let mut mon = MonitoringSystem::builder(SimConfig::small())
+        .gateway(GatewayConfig { default_deadline_ms: 10_000, ..GatewayConfig::default() })
+        .build();
+    mon.run_ticks(3);
+    let gw = mon.gateway().unwrap().clone();
+    let ops = Consumer::admin("ops");
+    let key = SeriesKey::new(mon.metrics().system_power, CompId::SYSTEM);
+    gw.subscribe(
+        &ops,
+        QueryRequest::Series { key, range: hpcmon_store::TimeRange::all() },
+        "gateway/ops",
+    )
+    .unwrap();
+    // Four queries on the same key: one miss, three cache hits.
+    for _ in 0..4 {
+        gw.query(&ops, QueryRequest::Series { key, range: TimeRange::all() }).unwrap();
+    }
+    // The next tick's self-collection republishes the gateway instruments.
+    mon.run_ticks(2);
+    for name in [
+        "hpcmon.self.gateway.queries",
+        "hpcmon.self.gateway.cache.hits",
+        "hpcmon.self.gateway.cache.misses",
+        "hpcmon.self.gateway.cache.hit_ratio",
+        "hpcmon.self.gateway.queue.depth",
+        "hpcmon.self.gateway.eval.p95_ms",
+        "hpcmon.self.gateway.subscriptions.active",
+        "hpcmon.self.gateway.subscriptions.delivered",
+    ] {
+        let id = mon.registry().lookup(name).unwrap_or_else(|| panic!("{name} not registered"));
+        let pts =
+            mon.query().series(SeriesKey::new(id, CompId::SYSTEM), hpcmon_store::TimeRange::all());
+        assert!(!pts.is_empty(), "{name} has no points");
+    }
+    // Counters arrive as per-tick deltas: the burst of 4 queries lands in
+    // one tick's sample, and lifetime sums match gateway activity.
+    let queries = mon.registry().lookup("hpcmon.self.gateway.queries").unwrap();
+    let pts =
+        mon.query().series(SeriesKey::new(queries, CompId::SYSTEM), hpcmon_store::TimeRange::all());
+    assert_eq!(pts.iter().map(|&(_, v)| v).sum::<f64>(), 4.0, "{pts:?}");
+    let hits = mon.registry().lookup("hpcmon.self.gateway.cache.hits").unwrap();
+    let pts =
+        mon.query().series(SeriesKey::new(hits, CompId::SYSTEM), hpcmon_store::TimeRange::all());
+    assert_eq!(pts.iter().map(|&(_, v)| v).sum::<f64>(), 3.0, "warm queries hit");
+    // The standing subscription is visible as a level gauge.
+    let active = mon.registry().lookup("hpcmon.self.gateway.subscriptions.active").unwrap();
+    let pts =
+        mon.query().series(SeriesKey::new(active, CompId::SYSTEM), hpcmon_store::TimeRange::all());
+    assert_eq!(pts.last().unwrap().1, 1.0);
+}
+
+#[test]
 fn telemetry_report_json_round_trips() {
     let mut mon = MonitoringSystem::builder(SimConfig::small()).build();
     mon.run_ticks(3);

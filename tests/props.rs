@@ -267,4 +267,45 @@ proptest! {
             }
         }
     }
+
+    /// Downsampling matches a brute-force bucket reference for arbitrary
+    /// point sets — including duplicate timestamps and buckets arriving
+    /// out of order (the streaming fast path must agree with full
+    /// grouping).
+    #[test]
+    fn downsample_matches_brute_force_reference(
+        points in proptest::collection::vec(
+            (0u64..100_000, -1.0e6f64..1.0e6), 0..120),
+        bucket_ms in 1u64..10_000,
+        agg_pick in 0usize..4,
+    ) {
+        use hpcmon_store::{AggFn, QueryEngine};
+        use std::collections::BTreeMap;
+        let agg = [AggFn::Sum, AggFn::Mean, AggFn::Min, AggFn::Max][agg_pick];
+        let pts: Vec<(Ts, f64)> = points.iter().map(|&(t, v)| (Ts(t), v)).collect();
+
+        let got = QueryEngine::downsample_points(&pts, bucket_ms, agg).unwrap();
+
+        // Brute force: group by bucket start, aggregate, sort by bucket.
+        let mut buckets: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+        for &(t, v) in &pts {
+            buckets.entry((t.0 / bucket_ms) * bucket_ms).or_default().push(v);
+        }
+        let want: Vec<(Ts, f64)> = buckets
+            .into_iter()
+            .filter_map(|(b, vals)| agg.apply(&vals).map(|a| (Ts(b), a)))
+            .collect();
+
+        prop_assert_eq!(got.len(), want.len());
+        for (&(gt, gv), &(wt, wv)) in got.iter().zip(&want) {
+            prop_assert_eq!(gt, wt);
+            // Sum/Mean accumulate in different orders on the two paths;
+            // allow float round-off, nothing more.
+            prop_assert!((gv - wv).abs() <= 1.0e-9 * gv.abs().max(wv.abs()).max(1.0),
+                "bucket {:?}: got {gv}, want {wv}", gt);
+        }
+
+        // A zero bucket is an error value, never a panic.
+        prop_assert!(QueryEngine::downsample_points(&pts, 0, agg).is_err());
+    }
 }
