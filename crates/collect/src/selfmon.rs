@@ -49,7 +49,10 @@ pub struct SelfCollector {
     store_ops: [DeltaSlot; 4],
     store_stats: [MetricId; 4],
     // Positional cache over the broker's (append-only) topic table.
-    topic_slots: Vec<[DeltaSlot; 2]>,
+    // Five series per topic: published plus the full drop-reason split
+    // (aggregate, queue-full, drop-oldest, pruned-receiver) — operators
+    // need to know not just *which* data path is lossy but *why*.
+    topic_slots: Vec<[DeltaSlot; 5]>,
     // Subscriber sets can shrink, so queues are matched by pattern.
     queue_slots: Vec<(String, MetricId)>,
 }
@@ -187,7 +190,9 @@ impl Collector for SelfCollector {
         for (k, t) in topics.iter().enumerate() {
             if k == self.topic_slots.len() {
                 let base = sanitize(&t.topic);
-                self.topic_slots.push(["published", "dropped"].map(|field| {
+                let fields =
+                    ["published", "dropped", "queue_full", "drop_oldest", "pruned_receiver"];
+                self.topic_slots.push(fields.map(|field| {
                     let name = format!("hpcmon.self.transport.topic.{base}.{field}");
                     (
                         self.registry.register(
@@ -199,7 +204,11 @@ impl Collector for SelfCollector {
                     )
                 }));
             }
-            push_deltas(frame, &mut self.topic_slots[k], [t.published, t.dropped]);
+            push_deltas(
+                frame,
+                &mut self.topic_slots[k],
+                [t.published, t.dropped, t.queue_full, t.drop_oldest, t.pruned_receiver],
+            );
         }
         for (pattern, depth) in self.broker.queue_depths() {
             let id = if let Some(pos) = self.queue_slots.iter().position(|(p, _)| *p == pattern) {
@@ -327,5 +336,38 @@ mod tests {
         assert_eq!(val("hpcmon.self.transport.queue._"), 1.0, "one message queued");
         assert_eq!(val("hpcmon.self.store.samples_ingested"), 1.0);
         assert_eq!(val("hpcmon.self.store.series"), 1.0);
+    }
+
+    #[test]
+    fn per_topic_drop_reasons_become_self_metrics() {
+        let telemetry = Arc::new(Telemetry::new());
+        let broker = Broker::new();
+        let store = Arc::new(TimeSeriesStore::new());
+        let registry = MetricRegistry::new();
+        let mut sc = SelfCollector::new(telemetry, broker.clone(), store, registry.clone());
+        // A 1-deep DropNewest subscriber: the 2nd..4th publishes drop.
+        let _sub = broker.subscribe(
+            TopicFilter::new("metrics/#"),
+            1,
+            hpcmon_transport::BackpressurePolicy::DropNewest,
+        );
+        for _ in 0..4 {
+            broker.publish(
+                "metrics/frame",
+                Payload::Frame(Arc::new(Frame::new(hpcmon_metrics::Ts::ZERO))),
+            );
+        }
+        let mut frame = Frame::new(hpcmon_metrics::Ts::ZERO);
+        sc.collect(&engine(), &mut frame);
+        let val = |name: &str| {
+            let id = registry.lookup(name).unwrap_or_else(|| panic!("missing {name}"));
+            frame.samples.iter().find(|s| s.key.metric == id).unwrap().value
+        };
+        let base = "hpcmon.self.transport.topic.metrics.frame";
+        assert_eq!(val(&format!("{base}.published")), 4.0);
+        assert_eq!(val(&format!("{base}.dropped")), 3.0);
+        assert_eq!(val(&format!("{base}.queue_full")), 3.0, "reason split: queue-full");
+        assert_eq!(val(&format!("{base}.drop_oldest")), 0.0);
+        assert_eq!(val(&format!("{base}.pruned_receiver")), 0.0);
     }
 }

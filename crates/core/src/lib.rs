@@ -37,6 +37,7 @@ pub use hpcmon_response as response;
 pub use hpcmon_sim as sim;
 pub use hpcmon_store as store;
 pub use hpcmon_telemetry as telemetry;
+pub use hpcmon_trace as trace;
 pub use hpcmon_transport as transport;
 pub use hpcmon_viz as viz;
 

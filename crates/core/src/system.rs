@@ -22,6 +22,7 @@ use hpcmon_response::{
 use hpcmon_sim::{FaultKind, JobSpec, SimConfig, SimEngine};
 use hpcmon_store::{Archive, LogStore, QueryEngine, RetentionPolicy, TimeSeriesStore};
 use hpcmon_telemetry::{Counter, Gauge, Histogram, StageTimer, Telemetry, TelemetryReport};
+use hpcmon_trace::{Sampler, Stage, TraceStore, Tracer};
 use hpcmon_transport::{
     topics, BackpressurePolicy, Broker, Payload, Subscription, TopicFilter, TopicStats,
 };
@@ -47,6 +48,7 @@ pub struct MonitorBuilder {
     power_cap_w: Option<f64>,
     self_telemetry: bool,
     gateway: Option<GatewayConfig>,
+    tracing: Sampler,
 }
 
 impl MonitorBuilder {
@@ -71,7 +73,17 @@ impl MonitorBuilder {
             power_cap_w: None,
             self_telemetry: true,
             gateway: None,
+            tracing: Sampler::one_in(64),
         }
+    }
+
+    /// Set the head-sampling policy for pipeline tracing (default 1-in-64
+    /// frames; [`Sampler::off`] disables tracing entirely).  Sampled
+    /// frames record a span per pipeline stage; drops and sheds record
+    /// provenance spans for **every** frame regardless of sampling.
+    pub fn tracing(mut self, sampler: Sampler) -> MonitorBuilder {
+        self.tracing = sampler;
+        self
     }
 
     /// Serve queries through an [`hpcmon_gateway::Gateway`] built over the
@@ -204,9 +216,16 @@ impl MonitorBuilder {
             )));
         }
         let instruments = PipelineInstruments::new(&telemetry, &collectors, &self.detectors);
+        let tracer = Arc::new(Tracer::new(self.tracing));
+        if tracer.is_enabled() {
+            broker.set_tracer(tracer.clone());
+        }
         let gateway = self
             .gateway
             .map(|cfg| Arc::new(Gateway::new(store.clone(), broker.clone(), &telemetry, cfg)));
+        if let (Some(gw), true) = (&gateway, tracer.is_enabled()) {
+            gw.set_tracer(tracer.clone());
+        }
         MonitoringSystem {
             bench_suite: BenchmarkSuite::new(metrics, self.config.seed ^ 0xBE, 16),
             bench_every_ticks: self.bench_every_ticks,
@@ -234,6 +253,8 @@ impl MonitorBuilder {
             telemetry,
             instruments,
             gateway,
+            tracer,
+            trace_store: TraceStore::new(256),
         }
     }
 }
@@ -271,6 +292,13 @@ struct PipelineInstruments {
     deadman_feeds: Arc<Gauge>,
     response_handled: Arc<Counter>,
     response_suppressed: Arc<Counter>,
+    // Tracing export: counters under `trace.*`, republished by the self
+    // feed as `hpcmon.self.trace.*` series and queryable via the gateway.
+    trace_sampled: Arc<Counter>,
+    trace_spans: Arc<Counter>,
+    trace_completed: Arc<Counter>,
+    trace_completed_with_drops: Arc<Counter>,
+    trace_ring_rejected: Arc<Counter>,
     collectors: Vec<CollectorInstruments>,
     detectors: Vec<DetectorInstruments>,
 }
@@ -294,6 +322,11 @@ impl PipelineInstruments {
             deadman_feeds: t.gauge("analysis.deadman.feeds"),
             response_handled: t.counter("response.signals_handled"),
             response_suppressed: t.counter("response.suppressed_by_cooldown"),
+            trace_sampled: t.counter("trace.sampled"),
+            trace_spans: t.counter("trace.spans"),
+            trace_completed: t.counter("trace.completed"),
+            trace_completed_with_drops: t.counter("trace.completed_with_drops"),
+            trace_ring_rejected: t.counter("trace.ring_rejected"),
             collectors: collectors
                 .iter()
                 .map(|c| CollectorInstruments {
@@ -371,6 +404,8 @@ pub struct MonitoringSystem {
     telemetry: Arc<Telemetry>,
     instruments: PipelineInstruments,
     gateway: Option<Arc<Gateway>>,
+    tracer: Arc<Tracer>,
+    trace_store: TraceStore,
 }
 
 impl MonitoringSystem {
@@ -395,7 +430,18 @@ impl MonitoringSystem {
 
     /// Advance machine + monitoring by one tick.
     pub fn tick(&mut self) -> TickReport {
-        let _tick_timer = StageTimer::new(self.instruments.stage_tick.clone());
+        // Stamp this tick's frame with a trace context at the very head of
+        // the pipeline.  The sampling decision hashes the tick number, so
+        // identical runs trace identical frames (determinism preserved).
+        let tracer = Arc::clone(&self.tracer);
+        let trace_ctx = tracer.context_for(self.engine.tick_count().wrapping_add(1));
+        // Exemplar tag for stage histograms: sampled frames stamp their
+        // trace id into the latency bucket they land in, so a p99 spike
+        // resolves to a concrete trace.
+        let tag = trace_ctx.map_or(0, |c| if c.sampled { c.trace_id.0 } else { 0 });
+        let _tick_timer = StageTimer::new(self.instruments.stage_tick.clone()).with_tag(tag);
+        let root_span = trace_ctx.as_ref().map(|c| tracer.span(c, Stage::Tick));
+        let stage_ctx = root_span.as_ref().map(|g| g.context());
         self.instruments.tick_count.inc();
         self.engine.step();
         let now = self.engine.now();
@@ -405,7 +451,8 @@ impl MonitoringSystem {
         //    per contributing collector (silence must not look like
         //    health).  Expectations arm on the first tick: collectors that
         //    are legitimately empty for this machine config never arm.
-        let collect_timer = StageTimer::new(self.instruments.stage_collect.clone());
+        let collect_timer = StageTimer::new(self.instruments.stage_collect.clone()).with_tag(tag);
+        let collect_span = stage_ctx.as_ref().map(|c| tracer.span(c, Stage::Collect));
         let mut frame = Frame::new(now);
         for (c, inst) in self.collectors.iter_mut().zip(&self.instruments.collectors) {
             let before = frame.len();
@@ -429,20 +476,38 @@ impl MonitoringSystem {
             }
         }
         report.samples = frame.len();
+        if let Some(mut span) = collect_span {
+            span.set_note(format!("{} samples", report.samples));
+            span.finish();
+        }
         drop(collect_timer);
 
-        // 2. Transport: publish, then the store consumer drains.
-        let transport_timer = StageTimer::new(self.instruments.stage_transport.clone());
-        self.broker.publish(&topics::metrics("frame"), Payload::Frame(Arc::new(frame.clone())));
+        // 2. Transport: publish, then the store consumer drains.  The
+        //    envelope carries the frame's context re-parented under the
+        //    transport span, so store-side spans (and any broker drop
+        //    spans) chain into the frame's trace.
+        let transport_timer =
+            StageTimer::new(self.instruments.stage_transport.clone()).with_tag(tag);
+        let transport_span = stage_ctx.as_ref().map(|c| tracer.span(c, Stage::Transport));
+        let envelope_ctx = transport_span.as_ref().map(|g| g.context()).or(trace_ctx);
+        self.broker.publish_traced(
+            &topics::metrics("frame"),
+            Payload::Frame(Arc::new(frame.clone())),
+            envelope_ctx,
+        );
+        drop(transport_span);
         drop(transport_timer);
-        let store_timer = StageTimer::new(self.instruments.stage_store.clone());
+        let store_timer = StageTimer::new(self.instruments.stage_store.clone()).with_tag(tag);
         for env in self.store_sub.drain() {
+            let span = env.trace.as_ref().map(|c| tracer.span(c, Stage::Store));
             if let Some(f) = env.payload.as_frame() {
                 self.store.insert_frame(f);
             }
+            drop(span);
         }
         drop(store_timer);
-        let analysis_timer = StageTimer::new(self.instruments.stage_analysis.clone());
+        let analysis_timer = StageTimer::new(self.instruments.stage_analysis.clone()).with_tag(tag);
+        let analysis_span = stage_ctx.as_ref().map(|c| tracer.span(c, Stage::Analysis));
 
         // 3. Logs: harvest (normalizing vendor formats), store, analyze.
         let mut records = self.harvester.harvest(&mut self.engine);
@@ -593,10 +658,12 @@ impl MonitoringSystem {
         sync_counter(&self.instruments.correlator_records, correlated);
         sync_counter(&self.instruments.correlator_findings, findings);
         self.instruments.deadman_feeds.set(self.deadman.len() as f64);
+        drop(analysis_span);
         drop(analysis_timer);
 
         // 6. Respond, feeding actions back to the machine.
-        let response_timer = StageTimer::new(self.instruments.stage_response.clone());
+        let response_timer = StageTimer::new(self.instruments.stage_response.clone()).with_tag(tag);
+        let response_span = stage_ctx.as_ref().map(|c| tracer.span(c, Stage::Response));
         for sig in &signals {
             let actions = self.response.handle(sig);
             for action in &actions {
@@ -607,6 +674,7 @@ impl MonitoringSystem {
         let (handled, suppressed) = self.response.eval_counts();
         sync_counter(&self.instruments.response_handled, handled);
         sync_counter(&self.instruments.response_suppressed, suppressed);
+        drop(response_span);
         drop(response_timer);
         // 7. Analysis results are stored WITH the raw data (Table I):
         //    per-tick counts as ordinary series, and each signal as a
@@ -633,6 +701,23 @@ impl MonitoringSystem {
         if let Some(gw) = &self.gateway {
             gw.update_jobs(self.engine.scheduler().records().to_vec());
             gw.on_tick(now);
+        }
+
+        // 9. Close the frame's root span and assemble completed traces.
+        //    The drain also picks up drop spans recorded by the broker and
+        //    gateway (including from worker threads) since last tick.
+        drop(root_span);
+        if self.tracer.is_enabled() {
+            self.trace_store.ingest(self.tracer.drain());
+            let tstats = self.tracer.stats();
+            sync_counter(&self.instruments.trace_sampled, tstats.traces_sampled);
+            sync_counter(&self.instruments.trace_spans, self.trace_store.spans_seen());
+            sync_counter(&self.instruments.trace_completed, self.trace_store.completed_total());
+            sync_counter(
+                &self.instruments.trace_completed_with_drops,
+                self.trace_store.completed_with_drops(),
+            );
+            sync_counter(&self.instruments.trace_ring_rejected, tstats.spans_rejected);
         }
         report
     }
@@ -707,6 +792,17 @@ impl MonitoringSystem {
     /// Per-topic publish/deliver/drop breakdown from the broker.
     pub fn broker_topic_stats(&self) -> Vec<TopicStats> {
         self.broker.topic_stats()
+    }
+
+    /// The pipeline tracer.  Clone the `Arc` to stamp externally driven
+    /// work (gateway clients, custom consumers) into the same trace space.
+    pub fn tracer(&self) -> &Arc<Tracer> {
+        &self.tracer
+    }
+
+    /// Completed end-to-end traces (sampled frames plus every drop).
+    pub fn traces(&self) -> &TraceStore {
+        &self.trace_store
     }
 
     /// The self-instrumentation registry.

@@ -10,6 +10,7 @@ use hpcmon_metrics::{CompId, JobRecord, SeriesKey, Ts};
 use hpcmon_response::access::{AccessPolicy, Consumer, Role};
 use hpcmon_store::{QueryEngine, TimeSeriesStore};
 use hpcmon_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use hpcmon_trace::{DropReason, Stage, TraceContext, Tracer};
 use hpcmon_transport::{Broker, Payload};
 use parking_lot::{Mutex, RwLock};
 use std::collections::hash_map::DefaultHasher;
@@ -94,7 +95,21 @@ struct Job {
     consumer: Consumer,
     request: QueryRequest,
     deadline: Instant,
+    trace: Option<TraceContext>,
     responder: Sender<Result<QueryResponse, QueryError>>,
+}
+
+/// Stable label for a request variant (span notes, shed provenance).
+fn request_kind(request: &QueryRequest) -> &'static str {
+    match request {
+        QueryRequest::Series { .. } => "series",
+        QueryRequest::AggregateAcross { .. } => "aggregate_across",
+        QueryRequest::ComponentsOfKind { .. } => "components_of_kind",
+        QueryRequest::TopComponentsAt { .. } => "top_components_at",
+        QueryRequest::Downsample { .. } => "downsample",
+        QueryRequest::AlignJoin { .. } => "align_join",
+        QueryRequest::JobSeries { .. } => "job_series",
+    }
 }
 
 /// One standing subscription.
@@ -126,6 +141,10 @@ struct GatewayInner {
     next_sub_id: AtomicU64,
     shutdown: AtomicBool,
     metrics: GatewayMetrics,
+    /// When set, each admitted query gets a trace context: served queries
+    /// record a `Gateway` span (sampled), sheds always record provenance.
+    tracer: RwLock<Option<Arc<Tracer>>>,
+    query_seq: AtomicU64,
 }
 
 impl GatewayInner {
@@ -156,6 +175,7 @@ impl GatewayInner {
         &self,
         consumer: &Consumer,
         request: &QueryRequest,
+        exemplar: u64,
     ) -> Result<Arc<QueryResponse>, QueryError> {
         let started = Instant::now();
         let store_epoch = self.store.epoch();
@@ -164,13 +184,13 @@ impl GatewayInner {
         let key = Self::cache_key(consumer, request);
         if let Some(hit) = self.cache.get(&key, epoch) {
             self.metrics.cache_hits.inc();
-            self.metrics.eval.record_ns(started.elapsed().as_nanos() as u64);
+            self.metrics.eval.record_ns_tagged(started.elapsed().as_nanos() as u64, exemplar);
             return Ok(hit);
         }
         self.metrics.cache_misses.inc();
         let jobs = self.jobs.read().clone();
         let result = self.evaluate(consumer, request, &jobs);
-        self.metrics.eval.record_ns(started.elapsed().as_nanos() as u64);
+        self.metrics.eval.record_ns_tagged(started.elapsed().as_nanos() as u64, exemplar);
         let resp = Arc::new(result?);
         self.cache.put(key, epoch, resp.clone());
         Ok(resp)
@@ -332,6 +352,8 @@ impl Gateway {
             next_sub_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
             metrics: GatewayMetrics::new(telemetry),
+            tracer: RwLock::new(None),
+            query_seq: AtomicU64::new(0),
             config,
         });
         let mut workers = Vec::with_capacity(shards * workers_per_shard);
@@ -351,12 +373,32 @@ impl Gateway {
     fn worker_loop(inner: &GatewayInner, shard: usize) {
         while let Some(job) = inner.queues[shard].pop() {
             inner.metrics.queue_depth.set(inner.total_queued() as f64);
+            let tracer = inner.tracer.read().clone();
             if Instant::now() > job.deadline {
                 inner.metrics.shed_deadline.inc();
+                if let (Some(t), Some(ctx)) = (tracer.as_deref(), job.trace.as_ref()) {
+                    t.record_drop(
+                        ctx,
+                        Stage::Gateway,
+                        DropReason::DeadlineShed,
+                        &format!("{}: {}", job.consumer.name, request_kind(&job.request)),
+                    );
+                }
                 let _ = job.responder.send(Err(QueryError::DeadlineExceeded));
                 continue;
             }
-            let result = inner.execute(&job.consumer, &job.request).map(|arc| (*arc).clone());
+            let span = match (tracer.as_deref(), job.trace.as_ref()) {
+                (Some(t), Some(ctx)) => {
+                    let mut s = t.span(ctx, Stage::Gateway);
+                    s.set_note(format!("{}: {}", job.consumer.name, request_kind(&job.request)));
+                    Some(s)
+                }
+                _ => None,
+            };
+            let exemplar = job.trace.map_or(0, |c| if c.sampled { c.trace_id.0 } else { 0 });
+            let result =
+                inner.execute(&job.consumer, &job.request, exemplar).map(|arc| (*arc).clone());
+            drop(span);
             let _ = job.responder.send(result);
         }
     }
@@ -384,8 +426,21 @@ impl Gateway {
         if inner.shutdown.load(Ordering::Acquire) {
             return Err(QueryError::Shutdown);
         }
+        let tracer = inner.tracer.read().clone();
+        let trace = tracer
+            .as_deref()
+            .and_then(|t| t.context_for(inner.query_seq.fetch_add(1, Ordering::Relaxed)));
+        let kind = request_kind(&request);
         if !inner.buckets.try_admit(&consumer.name, Instant::now()) {
             inner.metrics.shed_rate_limited.inc();
+            if let (Some(t), Some(ctx)) = (tracer.as_deref(), trace.as_ref()) {
+                t.record_drop(
+                    ctx,
+                    Stage::Gateway,
+                    DropReason::RateLimited,
+                    &format!("{}: {kind}", consumer.name),
+                );
+            }
             return Err(QueryError::RateLimited { principal: consumer.name.clone() });
         }
         // Reject malformed requests before they occupy queue or worker.
@@ -395,6 +450,7 @@ impl Gateway {
             consumer: consumer.clone(),
             request,
             deadline: Instant::now() + budget,
+            trace,
             responder: tx,
         };
         let shard = {
@@ -408,13 +464,29 @@ impl Gateway {
             |j| j.deadline < now,
             |expired| {
                 inner.metrics.shed_deadline.inc();
+                if let (Some(t), Some(ctx)) = (tracer.as_deref(), expired.trace.as_ref()) {
+                    t.record_drop(
+                        ctx,
+                        Stage::Gateway,
+                        DropReason::DeadlineShed,
+                        &format!("{}: {}", expired.consumer.name, request_kind(&expired.request)),
+                    );
+                }
                 let _ = expired.responder.send(Err(QueryError::DeadlineExceeded));
             },
         );
         match pushed {
             Ok(()) => inner.metrics.queue_depth.set(inner.total_queued() as f64),
-            Err(PushError::Full(_)) => {
+            Err(PushError::Full(rejected)) => {
                 inner.metrics.shed_queue_full.inc();
+                if let (Some(t), Some(ctx)) = (tracer.as_deref(), rejected.trace.as_ref()) {
+                    t.record_drop(
+                        ctx,
+                        Stage::Gateway,
+                        DropReason::AdmissionFull,
+                        &format!("{}: {kind}", consumer.name),
+                    );
+                }
                 return Err(QueryError::QueueFull);
             }
             Err(PushError::Closed(_)) => return Err(QueryError::Shutdown),
@@ -423,6 +495,13 @@ impl Gateway {
             Ok(result) => result,
             Err(_) => Err(QueryError::Shutdown),
         }
+    }
+
+    /// Attach a tracer: every admitted query gets a trace context; served
+    /// queries record a `Gateway` span when sampled, and every shed
+    /// (rate-limit, queue-full, deadline) records drop provenance.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.inner.tracer.write() = Some(tracer);
     }
 
     /// Register a standing subscription: `request` is re-evaluated each

@@ -23,6 +23,7 @@
 //! status board cover the monitor exactly like the machine it watches.
 
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 use std::time::Instant;
@@ -93,6 +94,10 @@ impl Gauge {
 #[derive(Debug)]
 pub struct Histogram {
     buckets: [AtomicU64; BUCKETS],
+    /// Exemplar slot per bucket: an opaque tag (in practice a trace id)
+    /// from the most recent tagged observation landing in that bucket.
+    /// 0 means "no exemplar" — tag allocators must reserve 0 as "none".
+    exemplars: [AtomicU64; BUCKETS],
     count: AtomicU64,
     sum_ns: AtomicU64,
     max_ns: AtomicU64,
@@ -103,6 +108,7 @@ impl Histogram {
     fn new(active: bool) -> Histogram {
         Histogram {
             buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            exemplars: std::array::from_fn(|_| AtomicU64::new(0)),
             count: AtomicU64::new(0),
             sum_ns: AtomicU64::new(0),
             max_ns: AtomicU64::new(0),
@@ -131,10 +137,21 @@ impl Histogram {
 
     /// Record one observation.
     pub fn record_ns(&self, ns: u64) {
+        self.record_ns_tagged(ns, 0);
+    }
+
+    /// Record one observation carrying an exemplar tag (a trace id).
+    /// `tag == 0` means untagged; the bucket's exemplar slot is left alone
+    /// so a sparse sampled trace isn't clobbered by untraced observations.
+    pub fn record_ns_tagged(&self, ns: u64, tag: u64) {
         if !self.active {
             return;
         }
-        self.buckets[Self::bucket_index(ns)].fetch_add(1, Ordering::Relaxed);
+        let bucket = Self::bucket_index(ns);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        if tag != 0 {
+            self.exemplars[bucket].store(tag, Ordering::Relaxed);
+        }
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_ns.fetch_add(ns, Ordering::Relaxed);
         self.max_ns.fetch_max(ns, Ordering::Relaxed);
@@ -162,6 +179,41 @@ impl Histogram {
         self.max_ns.load(Ordering::Relaxed)
     }
 
+    /// The exemplar tag nearest the quantile `q`: the tag stored in the
+    /// bucket the quantile estimate falls in, or — when that bucket holds
+    /// only untagged observations — the closest tagged bucket, preferring
+    /// slower ones (for a p99 question, the interesting exemplar is the
+    /// slow outlier).  Returns 0 when no tagged observation exists at all.
+    pub fn exemplar_near_quantile(&self, q: f64) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        let mut target = BUCKETS - 1;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                target = i;
+                break;
+            }
+        }
+        for i in target..BUCKETS {
+            let tag = self.exemplars[i].load(Ordering::Relaxed);
+            if tag != 0 {
+                return tag;
+            }
+        }
+        for i in (0..target).rev() {
+            let tag = self.exemplars[i].load(Ordering::Relaxed);
+            if tag != 0 {
+                return tag;
+            }
+        }
+        0
+    }
+
     /// Snapshot for reporting.
     pub fn snapshot(&self, name: &str) -> HistogramSnapshot {
         let count = self.count();
@@ -183,18 +235,26 @@ impl Histogram {
 pub struct StageTimer {
     hist: Option<Arc<Histogram>>,
     last_gauge: Option<Arc<Gauge>>,
+    tag: u64,
     start: Instant,
 }
 
 impl StageTimer {
     /// Start timing into `hist`.
     pub fn new(hist: Arc<Histogram>) -> StageTimer {
-        StageTimer { hist: Some(hist), last_gauge: None, start: Instant::now() }
+        StageTimer { hist: Some(hist), last_gauge: None, tag: 0, start: Instant::now() }
     }
 
     /// Also publish the elapsed time (in ms) to a gauge on completion.
     pub fn with_gauge(mut self, gauge: Arc<Gauge>) -> StageTimer {
         self.last_gauge = Some(gauge);
+        self
+    }
+
+    /// Tag the recorded observation with an exemplar (a trace id); the
+    /// histogram bucket it lands in will remember this tag.
+    pub fn with_tag(mut self, tag: u64) -> StageTimer {
+        self.tag = tag;
         self
     }
 
@@ -206,7 +266,7 @@ impl StageTimer {
     fn finish(&mut self) -> u64 {
         let ns = self.start.elapsed().as_nanos() as u64;
         if let Some(h) = self.hist.take() {
-            h.record_ns(ns);
+            h.record_ns_tagged(ns, self.tag);
             if let Some(g) = self.last_gauge.take() {
                 g.set(ns as f64 / 1e6);
             }
@@ -221,11 +281,37 @@ impl Drop for StageTimer {
     }
 }
 
+/// One instrument family: `entries` preserves registration order (the
+/// `visit_*` contract the self-feed depends on) while `index` makes
+/// register-or-fetch O(1) instead of a linear scan — registries carry
+/// hundreds of names once per-topic transport counters multiply.
+struct Family<T> {
+    entries: Vec<(String, Arc<T>)>,
+    index: HashMap<String, usize>,
+}
+
+impl<T> Default for Family<T> {
+    fn default() -> Self {
+        Family { entries: Vec::new(), index: HashMap::new() }
+    }
+}
+
+impl<T> Family<T> {
+    fn get(&self, name: &str) -> Option<Arc<T>> {
+        self.index.get(name).map(|&i| self.entries[i].1.clone())
+    }
+
+    fn insert(&mut self, name: &str, value: Arc<T>) {
+        self.index.insert(name.to_string(), self.entries.len());
+        self.entries.push((name.to_string(), value));
+    }
+}
+
 #[derive(Default)]
 struct Inner {
-    counters: Vec<(String, Arc<Counter>)>,
-    gauges: Vec<(String, Arc<Gauge>)>,
-    histograms: Vec<(String, Arc<Histogram>)>,
+    counters: Family<Counter>,
+    gauges: Family<Gauge>,
+    histograms: Family<Histogram>,
 }
 
 /// The instrumentation registry.
@@ -263,43 +349,43 @@ impl Telemetry {
 
     /// Register or fetch a counter.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        if let Some(c) = lookup(&self.inner.read().unwrap().counters, name) {
+        if let Some(c) = self.inner.read().unwrap().counters.get(name) {
             return c;
         }
         let mut inner = self.inner.write().unwrap();
-        if let Some(c) = lookup(&inner.counters, name) {
+        if let Some(c) = inner.counters.get(name) {
             return c;
         }
         let c = Arc::new(Counter::new(self.active));
-        inner.counters.push((name.to_string(), c.clone()));
+        inner.counters.insert(name, c.clone());
         c
     }
 
     /// Register or fetch a gauge.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        if let Some(g) = lookup(&self.inner.read().unwrap().gauges, name) {
+        if let Some(g) = self.inner.read().unwrap().gauges.get(name) {
             return g;
         }
         let mut inner = self.inner.write().unwrap();
-        if let Some(g) = lookup(&inner.gauges, name) {
+        if let Some(g) = inner.gauges.get(name) {
             return g;
         }
         let g = Arc::new(Gauge::new(self.active));
-        inner.gauges.push((name.to_string(), g.clone()));
+        inner.gauges.insert(name, g.clone());
         g
     }
 
     /// Register or fetch a histogram.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        if let Some(h) = lookup(&self.inner.read().unwrap().histograms, name) {
+        if let Some(h) = self.inner.read().unwrap().histograms.get(name) {
             return h;
         }
         let mut inner = self.inner.write().unwrap();
-        if let Some(h) = lookup(&inner.histograms, name) {
+        if let Some(h) = inner.histograms.get(name) {
             return h;
         }
         let h = Arc::new(Histogram::new(self.active));
-        inner.histograms.push((name.to_string(), h.clone()));
+        inner.histograms.insert(name, h.clone());
         h
     }
 
@@ -311,14 +397,14 @@ impl Telemetry {
 
     /// Visit every counter (registration order) with its current total.
     pub fn visit_counters(&self, mut f: impl FnMut(&str, u64)) {
-        for (name, c) in &self.inner.read().unwrap().counters {
+        for (name, c) in &self.inner.read().unwrap().counters.entries {
             f(name, c.get());
         }
     }
 
     /// Visit every gauge (registration order) with its current level.
     pub fn visit_gauges(&self, mut f: impl FnMut(&str, f64)) {
-        for (name, g) in &self.inner.read().unwrap().gauges {
+        for (name, g) in &self.inner.read().unwrap().gauges.entries {
             f(name, g.get());
         }
     }
@@ -326,7 +412,7 @@ impl Telemetry {
     /// Visit every histogram (registration order).  Allocation-free, unlike
     /// [`Telemetry::report`] — the per-tick self-feed path.
     pub fn visit_histograms(&self, mut f: impl FnMut(&str, &Histogram)) {
-        for (name, h) in &self.inner.read().unwrap().histograms {
+        for (name, h) in &self.inner.read().unwrap().histograms.entries {
             f(name, h);
         }
     }
@@ -337,21 +423,19 @@ impl Telemetry {
         TelemetryReport {
             counters: inner
                 .counters
+                .entries
                 .iter()
                 .map(|(n, c)| CounterSnapshot { name: n.clone(), value: c.get() })
                 .collect(),
             gauges: inner
                 .gauges
+                .entries
                 .iter()
                 .map(|(n, g)| GaugeSnapshot { name: n.clone(), value: g.get() })
                 .collect(),
-            histograms: inner.histograms.iter().map(|(n, h)| h.snapshot(n)).collect(),
+            histograms: inner.histograms.entries.iter().map(|(n, h)| h.snapshot(n)).collect(),
         }
     }
-}
-
-fn lookup<T>(entries: &[(String, Arc<T>)], name: &str) -> Option<Arc<T>> {
-    entries.iter().find(|(n, _)| n == name).map(|(_, v)| v.clone())
 }
 
 /// Snapshot of one counter.
@@ -497,6 +581,72 @@ mod tests {
             let _timer = t.timer("stage.collect");
         }
         assert_eq!(t.histogram("stage.collect").count(), 1);
+    }
+
+    #[test]
+    fn registration_order_survives_indexed_lookup() {
+        let t = Telemetry::new();
+        let names = ["zeta", "alpha", "mu", "beta"];
+        for n in &names {
+            t.counter(n);
+            t.histogram(n);
+        }
+        // Re-fetch out of order: must return the same instruments...
+        assert!(Arc::ptr_eq(&t.counter("mu"), &t.counter("mu")));
+        for n in names.iter().rev() {
+            t.counter(n);
+        }
+        // ...and visitation must still run in first-registration order.
+        let mut seen = Vec::new();
+        t.visit_counters(|n, _| seen.push(n.to_string()));
+        assert_eq!(seen, names);
+        let mut hseen = Vec::new();
+        t.visit_histograms(|n, _| hseen.push(n.to_string()));
+        assert_eq!(hseen, names);
+    }
+
+    #[test]
+    fn exemplar_resolves_slow_outlier() {
+        let t = Telemetry::new();
+        let h = t.histogram("lat");
+        // 99 fast untagged observations, one slow tagged outlier.
+        for _ in 0..99 {
+            h.record_ns(1_000);
+        }
+        h.record_ns_tagged(50_000_000, 42);
+        assert_eq!(h.exemplar_near_quantile(0.99), 42);
+        // The fast buckets hold no tags; p50 falls back to the nearest
+        // tagged bucket rather than returning nothing.
+        assert_eq!(h.exemplar_near_quantile(0.50), 42);
+    }
+
+    #[test]
+    fn untagged_records_do_not_clobber_exemplars() {
+        let t = Telemetry::new();
+        let h = t.histogram("lat");
+        h.record_ns_tagged(1_000, 7);
+        for _ in 0..100 {
+            h.record_ns(1_000); // same bucket, no tag
+        }
+        assert_eq!(h.exemplar_near_quantile(0.5), 7);
+        // A later tagged record in the same bucket replaces it.
+        h.record_ns_tagged(1_000, 9);
+        assert_eq!(h.exemplar_near_quantile(0.5), 9);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_exemplar() {
+        let t = Telemetry::new();
+        assert_eq!(t.histogram("h").exemplar_near_quantile(0.99), 0);
+    }
+
+    #[test]
+    fn stage_timer_tag_lands_in_bucket() {
+        let t = Telemetry::new();
+        {
+            let _timer = t.timer("stage.x").with_tag(11);
+        }
+        assert_eq!(t.histogram("stage.x").exemplar_near_quantile(0.5), 11);
     }
 
     #[test]

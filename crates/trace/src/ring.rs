@@ -1,0 +1,250 @@
+//! The lock-free bounded ring spans are recorded into.
+//!
+//! Recording must never block the pipeline and never allocate on the hot
+//! path beyond the span itself, so the ring is a fixed-capacity
+//! Vyukov-style bounded queue: producers claim a slot with one CAS and
+//! publish with one release store; the drain side pops with the symmetric
+//! protocol.  When the ring is full the span is *rejected and counted* —
+//! tracing obeys the same "lossy but accounted" discipline as the broker,
+//! and a stalled drain can never wedge the tick loop.
+
+use crate::span::SpanRecord;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+struct Slot {
+    seq: AtomicUsize,
+    value: UnsafeCell<Option<SpanRecord>>,
+}
+
+/// A lock-free multi-producer bounded span queue (power-of-two capacity).
+pub struct SpanRing {
+    slots: Box<[Slot]>,
+    mask: usize,
+    enqueue_pos: AtomicUsize,
+    dequeue_pos: AtomicUsize,
+    rejected: AtomicU64,
+}
+
+// The UnsafeCell is only touched by the thread that won the slot's
+// sequence CAS (producer) or observed its published sequence (consumer);
+// the seq protocol orders those accesses.
+unsafe impl Send for SpanRing {}
+unsafe impl Sync for SpanRing {}
+
+impl SpanRing {
+    /// A ring holding up to `capacity` spans (rounded up to a power of two).
+    pub fn new(capacity: usize) -> SpanRing {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|i| Slot { seq: AtomicUsize::new(i), value: UnsafeCell::new(None) })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        SpanRing {
+            slots,
+            mask: cap - 1,
+            enqueue_pos: AtomicUsize::new(0),
+            dequeue_pos: AtomicUsize::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Record a span.  Returns false (and counts the rejection) when full.
+    pub fn push(&self, span: SpanRecord) -> bool {
+        let mut pos = self.enqueue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos as isize;
+            if diff == 0 {
+                match self.enqueue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        unsafe { *slot.value.get() = Some(span) };
+                        slot.seq.store(pos.wrapping_add(1), Ordering::Release);
+                        return true;
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                // The slot one lap behind is still occupied: full.
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return false;
+            } else {
+                pos = self.enqueue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Take the oldest recorded span, if any.
+    pub fn pop(&self) -> Option<SpanRecord> {
+        let mut pos = self.dequeue_pos.load(Ordering::Relaxed);
+        loop {
+            let slot = &self.slots[pos & self.mask];
+            let seq = slot.seq.load(Ordering::Acquire);
+            let diff = seq as isize - pos.wrapping_add(1) as isize;
+            if diff == 0 {
+                match self.dequeue_pos.compare_exchange_weak(
+                    pos,
+                    pos.wrapping_add(1),
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => {
+                        let value = unsafe { (*slot.value.get()).take() };
+                        slot.seq
+                            .store(pos.wrapping_add(self.mask).wrapping_add(1), Ordering::Release);
+                        return value;
+                    }
+                    Err(current) => pos = current,
+                }
+            } else if diff < 0 {
+                return None;
+            } else {
+                pos = self.dequeue_pos.load(Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drain everything currently recorded into `out`.
+    pub fn drain_into(&self, out: &mut Vec<SpanRecord>) {
+        while let Some(span) = self.pop() {
+            out.push(span);
+        }
+    }
+
+    /// Spans rejected because the ring was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Slots available before producers start rejecting.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{SpanId, TraceId};
+    use crate::span::{SpanStatus, Stage};
+    use std::sync::Arc;
+
+    fn span(n: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id: TraceId(n),
+            span_id: SpanId(n),
+            parent: SpanId::NONE,
+            stage: Stage::Collect,
+            start_ns: n,
+            end_ns: n + 1,
+            status: SpanStatus::Completed,
+            note: String::new(),
+        }
+    }
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let ring = SpanRing::new(8);
+        for i in 0..5 {
+            assert!(ring.push(span(i)));
+        }
+        for i in 0..5 {
+            assert_eq!(ring.pop().unwrap().trace_id, TraceId(i));
+        }
+        assert!(ring.pop().is_none());
+    }
+
+    #[test]
+    fn full_ring_rejects_and_counts() {
+        let ring = SpanRing::new(4);
+        for i in 0..4 {
+            assert!(ring.push(span(i)));
+        }
+        assert!(!ring.push(span(99)));
+        assert_eq!(ring.rejected(), 1);
+        // Draining frees capacity again.
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), 4);
+        assert!(ring.push(span(100)));
+    }
+
+    #[test]
+    fn wraps_many_laps() {
+        let ring = SpanRing::new(4);
+        for i in 0..1_000u64 {
+            assert!(ring.push(span(i)));
+            assert_eq!(ring.pop().unwrap().trace_id, TraceId(i));
+        }
+    }
+
+    #[test]
+    fn concurrent_producers_lose_nothing_under_capacity() {
+        let ring = Arc::new(SpanRing::new(1_024));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let ring = ring.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..200u64 {
+                    assert!(ring.push(span(t * 1_000 + i)));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        assert_eq!(out.len(), 800);
+        let mut ids: Vec<u64> = out.iter().map(|s| s.trace_id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 800, "every span distinct");
+    }
+
+    #[test]
+    fn concurrent_producers_and_drainer() {
+        let ring = Arc::new(SpanRing::new(64));
+        let stop = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let mut producers = Vec::new();
+        for t in 0..3u64 {
+            let ring = ring.clone();
+            producers.push(std::thread::spawn(move || {
+                let mut pushed = 0u64;
+                for i in 0..500u64 {
+                    if ring.push(span(t * 10_000 + i)) {
+                        pushed += 1;
+                    }
+                }
+                pushed
+            }));
+        }
+        let drainer = {
+            let ring = ring.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                let mut got = 0u64;
+                while stop.load(Ordering::Relaxed) == 0 {
+                    while ring.pop().is_some() {
+                        got += 1;
+                    }
+                }
+                while ring.pop().is_some() {
+                    got += 1;
+                }
+                got
+            })
+        };
+        let pushed: u64 = producers.into_iter().map(|h| h.join().unwrap()).sum();
+        stop.store(1, Ordering::Relaxed);
+        let drained = drainer.join().unwrap();
+        assert_eq!(pushed + ring.rejected(), 1_500);
+        assert_eq!(drained, pushed, "everything accepted is drained exactly once");
+    }
+}

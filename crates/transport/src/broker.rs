@@ -15,6 +15,7 @@
 use crate::message::{Envelope, Payload};
 use crate::topic::TopicFilter;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use hpcmon_trace::{DropReason, Stage, TraceContext, Tracer};
 use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -55,8 +56,16 @@ pub struct TopicStats {
     pub published: u64,
     /// Deliveries made for this topic (one per matching subscriber).
     pub delivered: u64,
-    /// Messages dropped under backpressure while fanning out this topic.
+    /// Messages dropped under backpressure while fanning out this topic
+    /// (`queue_full + drop_oldest`; pruned deliveries are tracked apart
+    /// because no queued datum was lost, the consumer just went away).
     pub dropped: u64,
+    /// Drops where a `DropNewest` queue was full (the new message lost).
+    pub queue_full: u64,
+    /// Drops where a `DropOldest` queue evicted its oldest message.
+    pub drop_oldest: u64,
+    /// Deliveries skipped because the subscriber had disconnected.
+    pub pruned_receiver: u64,
     /// Approximate payload bytes published on this topic.
     pub bytes_published: u64,
 }
@@ -65,7 +74,9 @@ pub struct TopicStats {
 struct TopicCounters {
     published: AtomicU64,
     delivered: AtomicU64,
-    dropped: AtomicU64,
+    queue_full: AtomicU64,
+    drop_oldest: AtomicU64,
+    pruned: AtomicU64,
     bytes_published: AtomicU64,
 }
 
@@ -154,6 +165,9 @@ pub struct Broker {
     // First-seen order; counters are atomics so publish only needs the
     // read lock once the topic exists.
     topics: RwLock<Vec<(String, Arc<TopicCounters>)>>,
+    // When set, drops during fan-out are recorded as trace spans with
+    // full provenance (which subscriber, which reason).
+    tracer: RwLock<Option<Arc<Tracer>>>,
 }
 
 impl Broker {
@@ -182,9 +196,27 @@ impl Broker {
         Subscription { receiver: rx, dropped, filter }
     }
 
+    /// Attach a tracer: from here on, every drop during fan-out is also
+    /// recorded as a trace span naming the subscriber and reason.
+    pub fn set_tracer(&self, tracer: Arc<Tracer>) {
+        *self.tracer.write() = Some(tracer);
+    }
+
     /// Publish a payload on a topic, fanning out to matching subscribers.
     /// Returns the number of deliveries.
     pub fn publish(&self, topic: &str, payload: Payload) -> usize {
+        self.publish_traced(topic, payload, None)
+    }
+
+    /// [`Broker::publish`] with a trace context stamped on the envelope.
+    /// Every matching subscriber receives the same context; any drop on
+    /// the way records a provenance span against it.
+    pub fn publish_traced(
+        &self,
+        topic: &str,
+        payload: Payload,
+        trace: Option<TraceContext>,
+    ) -> usize {
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let bytes = payload.approx_bytes() as u64;
         self.published.fetch_add(1, Ordering::Relaxed);
@@ -192,24 +224,45 @@ impl Broker {
         let per_topic = self.topic_counters(topic);
         per_topic.published.fetch_add(1, Ordering::Relaxed);
         per_topic.bytes_published.fetch_add(bytes, Ordering::Relaxed);
+        let tracer = self.tracer.read().clone();
+        let trace_drop = |ctx: Option<&TraceContext>, reason: DropReason, pattern: &str| {
+            if let (Some(t), Some(ctx)) = (tracer.as_deref(), ctx) {
+                t.record_drop(ctx, Stage::Transport, reason, &format!("{topic} -> {pattern}"));
+            }
+        };
         let mut delivered = 0usize;
         let mut saw_closed = false;
         {
             let subs = self.subscribers.read();
             for sub in subs.iter() {
                 if sub.is_closed() {
+                    if sub.filter.matches(topic) {
+                        per_topic.pruned.fetch_add(1, Ordering::Relaxed);
+                        trace_drop(
+                            trace.as_ref(),
+                            DropReason::PrunedReceiver,
+                            sub.filter.pattern(),
+                        );
+                    }
                     saw_closed = true;
                     continue;
                 }
                 if !sub.filter.matches(topic) {
                     continue;
                 }
-                let env = Envelope { topic: topic.to_owned(), seq, payload: payload.clone() };
+                let env =
+                    Envelope { topic: topic.to_owned(), seq, trace, payload: payload.clone() };
                 match sub.policy {
                     BackpressurePolicy::Block => {
                         if sub.sender.send(env).is_ok() {
                             delivered += 1;
                         } else {
+                            per_topic.pruned.fetch_add(1, Ordering::Relaxed);
+                            trace_drop(
+                                trace.as_ref(),
+                                DropReason::PrunedReceiver,
+                                sub.filter.pattern(),
+                            );
                             saw_closed = true;
                         }
                     }
@@ -218,9 +271,18 @@ impl Broker {
                         Err(TrySendError::Full(_)) => {
                             sub.dropped.fetch_add(1, Ordering::Relaxed);
                             self.dropped.fetch_add(1, Ordering::Relaxed);
-                            per_topic.dropped.fetch_add(1, Ordering::Relaxed);
+                            per_topic.queue_full.fetch_add(1, Ordering::Relaxed);
+                            trace_drop(trace.as_ref(), DropReason::QueueFull, sub.filter.pattern());
                         }
-                        Err(TrySendError::Disconnected(_)) => saw_closed = true,
+                        Err(TrySendError::Disconnected(_)) => {
+                            per_topic.pruned.fetch_add(1, Ordering::Relaxed);
+                            trace_drop(
+                                trace.as_ref(),
+                                DropReason::PrunedReceiver,
+                                sub.filter.pattern(),
+                            );
+                            saw_closed = true;
+                        }
                     },
                     BackpressurePolicy::DropOldest => {
                         let mut env = env;
@@ -232,14 +294,27 @@ impl Broker {
                                 }
                                 Err(TrySendError::Full(e)) => {
                                     let _g = self.drop_oldest_lock.lock();
-                                    if sub.receiver_for_drop_oldest.try_recv().is_ok() {
+                                    if let Ok(victim) = sub.receiver_for_drop_oldest.try_recv() {
                                         sub.dropped.fetch_add(1, Ordering::Relaxed);
                                         self.dropped.fetch_add(1, Ordering::Relaxed);
-                                        per_topic.dropped.fetch_add(1, Ordering::Relaxed);
+                                        per_topic.drop_oldest.fetch_add(1, Ordering::Relaxed);
+                                        // Provenance belongs to the evicted
+                                        // datum, not the one being pushed.
+                                        trace_drop(
+                                            victim.trace.as_ref(),
+                                            DropReason::DropOldest,
+                                            sub.filter.pattern(),
+                                        );
                                     }
                                     env = e;
                                 }
                                 Err(TrySendError::Disconnected(_)) => {
+                                    per_topic.pruned.fetch_add(1, Ordering::Relaxed);
+                                    trace_drop(
+                                        trace.as_ref(),
+                                        DropReason::PrunedReceiver,
+                                        sub.filter.pattern(),
+                                    );
                                     saw_closed = true;
                                     break;
                                 }
@@ -303,12 +378,19 @@ impl Broker {
         self.topics
             .read()
             .iter()
-            .map(|(topic, c)| TopicStats {
-                topic: topic.clone(),
-                published: c.published.load(Ordering::Relaxed),
-                delivered: c.delivered.load(Ordering::Relaxed),
-                dropped: c.dropped.load(Ordering::Relaxed),
-                bytes_published: c.bytes_published.load(Ordering::Relaxed),
+            .map(|(topic, c)| {
+                let queue_full = c.queue_full.load(Ordering::Relaxed);
+                let drop_oldest = c.drop_oldest.load(Ordering::Relaxed);
+                TopicStats {
+                    topic: topic.clone(),
+                    published: c.published.load(Ordering::Relaxed),
+                    delivered: c.delivered.load(Ordering::Relaxed),
+                    dropped: queue_full + drop_oldest,
+                    queue_full,
+                    drop_oldest,
+                    pruned_receiver: c.pruned.load(Ordering::Relaxed),
+                    bytes_published: c.bytes_published.load(Ordering::Relaxed),
+                }
             })
             .collect()
     }
@@ -335,6 +417,7 @@ impl Default for Broker {
             dropped: AtomicU64::new(0),
             bytes_published: AtomicU64::new(0),
             topics: RwLock::new(Vec::new()),
+            tracer: RwLock::new(None),
         }
     }
 }
@@ -417,6 +500,70 @@ mod tests {
         assert_eq!(stats.iter().map(|t| t.published).sum::<u64>(), agg.published);
         assert_eq!(stats.iter().map(|t| t.dropped).sum::<u64>(), agg.dropped);
         assert_eq!(stats.iter().map(|t| t.delivered).sum::<u64>(), agg.delivered);
+    }
+
+    #[test]
+    fn per_topic_drop_reasons_are_split() {
+        let b = Broker::new();
+        let _newest = b.subscribe(TopicFilter::new("a/#"), 1, BackpressurePolicy::DropNewest);
+        let _oldest = b.subscribe(TopicFilter::new("b/#"), 1, BackpressurePolicy::DropOldest);
+        let gone = b.subscribe(TopicFilter::new("a/#"), 4, BackpressurePolicy::Block);
+        drop(gone);
+        for i in 0..3 {
+            b.publish("a/x", raw(i));
+            b.publish("b/x", raw(i));
+        }
+        let stats = b.topic_stats();
+        let a = stats.iter().find(|t| t.topic == "a/x").unwrap();
+        let bt = stats.iter().find(|t| t.topic == "b/x").unwrap();
+        assert_eq!(a.queue_full, 2);
+        assert_eq!(a.drop_oldest, 0);
+        assert_eq!(a.pruned_receiver, 1, "first publish hits the dead Block sub");
+        assert_eq!(bt.queue_full, 0);
+        assert_eq!(bt.drop_oldest, 2);
+        assert_eq!(bt.pruned_receiver, 0);
+        // The aggregate `dropped` remains backpressure-only on both levels.
+        assert_eq!(a.dropped, a.queue_full + a.drop_oldest);
+        assert_eq!(stats.iter().map(|t| t.dropped).sum::<u64>(), b.stats().dropped);
+    }
+
+    #[test]
+    fn traced_publish_stamps_context_and_records_drop_spans() {
+        use hpcmon_trace::{Sampler, SpanStatus, Tracer};
+        let b = Broker::new();
+        let tracer = Arc::new(Tracer::new(Sampler::always()));
+        b.set_tracer(tracer.clone());
+        let sub = b.subscribe(TopicFilter::all(), 1, BackpressurePolicy::DropNewest);
+        let ctx1 = tracer.context_for(0).unwrap();
+        let ctx2 = tracer.context_for(1).unwrap();
+        assert_eq!(b.publish_traced("t", raw(0), Some(ctx1)), 1);
+        // Queue is now full: the second publish drops and records a span.
+        assert_eq!(b.publish_traced("t", raw(1), Some(ctx2)), 0);
+        let env = sub.try_recv().unwrap();
+        assert_eq!(env.trace, Some(ctx1), "context rides the envelope");
+        let spans = tracer.drain();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].trace_id, ctx2.trace_id);
+        assert_eq!(spans[0].status, SpanStatus::Dropped(DropReason::QueueFull));
+        assert!(spans[0].note.contains("t -> #"), "note names topic and subscriber");
+    }
+
+    #[test]
+    fn drop_oldest_span_blames_the_evicted_datum() {
+        use hpcmon_trace::{Sampler, Tracer};
+        let b = Broker::new();
+        let tracer = Arc::new(Tracer::new(Sampler::always()));
+        b.set_tracer(tracer.clone());
+        let sub = b.subscribe(TopicFilter::all(), 1, BackpressurePolicy::DropOldest);
+        let victim = tracer.context_for(0).unwrap();
+        let survivor = tracer.context_for(1).unwrap();
+        b.publish_traced("t", raw(0), Some(victim));
+        b.publish_traced("t", raw(1), Some(survivor));
+        let spans = tracer.drain();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].trace_id, victim.trace_id, "evicted datum owns the drop");
+        assert_eq!(spans[0].status.drop_reason(), Some(DropReason::DropOldest));
+        assert_eq!(sub.try_recv().unwrap().trace, Some(survivor));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use bytes::Bytes;
 use hpcmon_metrics::{Frame, JobRecord, LogRecord};
+use hpcmon_trace::TraceContext;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -84,6 +85,10 @@ pub struct Envelope {
     pub topic: String,
     /// Broker-assigned sequence number (gap detection at consumers).
     pub seq: u64,
+    /// Causal trace context, when the datum was stamped at the head of
+    /// the pipeline.  `None` for untraced messages; absent in serialized
+    /// envelopes from older producers (deserializes as `None`).
+    pub trace: Option<TraceContext>,
     /// The content.
     pub payload: Payload,
 }
@@ -140,10 +145,35 @@ mod tests {
         let env = Envelope {
             topic: "logs/console".into(),
             seq: 7,
+            trace: None,
             payload: Payload::Raw(Bytes::from_static(b"\x00\x01\x02")),
         };
         let s = serde_json::to_string(&env).unwrap();
         let back: Envelope = serde_json::from_str(&s).unwrap();
         assert_eq!(env, back);
+    }
+
+    #[test]
+    fn envelope_with_trace_context_round_trips() {
+        use hpcmon_trace::{SpanId, TraceId};
+        let env = Envelope {
+            topic: "metrics/frame".into(),
+            seq: 3,
+            trace: Some(TraceContext { trace_id: TraceId(17), span_id: SpanId(4), sampled: true }),
+            payload: Payload::Raw(Bytes::from_static(b"x")),
+        };
+        let s = serde_json::to_string(&env).unwrap();
+        let back: Envelope = serde_json::from_str(&s).unwrap();
+        assert_eq!(env, back);
+    }
+
+    #[test]
+    fn envelope_without_trace_key_deserializes_as_none() {
+        // An envelope serialized before the trace field existed: the key
+        // is simply absent, and must decode as `trace: None`.
+        let legacy = r#"{"topic":"t","seq":1,"payload":{"Raw":[9]}}"#;
+        let back: Envelope = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back.trace, None);
+        assert_eq!(back.seq, 1);
     }
 }

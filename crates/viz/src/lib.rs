@@ -24,6 +24,7 @@ pub mod panels;
 pub mod report;
 pub mod status;
 pub mod svg;
+pub mod trace;
 
 pub use chart::{sparkline, LineChart};
 pub use csv::{series_to_csv, table_to_csv};
@@ -34,3 +35,4 @@ pub use panels::JobPanel;
 pub use report::{AlertSummary, OpsReport};
 pub use status::{ClassStatus, StatusBoard};
 pub use svg::svg_line_chart;
+pub use trace::{render_span_tree, svg_trace_timeline};

@@ -1,0 +1,293 @@
+//! Trace rendering: one frame's journey through the pipeline.
+//!
+//! Two views over an assembled [`Trace`]:
+//!
+//! * [`render_span_tree`] — an ASCII tree for terminals and logs, parent
+//!   spans above children, one line per stage with duration and status.
+//!   Drop spans carry their reason (`✗ queue_full`) so "where did my
+//!   datum go" reads straight off the trace.
+//! * [`svg_trace_timeline`] — a flamegraph-style SVG: time on the x axis,
+//!   one row per span ordered by tree depth, drops in red.  This is the
+//!   "plot image" form of a trace, pairing with the CSV/SVG release flow
+//!   the paper's sites run for metric data.
+
+use crate::svg::xml_escape;
+use hpcmon_trace::{SpanId, SpanRecord, SpanStatus, Trace};
+
+/// Human duration: picks ns/µs/ms/s to keep 3-ish significant digits.
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// One line of the tree: stage, duration, status marker, note.
+fn span_line(span: &SpanRecord) -> String {
+    let mut line = format!("{} {}", span.stage.as_str(), fmt_ns(span.duration_ns()));
+    match span.status {
+        SpanStatus::Completed => {}
+        SpanStatus::Dropped(reason) => {
+            line.push_str(&format!("  ✗ dropped: {}", reason.as_str()));
+        }
+    }
+    if !span.note.is_empty() {
+        line.push_str(&format!("  ({})", span.note));
+    }
+    line
+}
+
+/// Children of `parent` in span order (the trace keeps spans sorted by
+/// start time, so siblings come out in pipeline order).
+fn children_of(trace: &Trace, parent: SpanId) -> Vec<&SpanRecord> {
+    trace.spans.iter().filter(|s| s.parent == parent && s.span_id != parent).collect()
+}
+
+fn render_subtree(trace: &Trace, span: &SpanRecord, prefix: &str, last: bool, out: &mut String) {
+    let (branch, cont) = if last { ("└─ ", "   ") } else { ("├─ ", "│  ") };
+    out.push_str(prefix);
+    out.push_str(branch);
+    out.push_str(&span_line(span));
+    out.push('\n');
+    let kids = children_of(trace, span.span_id);
+    for (i, kid) in kids.iter().enumerate() {
+        render_subtree(trace, kid, &format!("{prefix}{cont}"), i + 1 == kids.len(), out);
+    }
+}
+
+/// Render a trace as an ASCII span tree.
+///
+/// Spans whose parent never made it into the trace (e.g. an unsampled
+/// frame whose only record is a drop span chained under the inert root)
+/// are promoted to top level so provenance is never silently hidden.
+pub fn render_span_tree(trace: &Trace) -> String {
+    let drops = trace.drop_spans().count();
+    let mut out = format!(
+        "trace {:#018x}  {} span{}  {}",
+        trace.id.0,
+        trace.spans.len(),
+        if trace.spans.len() == 1 { "" } else { "s" },
+        fmt_ns(trace.duration_ns()),
+    );
+    if drops > 0 {
+        out.push_str(&format!("  [{drops} drop{}]", if drops == 1 { "" } else { "s" }));
+    }
+    out.push('\n');
+    let present: Vec<SpanId> = trace.spans.iter().map(|s| s.span_id).collect();
+    let tops: Vec<&SpanRecord> = trace
+        .spans
+        .iter()
+        .filter(|s| s.parent == SpanId::NONE || !present.contains(&s.parent))
+        .collect();
+    for top in &tops {
+        if top.parent == SpanId::NONE {
+            out.push_str(&span_line(top));
+            out.push('\n');
+            let kids = children_of(trace, top.span_id);
+            for (j, kid) in kids.iter().enumerate() {
+                render_subtree(trace, kid, "", j + 1 == kids.len(), &mut out);
+            }
+        } else {
+            // Orphan: parent span was never recorded (inert guard).
+            out.push_str(&format!("~ {}\n", span_line(top)));
+            let kids = children_of(trace, top.span_id);
+            for (j, kid) in kids.iter().enumerate() {
+                render_subtree(trace, kid, "  ", j + 1 == kids.len(), &mut out);
+            }
+        }
+    }
+    out
+}
+
+/// Tree depth of a span (root = 0); orphans count from their own level.
+fn depth_of(trace: &Trace, span: &SpanRecord) -> usize {
+    let mut depth = 0;
+    let mut cur = span.parent;
+    while cur != SpanId::NONE {
+        match trace.spans.iter().find(|s| s.span_id == cur) {
+            Some(p) => {
+                depth += 1;
+                cur = p.parent;
+            }
+            None => {
+                depth += 1;
+                break;
+            }
+        }
+        if depth > trace.spans.len() {
+            break; // cycle guard; malformed input
+        }
+    }
+    depth
+}
+
+/// Render a trace as a flamegraph-style SVG timeline.
+///
+/// Each span is a bar: x position and width from its start/duration
+/// relative to the trace, row from its tree depth.  Completed spans are
+/// blue, drop spans red with the reason in the label.
+pub fn svg_trace_timeline(trace: &Trace, width: u32) -> String {
+    const ROW_H: f64 = 22.0;
+    const MARGIN: f64 = 10.0;
+    const HEADER: f64 = 24.0;
+    let max_depth = trace.spans.iter().map(|s| depth_of(trace, s)).max().unwrap_or(0);
+    let height = HEADER + 2.0 * MARGIN + (max_depth as f64 + 1.0) * (ROW_H + 4.0);
+    let mut out = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{width}\" height=\"{height:.0}\" viewBox=\"0 0 {width} {height:.0}\">\n"
+    );
+    let drops = trace.drop_spans().count();
+    out.push_str(&format!(
+        "  <text x=\"{MARGIN}\" y=\"16\" font-family=\"sans-serif\" font-size=\"13\">trace {:#x} — {} spans, {}{}</text>\n",
+        trace.id.0,
+        trace.spans.len(),
+        fmt_ns(trace.duration_ns()),
+        if drops > 0 { format!(", {drops} dropped") } else { String::new() },
+    ));
+    if trace.spans.is_empty() {
+        out.push_str("</svg>\n");
+        return out;
+    }
+    let t0 = trace.spans.iter().map(|s| s.start_ns).min().unwrap_or(0);
+    let span_ns = trace.duration_ns().max(1) as f64;
+    let plot_w = width as f64 - 2.0 * MARGIN;
+    for span in &trace.spans {
+        let depth = depth_of(trace, span);
+        let x = MARGIN + (span.start_ns - t0) as f64 / span_ns * plot_w;
+        // A floor width keeps sub-pixel spans visible.
+        let w = (span.duration_ns() as f64 / span_ns * plot_w).max(2.0);
+        let y = HEADER + MARGIN + depth as f64 * (ROW_H + 4.0);
+        let (fill, label) = match span.status {
+            SpanStatus::Completed => ("#4878a8", span.stage.as_str().to_owned()),
+            SpanStatus::Dropped(reason) => {
+                ("#c0392b", format!("{} ✗{}", span.stage.as_str(), reason.as_str()))
+            }
+        };
+        out.push_str(&format!(
+            "  <rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{w:.1}\" height=\"{ROW_H}\" fill=\"{fill}\" rx=\"2\"/>\n"
+        ));
+        out.push_str(&format!(
+            "  <text x=\"{:.1}\" y=\"{:.1}\" font-family=\"sans-serif\" font-size=\"11\" fill=\"#fff\">{} {}</text>\n",
+            x + 4.0,
+            y + 15.0,
+            xml_escape(&label),
+            fmt_ns(span.duration_ns()),
+        ));
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcmon_trace::{DropReason, SpanRecord, Stage, TraceId};
+
+    fn span(
+        id: u64,
+        parent: u64,
+        stage: Stage,
+        start: u64,
+        end: u64,
+        status: SpanStatus,
+        note: &str,
+    ) -> SpanRecord {
+        SpanRecord {
+            trace_id: TraceId(0xabc),
+            span_id: SpanId(id),
+            parent: SpanId(parent),
+            stage,
+            start_ns: start,
+            end_ns: end,
+            status,
+            note: note.into(),
+        }
+    }
+
+    fn frame_trace() -> Trace {
+        Trace {
+            id: TraceId(0xabc),
+            spans: vec![
+                span(1, 0, Stage::Tick, 0, 2_000_000, SpanStatus::Completed, ""),
+                span(2, 1, Stage::Collect, 10, 400_000, SpanStatus::Completed, "96 samples"),
+                span(3, 1, Stage::Transport, 400_100, 430_000, SpanStatus::Completed, ""),
+                span(4, 3, Stage::Store, 430_100, 600_000, SpanStatus::Completed, ""),
+                span(
+                    5,
+                    3,
+                    Stage::Transport,
+                    430_200,
+                    430_300,
+                    SpanStatus::Dropped(DropReason::QueueFull),
+                    "metrics/frame -> laggard",
+                ),
+                span(6, 1, Stage::Analysis, 600_100, 900_000, SpanStatus::Completed, ""),
+            ],
+        }
+    }
+
+    #[test]
+    fn span_tree_shows_hierarchy_and_drops() {
+        let text = render_span_tree(&frame_trace());
+        assert!(text.contains("6 spans"), "{text}");
+        assert!(text.contains("[1 drop]"), "{text}");
+        // The tick root is unindented; collect is a branch under it.
+        assert!(text.contains("tick 2.00ms"), "{text}");
+        assert!(text.contains("├─ collect"), "{text}");
+        // Store nests under transport.
+        assert!(text.contains("│  ├─ store"), "{text}");
+        assert!(text.contains("✗ dropped: queue_full"), "{text}");
+        assert!(text.contains("(metrics/frame -> laggard)"), "{text}");
+    }
+
+    #[test]
+    fn orphan_drop_span_is_promoted_not_hidden() {
+        // An unsampled frame's drop span references a parent that was
+        // never recorded: the tree must still show it.
+        let trace = Trace {
+            id: TraceId(7),
+            spans: vec![span(
+                9,
+                3,
+                Stage::Transport,
+                5,
+                6,
+                SpanStatus::Dropped(DropReason::DropOldest),
+                "metrics/frame -> slow",
+            )],
+        };
+        let text = render_span_tree(&trace);
+        assert!(text.contains("~ transport"), "{text}");
+        assert!(text.contains("drop_oldest"), "{text}");
+    }
+
+    #[test]
+    fn svg_timeline_is_well_formed_and_colors_drops() {
+        let svg = svg_trace_timeline(&frame_trace(), 800);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<rect").count(), 6);
+        // Exactly one red (drop) bar.
+        assert_eq!(svg.matches("#c0392b").count(), 1);
+        assert!(svg.contains("queue_full"));
+    }
+
+    #[test]
+    fn empty_trace_renders_without_panic() {
+        let trace = Trace { id: TraceId(1), spans: Vec::new() };
+        assert!(render_span_tree(&trace).contains("0 spans"));
+        assert!(svg_trace_timeline(&trace, 400).ends_with("</svg>\n"));
+    }
+
+    #[test]
+    fn durations_format_across_scales() {
+        assert_eq!(fmt_ns(900), "900ns");
+        assert_eq!(fmt_ns(1_500), "1.5µs");
+        assert_eq!(fmt_ns(2_000_000), "2.00ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.00s");
+    }
+}

@@ -1,0 +1,91 @@
+//! Trace a frame: follow one datum end-to-end through the pipeline.
+//!
+//! Runs the monitored machine with always-on tracing, prints one healthy
+//! frame's span tree (collect → transport → store, analysis, response),
+//! then induces a backpressure drop and a gateway deadline shed and shows
+//! the drop-provenance traces that explain each loss.  Writes the healthy
+//! frame's flamegraph timeline to `trace_timeline.svg`.
+//!
+//! ```sh
+//! cargo run --release --example trace_a_frame
+//! ```
+
+use hpcmon::trace::{DropReason, Sampler};
+use hpcmon::viz::{render_span_tree, svg_trace_timeline};
+use hpcmon::{MonitoringSystem, SimConfig};
+use hpcmon_gateway::{GatewayConfig, QueryRequest};
+use hpcmon_metrics::{CompId, SeriesKey, Ts, MINUTE_MS};
+use hpcmon_response::Consumer;
+use hpcmon_sim::{AppProfile, JobSpec};
+use hpcmon_store::TimeRange;
+use hpcmon_transport::{BackpressurePolicy, TopicFilter};
+use std::time::Duration;
+
+fn main() {
+    // Full pipeline with a gateway, tracing every frame.
+    let mut mon = MonitoringSystem::builder(SimConfig::small())
+        .tracing(Sampler::always())
+        .gateway(GatewayConfig { default_deadline_ms: 10_000, ..GatewayConfig::default() })
+        .build();
+    mon.submit_job(JobSpec::new(
+        AppProfile::compute_heavy("stencil3d"),
+        "alice",
+        32,
+        25 * MINUTE_MS,
+        Ts::ZERO,
+    ));
+    mon.run_ticks(10);
+
+    // --- 1. A healthy frame, end to end -------------------------------
+    let healthy =
+        mon.traces().completed().rev().find(|t| !t.has_drop()).expect("a lossless frame exists");
+    println!("=== a healthy frame, end to end ===");
+    print!("{}", render_span_tree(healthy));
+    let svg = svg_trace_timeline(healthy, 900);
+    std::fs::write("trace_timeline.svg", &svg).expect("write svg");
+    println!("(flamegraph timeline written to trace_timeline.svg, {} bytes)\n", svg.len());
+
+    // --- 2. Where did my frame go? Backpressure drop provenance -------
+    // A consumer that never drains a two-slot queue: further frames to it
+    // are dropped, and every drop records which stage lost it and why.
+    let _laggard = mon.broker().subscribe(
+        TopicFilter::new("metrics/frame"),
+        2,
+        BackpressurePolicy::DropNewest,
+    );
+    mon.run_ticks(4);
+    println!("=== a frame lost to backpressure ===");
+    let dropped = mon.traces().with_drops().next_back().expect("induced drop traced");
+    print!("{}", render_span_tree(dropped));
+    println!();
+
+    // --- 3. Where did my answer go? Gateway shed provenance -----------
+    let gw = mon.gateway().unwrap().clone();
+    let req = QueryRequest::Series {
+        key: SeriesKey::new(mon.metrics().system_power, CompId::SYSTEM),
+        range: TimeRange::all(),
+    };
+    let _ = gw.query_with_deadline(&Consumer::admin("impatient"), req, Duration::from_millis(0));
+    mon.run_ticks(2);
+    println!("=== a query shed at its deadline ===");
+    let shed = mon
+        .traces()
+        .completed()
+        .rev()
+        .find(|t| t.first_drop_reason() == Some(DropReason::DeadlineShed))
+        .expect("shed query traced");
+    print!("{}", render_span_tree(shed));
+
+    // --- 4. The tracing layer's own accounting ------------------------
+    let stats = mon.tracer().stats();
+    println!("\n=== tracer self-accounting ===");
+    println!(
+        "sampled traces: {}   spans recorded: {}   ring rejections: {}",
+        stats.traces_sampled, stats.spans_recorded, stats.spans_rejected
+    );
+    println!(
+        "completed traces: {} ({} with drops) — exported as hpcmon.self.trace.*",
+        mon.traces().completed_total(),
+        mon.traces().completed_with_drops()
+    );
+}

@@ -244,6 +244,61 @@ proptest! {
         prop_assert!(miner.distinct() <= msgs.len());
     }
 
+    /// The telemetry histogram's quantile estimate brackets the true
+    /// (rank-based) quantile within one bucket width.  Buckets are
+    /// half-octaves, so "one bucket width" means the estimate is within a
+    /// factor of 1.5 of the exact order statistic.
+    #[test]
+    fn histogram_quantile_brackets_true_quantile(
+        samples in proptest::collection::vec(1u64..(1u64 << 38), 1..300),
+        q in 0.0f64..1.0,
+    ) {
+        let telemetry = hpcmon_telemetry::Telemetry::new();
+        let hist = telemetry.histogram("prop.quantile");
+        for &s in &samples {
+            hist.record_ns(s);
+        }
+        let mut sorted = samples.clone();
+        sorted.sort_unstable();
+        // Same rank convention the histogram uses: ceil(q*n), 1-based.
+        let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+        let exact = sorted[rank - 1] as f64;
+        let est = hist.quantile_ns(q) as f64;
+        prop_assert!(
+            est <= exact * 1.5 && est >= exact / 1.5,
+            "q={q} exact={exact} est={est}"
+        );
+    }
+
+    /// A trace context survives the full broker path for arbitrary ids:
+    /// publish_traced → envelope → JSON → envelope → delivered context.
+    #[test]
+    fn trace_context_round_trips_through_envelope(
+        trace_id in 1u64..u64::MAX,
+        span_id in 0u64..u64::MAX,
+        sampled in any::<bool>(),
+    ) {
+        use hpcmon_trace::{SpanId, TraceContext, TraceId};
+        use hpcmon_transport::{BackpressurePolicy, Broker, Envelope, Payload, TopicFilter};
+        // span_id 0 is SpanId::NONE — the "root, no parent" wire form.
+        let ctx = TraceContext {
+            trace_id: TraceId(trace_id),
+            span_id: SpanId(span_id),
+            sampled,
+        };
+        let broker = Broker::new();
+        let sub = broker.subscribe(TopicFilter::all(), 4, BackpressurePolicy::Block);
+        broker.publish_traced("t", Payload::Raw(bytes::Bytes::from(vec![1u8])), Some(ctx));
+        let envs = sub.drain();
+        prop_assert_eq!(envs.len(), 1);
+        prop_assert_eq!(envs[0].trace, Some(ctx));
+        // And through the wire format: serialize → deserialize → same.
+        let json = serde_json::to_string(&envs[0]).unwrap();
+        let back: Envelope = serde_json::from_str(&json).unwrap();
+        prop_assert_eq!(back.trace, Some(ctx));
+        prop_assert_eq!(back.seq, envs[0].seq);
+    }
+
     /// The broker delivers everything to a Block subscriber in order.
     #[test]
     fn broker_block_is_lossless_ordered(count in 1usize..200) {

@@ -1,0 +1,235 @@
+//! End-to-end pipeline tracing: a frame's trace follows it from the
+//! collector through broker, store, analysis, and response; every
+//! deliberately shed datum gets a trace naming the losing stage and
+//! reason; and histogram exemplars resolve latency spikes to traces.
+
+use hpcmon::trace::{DropReason, Sampler, Stage, TraceId};
+use hpcmon::{MonitoringSystem, SimConfig};
+use hpcmon_collect::Collector;
+use hpcmon_metrics::{CompId, Frame, SeriesKey};
+use hpcmon_sim::SimEngine;
+use hpcmon_transport::{BackpressurePolicy, TopicFilter};
+use std::time::Duration;
+
+/// A frame sampled at the collector carries its trace through every
+/// pipeline stage: the completed trace is a tree rooted at `tick` with
+/// the stage spans in pipeline order and `store` nested under
+/// `transport` (it runs off the broker's delivery).
+#[test]
+fn sampled_frame_traces_end_to_end() {
+    let mut mon = MonitoringSystem::builder(SimConfig::small()).tracing(Sampler::always()).build();
+    mon.run_ticks(5);
+    // Tick N's trace completes after tick N+1's ingest round.
+    let traces: Vec<_> = mon.traces().completed().collect();
+    assert!(traces.len() >= 4, "got {}", traces.len());
+    let t = traces[0];
+    let root = t.root().expect("root span");
+    assert_eq!(root.stage, Stage::Tick);
+    assert!(!t.has_drop(), "lossless config drops nothing");
+    for stage in [Stage::Collect, Stage::Transport, Stage::Analysis, Stage::Response] {
+        let span = t
+            .spans
+            .iter()
+            .find(|s| s.stage == stage)
+            .unwrap_or_else(|| panic!("{} span missing", stage.as_str()));
+        assert_eq!(span.parent, root.span_id, "{} hangs off the root", stage.as_str());
+    }
+    // Store ingest is causally downstream of transport: its parent is the
+    // transport span (the context travelled inside the broker envelope).
+    let transport = t.spans.iter().find(|s| s.stage == Stage::Transport).unwrap();
+    let store = t.spans.iter().find(|s| s.stage == Stage::Store).unwrap();
+    assert_eq!(store.parent, transport.span_id);
+    // The collect span names its payload.
+    let collect = t.spans.iter().find(|s| s.stage == Stage::Collect).unwrap();
+    assert!(collect.note.contains("samples"), "{:?}", collect.note);
+    // Both renderers accept the real thing.
+    let tree = hpcmon::viz::render_span_tree(t);
+    assert!(tree.contains("tick"), "{tree}");
+    assert!(tree.contains("├─") || tree.contains("└─"), "{tree}");
+    let svg = hpcmon::viz::svg_trace_timeline(t, 800);
+    assert!(svg.starts_with("<svg") && svg.ends_with("</svg>\n"));
+}
+
+/// Backpressure drops get provenance even when the frame was NOT head-
+/// sampled: a laggard subscriber's queue fills, and every lost frame
+/// yields a completed trace whose terminal span says which stage lost it
+/// (transport), why (queue_full), and on which topic.
+#[test]
+fn backpressure_drop_yields_drop_trace() {
+    // Sampling is effectively off for ordinary spans (1-in-2^63), so any
+    // trace we see exists purely through the always-on drop path.
+    let mut mon =
+        MonitoringSystem::builder(SimConfig::small()).tracing(Sampler::one_in(u64::MAX)).build();
+    // A consumer that never drains a two-slot queue: ticks 3+ drop.
+    let _laggard = mon.broker().subscribe(
+        TopicFilter::new("metrics/frame"),
+        2,
+        BackpressurePolicy::DropNewest,
+    );
+    mon.run_ticks(6);
+    let dropped: Vec<_> = mon.traces().with_drops().collect();
+    assert!(!dropped.is_empty(), "induced drops produce traces");
+    for t in &dropped {
+        let drop_span = t.drop_spans().next().expect("terminal drop span");
+        assert_eq!(drop_span.status.drop_reason(), Some(DropReason::QueueFull));
+        assert_eq!(drop_span.stage, Stage::Transport, "the losing stage is named");
+        assert!(drop_span.note.contains("metrics/frame"), "{:?}", drop_span.note);
+    }
+    // Ticks 1 and 2 queued fine; from tick 3 on, every frame dropped.
+    // Tick 6's trace is still pending (completion lags one tick), so 3 of
+    // the 4 drops have assembled into completed traces by now.
+    assert_eq!(mon.traces().completed_with_drops(), 3);
+    // The same losses are visible in the aggregate transport stats.
+    assert_eq!(mon.broker().stats().dropped, 4);
+}
+
+/// A gateway query shed at its deadline yields a trace whose terminal
+/// span carries the shed reason and the gateway stage — the "where did my
+/// answer go" companion to the frame-drop story.
+#[test]
+fn gateway_deadline_shed_yields_drop_trace() {
+    use hpcmon_gateway::{GatewayConfig, QueryError, QueryRequest};
+    use hpcmon_response::Consumer;
+    use hpcmon_store::TimeRange;
+
+    let mut mon = MonitoringSystem::builder(SimConfig::small())
+        .tracing(Sampler::one_in(u64::MAX))
+        .gateway(GatewayConfig { default_deadline_ms: 10_000, ..GatewayConfig::default() })
+        .build();
+    mon.run_ticks(3);
+    let gw = mon.gateway().unwrap().clone();
+    let req = QueryRequest::Series {
+        key: SeriesKey::new(mon.metrics().system_power, CompId::SYSTEM),
+        range: TimeRange::all(),
+    };
+    // A zero budget is already expired when a worker picks it up.
+    let result =
+        gw.query_with_deadline(&Consumer::admin("impatient"), req, Duration::from_millis(0));
+    assert!(matches!(result, Err(QueryError::DeadlineExceeded)));
+    // The next ticks drain the gateway's spans and complete the trace.
+    mon.run_ticks(2);
+    let shed: Vec<_> = mon
+        .traces()
+        .completed()
+        .filter(|t| t.first_drop_reason() == Some(DropReason::DeadlineShed))
+        .collect();
+    assert_eq!(shed.len(), 1, "exactly one shed query");
+    let drop_span = shed[0].drop_spans().next().unwrap();
+    assert_eq!(drop_span.stage, Stage::Gateway);
+}
+
+/// A collector that stalls the pipeline on one chosen tick — the
+/// "injected slow frame" for the exemplar test.
+struct SlowTick {
+    at_tick: u64,
+    delay: Duration,
+}
+
+impl Collector for SlowTick {
+    fn name(&self) -> &str {
+        "slow_tick"
+    }
+
+    fn collect(&mut self, engine: &SimEngine, _frame: &mut Frame) {
+        if engine.tick_count() == self.at_tick {
+            std::thread::sleep(self.delay);
+        }
+    }
+}
+
+/// The tick-latency histogram's p99 exemplar resolves a synthetic spike
+/// to the slow frame's trace id, and that id looks up the full trace.
+#[test]
+fn histogram_exemplar_resolves_p99_spike_to_slow_frame() {
+    let mut mon = MonitoringSystem::builder(SimConfig::small())
+        .tracing(Sampler::always())
+        .install_collector(Box::new(SlowTick { at_tick: 10, delay: Duration::from_millis(80) }))
+        .build();
+    mon.run_ticks(30);
+    let hist = mon.telemetry().histogram("stage.tick");
+    // The p99 bucket is the slow tick's; its exemplar is that frame's
+    // trace id.  Trace ids are allocated per tick starting at 1, so the
+    // injected spike at tick 10 must surface trace id 10.
+    let exemplar = hist.exemplar_near_quantile(0.99);
+    assert_eq!(exemplar, 10, "p99 exemplar names the injected slow frame");
+    // And the id resolves to a full trace whose root shows the stall.
+    let trace = mon.traces().find(TraceId(exemplar)).expect("exemplar trace retained");
+    let root = trace.root().unwrap();
+    assert_eq!(root.stage, Stage::Tick);
+    assert!(
+        root.duration_ns() >= 80_000_000,
+        "the trace shows the 80ms stall: {}ns",
+        root.duration_ns()
+    );
+}
+
+/// Trace activity is exported through the ordinary self-telemetry path:
+/// `hpcmon.self.trace.*` series land in the store and are queryable like
+/// any other metric — including through the gateway.
+#[test]
+fn trace_counters_surface_as_self_series() {
+    use hpcmon_gateway::{GatewayConfig, QueryRequest, QueryResponse};
+    use hpcmon_response::Consumer;
+    use hpcmon_store::TimeRange;
+
+    let mut mon = MonitoringSystem::builder(SimConfig::small())
+        .tracing(Sampler::always())
+        .gateway(GatewayConfig { default_deadline_ms: 10_000, ..GatewayConfig::default() })
+        .build();
+    mon.run_ticks(5);
+    for name in [
+        "hpcmon.self.trace.sampled",
+        "hpcmon.self.trace.spans",
+        "hpcmon.self.trace.completed",
+        "hpcmon.self.trace.completed_with_drops",
+        "hpcmon.self.trace.ring_rejected",
+    ] {
+        let id = mon.registry().lookup(name).unwrap_or_else(|| panic!("{name} not registered"));
+        let pts =
+            mon.query().series(SeriesKey::new(id, CompId::SYSTEM), hpcmon_store::TimeRange::all());
+        assert!(!pts.is_empty(), "{name} has no points");
+    }
+    // Always-on sampling: one sampled trace per tick, visible as per-tick
+    // deltas.  The self feed collects at the head of each tick while trace
+    // counters sync at the tail, so 5 ticks surface the first 4 samples.
+    let sampled = mon.registry().lookup("hpcmon.self.trace.sampled").unwrap();
+    let pts =
+        mon.query().series(SeriesKey::new(sampled, CompId::SYSTEM), hpcmon_store::TimeRange::all());
+    assert_eq!(pts.iter().map(|&(_, v)| v).sum::<f64>(), 4.0);
+    // The same series serves through the gateway (controlled release of
+    // the monitor's own health data).
+    let gw = mon.gateway().unwrap();
+    let resp = gw
+        .query(
+            &Consumer::admin("ops"),
+            QueryRequest::Series {
+                key: SeriesKey::new(sampled, CompId::SYSTEM),
+                range: TimeRange::all(),
+            },
+        )
+        .unwrap();
+    match resp {
+        QueryResponse::Points(points) => assert!(!points.is_empty()),
+        other => panic!("unexpected response {other:?}"),
+    }
+}
+
+/// Tracing off is really off: no contexts, no spans, no trace series
+/// pollution — the zero-overhead baseline the ablation measures against.
+#[test]
+fn tracing_off_records_nothing() {
+    let mut mon = MonitoringSystem::builder(SimConfig::small()).tracing(Sampler::off()).build();
+    mon.run_ticks(5);
+    assert!(!mon.tracer().is_enabled());
+    assert_eq!(mon.traces().completed_total(), 0);
+    assert_eq!(mon.tracer().stats().spans_recorded, 0);
+    // Determinism guard: the pipeline behaves identically with tracing on
+    // and off — same frames, same store contents.
+    let mut traced =
+        MonitoringSystem::builder(SimConfig::small()).tracing(Sampler::one_in(2)).build();
+    traced.run_ticks(5);
+    let key = SeriesKey::new(mon.metrics().system_power, CompId::SYSTEM);
+    let a = mon.query().series(key, hpcmon_store::TimeRange::all());
+    let b = traced.query().series(key, hpcmon_store::TimeRange::all());
+    assert_eq!(a, b, "tracing never perturbs the data path");
+}
