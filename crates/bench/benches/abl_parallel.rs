@@ -1,0 +1,108 @@
+//! Ablation: the parallel tick pipeline.
+//!
+//! A 4,096-node machine (16×16×8 torus, 2 nodes/router — Gemini-flavored)
+//! is ticked with the serial pipeline (`workers = 0`) and with a 4-worker
+//! pool fanning the collect, analysis, and store stages.  Two claims:
+//!
+//! 1. Speed: on a multi-core host the pool should reach ≥1.5× serial
+//!    throughput.  The ratio is printed, not asserted — CI containers
+//!    often expose a single CPU, where the honest ratio is ~1.0×.
+//! 2. Determinism: output is compared bit-for-bit (reports and every
+//!    stored value) — the speedup must be free of result drift.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hpcmon::{MonitoringSystem, SimConfig};
+use hpcmon_metrics::Ts;
+use hpcmon_sim::TopologySpec;
+use std::time::Instant;
+
+fn big_config() -> SimConfig {
+    SimConfig {
+        topology: TopologySpec::Torus3D { dims: [16, 16, 8], nodes_per_router: 2 },
+        ..SimConfig::small()
+    }
+}
+
+fn build(workers: usize) -> MonitoringSystem {
+    MonitoringSystem::builder(big_config()).self_telemetry(false).workers(workers).build()
+}
+
+fn ticks_per_sec(workers: usize, ticks: u64) -> f64 {
+    let mut mon = build(workers);
+    mon.run_ticks(2); // warm-up: registries populated, stores primed
+    let start = Instant::now();
+    mon.run_ticks(ticks);
+    ticks as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Bit-exact digest of everything a run produced.
+fn digest(mon: &MonitoringSystem) -> Vec<(String, Vec<(u64, u64)>)> {
+    mon.store()
+        .all_series()
+        .into_iter()
+        .map(|k| {
+            let pts = mon
+                .store()
+                .query(k, Ts::ZERO, Ts(u64::MAX))
+                .into_iter()
+                .map(|(t, v)| (t.0, v.to_bits()))
+                .collect();
+            (format!("{k:?}"), pts)
+        })
+        .collect()
+}
+
+fn print_capability() {
+    println!("\n=== Ablation: parallel tick pipeline (4,096 nodes) ===");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("  host parallelism: {cores} core(s)");
+
+    // Determinism first — a speedup that changes answers is a bug, not a
+    // feature.  Short runs suffice: every stage output feeds the next
+    // tick, so drift would compound and surface immediately.
+    let mut serial = build(0);
+    let mut par = build(4);
+    let reports_serial: Vec<_> = (0..4).map(|_| serial.tick()).collect();
+    let reports_par: Vec<_> = (0..4).map(|_| par.tick()).collect();
+    assert_eq!(reports_serial, reports_par, "parallel TickReports must equal serial");
+    assert_eq!(serial.signals(), par.signals(), "signal streams must be identical");
+    assert_eq!(digest(&serial), digest(&par), "store contents must be bit-identical");
+    println!("  determinism: 4 workers == serial, bit-for-bit (reports, signals, store)");
+
+    // Best-of-N throughput: a single timing is at the mercy of whatever
+    // else the machine is doing; best-of-N converges on the undisturbed
+    // cost of each configuration.
+    const TICKS: u64 = 6;
+    const ROUNDS: usize = 3;
+    let mut t_serial = f64::MIN;
+    let mut t_par = f64::MIN;
+    for _ in 0..ROUNDS {
+        t_serial = t_serial.max(ticks_per_sec(0, TICKS));
+        t_par = t_par.max(ticks_per_sec(4, TICKS));
+    }
+    println!("  serial (workers=0):   {t_serial:8.2} ticks/s");
+    println!("  parallel (workers=4): {t_par:8.2} ticks/s");
+    println!("  speedup: {:.2}x (target on >=4 cores: 1.5x)", t_par / t_serial);
+}
+
+fn bench(c: &mut Criterion) {
+    print_capability();
+    let mut group = c.benchmark_group("abl_parallel");
+    group.sample_size(10);
+    for workers in [0usize, 4] {
+        group.bench_function(format!("tick_4096_nodes_workers_{workers}"), |b| {
+            b.iter_with_setup(
+                || {
+                    let mut mon = build(workers);
+                    mon.run_ticks(1);
+                    mon
+                },
+                |mut mon| mon.run_ticks(3),
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -46,7 +46,7 @@ pub struct SelfCollector {
     tel_hists: Vec<MetricId>,
     // Fixed-name broker/store series, registered up front.
     transport: [DeltaSlot; 4],
-    store_ops: [DeltaSlot; 4],
+    store_ops: [DeltaSlot; 5],
     store_stats: [MetricId; 4],
     // Positional cache over the broker's (append-only) topic table.
     // Five series per topic: published plus the full drop-reason split
@@ -99,6 +99,7 @@ impl SelfCollector {
             "hpcmon.self.store.blocks_sealed",
             "hpcmon.self.store.blocks_evicted",
             "hpcmon.self.store.blocks_reloaded",
+            "hpcmon.self.store.corrupt_blocks",
         ]
         .map(|name| (registry.register(name, Unit::Count, "store operations (per-tick)"), 0));
         let store_stats = [
@@ -230,7 +231,13 @@ impl Collector for SelfCollector {
         push_deltas(
             frame,
             &mut self.store_ops,
-            [ops.samples_ingested, ops.blocks_sealed, ops.blocks_evicted, ops.blocks_reloaded],
+            [
+                ops.samples_ingested,
+                ops.blocks_sealed,
+                ops.blocks_evicted,
+                ops.blocks_reloaded,
+                self.store.corrupt_blocks(),
+            ],
         );
         let st = self.store.occupancy();
         let levels =
@@ -335,6 +342,7 @@ mod tests {
         assert_eq!(val("hpcmon.self.transport.topic.metrics.frame.published"), 1.0);
         assert_eq!(val("hpcmon.self.transport.queue._"), 1.0, "one message queued");
         assert_eq!(val("hpcmon.self.store.samples_ingested"), 1.0);
+        assert_eq!(val("hpcmon.self.store.corrupt_blocks"), 0.0);
         assert_eq!(val("hpcmon.self.store.series"), 1.0);
     }
 

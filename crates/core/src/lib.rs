@@ -25,6 +25,7 @@
 //! ```
 
 pub mod config;
+pub mod parallel;
 pub mod pipeline;
 pub mod scenarios;
 pub mod system;

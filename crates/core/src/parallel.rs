@@ -1,0 +1,292 @@
+//! A persistent worker pool for the hot tick stages.
+//!
+//! The paper's Table I demands monitoring that runs "as fast as the
+//! hardware allows" on 20k+-node systems, and DCDB / the LIKWID Monitoring
+//! Stack both show that per-plugin concurrency is what makes continuous
+//! holistic collection viable at that scale.  [`WorkerPool`] is the
+//! minimal machinery for that: a fixed set of `std::thread` workers fed
+//! over an mpsc channel, plus a scoped-spawn API so the tick loop can fan
+//! borrowed work (collectors, detector partitions, store shard batches)
+//! across the pool without `Arc`-wrapping the whole system.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism** — the pool executes jobs, it never *orders* results.
+//!    Every caller splits work into independent units (one collector, one
+//!    detector attachment, one store shard) and merges outputs in a fixed
+//!    order on the coordinating thread, so pipeline output is byte-
+//!    identical for any worker count, including the serial path.
+//! 2. **No new dependencies** — `std::thread` + `std::sync` only.
+//! 3. **Persistent workers** — threads are spawned once at build and
+//!    reused every tick; a [`WorkerPool::scope`] call costs two mutex
+//!    round-trips per job, not a thread spawn.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Book-keeping shared between one [`Scope`] and the jobs it spawned.
+struct ScopeState {
+    /// Jobs spawned but not yet finished.
+    pending: Mutex<usize>,
+    /// Signalled when `pending` reaches zero.
+    done: Condvar,
+    /// First panic payload raised by a job, re-raised on the scope's
+    /// thread so worker panics are not silently swallowed.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl ScopeState {
+    fn new() -> Arc<ScopeState> {
+        Arc::new(ScopeState {
+            pending: Mutex::new(0),
+            done: Condvar::new(),
+            panic: Mutex::new(None),
+        })
+    }
+
+    fn finish_job(&self, panicked: Option<Box<dyn std::any::Any + Send>>) {
+        if let Some(payload) = panicked {
+            let mut slot = self.panic.lock().unwrap();
+            if slot.is_none() {
+                *slot = Some(payload);
+            }
+        }
+        let mut pending = self.pending.lock().unwrap();
+        *pending -= 1;
+        if *pending == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn wait_all(&self) {
+        let mut pending = self.pending.lock().unwrap();
+        while *pending > 0 {
+            pending = self.done.wait(pending).unwrap();
+        }
+    }
+}
+
+/// A fixed-size pool of persistent worker threads.
+///
+/// ```
+/// use hpcmon::parallel::WorkerPool;
+///
+/// let pool = WorkerPool::new(4);
+/// let mut squares = vec![0u64; 8];
+/// pool.scope(|s| {
+///     for (i, out) in squares.iter_mut().enumerate() {
+///         s.spawn(move || *out = (i as u64) * (i as u64));
+///     }
+/// });
+/// assert_eq!(squares[7], 49);
+/// ```
+pub struct WorkerPool {
+    tx: Option<Sender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawn `workers` persistent threads (must be ≥ 1; a "pool of zero"
+    /// is expressed by not building a pool at all and staying serial).
+    pub fn new(workers: usize) -> WorkerPool {
+        assert!(workers > 0, "a worker pool needs at least one worker");
+        let (tx, rx) = channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("hpcmon-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { tx: Some(tx), handles, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `f` with a [`Scope`] that can spawn borrowing jobs onto the
+    /// pool.  Blocks until every spawned job has finished, then
+    /// propagates the first job panic (if any) on this thread.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        let state = ScopeState::new();
+        let scope = Scope {
+            tx: self.tx.as_ref().expect("pool is alive"),
+            state: Arc::clone(&state),
+            _env: std::marker::PhantomData,
+        };
+        // If `f` itself panics we must still wait for already-spawned jobs
+        // before unwinding: their closures borrow from `'env`.
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        state.wait_all();
+        if let Some(payload) = state.panic.lock().unwrap().take() {
+            resume_unwind(payload);
+        }
+        match result {
+            Ok(r) => r,
+            Err(payload) => resume_unwind(payload),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Hang up the channel; workers drain outstanding jobs and exit.
+        drop(self.tx.take());
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    loop {
+        // Hold the lock only while dequeuing, never while running the job.
+        let job = match rx.lock().unwrap().recv() {
+            Ok(job) => job,
+            Err(_) => return, // pool dropped
+        };
+        job();
+    }
+}
+
+/// Spawn handle passed to the closure of [`WorkerPool::scope`]; jobs may
+/// borrow anything that outlives `'env`.
+pub struct Scope<'pool, 'env> {
+    tx: &'pool Sender<Job>,
+    state: Arc<ScopeState>,
+    // Invariant over 'env so the borrow checker pins borrows exactly.
+    _env: std::marker::PhantomData<&'env mut &'env ()>,
+}
+
+impl<'pool, 'env> Scope<'pool, 'env> {
+    /// Queue `f` onto the pool.  The scope guarantees `f` completes
+    /// before `scope()` returns, which is what makes the `'env` borrow
+    /// sound.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        *self.state.pending.lock().unwrap() += 1;
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(f);
+        // SAFETY: `WorkerPool::scope` blocks on `wait_all()` before
+        // returning (even when the scope closure panics), so this job —
+        // and every `'env` borrow it captures — finishes strictly before
+        // `'env` can end.  The transmute only erases that lifetime bound;
+        // layout of `Box<dyn FnOnce>` is lifetime-independent.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        let state = Arc::clone(&self.state);
+        self.tx
+            .send(Box::new(move || {
+                let outcome = catch_unwind(AssertUnwindSafe(job)).err();
+                state.finish_job(outcome);
+            }))
+            .expect("worker pool is alive while a scope exists");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn jobs_run_and_results_land_in_borrowed_slots() {
+        let pool = WorkerPool::new(4);
+        let mut out = vec![0u64; 100];
+        pool.scope(|s| {
+            for (i, slot) in out.iter_mut().enumerate() {
+                s.spawn(move || *slot = i as u64 + 1);
+            }
+        });
+        assert!(out.iter().enumerate().all(|(i, &v)| v == i as u64 + 1));
+    }
+
+    #[test]
+    fn pool_is_reusable_across_scopes() {
+        let pool = WorkerPool::new(2);
+        let total = AtomicU64::new(0);
+        for _ in 0..50 {
+            pool.scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 400);
+    }
+
+    #[test]
+    fn scope_blocks_until_all_jobs_finish() {
+        let pool = WorkerPool::new(3);
+        let running = AtomicU64::new(0);
+        pool.scope(|s| {
+            for _ in 0..16 {
+                s.spawn(|| {
+                    running.fetch_add(1, Ordering::SeqCst);
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    running.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(running.load(Ordering::SeqCst), 0, "no job may outlive its scope");
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_the_scope_caller() {
+        let pool = WorkerPool::new(2);
+        let hit = AtomicU64::new(0);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|| panic!("job exploded"));
+                s.spawn(|| {
+                    hit.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        }));
+        assert!(result.is_err(), "panic must not be swallowed");
+        // The pool survives a panicked scope and keeps working.
+        pool.scope(|s| {
+            s.spawn(|| {
+                hit.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(hit.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn single_worker_pool_is_effectively_serial() {
+        let pool = WorkerPool::new(1);
+        let mut order = Vec::new();
+        let log = Mutex::new(&mut order);
+        pool.scope(|s| {
+            for i in 0..10 {
+                let log = &log;
+                s.spawn(move || log.lock().unwrap().push(i));
+            }
+        });
+        assert_eq!(order, (0..10).collect::<Vec<_>>(), "one worker preserves queue order");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        WorkerPool::new(0);
+    }
+}

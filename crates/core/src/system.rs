@@ -8,6 +8,7 @@
 //! accounting, tiered storage, streaming analysis, and configurable
 //! response with actions fed back to the scheduler.
 
+use crate::parallel::WorkerPool;
 use crate::pipeline::{finding_to_signal, DetectorAttachment};
 use hpcmon_analysis::{Correlator, Deadman, ImbalanceDetector, NoveltyDetector, Rule};
 use hpcmon_collect::collectors::standard_collectors;
@@ -21,12 +22,15 @@ use hpcmon_response::{
 };
 use hpcmon_sim::{FaultKind, JobSpec, SimConfig, SimEngine};
 use hpcmon_store::{Archive, LogStore, QueryEngine, RetentionPolicy, TimeSeriesStore};
-use hpcmon_telemetry::{Counter, Gauge, Histogram, StageTimer, Telemetry, TelemetryReport};
+use hpcmon_telemetry::{
+    BusyTimer, Counter, Gauge, Histogram, StageTimer, Telemetry, TelemetryReport,
+};
 use hpcmon_trace::{Sampler, Stage, TraceStore, Tracer};
 use hpcmon_transport::{
     topics, BackpressurePolicy, Broker, Payload, Subscription, TopicFilter, TopicStats,
 };
 use hpcmon_viz::{ClassStatus, StatusBoard};
+use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -49,6 +53,7 @@ pub struct MonitorBuilder {
     self_telemetry: bool,
     gateway: Option<GatewayConfig>,
     tracing: Sampler,
+    workers: usize,
 }
 
 impl MonitorBuilder {
@@ -74,7 +79,20 @@ impl MonitorBuilder {
             self_telemetry: true,
             gateway: None,
             tracing: Sampler::one_in(64),
+            workers: 0,
         }
+    }
+
+    /// Fan the hot tick stages (collection, detector evaluation, store
+    /// ingest) across `n` persistent worker threads.  `0` (the default)
+    /// keeps the pipeline fully serial.  Output is deterministic either
+    /// way: collectors fill private frames merged in fixed collector
+    /// order, detector signals concatenate in attachment order, and store
+    /// shards never share a series — so reports, signals, and stored data
+    /// are identical for any worker count.
+    pub fn workers(mut self, n: usize) -> MonitorBuilder {
+        self.workers = n;
+        self
     }
 
     /// Set the head-sampling policy for pipeline tracing (default 1-in-64
@@ -216,6 +234,8 @@ impl MonitorBuilder {
             )));
         }
         let instruments = PipelineInstruments::new(&telemetry, &collectors, &self.detectors);
+        instruments.parallel_workers.set(self.workers as f64);
+        let pool = (self.workers > 0).then(|| WorkerPool::new(self.workers));
         let tracer = Arc::new(Tracer::new(self.tracing));
         if tracer.is_enabled() {
             broker.set_tracer(tracer.clone());
@@ -242,7 +262,6 @@ impl MonitorBuilder {
             signals: Vec::new(),
             store_sub,
             deadman: Deadman::new(self.config.tick_ms),
-            deadman_armed: false,
             retention: self.retention,
             power_cap_w: self.power_cap_w,
             collectors,
@@ -255,6 +274,7 @@ impl MonitorBuilder {
             gateway,
             tracer,
             trace_store: TraceStore::new(256),
+            pool,
         }
     }
 }
@@ -299,6 +319,18 @@ struct PipelineInstruments {
     trace_completed: Arc<Counter>,
     trace_completed_with_drops: Arc<Counter>,
     trace_ring_rejected: Arc<Counter>,
+    // Parallel pipeline: worker count, jobs dispatched, and per-stage busy
+    // time.  Busy counters are fed by per-job `BusyTimer`s — each job's
+    // duration is added exactly once by the worker that ran it, while the
+    // wall-clock `stage_*` histograms above are recorded exactly once by
+    // the coordinating thread, so stage time is never double-counted.
+    // The same busy counters run in the serial path (busy ≈ wall there),
+    // keeping the self-telemetry series set identical across worker counts.
+    parallel_workers: Arc<Gauge>,
+    parallel_jobs: Arc<Counter>,
+    busy_collect: Arc<Counter>,
+    busy_analysis: Arc<Counter>,
+    busy_store: Arc<Counter>,
     collectors: Vec<CollectorInstruments>,
     detectors: Vec<DetectorInstruments>,
 }
@@ -327,6 +359,11 @@ impl PipelineInstruments {
             trace_completed: t.counter("trace.completed"),
             trace_completed_with_drops: t.counter("trace.completed_with_drops"),
             trace_ring_rejected: t.counter("trace.ring_rejected"),
+            parallel_workers: t.gauge("parallel.workers"),
+            parallel_jobs: t.counter("parallel.jobs"),
+            busy_collect: t.counter("parallel.busy_ns.collect"),
+            busy_analysis: t.counter("parallel.busy_ns.analysis"),
+            busy_store: t.counter("parallel.busy_ns.store"),
             collectors: collectors
                 .iter()
                 .map(|c| CollectorInstruments {
@@ -348,8 +385,9 @@ impl PipelineInstruments {
     }
 }
 
-/// Per-tick outcome.
-#[derive(Debug, Clone, Default)]
+/// Per-tick outcome.  `PartialEq`/`Serialize` so determinism checks can
+/// compare whole reports across worker counts (and diff them as JSON).
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct TickReport {
     /// Samples collected this tick.
     pub samples: usize,
@@ -398,7 +436,6 @@ pub struct MonitoringSystem {
     signals: Vec<Signal>,
     store_sub: Subscription,
     deadman: Deadman,
-    deadman_armed: bool,
     retention: Option<(RetentionPolicy, u64)>,
     power_cap_w: Option<f64>,
     telemetry: Arc<Telemetry>,
@@ -406,6 +443,9 @@ pub struct MonitoringSystem {
     gateway: Option<Arc<Gateway>>,
     tracer: Arc<Tracer>,
     trace_store: TraceStore,
+    // `Some` fans the hot stages across persistent workers; `None` is the
+    // serial path.  Both produce byte-identical output (see DESIGN.md §9).
+    pool: Option<WorkerPool>,
 }
 
 impl MonitoringSystem {
@@ -449,26 +489,83 @@ impl MonitoringSystem {
 
         // 1. Synchronized collection into one frame, with deadman beats
         //    per contributing collector (silence must not look like
-        //    health).  Expectations arm on the first tick: collectors that
-        //    are legitimately empty for this machine config never arm.
+        //    health).  Collectors that are legitimately empty for this
+        //    machine config never arm an expectation.
         let collect_timer = StageTimer::new(self.instruments.stage_collect.clone()).with_tag(tag);
         let collect_span = stage_ctx.as_ref().map(|c| tracer.span(c, Stage::Collect));
         let mut frame = Frame::new(now);
-        for (c, inst) in self.collectors.iter_mut().zip(&self.instruments.collectors) {
-            let before = frame.len();
-            let started = Instant::now();
-            c.collect(&self.engine, &mut frame);
-            let contributed = frame.len() - before;
-            inst.latency.record_ns(started.elapsed().as_nanos() as u64);
-            inst.samples.add(contributed as u64);
-            if contributed > 0 {
-                if !self.deadman_armed {
-                    self.deadman.register(c.name());
+        let mut contributed = vec![0usize; self.collectors.len()];
+        match &self.pool {
+            Some(pool) => {
+                // Each collector fills a private frame; merging the parts
+                // in fixed collector order afterwards makes the merged
+                // frame byte-identical to the serial path.  Collectors
+                // named "self" are barriers — they republish instruments
+                // the other collectors update this tick — so they run
+                // inline after the fan-out, at their own position (the
+                // builder installs the SelfCollector last, matching).
+                let engine = &self.engine;
+                let insts = &self.instruments.collectors;
+                let jobs = &self.instruments.parallel_jobs;
+                let busy = &self.instruments.busy_collect;
+                let mut parts: Vec<Frame> =
+                    (0..self.collectors.len()).map(|_| Frame::new(now)).collect();
+                pool.scope(|sc| {
+                    for ((c, part), inst) in
+                        self.collectors.iter_mut().zip(parts.iter_mut()).zip(insts)
+                    {
+                        if c.name() == "self" {
+                            continue;
+                        }
+                        jobs.inc();
+                        sc.spawn(move || {
+                            let _busy = BusyTimer::new(busy.clone());
+                            let started = Instant::now();
+                            c.collect(engine, part);
+                            inst.latency.record_ns(started.elapsed().as_nanos() as u64);
+                            inst.samples.add(part.len() as u64);
+                        });
+                    }
+                });
+                for (i, part) in parts.iter_mut().enumerate() {
+                    if self.collectors[i].name() == "self" {
+                        let before = frame.len();
+                        let started = Instant::now();
+                        self.collectors[i].collect(&self.engine, &mut frame);
+                        contributed[i] = frame.len() - before;
+                        let inst = &self.instruments.collectors[i];
+                        inst.latency.record_ns(started.elapsed().as_nanos() as u64);
+                        inst.samples.add(contributed[i] as u64);
+                    } else {
+                        contributed[i] = part.len();
+                        frame.samples.append(&mut part.samples);
+                    }
                 }
+            }
+            None => {
+                for (i, (c, inst)) in
+                    self.collectors.iter_mut().zip(&self.instruments.collectors).enumerate()
+                {
+                    let before = frame.len();
+                    let _busy = BusyTimer::new(self.instruments.busy_collect.clone());
+                    let started = Instant::now();
+                    c.collect(&self.engine, &mut frame);
+                    contributed[i] = frame.len() - before;
+                    inst.latency.record_ns(started.elapsed().as_nanos() as u64);
+                    inst.samples.add(contributed[i] as u64);
+                }
+            }
+        }
+        // Deadman bookkeeping on the coordinator, in fixed collector order.
+        // A collector registers the first time it ever contributes — on
+        // whatever tick that happens — so a feed that comes alive late
+        // still gets silence coverage from that point on.
+        for (c, &n) in self.collectors.iter().zip(&contributed) {
+            if n > 0 {
+                self.deadman.register(c.name());
                 self.deadman.beat(c.name(), now);
             }
         }
-        self.deadman_armed = true;
         let mut bench_logs: Vec<LogRecord> = Vec::new();
         if let Some(every) = self.bench_every_ticks {
             if self.engine.tick_count().is_multiple_of(every) {
@@ -501,7 +598,35 @@ impl MonitoringSystem {
         for env in self.store_sub.drain() {
             let span = env.trace.as_ref().map(|c| tracer.span(c, Stage::Store));
             if let Some(f) = env.payload.as_frame() {
-                self.store.insert_frame(f);
+                match &self.pool {
+                    Some(pool) => {
+                        // Shard-batched concurrent ingest: the frame is
+                        // partitioned by owning shard (frame order kept
+                        // within each batch), and shards never share a
+                        // series, so the stored contents are identical to
+                        // serial insertion.
+                        let store = &self.store;
+                        let jobs = &self.instruments.parallel_jobs;
+                        let busy = &self.instruments.busy_store;
+                        let batches = store.partition_frame(f);
+                        pool.scope(|sc| {
+                            for (shard, batch) in batches.iter().enumerate() {
+                                if batch.is_empty() {
+                                    continue;
+                                }
+                                jobs.inc();
+                                sc.spawn(move || {
+                                    let _busy = BusyTimer::new(busy.clone());
+                                    store.insert_shard_batch(shard, batch);
+                                });
+                            }
+                        });
+                    }
+                    None => {
+                        let _busy = BusyTimer::new(self.instruments.busy_store.clone());
+                        self.store.insert_frame(f);
+                    }
+                }
             }
             drop(span);
         }
@@ -535,25 +660,72 @@ impl MonitoringSystem {
         }
         self.log_store.append_batch(records);
 
-        // 4. Streaming metric analysis on the fresh frame.
-        for (att, inst) in self.detectors.iter_mut().zip(&self.instruments.detectors) {
-            let started = Instant::now();
-            let mut evals = 0u64;
-            for s in frame.samples.iter().filter(|s| s.key == att.key) {
-                evals += 1;
-                if let Some(anomaly) = att.detector.observe(s.ts, s.value) {
-                    signals.push(Signal::new(
-                        anomaly.ts,
-                        att.kind,
-                        att.severity,
-                        att.key.comp,
-                        anomaly.score,
-                        format!("{} (value {:.4})", att.label, anomaly.value),
-                    ));
+        // 4. Streaming metric analysis on the fresh frame.  Attachments
+        //    are independent (private detector state, disjoint sample
+        //    partitions), so they evaluate concurrently when a pool is
+        //    configured; concatenating the per-attachment outputs in
+        //    attachment order reproduces the serial signal order exactly.
+        match &self.pool {
+            Some(pool) => {
+                let frame_ref = &frame;
+                let insts = &self.instruments.detectors;
+                let jobs = &self.instruments.parallel_jobs;
+                let busy = &self.instruments.busy_analysis;
+                let mut outs: Vec<Vec<Signal>> =
+                    (0..self.detectors.len()).map(|_| Vec::new()).collect();
+                pool.scope(|sc| {
+                    for ((att, out), inst) in
+                        self.detectors.iter_mut().zip(outs.iter_mut()).zip(insts)
+                    {
+                        jobs.inc();
+                        sc.spawn(move || {
+                            let _busy = BusyTimer::new(busy.clone());
+                            let started = Instant::now();
+                            let mut evals = 0u64;
+                            for s in frame_ref.samples.iter().filter(|s| s.key == att.key) {
+                                evals += 1;
+                                if let Some(anomaly) = att.detector.observe(s.ts, s.value) {
+                                    out.push(Signal::new(
+                                        anomaly.ts,
+                                        att.kind,
+                                        att.severity,
+                                        att.key.comp,
+                                        anomaly.score,
+                                        format!("{} (value {:.4})", att.label, anomaly.value),
+                                    ));
+                                }
+                            }
+                            inst.evals.add(evals);
+                            inst.latency.record_ns(started.elapsed().as_nanos() as u64);
+                        });
+                    }
+                });
+                for out in &mut outs {
+                    signals.append(out);
                 }
             }
-            inst.evals.add(evals);
-            inst.latency.record_ns(started.elapsed().as_nanos() as u64);
+            None => {
+                for (att, inst) in self.detectors.iter_mut().zip(&self.instruments.detectors) {
+                    let _busy = BusyTimer::new(self.instruments.busy_analysis.clone());
+                    let started = Instant::now();
+                    let mut evals = 0u64;
+                    for s in frame.samples.iter().filter(|s| s.key == att.key) {
+                        evals += 1;
+                        if let Some(anomaly) = att.detector.observe(s.ts, s.value) {
+                            signals.push(Signal::new(
+                                anomaly.ts,
+                                att.kind,
+                                att.severity,
+                                att.key.comp,
+                                anomaly.score,
+                                format!("{} (value {:.4})", att.label, anomaly.value),
+                            ));
+                        }
+                    }
+                    inst.evals.add(evals);
+                    inst.latency.record_ns(started.elapsed().as_nanos() as u64);
+                }
+            }
         }
 
         // 5. Built-in analyses: cabinet imbalance, ASHRAE, health checks.
@@ -1190,6 +1362,63 @@ mod tests {
         let hits =
             mon.log_store().search(&hpcmon_store::LogQuery::default().with_source("analysis"));
         assert_eq!(hits.len() as u64, series.iter().map(|&(_, v)| v as u64).sum::<u64>());
+    }
+
+    #[test]
+    fn late_arriving_collector_gets_deadman_coverage() {
+        // Regression: a collector whose FIRST contribution lands after
+        // tick 1 must still be registered with the deadman (the old
+        // `deadman_armed` latch only allowed registration on the first
+        // tick), so its later silence surfaces as MonitoringGap.
+        use hpcmon_metrics::Unit;
+        struct LateCollector {
+            id: hpcmon_metrics::MetricId,
+        }
+        impl Collector for LateCollector {
+            fn name(&self) -> &str {
+                "late-feed"
+            }
+            fn collect(&mut self, engine: &SimEngine, frame: &mut Frame) {
+                // Silent on ticks 1-2, alive on 3-6, then dead.
+                if (3..=6).contains(&engine.tick_count()) {
+                    frame.push(self.id, CompId::SYSTEM, 1.0);
+                }
+            }
+        }
+        let builder = MonitoringSystem::builder(SimConfig::small());
+        let id = builder.registry().register("late.feed", Unit::Count, "regression feed");
+        let mut mon = builder.install_collector(Box::new(LateCollector { id })).build();
+        mon.run_ticks(2);
+        assert!(
+            !mon.signals().iter().any(|s| s.detail.contains("late-feed")),
+            "a feed that has never contributed is not yet expected"
+        );
+        mon.run_ticks(10);
+        assert!(
+            mon.signals()
+                .iter()
+                .any(|s| s.kind == SignalKind::MonitoringGap && s.detail.contains("late-feed")),
+            "silence after a late first contribution must surface as MonitoringGap"
+        );
+    }
+
+    #[test]
+    fn parallel_pipeline_matches_serial() {
+        let run = |workers: usize| {
+            let mut mon = MonitoringSystem::builder(SimConfig::small()).workers(workers).build();
+            mon.submit_job(JobSpec::new(
+                AppProfile::checkpointing("climate"),
+                "bob",
+                32,
+                40 * 60_000,
+                Ts::ZERO,
+            ));
+            mon.schedule_fault(Ts::from_mins(5), FaultKind::NodeHang { node: 3 });
+            let s = mon.run_ticks(12);
+            (s, mon.signals().to_vec(), mon.store().stats().hot_points)
+        };
+        let serial = run(0);
+        assert_eq!(serial, run(2), "2 workers, identical output");
     }
 
     #[test]

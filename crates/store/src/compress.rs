@@ -153,10 +153,14 @@ pub fn compress_timestamps(ts: &[Ts]) -> Vec<u8> {
 }
 
 /// Decompress timestamps written by [`compress_timestamps`].
+///
+/// Returns `None` on truncated input, overflow, or a cumulative timestamp
+/// that goes negative: a corrupt or adversarial block must surface as an
+/// error, never silently round-trip to *different* data.
 pub fn decompress_timestamps(bytes: &[u8]) -> Option<Vec<Ts>> {
     let mut pos = 0usize;
     let n = read_varint(bytes, &mut pos)? as usize;
-    let mut out = Vec::with_capacity(n);
+    let mut out = Vec::with_capacity(n.min(bytes.len()));
     if n == 0 {
         return Some(out);
     }
@@ -166,13 +170,19 @@ pub fn decompress_timestamps(bytes: &[u8]) -> Option<Vec<Ts>> {
         return Some(out);
     }
     let mut delta = unzigzag(read_varint(bytes, &mut pos)?);
-    let mut cur = first as i64 + delta;
-    out.push(Ts(cur.max(0) as u64));
+    let mut cur = i64::try_from(first).ok()?.checked_add(delta)?;
+    if cur < 0 {
+        return None;
+    }
+    out.push(Ts(cur as u64));
     for _ in 2..n {
         let dod = unzigzag(read_varint(bytes, &mut pos)?);
-        delta += dod;
-        cur += delta;
-        out.push(Ts(cur.max(0) as u64));
+        delta = delta.checked_add(dod)?;
+        cur = cur.checked_add(delta)?;
+        if cur < 0 {
+            return None;
+        }
+        out.push(Ts(cur as u64));
     }
     Some(out)
 }
@@ -360,6 +370,40 @@ mod tests {
     }
 
     #[test]
+    fn negative_cumulative_timestamp_is_an_error_not_wrong_data() {
+        // Hand-encode a block whose second point lands at 10 - 15 = -5.
+        // Before the fix this decoded "successfully" to Ts(0) — silently
+        // different data; now it must be rejected.
+        let mut bytes = Vec::new();
+        write_varint(&mut bytes, 2); // n
+        write_varint(&mut bytes, 10); // first
+        write_varint(&mut bytes, zigzag(-15)); // first delta
+        assert_eq!(decompress_timestamps(&bytes), None);
+
+        // Same shape but going negative mid-stream via a delta-of-delta.
+        let mut bytes = Vec::new();
+        write_varint(&mut bytes, 3); // n
+        write_varint(&mut bytes, 100); // first
+        write_varint(&mut bytes, zigzag(5)); // 100 -> 105
+        write_varint(&mut bytes, zigzag(-300)); // delta becomes -295 -> -190
+        assert_eq!(decompress_timestamps(&bytes), None);
+
+        // A negative delta that stays non-negative is still legal.
+        let ts = vec![Ts(100), Ts(40), Ts(0)];
+        assert_eq!(decompress_timestamps(&compress_timestamps(&ts)).unwrap(), ts);
+    }
+
+    #[test]
+    fn overflowing_delta_stream_is_an_error() {
+        let mut bytes = Vec::new();
+        write_varint(&mut bytes, 3);
+        write_varint(&mut bytes, 0);
+        write_varint(&mut bytes, zigzag(i64::MAX)); // delta = i64::MAX
+        write_varint(&mut bytes, zigzag(i64::MAX)); // delta overflows
+        assert_eq!(decompress_timestamps(&bytes), None);
+    }
+
+    #[test]
     fn truncated_input_returns_none() {
         let ts: Vec<Ts> = (0..100).map(Ts::from_secs).collect();
         let bytes = compress_timestamps(&ts);
@@ -375,6 +419,43 @@ mod tests {
             raw.sort_unstable();
             let ts: Vec<Ts> = raw.into_iter().map(Ts).collect();
             prop_assert_eq!(decompress_timestamps(&compress_timestamps(&ts)).unwrap(), ts);
+        }
+
+        #[test]
+        fn prop_adversarial_dod_streams_round_trip_or_fail_explicitly(
+            first in 0u64..1_000_000_000,
+            deltas in proptest::collection::vec(-1_099_511_627_776i64..1_099_511_627_776, 1..50),
+        ) {
+            // Hand-encode a delta-of-delta stream with large negative
+            // swings (±2^40).  If every cumulative timestamp stays
+            // non-negative the decoder must be lossless; otherwise it
+            // must refuse — never clamp to different data.
+            let n = deltas.len() + 1;
+            let mut bytes = Vec::new();
+            write_varint(&mut bytes, n as u64);
+            write_varint(&mut bytes, first);
+            let mut prev_delta = 0i64;
+            for (i, &d) in deltas.iter().enumerate() {
+                if i == 0 {
+                    write_varint(&mut bytes, zigzag(d));
+                } else {
+                    write_varint(&mut bytes, zigzag(d - prev_delta));
+                }
+                prev_delta = d;
+            }
+            let mut expected = vec![first as i64];
+            let mut cur = first as i64;
+            for &d in &deltas {
+                cur += d; // |values| ≤ 2^30 + 50·2^40: no i64 overflow
+                expected.push(cur);
+            }
+            let decoded = decompress_timestamps(&bytes);
+            if expected.iter().all(|&t| t >= 0) {
+                let want: Vec<Ts> = expected.into_iter().map(|t| Ts(t as u64)).collect();
+                prop_assert_eq!(decoded, Some(want));
+            } else {
+                prop_assert_eq!(decoded, None);
+            }
         }
 
         #[test]

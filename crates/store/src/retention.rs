@@ -60,7 +60,9 @@ impl RetentionPolicy {
                 // Leave coarse rollups behind before the blocks go cold.
                 if let Some(bucket) = self.rollup_bucket_ms {
                     for block in &blocks {
-                        let pts = block.decompress();
+                        // A corrupt block carries no points to roll up;
+                        // the reload path counts it when it comes back.
+                        let Ok(pts) = block.decompress() else { continue };
                         // `with_rollup` rejects zero buckets, so this cannot
                         // fail; an empty rollup is the safe fallback.
                         for (t, v) in crate::query::QueryEngine::downsample_points(

@@ -32,6 +32,34 @@ pub struct SeriesBlock {
     pub val_bytes: Vec<u8>,
 }
 
+/// Why a [`SeriesBlock`] failed to decompress.
+///
+/// Archived blocks cross a (de)serialization boundary in `archive.rs`, so
+/// corrupt bytes are an *input* condition, not a logic error — callers get
+/// a `Result`, never a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockError {
+    /// The timestamp stream is truncated, overflows, or goes negative.
+    Timestamps,
+    /// The Gorilla value stream is truncated or malformed.
+    Values,
+    /// Streams decoded but their lengths disagree with each other or with
+    /// the block's declared `count`.
+    CountMismatch,
+}
+
+impl std::fmt::Display for BlockError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlockError::Timestamps => write!(f, "corrupt timestamp stream"),
+            BlockError::Values => write!(f, "corrupt value stream"),
+            BlockError::CountMismatch => write!(f, "decoded point count mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for BlockError {}
+
 impl SeriesBlock {
     /// Compress a non-empty, time-ordered run of points.
     pub fn compress(key: SeriesKey, points: &[(Ts, f64)]) -> SeriesBlock {
@@ -49,13 +77,14 @@ impl SeriesBlock {
         }
     }
 
-    /// Decompress back to points.  Panics if the block is corrupt — blocks
-    /// are produced internally, so corruption is a logic error.
-    pub fn decompress(&self) -> Vec<(Ts, f64)> {
-        let ts = compress::decompress_timestamps(&self.ts_bytes).expect("corrupt ts block");
-        let vals = compress::decompress_values(&self.val_bytes).expect("corrupt value block");
-        assert_eq!(ts.len(), vals.len());
-        ts.into_iter().zip(vals).collect()
+    /// Decompress back to points, or report why the bytes are corrupt.
+    pub fn decompress(&self) -> Result<Vec<(Ts, f64)>, BlockError> {
+        let ts = compress::decompress_timestamps(&self.ts_bytes).ok_or(BlockError::Timestamps)?;
+        let vals = compress::decompress_values(&self.val_bytes).ok_or(BlockError::Values)?;
+        if ts.len() != vals.len() || ts.len() != self.count as usize {
+            return Err(BlockError::CountMismatch);
+        }
+        Ok(ts.into_iter().zip(vals).collect())
     }
 
     /// Compressed size in bytes.
@@ -93,6 +122,10 @@ pub struct StoreStats {
     pub warm_bytes: usize,
     /// Compressed bytes per warm point (0 when no warm data).
     pub bytes_per_point: f64,
+    /// Corrupt blocks encountered (skipped on query, rejected on reload).
+    /// Monotonic — a counter, not an occupancy figure, carried here so
+    /// every stats consumer sees corruption without a second call.
+    pub corrupt_blocks: u64,
 }
 
 /// Monotonic operation counters: how much work the store has done, as
@@ -133,6 +166,7 @@ pub struct TimeSeriesStore {
     blocks_sealed: AtomicU64,
     blocks_evicted: AtomicU64,
     blocks_reloaded: AtomicU64,
+    corrupt_blocks: AtomicU64,
     // Occupancy, maintained incrementally on every write path so
     // `occupancy()` is O(1) — the self-telemetry feed reads it every tick,
     // where the `stats()` scan would grow with the store.
@@ -166,6 +200,7 @@ impl TimeSeriesStore {
             blocks_sealed: AtomicU64::new(0),
             blocks_evicted: AtomicU64::new(0),
             blocks_reloaded: AtomicU64::new(0),
+            corrupt_blocks: AtomicU64::new(0),
             series_count: AtomicU64::new(0),
             hot_points: AtomicU64::new(0),
             warm_points: AtomicU64::new(0),
@@ -187,10 +222,26 @@ impl TimeSeriesStore {
         self.epoch.fetch_add(1, Ordering::Release);
     }
 
-    fn shard_of(&self, key: &SeriesKey) -> &RwLock<Shard> {
+    fn bump_epoch_by(&self, n: u64) {
+        // Batched ingest advances the epoch by the sample count so the
+        // epoch value stays identical to per-sample insertion.
+        self.epoch.fetch_add(n, Ordering::Release);
+    }
+
+    /// Number of shards (the fan-out width for batched ingest).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Which shard a series key lives in.
+    pub fn shard_index(&self, key: &SeriesKey) -> usize {
         let mut h = DefaultHasher::new();
         key.hash(&mut h);
-        &self.shards[(h.finish() as usize) % self.shards.len()]
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    fn shard_of(&self, key: &SeriesKey) -> &RwLock<Shard> {
+        &self.shards[self.shard_index(key)]
     }
 
     /// Insert one sample.  Out-of-order samples (older than the hot tail)
@@ -198,6 +249,13 @@ impl TimeSeriesStore {
     pub fn insert(&self, sample: &Sample) {
         self.samples_ingested.fetch_add(1, Ordering::Relaxed);
         let mut shard = self.shard_of(&sample.key).write();
+        self.insert_locked(&mut shard, sample);
+        drop(shard);
+        self.bump_epoch();
+    }
+
+    /// The per-sample ingest step, with the owning shard's lock held.
+    fn insert_locked(&self, shard: &mut Shard, sample: &Sample) {
         let data = shard.series.entry(sample.key).or_insert_with(|| {
             self.series_count.fetch_add(1, Ordering::Relaxed);
             SeriesData::default()
@@ -217,8 +275,6 @@ impl TimeSeriesStore {
             data.warm.push(block);
             data.hot.clear();
         }
-        drop(shard);
-        self.bump_epoch();
     }
 
     /// Move occupancy from hot to warm for a freshly sealed block.
@@ -229,11 +285,50 @@ impl TimeSeriesStore {
         self.warm_bytes.fetch_add(block.compressed_bytes() as u64, Ordering::Relaxed);
     }
 
-    /// Insert every sample of a frame.
+    /// Insert every sample of a frame.  Internally shard-batched: one
+    /// lock acquisition per touched shard instead of one per sample, with
+    /// contents, occupancy, op counts, and epoch identical to per-sample
+    /// insertion (frame order is preserved within each shard; samples in
+    /// different shards never share a series, so cross-shard order is
+    /// immaterial).
     pub fn insert_frame(&self, frame: &Frame) {
-        for s in &frame.samples {
-            self.insert(s);
+        for (shard, batch) in self.partition_frame(frame).into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.insert_shard_batch(shard, &batch);
+            }
         }
+    }
+
+    /// Group a frame's samples by owning shard, preserving frame order
+    /// within each shard — the split half of concurrent ingest: partition
+    /// once, then hand each non-empty batch to a worker.
+    pub fn partition_frame<'a>(&self, frame: &'a Frame) -> Vec<Vec<&'a Sample>> {
+        let mut batches: Vec<Vec<&Sample>> = vec![Vec::new(); self.shards.len()];
+        for s in &frame.samples {
+            batches[self.shard_index(&s.key)].push(s);
+        }
+        batches
+    }
+
+    /// Ingest a batch of samples that all hash to `shard`, holding that
+    /// shard's write lock once for the whole batch.  Callers must pass
+    /// samples in their original frame order; [`TimeSeriesStore::partition_frame`]
+    /// produces exactly that.
+    ///
+    /// Distinct shards can be ingested concurrently: each batch touches
+    /// only its own shard's map, and all shared accounting is atomic.
+    pub fn insert_shard_batch(&self, shard: usize, samples: &[&Sample]) {
+        if samples.is_empty() {
+            return;
+        }
+        self.samples_ingested.fetch_add(samples.len() as u64, Ordering::Relaxed);
+        let mut guard = self.shards[shard].write();
+        for s in samples {
+            debug_assert_eq!(self.shard_index(&s.key), shard, "sample routed to wrong shard");
+            self.insert_locked(&mut guard, s);
+        }
+        drop(guard);
+        self.bump_epoch_by(samples.len() as u64);
     }
 
     /// All points of one series in `[from, to]`, time-ordered.
@@ -245,7 +340,16 @@ impl TimeSeriesStore {
         let mut out = Vec::new();
         for block in &data.warm {
             if block.overlaps(from, to) {
-                out.extend(block.decompress().into_iter().filter(|&(t, _)| t >= from && t <= to));
+                match block.decompress() {
+                    Ok(pts) => {
+                        out.extend(pts.into_iter().filter(|&(t, _)| t >= from && t <= to));
+                    }
+                    // A corrupt block degrades one range of one series;
+                    // it must not take down the query (or the pipeline).
+                    Err(_) => {
+                        self.corrupt_blocks.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
             }
         }
         out.extend(data.hot.iter().copied().filter(|&(t, _)| t >= from && t <= to));
@@ -330,10 +434,17 @@ impl TimeSeriesStore {
         evicted
     }
 
-    /// Re-insert previously evicted blocks (the reload half).
+    /// Re-insert previously evicted blocks (the reload half).  Blocks
+    /// whose bytes no longer decompress — archives cross a serialization
+    /// boundary, so this is an input condition — are rejected and counted
+    /// rather than admitted as queryable-looking garbage.
     pub fn reload_blocks(&self, blocks: Vec<SeriesBlock>) {
-        self.blocks_reloaded.fetch_add(blocks.len() as u64, Ordering::Relaxed);
         for block in blocks {
+            if block.decompress().is_err() {
+                self.corrupt_blocks.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            self.blocks_reloaded.fetch_add(1, Ordering::Relaxed);
             self.warm_points.fetch_add(block.count as u64, Ordering::Relaxed);
             self.warm_bytes.fetch_add(block.compressed_bytes() as u64, Ordering::Relaxed);
             let mut shard = self.shard_of(&block.key).write();
@@ -388,6 +499,7 @@ impl TimeSeriesStore {
         }
         s.bytes_per_point =
             if s.warm_points > 0 { s.warm_bytes as f64 / s.warm_points as f64 } else { 0.0 };
+        s.corrupt_blocks = self.corrupt_blocks.load(Ordering::Relaxed);
         s
     }
 
@@ -407,7 +519,27 @@ impl TimeSeriesStore {
             } else {
                 0.0
             },
+            corrupt_blocks: self.corrupt_blocks.load(Ordering::Relaxed),
         }
+    }
+
+    /// Corrupt blocks encountered so far (skipped on query, rejected on
+    /// reload).
+    pub fn corrupt_blocks(&self) -> u64 {
+        self.corrupt_blocks.load(Ordering::Relaxed)
+    }
+
+    /// Admit a warm block without the reload validation — test-only, to
+    /// exercise the query path's skip-and-count defense for corruption
+    /// that bypasses the ingest boundary (e.g. in-memory bit flips).
+    #[cfg(test)]
+    fn inject_warm_block(&self, block: SeriesBlock) {
+        let mut shard = self.shard_of(&block.key).write();
+        let data = shard.series.entry(block.key).or_insert_with(|| {
+            self.series_count.fetch_add(1, Ordering::Relaxed);
+            SeriesData::default()
+        });
+        data.warm.push(block);
     }
 
     /// Monotonic operation counters.
@@ -648,7 +780,7 @@ mod tests {
     fn block_round_trip_and_overlap() {
         let pts: Vec<(Ts, f64)> = (0..50).map(|i| (Ts(i * 10), i as f64 * 0.5)).collect();
         let b = SeriesBlock::compress(key(0, 0), &pts);
-        assert_eq!(b.decompress(), pts);
+        assert_eq!(b.decompress().unwrap(), pts);
         assert_eq!(b.start, Ts(0));
         assert_eq!(b.end, Ts(490));
         assert!(b.overlaps(Ts(490), Ts(1_000)));
@@ -661,5 +793,156 @@ mod tests {
     #[should_panic(expected = "empty block")]
     fn empty_block_rejected() {
         SeriesBlock::compress(key(0, 0), &[]);
+    }
+
+    fn corrupt(block: &mut SeriesBlock) {
+        // Truncating the timestamp stream mid-varint makes decoding fail.
+        let keep = block.ts_bytes.len() / 2;
+        block.ts_bytes.truncate(keep.max(1));
+    }
+
+    #[test]
+    fn corrupt_block_is_a_result_not_a_panic() {
+        let pts: Vec<(Ts, f64)> = (0..50).map(|i| (Ts(i * 10), i as f64)).collect();
+        let mut b = SeriesBlock::compress(key(0, 0), &pts);
+        corrupt(&mut b);
+        // Before the fix this line panicked via `expect("corrupt ts block")`.
+        assert_eq!(b.decompress(), Err(BlockError::Timestamps));
+
+        let mut b2 = SeriesBlock::compress(key(0, 0), &pts);
+        b2.val_bytes.truncate(4);
+        assert_eq!(b2.decompress(), Err(BlockError::Values));
+
+        let mut b3 = SeriesBlock::compress(key(0, 0), &pts);
+        b3.count += 1; // streams decode fine but disagree with the header
+        assert_eq!(b3.decompress(), Err(BlockError::CountMismatch));
+    }
+
+    #[test]
+    fn query_skips_corrupt_blocks_and_counts_them() {
+        let store = TimeSeriesStore::with_options(2, 10);
+        for i in 0..30u64 {
+            store.insert(&sample(0, 1, i * 1_000, i as f64));
+        }
+        // Three sealed blocks; round-trip the middle one through eviction
+        // with tampered bytes, as archive reload would deliver it.
+        let mut evicted = store.evict_warm_before(Ts(u64::MAX));
+        assert_eq!(evicted.len(), 3);
+        corrupt(&mut evicted[1]);
+        let (good, bad): (Vec<_>, Vec<_>) =
+            evicted.into_iter().partition(|b| b.decompress().is_ok());
+        assert_eq!(bad.len(), 1);
+        // Reload rejects the corrupt block outright…
+        store.reload_blocks(bad);
+        assert_eq!(store.corrupt_blocks(), 1);
+        assert_eq!(store.stats().corrupt_blocks, 1);
+        assert_eq!(store.occupancy().corrupt_blocks, 1);
+        // …and the good data stays fully queryable.
+        store.reload_blocks(good);
+        let pts = store.query(key(0, 1), Ts::ZERO, Ts(u64::MAX));
+        assert_eq!(pts.len(), 20, "two good blocks survive");
+        assert_eq!(store.stats(), store.occupancy(), "counters stay consistent");
+    }
+
+    #[test]
+    fn corrupt_warm_block_degrades_query_not_pipeline() {
+        // Corruption reaching the warm tier past the reload guard (e.g.
+        // an in-memory bit flip) must degrade only the affected range,
+        // not panic the querying thread.  Before the fix this query
+        // panicked via `expect("corrupt ts block")`.
+        let store = TimeSeriesStore::with_options(2, 1_000);
+        for i in 0..20u64 {
+            store.insert(&sample(0, 1, i * 1_000, i as f64));
+        }
+        let good: Vec<(Ts, f64)> = (100..120).map(|i| (Ts(i * 1_000), i as f64)).collect();
+        let mut bad = SeriesBlock::compress(key(0, 1), &good);
+        corrupt(&mut bad);
+        store.inject_warm_block(bad);
+        let pts = store.query(key(0, 1), Ts::ZERO, Ts(u64::MAX));
+        assert_eq!(pts.len(), 20, "hot data still served");
+        assert_eq!(store.corrupt_blocks(), 1, "skip was counted");
+        // Repeat queries keep counting (each skip is an observed event).
+        store.query(key(0, 1), Ts::ZERO, Ts(u64::MAX));
+        assert_eq!(store.corrupt_blocks(), 2);
+    }
+
+    #[test]
+    fn insert_frame_batched_equals_serial_insertion() {
+        let serial = TimeSeriesStore::with_options(4, 16);
+        let batched = TimeSeriesStore::with_options(4, 16);
+        let mut frame = Frame::new(Ts(5_000));
+        for i in 0..200u64 {
+            let s = sample((i % 3) as u32, (i % 7) as u32, (i / 7) * 1_000, i as f64);
+            frame.samples.push(s);
+        }
+        for s in &frame.samples {
+            serial.insert(s);
+        }
+        batched.insert_frame(&frame);
+        assert_eq!(serial.stats(), batched.stats());
+        assert_eq!(serial.op_counts(), batched.op_counts());
+        assert_eq!(serial.epoch(), batched.epoch());
+        for k in serial.all_series() {
+            assert_eq!(
+                serial.query(k, Ts::ZERO, Ts(u64::MAX)),
+                batched.query(k, Ts::ZERO, Ts(u64::MAX)),
+            );
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_shard_batched_insert_frame_equals_serial(
+            specs in proptest::collection::vec(
+                (0u32..6, 0u32..12, 0u64..100, -1.0e6f64..1.0e6),
+                0..150,
+            ),
+        ) {
+            use proptest::prelude::*;
+            let serial = TimeSeriesStore::with_options(4, 16);
+            let batched = TimeSeriesStore::with_options(4, 16);
+            let mut frame = Frame::new(Ts(0));
+            for &(m, n, t, v) in &specs {
+                frame.samples.push(sample(m, n, t * 1_000, v));
+            }
+            for s in &frame.samples {
+                serial.insert(s);
+            }
+            batched.insert_frame(&frame);
+            prop_assert_eq!(serial.stats(), batched.stats());
+            prop_assert_eq!(serial.op_counts(), batched.op_counts());
+            prop_assert_eq!(serial.epoch(), batched.epoch());
+            for k in serial.all_series() {
+                prop_assert_eq!(
+                    serial.query(k, Ts::ZERO, Ts(u64::MAX)),
+                    batched.query(k, Ts::ZERO, Ts(u64::MAX))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn partition_frame_preserves_order_and_covers_every_sample() {
+        let store = TimeSeriesStore::with_options(4, 512);
+        let mut frame = Frame::new(Ts(0));
+        for i in 0..100u64 {
+            frame.samples.push(sample((i % 5) as u32, (i % 11) as u32, i, i as f64));
+        }
+        let batches = store.partition_frame(&frame);
+        assert_eq!(batches.len(), store.num_shards());
+        let total: usize = batches.iter().map(Vec::len).sum();
+        assert_eq!(total, frame.samples.len());
+        for (shard, batch) in batches.iter().enumerate() {
+            for pair in batch.windows(2) {
+                // Frame order within a shard: each sample's position in
+                // the original frame strictly increases.
+                let a = frame.samples.iter().position(|s| std::ptr::eq(s, pair[0])).unwrap();
+                let b = frame.samples.iter().position(|s| std::ptr::eq(s, pair[1])).unwrap();
+                assert!(a < b);
+            }
+            for s in batch {
+                assert_eq!(store.shard_index(&s.key), shard);
+            }
+        }
     }
 }
