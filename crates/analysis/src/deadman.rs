@@ -39,6 +39,11 @@ pub struct Deadman {
     expected_interval_ms: u64,
     grace_factor: f64,
     feeds: HashMap<String, Option<Ts>>,
+    /// Feeds the supervisor has quarantined: their grace collapses to
+    /// zero, so one missed beat flags immediately.  A quarantined feed is
+    /// *known* broken — waiting out the normal grace would turn a detected
+    /// fault back into silence, exactly what the deadman exists to prevent.
+    quarantined: Vec<String>,
 }
 
 impl Deadman {
@@ -46,7 +51,12 @@ impl Deadman {
     /// with 2.5× grace before flagging.
     pub fn new(expected_interval_ms: u64) -> Deadman {
         assert!(expected_interval_ms > 0);
-        Deadman { expected_interval_ms, grace_factor: 2.5, feeds: HashMap::new() }
+        Deadman {
+            expected_interval_ms,
+            grace_factor: 2.5,
+            feeds: HashMap::new(),
+            quarantined: Vec::new(),
+        }
     }
 
     /// Change the grace multiplier (≥ 1).
@@ -75,13 +85,32 @@ impl Deadman {
         (self.expected_interval_ms as f64 * self.grace_factor) as u64
     }
 
+    /// Hand a feed to (or take it back from) quarantine.  While
+    /// quarantined, the feed's grace is zero: any missed beat is flagged
+    /// on the very next check, so a supervised fault surfaces as a
+    /// monitoring gap immediately rather than after the normal grace.
+    pub fn set_quarantined(&mut self, feed: &str, quarantined: bool) {
+        let present = self.quarantined.iter().any(|f| f == feed);
+        if quarantined && !present {
+            self.quarantined.push(feed.to_owned());
+            self.register(feed);
+        } else if !quarantined && present {
+            self.quarantined.retain(|f| f != feed);
+        }
+    }
+
+    /// Whether a feed is currently quarantined.
+    pub fn is_quarantined(&self, feed: &str) -> bool {
+        self.quarantined.iter().any(|f| f == feed)
+    }
+
     /// Feeds overdue as of `now`, sorted most-overdue first.
     pub fn check(&self, now: Ts) -> Vec<SilentFeed> {
-        let deadline = self.deadline_ms();
         let mut silent: Vec<SilentFeed> = self
             .feeds
             .iter()
             .filter_map(|(name, last)| {
+                let deadline = if self.is_quarantined(name) { 0 } else { self.deadline_ms() };
                 let reference = last.unwrap_or(Ts::ZERO);
                 let age = now.0.saturating_sub(reference.0);
                 (age > deadline).then(|| SilentFeed {
@@ -183,5 +212,32 @@ mod tests {
     #[should_panic]
     fn zero_interval_rejected() {
         Deadman::new(0);
+    }
+
+    #[test]
+    fn quarantined_feed_flags_on_the_first_missed_beat() {
+        let mut d = Deadman::new(MINUTE_MS);
+        d.beat("node", Ts::from_mins(10));
+        d.beat("power", Ts::from_mins(10));
+        d.set_quarantined("node", true);
+        assert!(d.is_quarantined("node"));
+        // One interval later: "power" is well within grace, but the
+        // quarantined feed is flagged immediately — a known-broken
+        // collector must never look healthy.
+        let silent = d.check(Ts::from_mins(11));
+        assert_eq!(silent.len(), 1);
+        assert_eq!(silent[0].feed, "node");
+        assert_eq!(silent[0].overdue_ms, MINUTE_MS);
+        // A beat at the current instant (successful re-probe) clears it...
+        d.beat("node", Ts::from_mins(12));
+        d.beat("power", Ts::from_mins(12));
+        assert!(d.check(Ts::from_mins(12)).is_empty());
+        // ...and release restores the normal grace.
+        d.set_quarantined("node", false);
+        assert!(!d.is_quarantined("node"));
+        assert!(d.check(Ts::from_mins(14)).is_empty(), "back within 2.5x grace");
+        // Quarantining an unknown feed registers it (never silent).
+        d.set_quarantined("ghost", true);
+        assert_eq!(d.check(Ts::from_mins(14)).len(), 1);
     }
 }

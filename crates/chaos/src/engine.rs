@@ -1,0 +1,320 @@
+//! The seeded chaos engine: activates scheduled faults at tick boundaries
+//! and answers point queries from the pipeline ("is this collector wedged
+//! right now?", "does this envelope get corrupted?").
+//!
+//! Everything here is deterministic.  Durations are measured in ticks and
+//! decay at tick boundaries; per-envelope corruption decisions hash the
+//! broker sequence number (allocated deterministically regardless of worker
+//! count) against the engine seed, so the same seed and plan reproduce the
+//! same damage bit-for-bit at any parallelism.
+
+use crate::fault::{ChaosFault, ChaosPlan};
+use std::collections::BTreeMap;
+
+/// The fault currently active on one collector.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CollectorFault {
+    /// Panics when invoked this tick.
+    Panic,
+    /// Exceeds its budget and produces nothing.
+    Hang,
+    /// Runs this many times slower than normal.
+    Slow(f64),
+}
+
+/// Per-kind counts of injected fault events.
+///
+/// Scheduled faults count once at activation; `envelope_corrupt` counts
+/// each envelope actually corrupted (the per-envelope rate draw), and
+/// `gateway_worker_death` counts each death delivered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectedCounts {
+    /// Collector panics activated.
+    pub collector_panic: u64,
+    /// Collector hangs activated.
+    pub collector_hang: u64,
+    /// Collector slowdowns activated.
+    pub collector_slow: u64,
+    /// Broker topic stalls activated.
+    pub topic_stall: u64,
+    /// Envelopes actually corrupted.
+    pub envelope_corrupt: u64,
+    /// Store shard write-fail windows activated.
+    pub store_write_fail: u64,
+    /// Gateway worker deaths delivered.
+    pub gateway_worker_death: u64,
+}
+
+impl InjectedCounts {
+    /// Sum over every kind.
+    pub fn total(&self) -> u64 {
+        self.collector_panic
+            + self.collector_hang
+            + self.collector_slow
+            + self.topic_stall
+            + self.envelope_corrupt
+            + self.store_write_fail
+            + self.gateway_worker_death
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveCollectorFault {
+    fault: CollectorFault,
+    expires_at: u64,
+}
+
+/// Deterministic fault injector for the monitoring plane.
+#[derive(Debug)]
+pub struct ChaosEngine {
+    seed: u64,
+    plan: ChaosPlan,
+    tick: u64,
+    collectors: BTreeMap<String, ActiveCollectorFault>,
+    topics: BTreeMap<String, u64>,
+    corrupt: Option<(f64, u64)>,
+    shards: BTreeMap<usize, u64>,
+    pending_worker_deaths: u64,
+    counts: InjectedCounts,
+}
+
+/// SplitMix64 finalizer — the same mixer the simulator's `Rng` uses, inlined
+/// so a corruption decision is a pure function of `(seed, seq)`.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ChaosEngine {
+    /// Engine over `plan`, with `seed` keying per-envelope decisions.
+    pub fn new(seed: u64, plan: ChaosPlan) -> ChaosEngine {
+        ChaosEngine {
+            seed,
+            plan,
+            tick: 0,
+            collectors: BTreeMap::new(),
+            topics: BTreeMap::new(),
+            corrupt: None,
+            shards: BTreeMap::new(),
+            pending_worker_deaths: 0,
+            counts: InjectedCounts::default(),
+        }
+    }
+
+    /// Advance to `tick`: expire elapsed faults, then activate everything
+    /// scheduled at or before it.  Call once per tick, before the collect
+    /// stage.
+    pub fn begin_tick(&mut self, tick: u64) {
+        self.tick = tick;
+        self.collectors.retain(|_, f| f.expires_at > tick);
+        self.topics.retain(|_, expires| *expires > tick);
+        if let Some((_, expires)) = self.corrupt {
+            if expires <= tick {
+                self.corrupt = None;
+            }
+        }
+        self.shards.retain(|_, expires| *expires > tick);
+        for scheduled in self.plan.pop_due(tick) {
+            match scheduled.fault {
+                ChaosFault::CollectorPanic { collector } => {
+                    self.counts.collector_panic += 1;
+                    self.collectors.insert(
+                        collector,
+                        ActiveCollectorFault { fault: CollectorFault::Panic, expires_at: tick + 1 },
+                    );
+                }
+                ChaosFault::CollectorHang { collector, ticks } => {
+                    self.counts.collector_hang += 1;
+                    self.collectors.insert(
+                        collector,
+                        ActiveCollectorFault {
+                            fault: CollectorFault::Hang,
+                            expires_at: tick + ticks.max(1),
+                        },
+                    );
+                }
+                ChaosFault::CollectorSlow { collector, factor, ticks } => {
+                    self.counts.collector_slow += 1;
+                    self.collectors.insert(
+                        collector,
+                        ActiveCollectorFault {
+                            fault: CollectorFault::Slow(factor),
+                            expires_at: tick + ticks.max(1),
+                        },
+                    );
+                }
+                ChaosFault::BrokerTopicStall { topic, ticks } => {
+                    self.counts.topic_stall += 1;
+                    self.topics.insert(topic, tick + ticks.max(1));
+                }
+                ChaosFault::EnvelopeCorrupt { rate, ticks } => {
+                    self.corrupt = Some((rate.clamp(0.0, 1.0), tick + ticks.max(1)));
+                }
+                ChaosFault::StoreWriteFail { shard, ticks } => {
+                    self.counts.store_write_fail += 1;
+                    self.shards.insert(shard, tick + ticks.max(1));
+                }
+                ChaosFault::GatewayWorkerDeath => {
+                    self.pending_worker_deaths += 1;
+                }
+            }
+        }
+    }
+
+    /// The fault active on the named collector this tick, if any.
+    pub fn collector_fault(&self, name: &str) -> Option<CollectorFault> {
+        self.collectors.get(name).map(|f| f.fault)
+    }
+
+    /// Whether publishes on `topic` are stalled this tick.
+    pub fn topic_stalled(&self, topic: &str) -> bool {
+        self.topics.contains_key(topic)
+    }
+
+    /// Corruption decision for the envelope with broker sequence `seq`.
+    /// `Some(bits)` means corrupt it, with `bits` a deterministic value the
+    /// caller uses to pick which bit to flip.  Counts each hit.
+    pub fn corruption(&mut self, seq: u64) -> Option<u64> {
+        let (rate, _) = self.corrupt?;
+        let bits = mix64(self.seed ^ seq.rotate_left(17));
+        let draw = (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        if draw < rate {
+            self.counts.envelope_corrupt += 1;
+            Some(mix64(bits))
+        } else {
+            None
+        }
+    }
+
+    /// Whether writes to `shard` fail this tick.
+    pub fn shard_failing(&self, shard: usize) -> bool {
+        self.shards.contains_key(&shard)
+    }
+
+    /// Shards failing this tick, ascending.
+    pub fn failing_shards(&self) -> Vec<usize> {
+        self.shards.keys().copied().collect()
+    }
+
+    /// Take (and count) the gateway worker deaths due this tick.
+    pub fn take_worker_deaths(&mut self) -> u64 {
+        let n = self.pending_worker_deaths;
+        self.pending_worker_deaths = 0;
+        self.counts.gateway_worker_death += n;
+        n
+    }
+
+    /// Per-kind injection counts so far.
+    pub fn counts(&self) -> InjectedCounts {
+        self.counts
+    }
+
+    /// Number of fault states active this tick (collectors + topics +
+    /// corruption window + shards).  Zero means the plane is currently
+    /// undisturbed (pending scheduled faults may still exist).
+    pub fn active_faults(&self) -> usize {
+        self.collectors.len()
+            + self.topics.len()
+            + usize::from(self.corrupt.is_some())
+            + self.shards.len()
+    }
+
+    /// Scheduled faults not yet fired.
+    pub fn plan_remaining(&self) -> usize {
+        self.plan.remaining()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::ScheduledFault;
+
+    fn plan(faults: Vec<(u64, ChaosFault)>) -> ChaosPlan {
+        ChaosPlan::from_faults(
+            faults.into_iter().map(|(at_tick, fault)| ScheduledFault { at_tick, fault }).collect(),
+        )
+    }
+
+    #[test]
+    fn collector_faults_activate_and_expire() {
+        let mut eng = ChaosEngine::new(
+            1,
+            plan(vec![
+                (2, ChaosFault::CollectorHang { collector: "node".into(), ticks: 2 }),
+                (3, ChaosFault::CollectorPanic { collector: "power".into() }),
+            ]),
+        );
+        eng.begin_tick(0);
+        assert!(eng.collector_fault("node").is_none());
+        eng.begin_tick(2);
+        assert_eq!(eng.collector_fault("node"), Some(CollectorFault::Hang));
+        eng.begin_tick(3);
+        assert_eq!(eng.collector_fault("node"), Some(CollectorFault::Hang), "2-tick hang");
+        assert_eq!(eng.collector_fault("power"), Some(CollectorFault::Panic));
+        eng.begin_tick(4);
+        assert!(eng.collector_fault("node").is_none(), "hang expired");
+        assert!(eng.collector_fault("power").is_none(), "panic is one-shot");
+        assert_eq!(eng.counts().collector_hang, 1);
+        assert_eq!(eng.counts().collector_panic, 1);
+        assert_eq!(eng.active_faults(), 0);
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_rate_bounded() {
+        let p = plan(vec![(0, ChaosFault::EnvelopeCorrupt { rate: 0.3, ticks: 5 })]);
+        let mut a = ChaosEngine::new(42, p.clone());
+        let mut b = ChaosEngine::new(42, p.clone());
+        a.begin_tick(0);
+        b.begin_tick(0);
+        let da: Vec<Option<u64>> = (0..1000).map(|s| a.corruption(s)).collect();
+        let db: Vec<Option<u64>> = (0..1000).map(|s| b.corruption(s)).collect();
+        assert_eq!(da, db, "same seed, same decisions");
+        let hits = da.iter().filter(|d| d.is_some()).count();
+        assert!((200..400).contains(&hits), "rate ~0.3, got {hits}/1000");
+        // Different seed, different decisions.
+        let mut c = ChaosEngine::new(43, p);
+        c.begin_tick(0);
+        let dc: Vec<Option<u64>> = (0..1000).map(|s| c.corruption(s)).collect();
+        assert_ne!(da, dc);
+        // Outside the window: no corruption.
+        a.begin_tick(5);
+        assert!((0..1000u64).all(|s| a.corruption(s).is_none()));
+    }
+
+    #[test]
+    fn shard_and_topic_windows() {
+        let mut eng = ChaosEngine::new(
+            7,
+            plan(vec![
+                (1, ChaosFault::StoreWriteFail { shard: 3, ticks: 2 }),
+                (1, ChaosFault::BrokerTopicStall { topic: "metrics/frame".into(), ticks: 1 }),
+            ]),
+        );
+        eng.begin_tick(1);
+        assert!(eng.shard_failing(3));
+        assert!(!eng.shard_failing(0));
+        assert_eq!(eng.failing_shards(), vec![3]);
+        assert!(eng.topic_stalled("metrics/frame"));
+        eng.begin_tick(2);
+        assert!(eng.shard_failing(3));
+        assert!(!eng.topic_stalled("metrics/frame"));
+        eng.begin_tick(3);
+        assert!(!eng.shard_failing(3));
+    }
+
+    #[test]
+    fn worker_deaths_are_taken_once() {
+        let mut eng = ChaosEngine::new(
+            9,
+            plan(vec![(0, ChaosFault::GatewayWorkerDeath), (0, ChaosFault::GatewayWorkerDeath)]),
+        );
+        eng.begin_tick(0);
+        assert_eq!(eng.take_worker_deaths(), 2);
+        assert_eq!(eng.take_worker_deaths(), 0);
+        assert_eq!(eng.counts().gateway_worker_death, 2);
+        assert_eq!(eng.counts().total(), 2);
+    }
+}

@@ -45,7 +45,7 @@ pub struct SelfCollector {
     tel_gauges: Vec<MetricId>,
     tel_hists: Vec<MetricId>,
     // Fixed-name broker/store series, registered up front.
-    transport: [DeltaSlot; 4],
+    transport: [DeltaSlot; 5],
     store_ops: [DeltaSlot; 5],
     store_stats: [MetricId; 4],
     // Positional cache over the broker's (append-only) topic table.
@@ -92,6 +92,9 @@ impl SelfCollector {
             ("hpcmon.self.transport.delivered", Unit::Count),
             ("hpcmon.self.transport.dropped", Unit::Count),
             ("hpcmon.self.transport.bytes_published", Unit::Bytes),
+            // Appended after the original four: slot order is the
+            // registration order the positional caches depend on.
+            ("hpcmon.self.transport.decode_errors", Unit::Count),
         ]
         .map(|(name, unit)| (registry.register(name, unit, flow), 0));
         let store_ops = [
@@ -185,7 +188,7 @@ impl Collector for SelfCollector {
         push_deltas(
             frame,
             &mut self.transport,
-            [b.published, b.delivered, b.dropped, b.bytes_published],
+            [b.published, b.delivered, b.dropped, b.bytes_published, b.decode_errors],
         );
         let topics = self.broker.topic_stats();
         for (k, t) in topics.iter().enumerate() {
@@ -339,6 +342,7 @@ mod tests {
             frame.samples.iter().find(|s| s.key.metric == id).unwrap().value
         };
         assert_eq!(val("hpcmon.self.transport.published"), 1.0);
+        assert_eq!(val("hpcmon.self.transport.decode_errors"), 0.0);
         assert_eq!(val("hpcmon.self.transport.topic.metrics.frame.published"), 1.0);
         assert_eq!(val("hpcmon.self.transport.queue._"), 1.0, "one message queued");
         assert_eq!(val("hpcmon.self.store.samples_ingested"), 1.0);

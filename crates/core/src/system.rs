@@ -11,12 +11,18 @@
 use crate::parallel::WorkerPool;
 use crate::pipeline::{finding_to_signal, DetectorAttachment};
 use hpcmon_analysis::{Correlator, Deadman, ImbalanceDetector, NoveltyDetector, Rule};
+use hpcmon_chaos::{
+    BreakerState, ChaosEngine, ChaosPlan, CollectorFault, CollectorSupervisor, IngestBreaker,
+    InjectedCounts,
+};
 use hpcmon_collect::collectors::standard_collectors;
 use hpcmon_collect::{
     BenchmarkSuite, Collector, FsProbe, LogHarvester, NetworkProbe, SelfCollector, StdMetrics,
 };
 use hpcmon_gateway::{Gateway, GatewayConfig};
-use hpcmon_metrics::{CompId, CompKind, Frame, JobId, LogRecord, MetricRegistry, Severity, Ts};
+use hpcmon_metrics::{
+    CompId, CompKind, Frame, FrameCoverage, JobId, LogRecord, MetricRegistry, Severity, Ts,
+};
 use hpcmon_response::{
     AccessPolicy, Action, ActionTaken, ResponseEngine, ResponseRule, Signal, SignalKind,
 };
@@ -25,7 +31,7 @@ use hpcmon_store::{Archive, LogStore, QueryEngine, RetentionPolicy, TimeSeriesSt
 use hpcmon_telemetry::{
     BusyTimer, Counter, Gauge, Histogram, StageTimer, Telemetry, TelemetryReport,
 };
-use hpcmon_trace::{Sampler, Stage, TraceStore, Tracer};
+use hpcmon_trace::{DropReason, Sampler, Stage, TraceContext, TraceStore, Tracer};
 use hpcmon_transport::{
     topics, BackpressurePolicy, Broker, Payload, Subscription, TopicFilter, TopicStats,
 };
@@ -54,6 +60,8 @@ pub struct MonitorBuilder {
     gateway: Option<GatewayConfig>,
     tracing: Sampler,
     workers: usize,
+    supervision: bool,
+    chaos: Option<(u64, ChaosPlan)>,
 }
 
 impl MonitorBuilder {
@@ -80,7 +88,35 @@ impl MonitorBuilder {
             gateway: None,
             tracing: Sampler::one_in(64),
             workers: 0,
+            supervision: false,
+            chaos: None,
         }
+    }
+
+    /// Enable supervised self-healing collection (default off).  Each
+    /// collector runs under a supervisor that catches panics and budget
+    /// overruns, quarantines the failing slot with exponential-backoff
+    /// re-probes, and hands the gap to the deadman so it is *reported*,
+    /// never silent; store ingest runs behind a circuit breaker with a
+    /// bounded spill queue; frames carry a [`FrameCoverage`] bitmap so
+    /// analysis skips (rather than zero-fills) missing segments.  With
+    /// supervision off the pipeline is byte-identical to previous
+    /// behavior — the `abl_chaos` ablation measures the overhead.
+    pub fn supervision(mut self, enabled: bool) -> MonitorBuilder {
+        self.supervision = enabled;
+        self
+    }
+
+    /// Inject a deterministic chaos plan into the *monitoring plane*
+    /// itself (implies [`MonitorBuilder::supervision`]).  `seed` keys the
+    /// per-envelope corruption draws; the plan's tick numbers refer to
+    /// [`MonitoringSystem::tick`] calls (the first tick is 1).  The same
+    /// seed and plan reproduce the same faults bit-for-bit at any worker
+    /// count.
+    pub fn chaos(mut self, seed: u64, plan: ChaosPlan) -> MonitorBuilder {
+        self.chaos = Some((seed, plan));
+        self.supervision = true;
+        self
     }
 
     /// Fan the hot tick stages (collection, detector evaluation, store
@@ -246,7 +282,16 @@ impl MonitorBuilder {
         if let (Some(gw), true) = (&gateway, tracer.is_enabled()) {
             gw.set_tracer(tracer.clone());
         }
+        let supervisor = CollectorSupervisor::new(collectors.len());
+        let ever_contributed = vec![false; collectors.len()];
         MonitoringSystem {
+            supervision: self.supervision,
+            chaos: self.chaos.map(|(seed, plan)| ChaosEngine::new(seed, plan)),
+            supervisor,
+            breaker: IngestBreaker::new(256, 16),
+            stall_buffer: Vec::new(),
+            ever_contributed,
+            last_coverage: None,
             bench_suite: BenchmarkSuite::new(metrics, self.config.seed ^ 0xBE, 16),
             bench_every_ticks: self.bench_every_ticks,
             harvester: LogHarvester::new(Some(broker.clone())),
@@ -331,6 +376,22 @@ struct PipelineInstruments {
     busy_collect: Arc<Counter>,
     busy_analysis: Arc<Counter>,
     busy_store: Arc<Counter>,
+    // Self-healing export: fault-injection counts by kind, supervisor and
+    // breaker state, and per-frame collector coverage.  Registered
+    // unconditionally so the self-feed series set does not depend on
+    // whether chaos is configured.
+    chaos_collector_panic: Arc<Counter>,
+    chaos_collector_hang: Arc<Counter>,
+    chaos_collector_slow: Arc<Counter>,
+    chaos_topic_stall: Arc<Counter>,
+    chaos_envelope_corrupt: Arc<Counter>,
+    chaos_store_write_fail: Arc<Counter>,
+    chaos_gateway_worker_death: Arc<Counter>,
+    supervisor_quarantined: Arc<Gauge>,
+    frame_coverage_pct: Arc<Gauge>,
+    store_breaker_state: Arc<Gauge>,
+    spill_depth: Arc<Gauge>,
+    spill_dropped: Arc<Counter>,
     collectors: Vec<CollectorInstruments>,
     detectors: Vec<DetectorInstruments>,
 }
@@ -364,6 +425,18 @@ impl PipelineInstruments {
             busy_collect: t.counter("parallel.busy_ns.collect"),
             busy_analysis: t.counter("parallel.busy_ns.analysis"),
             busy_store: t.counter("parallel.busy_ns.store"),
+            chaos_collector_panic: t.counter("chaos.injected.collector_panic"),
+            chaos_collector_hang: t.counter("chaos.injected.collector_hang"),
+            chaos_collector_slow: t.counter("chaos.injected.collector_slow"),
+            chaos_topic_stall: t.counter("chaos.injected.topic_stall"),
+            chaos_envelope_corrupt: t.counter("chaos.injected.envelope_corrupt"),
+            chaos_store_write_fail: t.counter("chaos.injected.store_write_fail"),
+            chaos_gateway_worker_death: t.counter("chaos.injected.gateway_worker_death"),
+            supervisor_quarantined: t.gauge("supervisor.quarantined"),
+            frame_coverage_pct: t.gauge("frame.coverage_pct"),
+            store_breaker_state: t.gauge("store.breaker_state"),
+            spill_depth: t.gauge("spill.depth"),
+            spill_dropped: t.counter("spill.dropped"),
             collectors: collectors
                 .iter()
                 .map(|c| CollectorInstruments {
@@ -382,6 +455,18 @@ impl PipelineInstruments {
                 })
                 .collect(),
         }
+    }
+
+    /// Advance the per-kind injection counters to the chaos engine's
+    /// lifetime totals.
+    fn sync_chaos(&self, counts: InjectedCounts) {
+        sync_counter(&self.chaos_collector_panic, counts.collector_panic);
+        sync_counter(&self.chaos_collector_hang, counts.collector_hang);
+        sync_counter(&self.chaos_collector_slow, counts.collector_slow);
+        sync_counter(&self.chaos_topic_stall, counts.topic_stall);
+        sync_counter(&self.chaos_envelope_corrupt, counts.envelope_corrupt);
+        sync_counter(&self.chaos_store_write_fail, counts.store_write_fail);
+        sync_counter(&self.chaos_gateway_worker_death, counts.gateway_worker_death);
     }
 }
 
@@ -446,6 +531,16 @@ pub struct MonitoringSystem {
     // `Some` fans the hot stages across persistent workers; `None` is the
     // serial path.  Both produce byte-identical output (see DESIGN.md §9).
     pool: Option<WorkerPool>,
+    // Self-healing machinery (DESIGN.md §10).  With `supervision` false
+    // none of it runs and the pipeline is byte-identical to the
+    // unsupervised build.
+    supervision: bool,
+    chaos: Option<ChaosEngine>,
+    supervisor: CollectorSupervisor,
+    breaker: IngestBreaker<(Arc<Frame>, Option<TraceContext>)>,
+    stall_buffer: Vec<(String, Payload, Option<TraceContext>)>,
+    ever_contributed: Vec<bool>,
+    last_coverage: Option<FrameCoverage>,
 }
 
 impl MonitoringSystem {
@@ -487,6 +582,24 @@ impl MonitoringSystem {
         let now = self.engine.now();
         let mut report = TickReport::default();
 
+        // 0. Chaos: advance the fault schedule and project the active
+        //    faults onto the components they target.  Shard write-fault
+        //    flags mirror the engine's windows exactly (set and cleared
+        //    every tick); gateway worker deaths are delivered before the
+        //    gateway serves anything this tick.
+        if let Some(chaos) = &mut self.chaos {
+            chaos.begin_tick(self.engine.tick_count());
+            for shard in 0..self.store.num_shards() {
+                self.store.set_shard_write_fault(shard, chaos.shard_failing(shard));
+            }
+            let deaths = chaos.take_worker_deaths();
+            if let Some(gw) = &self.gateway {
+                for _ in 0..deaths {
+                    gw.inject_worker_death();
+                }
+            }
+        }
+
         // 1. Synchronized collection into one frame, with deadman beats
         //    per contributing collector (silence must not look like
         //    health).  Collectors that are legitimately empty for this
@@ -495,64 +608,68 @@ impl MonitoringSystem {
         let collect_span = stage_ctx.as_ref().map(|c| tracer.span(c, Stage::Collect));
         let mut frame = Frame::new(now);
         let mut contributed = vec![0usize; self.collectors.len()];
-        match &self.pool {
-            Some(pool) => {
-                // Each collector fills a private frame; merging the parts
-                // in fixed collector order afterwards makes the merged
-                // frame byte-identical to the serial path.  Collectors
-                // named "self" are barriers — they republish instruments
-                // the other collectors update this tick — so they run
-                // inline after the fan-out, at their own position (the
-                // builder installs the SelfCollector last, matching).
-                let engine = &self.engine;
-                let insts = &self.instruments.collectors;
-                let jobs = &self.instruments.parallel_jobs;
-                let busy = &self.instruments.busy_collect;
-                let mut parts: Vec<Frame> =
-                    (0..self.collectors.len()).map(|_| Frame::new(now)).collect();
-                pool.scope(|sc| {
-                    for ((c, part), inst) in
-                        self.collectors.iter_mut().zip(parts.iter_mut()).zip(insts)
-                    {
-                        if c.name() == "self" {
-                            continue;
+        if self.supervision {
+            self.collect_supervised(now, &mut frame, &mut contributed);
+        } else {
+            match &self.pool {
+                Some(pool) => {
+                    // Each collector fills a private frame; merging the parts
+                    // in fixed collector order afterwards makes the merged
+                    // frame byte-identical to the serial path.  Collectors
+                    // named "self" are barriers — they republish instruments
+                    // the other collectors update this tick — so they run
+                    // inline after the fan-out, at their own position (the
+                    // builder installs the SelfCollector last, matching).
+                    let engine = &self.engine;
+                    let insts = &self.instruments.collectors;
+                    let jobs = &self.instruments.parallel_jobs;
+                    let busy = &self.instruments.busy_collect;
+                    let mut parts: Vec<Frame> =
+                        (0..self.collectors.len()).map(|_| Frame::new(now)).collect();
+                    pool.scope(|sc| {
+                        for ((c, part), inst) in
+                            self.collectors.iter_mut().zip(parts.iter_mut()).zip(insts)
+                        {
+                            if c.name() == "self" {
+                                continue;
+                            }
+                            jobs.inc();
+                            sc.spawn(move || {
+                                let _busy = BusyTimer::new(busy.clone());
+                                let started = Instant::now();
+                                c.collect(engine, part);
+                                inst.latency.record_ns(started.elapsed().as_nanos() as u64);
+                                inst.samples.add(part.len() as u64);
+                            });
                         }
-                        jobs.inc();
-                        sc.spawn(move || {
-                            let _busy = BusyTimer::new(busy.clone());
+                    });
+                    for (i, part) in parts.iter_mut().enumerate() {
+                        if self.collectors[i].name() == "self" {
+                            let before = frame.len();
                             let started = Instant::now();
-                            c.collect(engine, part);
+                            self.collectors[i].collect(&self.engine, &mut frame);
+                            contributed[i] = frame.len() - before;
+                            let inst = &self.instruments.collectors[i];
                             inst.latency.record_ns(started.elapsed().as_nanos() as u64);
-                            inst.samples.add(part.len() as u64);
-                        });
-                    }
-                });
-                for (i, part) in parts.iter_mut().enumerate() {
-                    if self.collectors[i].name() == "self" {
-                        let before = frame.len();
-                        let started = Instant::now();
-                        self.collectors[i].collect(&self.engine, &mut frame);
-                        contributed[i] = frame.len() - before;
-                        let inst = &self.instruments.collectors[i];
-                        inst.latency.record_ns(started.elapsed().as_nanos() as u64);
-                        inst.samples.add(contributed[i] as u64);
-                    } else {
-                        contributed[i] = part.len();
-                        frame.samples.append(&mut part.samples);
+                            inst.samples.add(contributed[i] as u64);
+                        } else {
+                            contributed[i] = part.len();
+                            frame.samples.append(&mut part.samples);
+                        }
                     }
                 }
-            }
-            None => {
-                for (i, (c, inst)) in
-                    self.collectors.iter_mut().zip(&self.instruments.collectors).enumerate()
-                {
-                    let before = frame.len();
-                    let _busy = BusyTimer::new(self.instruments.busy_collect.clone());
-                    let started = Instant::now();
-                    c.collect(&self.engine, &mut frame);
-                    contributed[i] = frame.len() - before;
-                    inst.latency.record_ns(started.elapsed().as_nanos() as u64);
-                    inst.samples.add(contributed[i] as u64);
+                None => {
+                    for (i, (c, inst)) in
+                        self.collectors.iter_mut().zip(&self.instruments.collectors).enumerate()
+                    {
+                        let before = frame.len();
+                        let _busy = BusyTimer::new(self.instruments.busy_collect.clone());
+                        let started = Instant::now();
+                        c.collect(&self.engine, &mut frame);
+                        contributed[i] = frame.len() - before;
+                        inst.latency.record_ns(started.elapsed().as_nanos() as u64);
+                        inst.samples.add(contributed[i] as u64);
+                    }
                 }
             }
         }
@@ -565,6 +682,30 @@ impl MonitoringSystem {
                 self.deadman.register(c.name());
                 self.deadman.beat(c.name(), now);
             }
+        }
+        // Coverage bitmap: a slot is expected once it has ever
+        // contributed, and reported if it contributed this tick.  Analysis
+        // stages use the bitmap to *skip* segments a quarantined collector
+        // failed to deliver instead of treating absence as zero.
+        if self.supervision {
+            for (ever, &n) in self.ever_contributed.iter_mut().zip(&contributed) {
+                *ever |= n > 0;
+            }
+            let mut cov = FrameCoverage::default();
+            for (i, &ever) in self.ever_contributed.iter().enumerate() {
+                if ever {
+                    cov.expect(i);
+                    if contributed[i] > 0 {
+                        cov.report(i);
+                    }
+                }
+            }
+            frame.coverage = Some(cov);
+            self.last_coverage = Some(cov);
+            self.instruments.frame_coverage_pct.set(cov.pct());
+            self.instruments.supervisor_quarantined.set(self.supervisor.quarantined_count() as f64);
+        } else {
+            self.instruments.frame_coverage_pct.set(100.0);
         }
         let mut bench_logs: Vec<LogRecord> = Vec::new();
         if let Some(every) = self.bench_every_ticks {
@@ -587,17 +728,76 @@ impl MonitoringSystem {
             StageTimer::new(self.instruments.stage_transport.clone()).with_tag(tag);
         let transport_span = stage_ctx.as_ref().map(|c| tracer.span(c, Stage::Transport));
         let envelope_ctx = transport_span.as_ref().map(|g| g.context()).or(trace_ctx);
-        self.broker.publish_traced(
-            &topics::metrics("frame"),
-            Payload::Frame(Arc::new(frame.clone())),
-            envelope_ctx,
-        );
+        let frame_topic = topics::metrics("frame");
+        let frame_payload = Payload::Frame(Arc::new(frame.clone()));
+        if self.chaos.as_ref().is_some_and(|c| c.topic_stalled(&frame_topic)) {
+            // Chaos: the broker path for this topic is wedged.  Frames
+            // queue here in arrival order and go out the first tick the
+            // stall clears — late, but never lost and never reordered.
+            self.stall_buffer.push((frame_topic, frame_payload, envelope_ctx));
+        } else {
+            for (topic, payload, ctx) in self.stall_buffer.drain(..) {
+                self.broker.publish_traced(&topic, payload, ctx);
+            }
+            self.broker.publish_traced(&frame_topic, frame_payload, envelope_ctx);
+        }
         drop(transport_span);
         drop(transport_timer);
         let store_timer = StageTimer::new(self.instruments.stage_store.clone()).with_tag(tag);
+        let tick_no = self.engine.tick_count();
         for env in self.store_sub.drain() {
+            // Chaos: corrupt the wire form of seeded envelopes.  The
+            // envelope is re-encoded, one seeded bit flipped, and the
+            // result pushed through the broker's defensive decode; a
+            // rejected envelope is counted (`transport.decode_errors`),
+            // its loss recorded with provenance, and the loop moves on.
+            // The decision hashes the broker sequence number, so the same
+            // envelopes are hit at any worker count.
+            if let Some(bits) = self.chaos.as_mut().and_then(|c| c.corruption(env.seq)) {
+                if let Ok(mut wire) = env.encode() {
+                    let bit = (bits % (wire.len() as u64 * 8)) as usize;
+                    wire[bit / 8] ^= 1 << (bit % 8);
+                    if self.broker.decode_envelope(&wire).is_err() {
+                        if let Some(ctx) = env.trace.as_ref() {
+                            tracer.record_drop(
+                                ctx,
+                                Stage::Transport,
+                                DropReason::CorruptEnvelope,
+                                "chaos: flipped bit rejected at decode",
+                            );
+                        }
+                        continue;
+                    }
+                    // The flip landed where JSON tolerates it; the frame
+                    // is delivered (real corruption is not always
+                    // detectable at the transport layer).
+                }
+            }
             let span = env.trace.as_ref().map(|c| tracer.span(c, Stage::Store));
-            if let Some(f) = env.payload.as_frame() {
+            if self.supervision {
+                // Breaker-fronted ingest: a failing shard trips the
+                // breaker and frames spill (bounded, drop-oldest with
+                // provenance) until a half-open probe finds the store
+                // healthy again, then the spill drains in arrival order.
+                if let Payload::Frame(f) = &env.payload {
+                    let _busy = BusyTimer::new(self.instruments.busy_store.clone());
+                    let store = Arc::clone(&self.store);
+                    let sub_report =
+                        self.breaker.submit((Arc::clone(f), env.trace), tick_no, |(fr, _)| {
+                            store.try_insert_frame(fr)
+                        });
+                    for (_, ctx) in sub_report.evicted {
+                        if let Some(ctx) = ctx {
+                            tracer.record_drop(
+                                &ctx,
+                                Stage::Store,
+                                DropReason::SpillOverflow,
+                                "spill queue full: oldest frame evicted",
+                            );
+                        }
+                    }
+                }
+            } else if let Some(f) = env.payload.as_frame() {
                 match &self.pool {
                     Some(pool) => {
                         // Shard-batched concurrent ingest: the frame is
@@ -729,34 +929,41 @@ impl MonitoringSystem {
         }
 
         // 5. Built-in analyses: cabinet imbalance, ASHRAE, health checks.
-        let cabinets: Vec<f64> = {
-            let mut cabs: Vec<(u32, f64)> = frame
-                .of_metric(self.metrics.cabinet_power)
-                .map(|s| (s.key.comp.index, s.value))
-                .collect();
-            cabs.sort_by_key(|&(i, _)| i);
-            cabs.into_iter().map(|(_, v)| v).collect()
-        };
-        let reading = self.imbalance.assess(&cabinets);
-        if reading.flagged {
-            let user = self.dominant_user();
-            let mut sig = Signal::new(
-                now,
-                SignalKind::PowerAnomaly,
-                Severity::Warning,
-                CompId::SYSTEM,
-                reading.max_min_ratio,
-                format!(
-                    "cabinet power imbalance: max/min {:.2}, cv {:.2}",
-                    reading.max_min_ratio, reading.cv
-                ),
-            );
-            if let Some(u) = user {
-                sig = sig.with_user(&u);
+        //    Each is gated on the coverage of the collector that owns its
+        //    input segment — a quarantined power collector must not read
+        //    as a balanced-at-zero machine.
+        if self.segment_covered(&frame, "power") {
+            let cabinets: Vec<f64> = {
+                let mut cabs: Vec<(u32, f64)> = frame
+                    .of_metric(self.metrics.cabinet_power)
+                    .map(|s| (s.key.comp.index, s.value))
+                    .collect();
+                cabs.sort_by_key(|&(i, _)| i);
+                cabs.into_iter().map(|(_, v)| v).collect()
+            };
+            let reading = self.imbalance.assess(&cabinets);
+            if reading.flagged {
+                let user = self.dominant_user();
+                let mut sig = Signal::new(
+                    now,
+                    SignalKind::PowerAnomaly,
+                    Severity::Warning,
+                    CompId::SYSTEM,
+                    reading.max_min_ratio,
+                    format!(
+                        "cabinet power imbalance: max/min {:.2}, cv {:.2}",
+                        reading.max_min_ratio, reading.cv
+                    ),
+                );
+                if let Some(u) = user {
+                    sig = sig.with_user(&u);
+                }
+                signals.push(sig);
             }
-            signals.push(sig);
         }
-        if self.engine.environment().exceeds_ashrae_gas_limit() {
+        if self.segment_covered(&frame, "env")
+            && self.engine.environment().exceeds_ashrae_gas_limit()
+        {
             signals.push(Signal::new(
                 now,
                 SignalKind::EnvironmentViolation,
@@ -766,6 +973,8 @@ impl MonitoringSystem {
                 "SO2 above ASHRAE G1 limit",
             ));
         }
+        // (The node health scan needs no gate: a missing node segment
+        // simply contributes no node_health samples to iterate.)
         for s in frame.of_metric(self.metrics.node_health) {
             if s.value == 0.0 {
                 let node = s.key.comp.index;
@@ -798,7 +1007,10 @@ impl MonitoringSystem {
         // 5b. Power-cap control loop: throttle p-state on overdraw,
         //     recover when there is headroom.  The actuation is itself a
         //     signal so operators see every throttle decision.
-        if let Some(cap) = self.power_cap_w {
+        //     The controller is gated on power coverage: with the power
+        //     collector quarantined, a missing reading must hold the
+        //     p-state where it is, not read as "0 W, full headroom".
+        if let (Some(cap), true) = (self.power_cap_w, self.segment_covered(&frame, "power")) {
             let total =
                 frame.of_metric(self.metrics.system_power).next().map(|s| s.value).unwrap_or(0.0);
             let pstate = self.engine.pstate();
@@ -854,7 +1066,35 @@ impl MonitoringSystem {
         let mut results = Frame::new(now);
         results.push(self.metrics.analysis_signals, CompId::SYSTEM, signals.len() as f64);
         results.push(self.metrics.analysis_actions, CompId::SYSTEM, report.actions.len() as f64);
-        self.store.insert_frame(&results);
+        if self.supervision {
+            // Results ride the same breaker as raw frames: analysis
+            // outputs queue behind earlier spilled data so the store's
+            // arrival order survives an outage.
+            let store = Arc::clone(&self.store);
+            let sub_report = self.breaker.submit(
+                (Arc::new(results), trace_ctx),
+                self.engine.tick_count(),
+                |(fr, _)| store.try_insert_frame(fr),
+            );
+            for (_, ctx) in sub_report.evicted {
+                if let Some(ctx) = ctx {
+                    tracer.record_drop(
+                        &ctx,
+                        Stage::Store,
+                        DropReason::SpillOverflow,
+                        "spill queue full: oldest frame evicted",
+                    );
+                }
+            }
+            self.instruments.store_breaker_state.set(self.breaker.state().as_gauge());
+            self.instruments.spill_depth.set(self.breaker.depth() as f64);
+            sync_counter(&self.instruments.spill_dropped, self.breaker.dropped());
+        } else {
+            self.store.insert_frame(&results);
+        }
+        if let Some(chaos) = &self.chaos {
+            self.instruments.sync_chaos(chaos.counts());
+        }
         for sig in &signals {
             self.log_store.append(LogRecord::new(
                 sig.ts,
@@ -892,6 +1132,172 @@ impl MonitoringSystem {
             sync_counter(&self.instruments.trace_ring_rejected, tstats.spans_rejected);
         }
         report
+    }
+
+    /// Supervised collection (DESIGN.md §10): every collector runs under
+    /// a panic catch and the chaos engine's active faults — into a private
+    /// part-frame under a worker pool, or straight into the frame (with
+    /// truncate-on-failure) serially.  Segments that succeed land in
+    /// registration order — output stays identical at any worker count —
+    /// while segments that fail (panic, hang, deadline overrun) are
+    /// discarded and their slot quarantined with exponential-backoff
+    /// re-probes, the gap handed to the deadman so it surfaces as
+    /// `MonitoringGap`, never silence.
+    fn collect_supervised(&mut self, now: Ts, frame: &mut Frame, contributed: &mut [usize]) {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        /// What the supervisor decided for one slot this tick.
+        #[derive(Clone, Copy)]
+        enum Plan {
+            /// Quarantined and the re-probe is not due: skipped (the
+            /// deadman carries the gap).
+            Skip,
+            /// Chaos hang: never runs, counts as a failure.
+            Fail,
+            /// Runs; `inject_panic` fires the chaos panic inside the job,
+            /// `discard` drops the part afterwards (deadline overrun).
+            Run { inject_panic: bool, discard: bool },
+        }
+        let tick = self.engine.tick_count();
+        let budget = self.supervisor.config().slow_budget_factor;
+        let plans: Vec<Plan> = self
+            .collectors
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if !self.supervisor.should_run(i, tick) {
+                    return Plan::Skip;
+                }
+                match self.chaos.as_ref().and_then(|ch| ch.collector_fault(c.name())) {
+                    Some(CollectorFault::Hang) => Plan::Fail,
+                    Some(CollectorFault::Panic) => Plan::Run { inject_panic: true, discard: true },
+                    Some(CollectorFault::Slow(factor)) => {
+                        Plan::Run { inject_panic: false, discard: factor >= budget }
+                    }
+                    None => Plan::Run { inject_panic: false, discard: false },
+                }
+            })
+            .collect();
+        // One supervised job: collect into the part, catch anything —
+        // injected chaos panics and real collector panics alike.  Returns
+        // whether the job panicked.
+        fn run_job(
+            c: &mut Box<dyn Collector>,
+            engine: &SimEngine,
+            part: &mut Frame,
+            inject_panic: bool,
+            latency: &Histogram,
+        ) -> bool {
+            let started = Instant::now();
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                c.collect(engine, part);
+                if inject_panic {
+                    panic!("chaos: injected collector panic");
+                }
+            }));
+            latency.record_ns(started.elapsed().as_nanos() as u64);
+            outcome.is_err()
+        }
+        // Fan out only under a pool: each worker fills a private part-frame
+        // that the merge loop below appends in registration order.  The
+        // serial path skips the parts entirely — collectors fill `frame`
+        // directly (same as the unsupervised pipeline) and a failed
+        // segment is truncated back off, which keeps the no-fault cost of
+        // supervision at one length check per collector.
+        let mut parts: Vec<Frame> = Vec::new();
+        let mut panicked = vec![false; self.collectors.len()];
+        if let Some(pool) = &self.pool {
+            parts = (0..self.collectors.len()).map(|_| Frame::new(now)).collect();
+            let engine = &self.engine;
+            let insts = &self.instruments.collectors;
+            let jobs = &self.instruments.parallel_jobs;
+            let busy = &self.instruments.busy_collect;
+            pool.scope(|sc| {
+                for ((((c, part), flag), inst), &plan) in self
+                    .collectors
+                    .iter_mut()
+                    .zip(parts.iter_mut())
+                    .zip(panicked.iter_mut())
+                    .zip(insts)
+                    .zip(&plans)
+                {
+                    let inject = match plan {
+                        Plan::Run { inject_panic, .. } => inject_panic,
+                        _ => continue,
+                    };
+                    if c.name() == "self" {
+                        continue;
+                    }
+                    jobs.inc();
+                    sc.spawn(move || {
+                        let _busy = BusyTimer::new(busy.clone());
+                        *flag = run_job(c, engine, part, inject, &inst.latency);
+                    });
+                }
+            });
+        }
+        // Run/merge and bookkeeping in fixed registration order.  The
+        // "self" collector is a barrier either way: it runs inline at its
+        // own (last) position, after every fan-out job finished (it
+        // republishes instruments the other collectors update this tick).
+        let serial = parts.is_empty();
+        for i in 0..self.collectors.len() {
+            let probe = self.supervisor.is_probe(i, tick);
+            let failed = match plans[i] {
+                Plan::Skip => continue,
+                Plan::Fail => true,
+                Plan::Run { inject_panic, discard } => {
+                    if serial || self.collectors[i].name() == "self" {
+                        let before = frame.samples.len();
+                        let _busy = BusyTimer::new(self.instruments.busy_collect.clone());
+                        let p = run_job(
+                            &mut self.collectors[i],
+                            &self.engine,
+                            frame,
+                            inject_panic,
+                            &self.instruments.collectors[i].latency,
+                        );
+                        if p || discard {
+                            frame.samples.truncate(before);
+                        } else {
+                            contributed[i] = frame.samples.len() - before;
+                        }
+                        p || discard
+                    } else if panicked[i] || discard {
+                        true
+                    } else {
+                        contributed[i] = parts[i].len();
+                        frame.samples.append(&mut parts[i].samples);
+                        false
+                    }
+                }
+            };
+            let name = self.collectors[i].name().to_owned();
+            if failed {
+                self.supervisor.record_failure(i, tick);
+                self.deadman.set_quarantined(&name, true);
+            } else {
+                self.supervisor.record_success(i);
+                if probe {
+                    self.deadman.set_quarantined(&name, false);
+                }
+                self.instruments.collectors[i].samples.add(contributed[i] as u64);
+            }
+        }
+    }
+
+    /// Whether the frame segment owned by collector `name` is present per
+    /// the frame's coverage bitmap.  Frames without a bitmap (supervision
+    /// off) and collectors that are not installed count as covered, so
+    /// the built-in analyses behave exactly as before unless a supervised
+    /// collector is *known* to have missed this tick — then they skip the
+    /// segment instead of reading absence as zero.
+    fn segment_covered(&self, frame: &Frame, name: &str) -> bool {
+        match &frame.coverage {
+            Some(cov) => {
+                self.collectors.iter().position(|c| c.name() == name).is_none_or(|i| cov.covered(i))
+            }
+            None => true,
+        }
     }
 
     fn apply_action(&mut self, action: &ActionTaken) {
@@ -994,13 +1400,56 @@ impl MonitoringSystem {
     pub fn silence_collector(&mut self, name: &str) -> bool {
         let mut removed = false;
         while let Some(i) = self.collectors.iter().position(|c| c.name() == name) {
-            // The instrument vector runs parallel to the collector list;
-            // keep the pairing intact.
+            // The instrument, supervisor, and coverage vectors run
+            // parallel to the collector list; keep the pairings intact.
             self.collectors.remove(i);
             self.instruments.collectors.remove(i);
+            self.supervisor.remove_slot(i);
+            self.ever_contributed.remove(i);
             removed = true;
         }
         removed
+    }
+
+    // ----- self-healing / chaos -----
+
+    /// Lifetime chaos injection counts by kind (`None` when no chaos plan
+    /// is configured).
+    pub fn chaos_counts(&self) -> Option<InjectedCounts> {
+        self.chaos.as_ref().map(|c| c.counts())
+    }
+
+    /// Collector slots currently quarantined by the supervisor.
+    pub fn quarantined_collectors(&self) -> usize {
+        self.supervisor.quarantined_count()
+    }
+
+    /// Current state of the store-ingest circuit breaker.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Frames currently waiting in the ingest spill queue.
+    pub fn spill_depth(&self) -> usize {
+        self.breaker.depth()
+    }
+
+    /// Frames evicted (drop-oldest) from the spill queue over the run —
+    /// the only sanctioned data loss under store faults, every one
+    /// counted here and traced with `spill_overflow` provenance.
+    pub fn spill_dropped(&self) -> u64 {
+        self.breaker.dropped()
+    }
+
+    /// Frames buffered behind an active broker topic stall.
+    pub fn stalled_frames(&self) -> usize {
+        self.stall_buffer.len()
+    }
+
+    /// Coverage bitmap of the most recent frame (`None` before the first
+    /// supervised tick, or when supervision is off).
+    pub fn last_coverage(&self) -> Option<FrameCoverage> {
+        self.last_coverage
     }
 
     /// The time-series store.

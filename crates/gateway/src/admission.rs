@@ -138,6 +138,32 @@ impl<T> AdmissionQueue<T> {
         }
     }
 
+    /// Blocking pop that re-checks `exit` at every job boundary: returns
+    /// `None` as soon as `exit()` is true (queued items stay queued for
+    /// other workers) or once the queue is closed and drained.  Callers
+    /// that flip their exit condition must also call
+    /// [`AdmissionQueue::wake_all`] so parked workers observe it.
+    pub fn pop_unless(&self, exit: impl Fn() -> bool) -> Option<T> {
+        let mut state = self.inner.lock().expect("admission queue poisoned");
+        loop {
+            if exit() {
+                return None;
+            }
+            if let Some(item) = state.q.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.cv.wait(state).expect("admission queue poisoned");
+        }
+    }
+
+    /// Wake every parked popper so it re-evaluates its exit condition.
+    pub fn wake_all(&self) {
+        self.cv.notify_all();
+    }
+
     /// Close the queue: pending items remain poppable, waiters wake.
     pub fn close(&self) {
         self.inner.lock().expect("admission queue poisoned").closed = true;
@@ -200,6 +226,42 @@ mod tests {
         }
         assert_eq!(q.pop().unwrap().0, 2, "FIFO order preserved");
         assert_eq!(q.pop().unwrap().0, 3);
+    }
+
+    #[test]
+    fn pop_unless_exits_at_job_boundaries_without_losing_items() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let q: Arc<AdmissionQueue<u32>> = Arc::new(AdmissionQueue::new(8));
+        let die = Arc::new(AtomicBool::new(false));
+        q.push(1, |_| false, |_| {}).ok();
+        q.push(2, |_| false, |_| {}).ok();
+        // Exit already requested: nothing is popped, items survive.
+        die.store(true, Ordering::Relaxed);
+        let die2 = die.clone();
+        assert_eq!(q.pop_unless(move || die2.load(Ordering::Relaxed)), None);
+        assert_eq!(q.len(), 2, "queued jobs survive a worker death");
+        // Exit cleared: items drain normally.
+        die.store(false, Ordering::Relaxed);
+        let die3 = die.clone();
+        assert_eq!(q.pop_unless(move || die3.load(Ordering::Relaxed)), Some(1));
+        // A parked popper wakes and exits when the flag flips + wake_all.
+        let q2 = q.clone();
+        let die4 = die.clone();
+        let h = std::thread::spawn(move || {
+            // Drain the remaining item, then park until woken by wake_all.
+            let mut got = Vec::new();
+            while let Some(v) = q2.pop_unless(|| die4.load(Ordering::Relaxed)) {
+                got.push(v);
+            }
+            got
+        });
+        while !q.is_empty() {
+            std::thread::yield_now();
+        }
+        die.store(true, Ordering::Relaxed);
+        q.wake_all();
+        assert_eq!(h.join().unwrap(), vec![2]);
     }
 
     #[test]

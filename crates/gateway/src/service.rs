@@ -69,6 +69,7 @@ struct GatewayMetrics {
     queue_depth: Arc<Gauge>,
     subs_active: Arc<Gauge>,
     subs_delivered: Arc<Counter>,
+    workers_respawned: Arc<Counter>,
 }
 
 impl GatewayMetrics {
@@ -86,6 +87,8 @@ impl GatewayMetrics {
             queue_depth: t.gauge("gateway.queue.depth"),
             subs_active: t.gauge("gateway.subscriptions.active"),
             subs_delivered: t.counter("gateway.subscriptions.delivered"),
+            // Appended last: instrument registration order is append-only.
+            workers_respawned: t.counter("gateway.workers.respawned"),
         }
     }
 }
@@ -140,6 +143,10 @@ struct GatewayInner {
     subs: Mutex<Vec<StandingSub>>,
     next_sub_id: AtomicU64,
     shutdown: AtomicBool,
+    /// Outstanding injected worker deaths (chaos).  Each worker checks at
+    /// its job boundary and at most one claims each request, so a kill
+    /// never interrupts an in-flight query and queued jobs survive.
+    kill_requests: AtomicU64,
     metrics: GatewayMetrics,
     /// When set, each admitted query gets a trace context: served queries
     /// record a `Gateway` span (sampled), sheds always record provenance.
@@ -150,6 +157,14 @@ struct GatewayInner {
 impl GatewayInner {
     fn total_queued(&self) -> usize {
         self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Claim one outstanding kill request, if any — exactly one caller
+    /// succeeds per request, so injecting N deaths kills N workers.
+    fn try_claim_kill(&self) -> bool {
+        self.kill_requests
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| n.checked_sub(1))
+            .is_ok()
     }
 
     fn scope_tag(consumer: &Consumer) -> String {
@@ -325,7 +340,10 @@ impl GatewayInner {
 /// registry; owns its worker threads (joined on drop).
 pub struct Gateway {
     inner: Arc<GatewayInner>,
-    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Live workers, tagged with their shard so a dead worker can be
+    /// respawned onto the same shard.
+    workers: Mutex<Vec<(usize, std::thread::JoinHandle<()>)>>,
+    worker_seq: AtomicU64,
 }
 
 impl Gateway {
@@ -351,27 +369,40 @@ impl Gateway {
             subs: Mutex::new(Vec::new()),
             next_sub_id: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            kill_requests: AtomicU64::new(0),
             metrics: GatewayMetrics::new(telemetry),
             tracer: RwLock::new(None),
             query_seq: AtomicU64::new(0),
             config,
         });
-        let mut workers = Vec::with_capacity(shards * workers_per_shard);
-        for shard in 0..shards {
-            for w in 0..workers_per_shard {
-                let inner = inner.clone();
-                let handle = std::thread::Builder::new()
-                    .name(format!("gw-{shard}-{w}"))
-                    .spawn(move || Gateway::worker_loop(&inner, shard))
-                    .expect("spawn gateway worker");
-                workers.push(handle);
+        let gateway =
+            Gateway { inner, workers: Mutex::new(Vec::new()), worker_seq: AtomicU64::new(0) };
+        {
+            let mut workers = gateway.workers.lock();
+            for shard in 0..shards {
+                for _ in 0..workers_per_shard {
+                    let handle = gateway.spawn_worker(shard);
+                    workers.push((shard, handle));
+                }
             }
         }
-        Gateway { inner, workers: Mutex::new(workers) }
+        gateway
+    }
+
+    fn spawn_worker(&self, shard: usize) -> std::thread::JoinHandle<()> {
+        let n = self.worker_seq.fetch_add(1, Ordering::Relaxed);
+        let inner = self.inner.clone();
+        std::thread::Builder::new()
+            .name(format!("gw-{shard}-{n}"))
+            .spawn(move || Gateway::worker_loop(&inner, shard))
+            .expect("spawn gateway worker")
     }
 
     fn worker_loop(inner: &GatewayInner, shard: usize) {
-        while let Some(job) = inner.queues[shard].pop() {
+        // `pop_unless` checks the kill claim *before* popping: an injected
+        // worker death lands at a job boundary and leaves queued jobs for
+        // the surviving workers (and the eventual respawn).
+        while let Some(job) = inner.queues[shard].pop_unless(|| inner.try_claim_kill()) {
             inner.metrics.queue_depth.set(inner.total_queued() as f64);
             let tracer = inner.tracer.read().clone();
             if Instant::now() > job.deadline {
@@ -558,6 +589,9 @@ impl Gateway {
         if inner.shutdown.load(Ordering::Acquire) {
             return;
         }
+        // Supervise the pool: any worker that died since the last tick
+        // (injected fault or panic) is joined and replaced.
+        self.ensure_workers();
         let jobs = inner.jobs.read().clone();
         let mut subs = inner.subs.lock();
         for sub in subs.iter_mut() {
@@ -615,6 +649,46 @@ impl Gateway {
         self.inner.cache.stats()
     }
 
+    /// Inject one worker death (chaos): exactly one worker exits at its
+    /// next job boundary.  In-flight queries complete and queued jobs
+    /// survive for the remaining workers; [`Gateway::ensure_workers`]
+    /// (called every tick) respawns the replacement.
+    pub fn inject_worker_death(&self) {
+        self.inner.kill_requests.fetch_add(1, Ordering::Release);
+        for q in &self.inner.queues {
+            q.wake_all();
+        }
+    }
+
+    /// Join any dead workers and respawn replacements on their shards.
+    /// Returns the number respawned (also counted on
+    /// `gateway.workers.respawned`).  No-op after shutdown.
+    pub fn ensure_workers(&self) -> usize {
+        let mut workers = self.workers.lock();
+        let mut respawned = 0;
+        let mut alive = Vec::with_capacity(workers.len());
+        for (shard, handle) in workers.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+                if !self.inner.shutdown.load(Ordering::Acquire) {
+                    alive.push((shard, self.spawn_worker(shard)));
+                    respawned += 1;
+                    self.inner.metrics.workers_respawned.inc();
+                }
+            } else {
+                alive.push((shard, handle));
+            }
+        }
+        *workers = alive;
+        respawned
+    }
+
+    /// Live (not yet joined) worker threads — dead-but-unjoined workers
+    /// still count until [`Gateway::ensure_workers`] reaps them.
+    pub fn worker_count(&self) -> usize {
+        self.workers.lock().len()
+    }
+
     /// Stop accepting work and join the worker pool.  Queued jobs drain
     /// first; callers still waiting get [`QueryError::Shutdown`] only if
     /// their responder is dropped unanswered.
@@ -626,7 +700,7 @@ impl Gateway {
             q.close();
         }
         let mut workers = self.workers.lock();
-        for handle in workers.drain(..) {
+        for (_, handle) in workers.drain(..) {
             let _ = handle.join();
         }
     }

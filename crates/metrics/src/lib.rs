@@ -25,5 +25,5 @@ pub use component::{CompId, CompKind};
 pub use job::{JobId, JobRecord, JobState};
 pub use log::{LogRecord, Severity};
 pub use metric::{MetricId, MetricMeta, MetricRegistry, Unit};
-pub use sample::{Frame, Sample, SeriesKey};
+pub use sample::{Frame, FrameCoverage, Sample, SeriesKey};
 pub use time::{Ts, TsDelta, MINUTE_MS, SECOND_MS};

@@ -37,6 +37,69 @@ impl Sample {
     }
 }
 
+/// Which collectors actually contributed to a frame.
+///
+/// Two bitmaps indexed by collector registration slot (supports up to 64
+/// collectors): `expected` marks collectors that should have reported —
+/// those that have ever produced samples — and `reported` marks those that
+/// did this tick.  Downstream analysis uses this to *skip* missing
+/// segments instead of zero-filling them, and the self feed exports the
+/// ratio as `hpcmon.self.frame.coverage_pct`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameCoverage {
+    /// Bitmap of collector slots expected to report.
+    pub expected: u64,
+    /// Bitmap of collector slots that reported this tick.
+    pub reported: u64,
+}
+
+impl FrameCoverage {
+    /// Mark slot `slot` as expected to report (slots ≥ 64 are ignored).
+    pub fn expect(&mut self, slot: usize) {
+        if slot < 64 {
+            self.expected |= 1 << slot;
+        }
+    }
+
+    /// Mark slot `slot` as having reported (slots ≥ 64 are ignored).
+    pub fn report(&mut self, slot: usize) {
+        if slot < 64 {
+            self.reported |= 1 << slot;
+        }
+    }
+
+    /// Whether an expected slot reported.  Unexpected slots count as
+    /// covered — a collector with legitimately nothing to say is not a gap.
+    pub fn covered(&self, slot: usize) -> bool {
+        if slot >= 64 {
+            return true;
+        }
+        let bit = 1u64 << slot;
+        self.expected & bit == 0 || self.reported & bit != 0
+    }
+
+    /// Expected slots that failed to report, ascending.
+    pub fn missing(&self) -> Vec<usize> {
+        (0..64).filter(|&s| self.expected & (1 << s) != 0 && !self.covered(s)).collect()
+    }
+
+    /// Percentage of expected slots that reported, in `[0, 100]`.  An empty
+    /// expectation is full coverage.
+    pub fn pct(&self) -> f64 {
+        let expected = self.expected.count_ones();
+        if expected == 0 {
+            return 100.0;
+        }
+        let hit = (self.expected & self.reported).count_ones();
+        hit as f64 * 100.0 / expected as f64
+    }
+
+    /// Whether every expected slot reported.
+    pub fn is_full(&self) -> bool {
+        self.expected & !self.reported == 0
+    }
+}
+
 /// A synchronized collection frame: every sample gathered at one aligned
 /// system-wide tick (the NCSA pattern — "collection times are synchronized
 /// across the entire system").
@@ -46,12 +109,15 @@ pub struct Frame {
     pub ts: Ts,
     /// All samples collected at this tick.
     pub samples: Vec<Sample>,
+    /// Which collectors contributed (`None` on frames produced before the
+    /// supervised pipeline stamps coverage, and in legacy serialized form).
+    pub coverage: Option<FrameCoverage>,
 }
 
 impl Frame {
     /// An empty frame at `ts`.
     pub fn new(ts: Ts) -> Frame {
-        Frame { ts, samples: Vec::new() }
+        Frame { ts, samples: Vec::new(), coverage: None }
     }
 
     /// Append a sample, stamping it with the frame's tick.
@@ -153,8 +219,47 @@ mod tests {
     fn serde_round_trip() {
         let mut f = Frame::new(Ts(5));
         f.push(mid(2), CompId::ost(1), 9.25);
+        let mut cov = FrameCoverage::default();
+        cov.expect(0);
+        cov.report(0);
+        cov.expect(3);
+        f.coverage = Some(cov);
         let s = serde_json::to_string(&f).unwrap();
         let back: Frame = serde_json::from_str(&s).unwrap();
         assert_eq!(f, back);
+    }
+
+    #[test]
+    fn legacy_frame_without_coverage_deserializes_as_none() {
+        let json = r#"{"ts":5,"samples":[]}"#;
+        let back: Frame = serde_json::from_str(json).unwrap();
+        assert_eq!(back.coverage, None);
+        assert_eq!(back.ts, Ts(5));
+    }
+
+    #[test]
+    fn coverage_pct_and_missing() {
+        let mut cov = FrameCoverage::default();
+        assert_eq!(cov.pct(), 100.0, "no expectations is full coverage");
+        assert!(cov.is_full());
+        cov.expect(0);
+        cov.expect(2);
+        cov.expect(5);
+        cov.report(0);
+        cov.report(5);
+        assert_eq!(cov.missing(), vec![2]);
+        assert!(!cov.is_full());
+        assert!(!cov.covered(2));
+        assert!(cov.covered(0));
+        assert!(cov.covered(1), "unexpected slot counts as covered");
+        assert!((cov.pct() - 200.0 / 3.0).abs() < 1e-9);
+        cov.report(2);
+        assert_eq!(cov.pct(), 100.0);
+        assert!(cov.is_full());
+        // Out-of-range slots are ignored, not a panic.
+        cov.expect(64);
+        cov.report(200);
+        assert!(cov.covered(64));
+        assert_eq!(cov.pct(), 100.0);
     }
 }

@@ -34,4 +34,4 @@ pub use archive::{Archive, ArchiveCatalog, ArchiveOpCounts};
 pub use logstore::{LogQuery, LogStore};
 pub use query::{AggFn, InvalidParam, JobSeries, QueryEngine, TimeRange};
 pub use retention::{RetentionPolicy, RetentionReport};
-pub use tsdb::{BlockError, SeriesBlock, StoreOpCounts, StoreStats, TimeSeriesStore};
+pub use tsdb::{BlockError, SeriesBlock, StoreOpCounts, StoreStats, TimeSeriesStore, WriteError};

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// A sealed, compressed run of one series.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -59,6 +59,29 @@ impl std::fmt::Display for BlockError {
 }
 
 impl std::error::Error for BlockError {}
+
+/// Why a fault-aware write was refused.
+///
+/// Produced only by [`TimeSeriesStore::try_insert_frame`], the ingest
+/// entry point that honors injected shard write faults.  The plain
+/// `insert*` paths are fault-unaware and never fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WriteError {
+    /// The named shard currently refuses writes (injected fault).  The
+    /// frame was **not** inserted — not even its healthy shards — so the
+    /// caller can spill it whole and retry later without double-ingesting.
+    ShardUnavailable(usize),
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WriteError::ShardUnavailable(s) => write!(f, "store shard {s} unavailable"),
+        }
+    }
+}
+
+impl std::error::Error for WriteError {}
 
 impl SeriesBlock {
     /// Compress a non-empty, time-ordered run of points.
@@ -179,6 +202,9 @@ pub struct TimeSeriesStore {
     // result cache — key entries on this value: an entry computed at epoch
     // E is valid exactly while `epoch()` still returns E.
     epoch: AtomicU64,
+    // Injected per-shard write faults (chaos testing).  Only
+    // `try_insert_frame` consults these; everything else ignores them.
+    write_faults: Vec<AtomicBool>,
 }
 
 impl TimeSeriesStore {
@@ -206,7 +232,42 @@ impl TimeSeriesStore {
             warm_points: AtomicU64::new(0),
             warm_bytes: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
+            write_faults: (0..shards).map(|_| AtomicBool::new(false)).collect(),
         }
+    }
+
+    /// Inject (or clear) a write fault on one shard.  While set, any
+    /// [`TimeSeriesStore::try_insert_frame`] touching that shard fails
+    /// whole; reads and the fault-unaware insert paths are unaffected.
+    /// Out-of-range shards are ignored.
+    pub fn set_shard_write_fault(&self, shard: usize, failing: bool) {
+        if let Some(flag) = self.write_faults.get(shard) {
+            flag.store(failing, Ordering::Release);
+        }
+    }
+
+    /// Whether a shard currently refuses fault-aware writes.
+    pub fn shard_write_faulted(&self, shard: usize) -> bool {
+        self.write_faults.get(shard).is_some_and(|f| f.load(Ordering::Acquire))
+    }
+
+    /// Fault-aware frame ingest: like [`TimeSeriesStore::insert_frame`],
+    /// but refuses the **whole frame** if any shard it would touch has an
+    /// injected write fault — all-or-nothing, so a spilled frame can be
+    /// retried later without double-ingesting its healthy shards.
+    pub fn try_insert_frame(&self, frame: &Frame) -> Result<(), WriteError> {
+        let batches = self.partition_frame(frame);
+        for (shard, batch) in batches.iter().enumerate() {
+            if !batch.is_empty() && self.shard_write_faulted(shard) {
+                return Err(WriteError::ShardUnavailable(shard));
+            }
+        }
+        for (shard, batch) in batches.into_iter().enumerate() {
+            if !batch.is_empty() {
+                self.insert_shard_batch(shard, &batch);
+            }
+        }
+        Ok(())
     }
 
     /// The store's mutation epoch: a counter advanced by every write-path
@@ -918,6 +979,60 @@ mod tests {
                     batched.query(k, Ts::ZERO, Ts(u64::MAX))
                 );
             }
+        }
+    }
+
+    #[test]
+    fn shard_write_fault_refuses_whole_frame_all_or_nothing() {
+        let store = TimeSeriesStore::with_options(4, 512);
+        let mut frame = Frame::new(Ts(1_000));
+        for i in 0..40u64 {
+            frame.samples.push(sample((i % 3) as u32, (i % 9) as u32, 1_000, i as f64));
+        }
+        // Find a shard the frame actually touches and fault it.
+        let touched = store
+            .partition_frame(&frame)
+            .iter()
+            .position(|b| !b.is_empty())
+            .expect("frame touches at least one shard");
+        store.set_shard_write_fault(touched, true);
+        assert!(store.shard_write_faulted(touched));
+        let e0 = store.epoch();
+        assert_eq!(store.try_insert_frame(&frame), Err(WriteError::ShardUnavailable(touched)));
+        // Nothing landed — not even the healthy shards — and no counter moved.
+        assert_eq!(store.epoch(), e0, "refused frame must not mutate the store");
+        assert_eq!(store.op_counts().samples_ingested, 0);
+        assert!(store.all_series().is_empty());
+        // The fault-unaware path still works (it is the pre-chaos baseline).
+        store.insert_frame(&frame);
+        assert_eq!(store.op_counts().samples_ingested, 40);
+        // Clear the fault: the fault-aware path heals.
+        store.set_shard_write_fault(touched, false);
+        assert!(store.try_insert_frame(&frame).is_ok());
+        assert_eq!(store.op_counts().samples_ingested, 80);
+        // Out-of-range shard indexes are ignored, not a panic.
+        store.set_shard_write_fault(99, true);
+        assert!(!store.shard_write_faulted(99));
+    }
+
+    #[test]
+    fn try_insert_frame_matches_insert_frame_when_healthy() {
+        let plain = TimeSeriesStore::with_options(4, 16);
+        let tried = TimeSeriesStore::with_options(4, 16);
+        let mut frame = Frame::new(Ts(0));
+        for i in 0..120u64 {
+            frame.samples.push(sample((i % 3) as u32, (i % 7) as u32, (i / 7) * 1_000, i as f64));
+        }
+        plain.insert_frame(&frame);
+        tried.try_insert_frame(&frame).unwrap();
+        assert_eq!(plain.stats(), tried.stats());
+        assert_eq!(plain.op_counts(), tried.op_counts());
+        assert_eq!(plain.epoch(), tried.epoch());
+        for k in plain.all_series() {
+            assert_eq!(
+                plain.query(k, Ts::ZERO, Ts(u64::MAX)),
+                tried.query(k, Ts::ZERO, Ts(u64::MAX)),
+            );
         }
     }
 

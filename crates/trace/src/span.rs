@@ -55,6 +55,12 @@ pub enum DropReason {
     RateLimited,
     /// The gateway admission queue was full even after shedding.
     AdmissionFull,
+    /// The envelope failed to decode (truncated or bit-flipped payload)
+    /// and was skipped at ingest.
+    CorruptEnvelope,
+    /// The ingest spill queue overflowed; the oldest spilled frame was
+    /// evicted (drop-oldest).
+    SpillOverflow,
 }
 
 impl DropReason {
@@ -67,6 +73,8 @@ impl DropReason {
             DropReason::DeadlineShed => "deadline_shed",
             DropReason::RateLimited => "rate_limited",
             DropReason::AdmissionFull => "admission_full",
+            DropReason::CorruptEnvelope => "corrupt_envelope",
+            DropReason::SpillOverflow => "spill_overflow",
         }
     }
 }
@@ -155,5 +163,7 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(Stage::Gateway.as_str(), "gateway");
         assert_eq!(DropReason::DeadlineShed.as_str(), "deadline_shed");
+        assert_eq!(DropReason::CorruptEnvelope.as_str(), "corrupt_envelope");
+        assert_eq!(DropReason::SpillOverflow.as_str(), "spill_overflow");
     }
 }

@@ -12,7 +12,7 @@
 //! * **Reconfigurable data paths** — subscriptions can be added and dropped
 //!   at any time; a dropped receiver is pruned on the next publish.
 
-use crate::message::{Envelope, Payload};
+use crate::message::{DecodeError, Envelope, Payload};
 use crate::topic::TopicFilter;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use hpcmon_trace::{DropReason, Stage, TraceContext, Tracer};
@@ -42,6 +42,9 @@ pub struct BrokerStats {
     pub dropped: u64,
     /// Approximate payload bytes published.
     pub bytes_published: u64,
+    /// Serialized envelopes that failed [`Envelope::decode`] at a broker
+    /// consumer (truncated / bit-flipped payloads, counted and skipped).
+    pub decode_errors: u64,
 }
 
 /// Per-topic counters: the drop/publish breakdown the global
@@ -162,6 +165,7 @@ pub struct Broker {
     delivered: AtomicU64,
     dropped: AtomicU64,
     bytes_published: AtomicU64,
+    decode_errors: AtomicU64,
     // First-seen order; counters are atomics so publish only needs the
     // read lock once the topic exists.
     topics: RwLock<Vec<(String, Arc<TopicCounters>)>>,
@@ -349,6 +353,17 @@ impl Broker {
         self.subscribers.write().retain(|s| !s.is_closed());
     }
 
+    /// Detach `sub` from delivery without consuming it: the write lock
+    /// waits out any in-flight publish, and afterwards no new message can
+    /// reach the subscription — but everything already queued remains
+    /// drainable.  Returns false if `sub` was not attached here.
+    pub fn detach(&self, sub: &Subscription) -> bool {
+        let mut subs = self.subscribers.write();
+        let before = subs.len();
+        subs.retain(|s| !Arc::ptr_eq(&s.dropped, &sub.dropped));
+        before != subs.len()
+    }
+
     /// Remove subscribers matching a predicate on their filter pattern
     /// (explicit data-path reconfiguration).
     pub fn unsubscribe_where(&self, pred: impl Fn(&TopicFilter) -> bool) -> usize {
@@ -370,7 +385,23 @@ impl Broker {
             delivered: self.delivered.load(Ordering::Relaxed),
             dropped: self.dropped.load(Ordering::Relaxed),
             bytes_published: self.bytes_published.load(Ordering::Relaxed),
+            decode_errors: self.decode_errors.load(Ordering::Relaxed),
         }
+    }
+
+    /// The audited wire-decode path for broker consumers: a malformed
+    /// envelope is **counted and skipped** — the error is returned for the
+    /// caller to log or trace, never unwrapped.
+    pub fn decode_envelope(&self, bytes: &[u8]) -> Result<Envelope, DecodeError> {
+        Envelope::decode(bytes).inspect_err(|_| {
+            self.decode_errors.fetch_add(1, Ordering::Relaxed);
+        })
+    }
+
+    /// Count a decode failure observed outside [`Broker::decode_envelope`]
+    /// (e.g. a consumer that parses on its own thread).
+    pub fn count_decode_error(&self) {
+        self.decode_errors.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Per-topic publish/deliver/drop breakdown, in first-publish order.
@@ -416,6 +447,7 @@ impl Default for Broker {
             delivered: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
             bytes_published: AtomicU64::new(0),
+            decode_errors: AtomicU64::new(0),
             topics: RwLock::new(Vec::new()),
             tracer: RwLock::new(None),
         }
@@ -662,6 +694,24 @@ mod tests {
         assert_eq!(s.drain().len(), 5);
         assert_eq!(s.queued(), 0);
         assert!(s.try_recv().is_none());
+    }
+
+    #[test]
+    fn decode_errors_are_counted_and_skipped() {
+        let b = Broker::new();
+        assert_eq!(b.stats().decode_errors, 0);
+        // A clean envelope decodes without touching the counter.
+        let env = Envelope { topic: "t".into(), seq: 0, trace: None, payload: raw(1) };
+        let wire = env.encode().unwrap();
+        assert_eq!(b.decode_envelope(&wire).unwrap(), env);
+        assert_eq!(b.stats().decode_errors, 0);
+        // Truncated and bit-flipped forms are counted, never panic.
+        assert!(b.decode_envelope(&wire[..wire.len() / 2]).is_err());
+        let mut mangled = wire.clone();
+        mangled[0] ^= 0x04; // '{' -> '\x7f': structurally broken JSON
+        assert!(b.decode_envelope(&mangled).is_err());
+        b.count_decode_error();
+        assert_eq!(b.stats().decode_errors, 3);
     }
 
     #[test]

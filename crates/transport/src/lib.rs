@@ -28,7 +28,7 @@ pub mod syslog;
 pub mod topic;
 
 pub use broker::{BackpressurePolicy, Broker, BrokerStats, Subscription, TopicStats};
-pub use message::{Envelope, Payload};
+pub use message::{DecodeError, Envelope, Payload};
 pub use relay::Relay;
 pub use seq::SeqTracker;
 pub use sync::CollectionSync;

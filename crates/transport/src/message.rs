@@ -93,6 +93,40 @@ pub struct Envelope {
     pub payload: Payload,
 }
 
+/// Why a serialized envelope was rejected at decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError(String);
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "envelope decode failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Envelope {
+    /// Serialize to the JSON wire form (relays, cross-process bridges).
+    pub fn encode(&self) -> Result<Vec<u8>, serde_json::Error> {
+        serde_json::to_vec(self)
+    }
+
+    /// The hardened wire-decode path: parses JSON bytes into an envelope
+    /// and sanity-checks it.  Truncated, bit-flipped, or otherwise mangled
+    /// payloads return an error — they must be **counted and skipped** by
+    /// the caller (see `Broker::decode_envelope`), never unwrapped.
+    pub fn decode(bytes: &[u8]) -> Result<Envelope, DecodeError> {
+        let env: Envelope =
+            serde_json::from_slice(bytes).map_err(|e| DecodeError(e.to_string()))?;
+        // Valid JSON can still be a mangled envelope: a flipped bit inside
+        // a string literal survives parsing.  Reject the observably absurd.
+        if env.topic.is_empty() {
+            return Err(DecodeError("empty topic".to_owned()));
+        }
+        Ok(env)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,6 +199,41 @@ mod tests {
         let s = serde_json::to_string(&env).unwrap();
         let back: Envelope = serde_json::from_str(&s).unwrap();
         assert_eq!(env, back);
+    }
+
+    #[test]
+    fn decode_rejects_truncated_and_bit_flipped_payloads() {
+        let mut frame = Frame::new(Ts(9));
+        frame.push(MetricId(1), CompId::node(4), 2.5);
+        let env = Envelope {
+            topic: "metrics/frame".into(),
+            seq: 11,
+            trace: None,
+            payload: Payload::Frame(Arc::new(frame)),
+        };
+        let wire = env.encode().unwrap();
+        assert_eq!(Envelope::decode(&wire).unwrap(), env, "clean bytes round-trip");
+
+        // Truncation at every prefix length: must error, never panic.
+        for cut in 0..wire.len() {
+            assert!(Envelope::decode(&wire[..cut]).is_err(), "truncated at {cut} must fail");
+        }
+
+        // Single-bit flips at every position: must decode, error, or (for
+        // flips inside string content) yield a *different* envelope —
+        // never panic.
+        for byte in 0..wire.len() {
+            for bit in 0..8 {
+                let mut mangled = wire.clone();
+                mangled[byte] ^= 1 << bit;
+                let _ = Envelope::decode(&mangled);
+            }
+        }
+
+        // Structurally valid JSON that is not a sane envelope.
+        assert!(Envelope::decode(br#"{"topic":"","seq":1,"payload":{"Raw":[]}}"#).is_err());
+        assert!(Envelope::decode(b"\xff\xfe not utf8").is_err());
+        assert!(Envelope::decode(b"").is_err());
     }
 
     #[test]

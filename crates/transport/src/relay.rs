@@ -18,6 +18,21 @@ pub struct Relay {
     stop: Arc<AtomicBool>,
     forwarded: Arc<AtomicU64>,
     handle: Option<JoinHandle<()>>,
+    // Kept alive here (shared with the worker) so `stop` can detach the
+    // subscription from the source broker and re-drain it after the join:
+    // a publish racing the stop may deliver into the queue after the
+    // worker's own final drain — those stragglers must be forwarded, not
+    // silently lost.
+    sub: Arc<Subscription>,
+    src: Arc<Broker>,
+    dst: Arc<Broker>,
+    prefix: String,
+}
+
+fn forward(dst: &Broker, prefix: &str, env: crate::message::Envelope, forwarded: &AtomicU64) {
+    let topic = if prefix.is_empty() { env.topic } else { format!("{prefix}/{}", env.topic) };
+    dst.publish(&topic, env.payload);
+    forwarded.fetch_add(1, Ordering::Relaxed);
 }
 
 impl Relay {
@@ -27,37 +42,30 @@ impl Relay {
     pub fn start(src: &Arc<Broker>, dst: Arc<Broker>, filter: TopicFilter, prefix: &str) -> Relay {
         // The relay must not lose data between brokers: Block policy with a
         // deep queue is the store-and-forward buffer.
-        let sub: Subscription = src.subscribe(filter, 4_096, BackpressurePolicy::Block);
+        let sub: Arc<Subscription> =
+            Arc::new(src.subscribe(filter, 4_096, BackpressurePolicy::Block));
         let stop = Arc::new(AtomicBool::new(false));
         let forwarded = Arc::new(AtomicU64::new(0));
         let prefix = prefix.to_owned();
         let stop2 = stop.clone();
         let forwarded2 = forwarded.clone();
+        let sub2 = sub.clone();
+        let dst2 = dst.clone();
+        let prefix2 = prefix.clone();
         let handle = std::thread::spawn(move || {
             while !stop2.load(Ordering::Relaxed) {
                 // Poll with a short timeout so stop requests are honored.
-                match sub.try_recv() {
-                    Some(env) => {
-                        let topic = if prefix.is_empty() {
-                            env.topic
-                        } else {
-                            format!("{prefix}/{}", env.topic)
-                        };
-                        dst.publish(&topic, env.payload);
-                        forwarded2.fetch_add(1, Ordering::Relaxed);
-                    }
+                match sub2.try_recv() {
+                    Some(env) => forward(&dst2, &prefix2, env, &forwarded2),
                     None => std::thread::sleep(std::time::Duration::from_millis(1)),
                 }
             }
             // Drain what is left so a graceful stop is lossless.
-            for env in sub.drain() {
-                let topic =
-                    if prefix.is_empty() { env.topic } else { format!("{prefix}/{}", env.topic) };
-                dst.publish(&topic, env.payload);
-                forwarded2.fetch_add(1, Ordering::Relaxed);
+            for env in sub2.drain() {
+                forward(&dst2, &prefix2, env, &forwarded2);
             }
         });
-        Relay { stop, forwarded, handle: Some(handle) }
+        Relay { stop, forwarded, handle: Some(handle), sub, src: src.clone(), dst, prefix }
     }
 
     /// Messages forwarded so far.
@@ -65,7 +73,9 @@ impl Relay {
         self.forwarded.load(Ordering::Relaxed)
     }
 
-    /// Stop the worker and wait for it to drain.
+    /// Stop the worker, drain in-flight messages, and return the forwarded
+    /// count.  Every message the source broker delivered to this relay
+    /// before the stop completed is forwarded and counted.
     pub fn stop(mut self) -> u64 {
         self.stop_inner();
         self.forwarded()
@@ -75,6 +85,17 @@ impl Relay {
         self.stop.store(true, Ordering::Relaxed);
         if let Some(h) = self.handle.take() {
             let _ = h.join();
+            // The worker's final drain can race a concurrent publish: the
+            // broker delivers into our (still-subscribed) queue after that
+            // drain returned empty, and the message would be lost with its
+            // count understated.  Detach first — the broker's write lock
+            // waits out in-flight publishes, after which nothing new can
+            // arrive — then drain what remains.  Every message the source
+            // delivered to this relay is thereby forwarded and counted.
+            self.src.detach(&self.sub);
+            for env in self.sub.drain() {
+                forward(&self.dst, &self.prefix, env, &self.forwarded);
+            }
         }
     }
 }
@@ -134,6 +155,51 @@ mod tests {
             src.publish("x", raw(0));
         } // drop joins the thread without hanging
         assert!(src.subscriber_count() <= 1);
+    }
+
+    #[test]
+    fn stop_racing_a_publisher_never_undercounts_or_drops() {
+        // Regression: a publish concurrent with `stop` could deliver into
+        // the relay queue after the worker's final drain — the message was
+        // lost and the returned count understated.  Now `stop` detaches
+        // the subscription (waiting out in-flight publishes) and drains it
+        // after the join, so every message the source broker delivered to
+        // the relay is forwarded: the count must exactly match both what
+        // the destination received and what the source delivered to us.
+        for round in 0..25 {
+            let src = Broker::new();
+            let dst = Broker::new();
+            let sink = dst.subscribe(TopicFilter::all(), 4_096, BackpressurePolicy::Block);
+            let relay = Relay::start(&src, dst.clone(), TopicFilter::all(), "");
+            let src2 = src.clone();
+            let publisher = std::thread::spawn(move || {
+                for i in 0..200u32 {
+                    src2.publish("logs/x", raw(i as u8));
+                    if i % 64 == 0 {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+            // Stop while the publisher is (very likely) still running.
+            if round % 2 == 0 {
+                std::thread::yield_now();
+            }
+            let forwarded = relay.stop();
+            publisher.join().unwrap();
+            let received = sink.drain().len() as u64;
+            assert_eq!(
+                forwarded, received,
+                "round {round}: count must match what the destination got"
+            );
+            // The relay's subscription was the only subscriber on src, and
+            // after the detach inside `stop` no further delivery could
+            // land: everything src delivered was forwarded.
+            assert_eq!(
+                src.stats().delivered,
+                forwarded,
+                "round {round}: every message delivered to the relay must be forwarded"
+            );
+        }
     }
 
     #[test]

@@ -393,3 +393,52 @@ fn queries_run_concurrently_with_the_ticking_pipeline() {
     let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
     assert!(total > 0, "clients made progress during ticking");
 }
+
+/// An injected worker death lands at a job boundary: queries keep being
+/// answered, and the next tick's supervision respawns the replacement.
+#[test]
+fn injected_worker_death_is_survived_and_respawned() {
+    let mut mon = system_with_jobs();
+    let metrics = mon.metrics();
+    let gw = mon.gateway().unwrap().clone();
+    let before = gw.worker_count();
+    assert!(before >= 2);
+
+    gw.inject_worker_death();
+    // The victim exits at its next job boundary; poll until supervision
+    // (normally run by the tick loop) reaps and replaces it.
+    let mut respawned = 0usize;
+    for _ in 0..2_000 {
+        respawned += gw.ensure_workers();
+        if respawned > 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert_eq!(respawned, 1, "exactly one worker died and was replaced");
+    assert_eq!(gw.worker_count(), before, "pool back to full strength");
+
+    // The pool still serves queries correctly after death and respawn.
+    let req = QueryRequest::Series {
+        key: SeriesKey::new(metrics.system_power, CompId::SYSTEM),
+        range: TimeRange::all(),
+    };
+    match gw.query(&Consumer::admin("ops"), req.clone()) {
+        Ok(QueryResponse::Points(pts)) => assert!(!pts.is_empty()),
+        other => panic!("query after respawn failed: {other:?}"),
+    }
+    // And the ticking pipeline performs the supervision itself.
+    gw.inject_worker_death();
+    let mut reaped = false;
+    for _ in 0..2_000 {
+        mon.run_ticks(1);
+        if gw.worker_count() == before && gw.ensure_workers() == 0 {
+            // Stable: the tick respawned the second victim already.
+            reaped = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    assert!(reaped, "tick-loop supervision replaced the dead worker");
+    assert!(matches!(gw.query(&Consumer::admin("ops"), req), Ok(QueryResponse::Points(_))));
+}
