@@ -8,7 +8,7 @@
 //! requirements like the ASHRAE gas limit.
 
 use crate::stats::RollingStats;
-use hpcmon_metrics::Ts;
+use hpcmon_metrics::{StateHash, Ts};
 use serde::{Deserialize, Serialize};
 
 /// A flagged observation.
@@ -28,6 +28,22 @@ pub trait Detector: Send {
     fn observe(&mut self, ts: Ts, value: f64) -> Option<Anomaly>;
     /// Reset learned state (e.g. after a known maintenance window).
     fn reset(&mut self);
+    /// 64-bit digest of learned state, folded into the flight recorder's
+    /// per-tick analysis sub-hash.  Stateless detectors keep the default.
+    fn state_digest(&self) -> u64 {
+        0
+    }
+    /// Serialize learned state for a flight-recorder checkpoint.  `None`
+    /// (the default) means the detector is stateless or opts out — replay
+    /// seek then resumes it from a fresh baseline, which the divergence
+    /// verifier will surface if it matters.
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        None
+    }
+    /// Restore learned state captured by [`Detector::snapshot_state`].
+    /// Ignoring an unrecognized value is correct: the digest check catches
+    /// any resulting divergence.
+    fn restore_state(&mut self, _state: &serde::Value) {}
 }
 
 /// Flags values more than `threshold` standard deviations from the rolling
@@ -78,6 +94,22 @@ impl Detector for ZScoreDetector {
 
     fn reset(&mut self) {
         self.stats = RollingStats::new(self.window);
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut h = StateHash::new(0xA1);
+        self.stats.digest_into(&mut h);
+        h.finish()
+    }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        self.stats.to_value().ok()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) {
+        if let Ok(s) = RollingStats::from_value(state) {
+            self.stats = s;
+        }
     }
 }
 
@@ -130,6 +162,22 @@ impl Detector for MadDetector {
 
     fn reset(&mut self) {
         self.stats = RollingStats::new(self.window);
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut h = StateHash::new(0xA2);
+        self.stats.digest_into(&mut h);
+        h.finish()
+    }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        self.stats.to_value().ok()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) {
+        if let Ok(s) = RollingStats::from_value(state) {
+            self.stats = s;
+        }
     }
 }
 
@@ -228,6 +276,39 @@ impl Detector for CusumDetector {
         self.sum = 0.0;
         self.frozen_mean = None;
     }
+
+    fn state_digest(&self) -> u64 {
+        let mut h = StateHash::new(0xA3);
+        self.baseline.digest_into(&mut h);
+        h.f64(self.sum);
+        match self.frozen_mean {
+            Some((mean, sigma)) => h.f64(mean).f64(sigma),
+            None => h.u64(u64::MAX),
+        };
+        h.finish()
+    }
+
+    fn snapshot_state(&self) -> Option<serde::Value> {
+        CusumState { baseline: self.baseline.clone(), sum: self.sum, frozen_mean: self.frozen_mean }
+            .to_value()
+            .ok()
+    }
+
+    fn restore_state(&mut self, state: &serde::Value) {
+        if let Ok(s) = CusumState::from_value(state) {
+            self.baseline = s.baseline;
+            self.sum = s.sum;
+            self.frozen_mean = s.frozen_mean;
+        }
+    }
+}
+
+/// Checkpointed CUSUM learned state.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct CusumState {
+    baseline: RollingStats,
+    sum: f64,
+    frozen_mean: Option<(f64, f64)>,
 }
 
 #[cfg(test)]

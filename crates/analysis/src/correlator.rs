@@ -152,11 +152,21 @@ pub struct Finding {
     pub detail: String,
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 enum RuleState {
     Single,
     Threshold { recent: VecDeque<Ts> },
     Pair { pending_first: VecDeque<(Ts, CompId)> },
+}
+
+/// Checkpointed correlator state: per-rule windows (in rule order) plus the
+/// lifetime counters.  The rules themselves are configuration and are
+/// rebuilt by the caller; restore re-attaches state positionally.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorrelatorSnapshot {
+    states: Vec<RuleState>,
+    records_observed: u64,
+    findings_emitted: u64,
 }
 
 /// The correlation engine: feed records in time order, collect findings.
@@ -203,6 +213,52 @@ impl Correlator {
     /// the self-telemetry feed for this analysis stage.
     pub fn eval_counts(&self) -> (u64, u64) {
         (self.records_observed, self.findings_emitted)
+    }
+
+    /// Capture the correlation windows for a flight-recorder checkpoint.
+    pub fn snapshot(&self) -> CorrelatorSnapshot {
+        CorrelatorSnapshot {
+            states: self.rules.iter().map(|(_, s)| s.clone()).collect(),
+            records_observed: self.records_observed,
+            findings_emitted: self.findings_emitted,
+        }
+    }
+
+    /// Re-attach checkpointed state to this correlator's rules
+    /// (positionally; a rule-count mismatch leaves extra rules fresh).
+    pub fn restore(&mut self, snap: CorrelatorSnapshot) {
+        for ((_, state), restored) in self.rules.iter_mut().zip(snap.states) {
+            *state = restored;
+        }
+        self.records_observed = snap.records_observed;
+        self.findings_emitted = snap.findings_emitted;
+    }
+
+    /// 64-bit digest of the correlation windows, for per-tick replay
+    /// verification.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = hpcmon_metrics::StateHash::new(0xC0);
+        h.u64(self.records_observed).u64(self.findings_emitted).usize(self.rules.len());
+        for (_, state) in &self.rules {
+            match state {
+                RuleState::Single => {
+                    h.u64(0);
+                }
+                RuleState::Threshold { recent } => {
+                    h.u64(1).usize(recent.len());
+                    for t in recent {
+                        h.u64(t.0);
+                    }
+                }
+                RuleState::Pair { pending_first } => {
+                    h.u64(2).usize(pending_first.len());
+                    for (t, c) in pending_first {
+                        h.u64(t.0).u64(c.kind as u64).u64(c.index as u64);
+                    }
+                }
+            }
+        }
+        h.finish()
     }
 
     /// The default production rule set over the simulator's templates.

@@ -59,6 +59,27 @@ impl Deadman {
         }
     }
 
+    /// 64-bit digest of the feed table, for per-tick replay verification.
+    /// Feeds are folded in sorted order so hash-map iteration order cannot
+    /// leak into the digest.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = hpcmon_metrics::StateHash::new(0xDD);
+        h.u64(self.expected_interval_ms).f64(self.grace_factor);
+        let mut feeds: Vec<(&String, &Option<Ts>)> = self.feeds.iter().collect();
+        feeds.sort_by_key(|(name, _)| name.as_str());
+        h.usize(feeds.len());
+        for (name, last) in feeds {
+            h.str(name).u64(last.map_or(u64::MAX, |t| t.0));
+        }
+        let mut q: Vec<&String> = self.quarantined.iter().collect();
+        q.sort();
+        h.usize(q.len());
+        for name in q {
+            h.str(name);
+        }
+        h.finish()
+    }
+
     /// Change the grace multiplier (≥ 1).
     pub fn with_grace_factor(mut self, factor: f64) -> Deadman {
         assert!(factor >= 1.0);

@@ -38,7 +38,7 @@ pub use anomaly::{
 };
 pub use association::{associate, Incident};
 pub use congestion::{CongestionLevel, CongestionMap};
-pub use correlator::{Correlator, EventMatch, Finding, Rule};
+pub use correlator::{Correlator, CorrelatorSnapshot, EventMatch, Finding, Rule};
 pub use deadman::{Deadman, SilentFeed};
 pub use novelty::NoveltyDetector;
 pub use power_profile::{ImbalanceDetector, PowerProfileLibrary, ProfileVerdict};

@@ -18,9 +18,44 @@ pub struct NoveltyDetector {
     signatures: HashSet<String>,
     training: bool,
     seen_count: u64,
+    /// XOR of per-item digests of everything in `templates` and
+    /// `signatures` — maintained on insert, so the per-tick
+    /// [`NoveltyDetector::state_digest`] is O(1) instead of re-sorting a
+    /// vocabulary that can grow to thousands of signatures.  XOR makes
+    /// the fold order-insensitive, which is exactly right for sets.
+    vocab_digest: u64,
 }
 
 impl NoveltyDetector {
+    /// 64-bit digest of the learned vocabulary, for per-tick replay
+    /// verification.
+    pub fn state_digest(&self) -> u64 {
+        hpcmon_metrics::StateHash::new(0x40)
+            .bool(self.training)
+            .u64(self.seen_count)
+            .usize(self.templates.len())
+            .usize(self.signatures.len())
+            .u64(self.vocab_digest)
+            .finish()
+    }
+
+    fn learn_template(&mut self, t: u32) -> bool {
+        let inserted = self.templates.insert(t);
+        if inserted {
+            self.vocab_digest ^= hpcmon_metrics::StateHash::new(0x54).u64(t as u64).finish();
+        }
+        inserted
+    }
+
+    fn learn_signature(&mut self, sig: String) -> bool {
+        if self.signatures.contains(&sig) {
+            return false;
+        }
+        self.vocab_digest ^= hpcmon_metrics::StateHash::new(0x5A).str(&sig).finish();
+        self.signatures.insert(sig);
+        true
+    }
+
     /// A detector in training mode.
     pub fn new() -> NoveltyDetector {
         NoveltyDetector {
@@ -28,6 +63,7 @@ impl NoveltyDetector {
             signatures: HashSet::new(),
             training: true,
             seen_count: 0,
+            vocab_digest: 0,
         }
     }
 
@@ -57,10 +93,10 @@ impl NoveltyDetector {
         self.seen_count += 1;
         match rec.template {
             Some(t) => {
-                self.templates.insert(t);
+                self.learn_template(t);
             }
             None => {
-                self.signatures.insert(Self::signature(rec));
+                self.learn_signature(Self::signature(rec));
             }
         }
     }
@@ -85,8 +121,8 @@ impl NoveltyDetector {
         }
         self.seen_count += 1;
         match rec.template {
-            Some(t) => self.templates.insert(t),
-            None => self.signatures.insert(Self::signature(rec)),
+            Some(t) => self.learn_template(t),
+            None => self.learn_signature(Self::signature(rec)),
         }
     }
 

@@ -37,6 +37,16 @@ impl RollingStats {
         self.window.len()
     }
 
+    /// Fold the window contents and running moments into a flight-recorder
+    /// digest.
+    pub fn digest_into(&self, h: &mut hpcmon_metrics::StateHash) {
+        h.usize(self.capacity).usize(self.window.len());
+        for &v in &self.window {
+            h.f64(v);
+        }
+        h.f64(self.sum).f64(self.sum_sq);
+    }
+
     /// Whether no values have been pushed.
     pub fn is_empty(&self) -> bool {
         self.window.is_empty()

@@ -13,6 +13,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use hpcmon::{MonitoringSystem, SimConfig};
 use hpcmon_metrics::Ts;
+use hpcmon_replay::{FlightRecorder, RunSpec};
 use hpcmon_sim::TopologySpec;
 use std::time::Instant;
 
@@ -101,6 +102,36 @@ fn bench(c: &mut Criterion) {
             )
         });
     }
+    group.finish();
+
+    // Flight-recorder overhead: the same machine ticked bare vs wrapped
+    // in a FlightRecorder (per-tick state hashing + event-log append;
+    // snapshots excluded — they are amortized over their cadence).
+    // Baseline first, so BENCH_abl_parallel.json's
+    // overhead_vs_group_baseline for "recorder_on" is the ≤5% budget the
+    // flight-recorder design is held to (DESIGN.md §11).
+    let mut group = c.benchmark_group("recording_overhead");
+    group.sample_size(10);
+    group.bench_function("baseline_off", |b| {
+        b.iter_with_setup(
+            || {
+                let mut mon = build(0);
+                mon.run_ticks(2);
+                mon
+            },
+            |mut mon| mon.run_ticks(10),
+        )
+    });
+    group.bench_function("recorder_on", |b| {
+        b.iter_with_setup(
+            || {
+                let mut rec = FlightRecorder::new(RunSpec::new(big_config()).snapshot_every(0));
+                rec.run_ticks(2);
+                rec
+            },
+            |mut rec| rec.run_ticks(10),
+        )
+    });
     group.finish();
 }
 

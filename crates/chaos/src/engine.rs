@@ -9,10 +9,12 @@
 //! same damage bit-for-bit at any parallelism.
 
 use crate::fault::{ChaosFault, ChaosPlan};
+use hpcmon_metrics::StateHash;
+use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
 /// The fault currently active on one collector.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum CollectorFault {
     /// Panics when invoked this tick.
     Panic,
@@ -27,7 +29,7 @@ pub enum CollectorFault {
 /// Scheduled faults count once at activation; `envelope_corrupt` counts
 /// each envelope actually corrupted (the per-envelope rate draw), and
 /// `gateway_worker_death` counts each death delivered.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct InjectedCounts {
     /// Collector panics activated.
     pub collector_panic: u64,
@@ -58,10 +60,28 @@ impl InjectedCounts {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
 struct ActiveCollectorFault {
     fault: CollectorFault,
     expires_at: u64,
+}
+
+/// Complete serializable state of the chaos engine at a tick boundary.
+/// The active-fault maps and the plan cursor round-trip exactly, so a
+/// restored engine makes the same corruption draws and expiry decisions.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ChaosSnapshot {
+    seed: u64,
+    plan: ChaosPlan,
+    tick: u64,
+    collectors: BTreeMap<String, ActiveCollectorFault>,
+    topics: BTreeMap<String, u64>,
+    corrupt: Option<(f64, u64)>,
+    // Vec-of-pairs rather than the engine's BTreeMap: the serde layer only
+    // supports string map keys.
+    shards: Vec<(usize, u64)>,
+    pending_worker_deaths: u64,
+    counts: InjectedCounts,
 }
 
 /// Deterministic fault injector for the monitoring plane.
@@ -224,6 +244,74 @@ impl ChaosEngine {
     /// Scheduled faults not yet fired.
     pub fn plan_remaining(&self) -> usize {
         self.plan.remaining()
+    }
+
+    /// Capture the full injector state for a flight-recorder checkpoint.
+    pub fn snapshot(&self) -> ChaosSnapshot {
+        ChaosSnapshot {
+            seed: self.seed,
+            plan: self.plan.clone(),
+            tick: self.tick,
+            collectors: self.collectors.clone(),
+            topics: self.topics.clone(),
+            corrupt: self.corrupt,
+            shards: self.shards.iter().map(|(&k, &v)| (k, v)).collect(),
+            pending_worker_deaths: self.pending_worker_deaths,
+            counts: self.counts,
+        }
+    }
+
+    /// Rebuild an injector from a checkpoint.
+    pub fn restore(snap: ChaosSnapshot) -> ChaosEngine {
+        ChaosEngine {
+            seed: snap.seed,
+            plan: snap.plan,
+            tick: snap.tick,
+            collectors: snap.collectors,
+            topics: snap.topics,
+            corrupt: snap.corrupt,
+            shards: snap.shards.into_iter().collect(),
+            pending_worker_deaths: snap.pending_worker_deaths,
+            counts: snap.counts,
+        }
+    }
+
+    /// 64-bit digest of the injector state, for per-tick replay
+    /// verification.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = StateHash::new(0xC4);
+        h.u64(self.seed).u64(self.tick).usize(self.plan.remaining());
+        h.usize(self.collectors.len());
+        for (name, f) in &self.collectors {
+            let kind = match f.fault {
+                CollectorFault::Panic => 0u64,
+                CollectorFault::Hang => 1,
+                CollectorFault::Slow(factor) => 2u64 ^ factor.to_bits().rotate_left(2),
+            };
+            h.str(name).u64(kind).u64(f.expires_at);
+        }
+        h.usize(self.topics.len());
+        for (topic, expires) in &self.topics {
+            h.str(topic).u64(*expires);
+        }
+        match self.corrupt {
+            Some((rate, expires)) => h.f64(rate).u64(expires),
+            None => h.u64(u64::MAX),
+        };
+        h.usize(self.shards.len());
+        for (&shard, &expires) in &self.shards {
+            h.usize(shard).u64(expires);
+        }
+        h.u64(self.pending_worker_deaths);
+        let c = self.counts;
+        h.u64(c.collector_panic)
+            .u64(c.collector_hang)
+            .u64(c.collector_slow)
+            .u64(c.topic_stall)
+            .u64(c.envelope_corrupt)
+            .u64(c.store_write_fail)
+            .u64(c.gateway_worker_death);
+        h.finish()
     }
 }
 

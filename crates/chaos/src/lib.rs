@@ -28,7 +28,7 @@ pub mod fault;
 pub mod spill;
 pub mod supervisor;
 
-pub use engine::{ChaosEngine, CollectorFault, InjectedCounts};
+pub use engine::{ChaosEngine, ChaosSnapshot, CollectorFault, InjectedCounts};
 pub use fault::{ChaosFault, ChaosPlan, ScheduledFault};
-pub use spill::{BreakerState, IngestBreaker, SubmitReport};
-pub use supervisor::{CollectorSupervisor, SupervisorConfig};
+pub use spill::{BreakerSnapshot, BreakerState, IngestBreaker, SubmitReport};
+pub use supervisor::{CollectorSupervisor, SupervisorConfig, SupervisorSnapshot};

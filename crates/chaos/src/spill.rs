@@ -9,10 +9,12 @@
 //! (drop-oldest) victims are handed back to the caller so their loss is
 //! recorded with provenance, never silent.
 
+use hpcmon_metrics::StateHash;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
 /// Breaker state, in the classic three-state scheme.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum BreakerState {
     /// Writes flow straight through.
     Closed,
@@ -160,6 +162,68 @@ impl<T> IngestBreaker<T> {
     pub fn dropped(&self) -> u64 {
         self.dropped
     }
+
+    /// The spilled items in arrival order, for checkpointing (the item type
+    /// is generic, so the caller serializes them alongside
+    /// [`IngestBreaker::control_snapshot`]).
+    pub fn spill_items(&self) -> impl Iterator<Item = &T> {
+        self.spill.iter()
+    }
+
+    /// Capture the breaker's control state (everything except the queued
+    /// items) for a flight-recorder checkpoint.
+    pub fn control_snapshot(&self) -> BreakerSnapshot {
+        BreakerSnapshot {
+            state: self.state,
+            capacity: self.capacity,
+            dropped: self.dropped,
+            backoff: self.backoff,
+            probe_at: self.probe_at,
+            max_backoff: self.max_backoff,
+        }
+    }
+
+    /// Rebuild a breaker from a control snapshot plus the checkpointed
+    /// spill contents (in arrival order).
+    pub fn restore(snap: BreakerSnapshot, items: Vec<T>) -> IngestBreaker<T> {
+        IngestBreaker {
+            state: snap.state,
+            spill: items.into(),
+            capacity: snap.capacity,
+            dropped: snap.dropped,
+            backoff: snap.backoff,
+            probe_at: snap.probe_at,
+            max_backoff: snap.max_backoff,
+        }
+    }
+
+    /// 64-bit digest of the breaker control state and queue depth, for
+    /// per-tick replay verification.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = StateHash::new(0xB2);
+        h.u64(match self.state {
+            BreakerState::Closed => 0,
+            BreakerState::Open => 1,
+            BreakerState::HalfOpen => 2,
+        })
+        .usize(self.spill.len())
+        .u64(self.dropped)
+        .u64(self.backoff)
+        .u64(self.probe_at);
+        h.finish()
+    }
+}
+
+/// Serializable breaker control state (the spill contents travel
+/// separately: the item type is generic).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BreakerSnapshot {
+    state: BreakerState,
+    capacity: usize,
+    dropped: u64,
+    backoff: u64,
+    probe_at: u64,
+    max_backoff: u64,
 }
 
 #[cfg(test)]

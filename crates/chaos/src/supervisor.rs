@@ -7,8 +7,11 @@
 //! entirely.  Quarantined slots are handed to the deadman detector by the
 //! caller, so the coverage gap is *reported*, never silent.
 
+use hpcmon_metrics::StateHash;
+use serde::{Deserialize, Serialize};
+
 /// Supervisor policy knobs.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SupervisorConfig {
     /// A chaos-injected slowdown factor at or beyond this budget is treated
     /// as a deadline overrun: the collector's segment is discarded and the
@@ -24,7 +27,7 @@ impl Default for SupervisorConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 struct SlotState {
     quarantined: bool,
     /// Next tick at which a quarantined slot is re-probed.
@@ -112,6 +115,34 @@ impl CollectorSupervisor {
     pub fn consecutive_failures(&self, slot: usize) -> u64 {
         self.slots[slot].consecutive_failures
     }
+
+    /// Capture the per-slot health state for a flight-recorder checkpoint.
+    pub fn snapshot(&self) -> SupervisorSnapshot {
+        SupervisorSnapshot { config: self.config, slots: self.slots.clone() }
+    }
+
+    /// Rebuild a supervisor from a checkpoint.
+    pub fn restore(snap: SupervisorSnapshot) -> CollectorSupervisor {
+        CollectorSupervisor { config: snap.config, slots: snap.slots }
+    }
+
+    /// 64-bit digest of the supervision state, for per-tick replay
+    /// verification.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = StateHash::new(0x5D);
+        h.usize(self.slots.len());
+        for s in &self.slots {
+            h.bool(s.quarantined).u64(s.probe_at).u64(s.backoff).u64(s.consecutive_failures);
+        }
+        h.finish()
+    }
+}
+
+/// Complete serializable supervision state at a tick boundary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SupervisorSnapshot {
+    config: SupervisorConfig,
+    slots: Vec<SlotState>,
 }
 
 #[cfg(test)]

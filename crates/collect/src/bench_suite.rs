@@ -58,6 +58,16 @@ impl BenchmarkSuite {
         }
     }
 
+    /// Raw state of the node-sampling RNG, for replay checkpoints.
+    pub fn rng_state(&self) -> u64 {
+        self.rng.state()
+    }
+
+    /// Restore the node-sampling RNG (replay seek).
+    pub fn set_rng_state(&mut self, state: u64) {
+        self.rng = Rng::from_state(state);
+    }
+
     /// Run every check against the current machine state.  Returns the
     /// results and appends time-to-solution samples plus a pass-rate sample
     /// to `frame`; failures also produce log records.

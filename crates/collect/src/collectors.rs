@@ -16,6 +16,14 @@ pub trait Collector: Send {
     fn name(&self) -> &str;
     /// Append this tick's samples to `frame`.
     fn collect(&mut self, engine: &SimEngine, frame: &mut Frame);
+    /// Internal RNG state, for flight-recorder checkpoints (`None` for the
+    /// common stateless collector; probes with measurement noise override).
+    fn rng_state(&self) -> Option<u64> {
+        None
+    }
+    /// Restore internal RNG state (replay seek).  The default is a no-op,
+    /// matching [`Collector::rng_state`] returning `None`.
+    fn set_rng_state(&mut self, _state: u64) {}
 }
 
 /// Node CPU/memory/health sampler (the /proc scrape).

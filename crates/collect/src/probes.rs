@@ -33,6 +33,14 @@ impl Collector for FsProbe {
         "fs_probe"
     }
 
+    fn rng_state(&self) -> Option<u64> {
+        Some(self.rng.state())
+    }
+
+    fn set_rng_state(&mut self, state: u64) {
+        self.rng = Rng::from_state(state);
+    }
+
     fn collect(&mut self, engine: &SimEngine, frame: &mut Frame) {
         let fs = engine.filesystem();
         for o in 0..fs.num_osts() {

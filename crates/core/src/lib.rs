@@ -44,4 +44,7 @@ pub use hpcmon_viz as viz;
 
 pub use config::MonitorConfig;
 pub use hpcmon_sim::SimConfig;
-pub use system::{MonitorBuilder, MonitoringSystem, RunSummary};
+pub use system::{
+    CoreSnapshot, GatewayOp, MonitorBuilder, MonitoringSystem, RunSummary, TickInputs,
+    TickStateHash,
+};

@@ -33,12 +33,16 @@ use hpcmon_telemetry::{
 };
 use hpcmon_trace::{DropReason, Sampler, Stage, TraceContext, TraceStore, Tracer};
 use hpcmon_transport::{
-    topics, BackpressurePolicy, Broker, Payload, Subscription, TopicFilter, TopicStats,
+    topics, BackpressurePolicy, Broker, Envelope, Payload, Subscription, TopicFilter, TopicStats,
 };
 use hpcmon_viz::{ClassStatus, StatusBoard};
 use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
+
+pub mod state;
+
+pub use state::{CoreSnapshot, GatewayOp, TickInputs, TickStateHash};
 
 /// Builder for a [`MonitoringSystem`].
 pub struct MonitorBuilder {
@@ -292,6 +296,10 @@ impl MonitorBuilder {
             stall_buffer: Vec::new(),
             ever_contributed,
             last_coverage: None,
+            hashing: false,
+            last_state_hash: None,
+            replay_hash_gauge: None,
+            self_metric_flags: Vec::new(),
             bench_suite: BenchmarkSuite::new(metrics, self.config.seed ^ 0xBE, 16),
             bench_every_ticks: self.bench_every_ticks,
             harvester: LogHarvester::new(Some(broker.clone())),
@@ -541,6 +549,16 @@ pub struct MonitoringSystem {
     stall_buffer: Vec<(String, Payload, Option<TraceContext>)>,
     ever_contributed: Vec<bool>,
     last_coverage: Option<FrameCoverage>,
+    // Flight-recorder hooks (system::state, DESIGN.md §11).  With
+    // `hashing` false none of it runs and the pipeline is bit-identical
+    // to a build without the recorder.
+    hashing: bool,
+    last_state_hash: Option<TickStateHash>,
+    replay_hash_gauge: Option<Arc<Gauge>>,
+    // Positional cache: metric id -> "is an hpcmon.self.* series", so the
+    // frame hash can exclude wall-clock self-telemetry without a registry
+    // lookup per sample.
+    self_metric_flags: Vec<bool>,
 }
 
 impl MonitoringSystem {
@@ -752,9 +770,20 @@ impl MonitoringSystem {
             // rejected envelope is counted (`transport.decode_errors`),
             // its loss recorded with provenance, and the loop moves on.
             // The decision hashes the broker sequence number, so the same
-            // envelopes are hit at any worker count.
+            // envelopes are hit at any worker count.  The flip position is
+            // computed over a *canonical* wire form with the trace context
+            // stripped: sampling decisions (including replay's forced
+            // 1-in-1 tracing) change the traced wire bytes, and the
+            // corruption outcome must not depend on observability
+            // settings.
             if let Some(bits) = self.chaos.as_mut().and_then(|c| c.corruption(env.seq)) {
-                if let Ok(mut wire) = env.encode() {
+                let canon = Envelope {
+                    topic: env.topic.clone(),
+                    seq: env.seq,
+                    trace: None,
+                    payload: env.payload.clone(),
+                };
+                if let Ok(mut wire) = canon.encode() {
                     let bit = (bits % (wire.len() as u64 * 8)) as usize;
                     wire[bit / 8] ^= 1 << (bit % 8);
                     if self.broker.decode_envelope(&wire).is_err() {
@@ -1130,6 +1159,14 @@ impl MonitoringSystem {
                 self.trace_store.completed_with_drops(),
             );
             sync_counter(&self.instruments.trace_ring_rejected, tstats.spans_rejected);
+        }
+
+        // 10. Flight-recorder hook: fold every subsystem's deterministic
+        //     state into this tick's hash (system::state).  Gated so a
+        //     build without the recorder pays one branch and stays
+        //     bit-identical.
+        if self.hashing {
+            self.finish_tick_hash(&frame);
         }
         report
     }

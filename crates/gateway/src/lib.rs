@@ -30,4 +30,4 @@ pub mod service;
 
 pub use cache::{CacheStats, ResultCache};
 pub use request::{QueryError, QueryRequest, QueryResponse, SubscriptionUpdate};
-pub use service::{Gateway, GatewayConfig};
+pub use service::{Gateway, GatewayConfig, GatewaySnapshot, SubscriptionSnapshot};

@@ -20,7 +20,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Gateway sizing and policy knobs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct GatewayConfig {
     /// Worker-pool shards; principals are hashed onto shards so one noisy
     /// consumer contends with itself first.
@@ -113,6 +113,42 @@ fn request_kind(request: &QueryRequest) -> &'static str {
         QueryRequest::AlignJoin { .. } => "align_join",
         QueryRequest::JobSeries { .. } => "job_series",
     }
+}
+
+/// Serializable image of the gateway's deterministic state, for flight-
+/// recorder checkpoints: the scheduler job view with its scope-epoch
+/// version, plus every standing subscription with its delivery state.
+/// Worker pools, admission queues, token buckets, and the result cache
+/// are timing-dependent service plumbing and are deliberately excluded —
+/// they never feed hash-verified state, and cached responses are
+/// epoch-keyed so a rewound epoch re-derives identical answers.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct GatewaySnapshot {
+    /// The scheduler job view the scoping decisions run against.
+    pub jobs: Vec<JobRecord>,
+    /// Scope-epoch version of that view (bumped only on change).
+    pub jobs_version: u64,
+    /// Subscription id counter, so post-restore ids keep matching.
+    pub next_sub_id: u64,
+    /// Standing subscriptions.
+    pub subs: Vec<SubscriptionSnapshot>,
+}
+
+/// One standing subscription as checkpointed in a [`GatewaySnapshot`].
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct SubscriptionSnapshot {
+    /// Id returned by [`Gateway::subscribe`].
+    pub id: u64,
+    /// The subscribing principal.
+    pub consumer: Consumer,
+    /// The standing request.
+    pub request: QueryRequest,
+    /// Broker topic updates are published on.
+    pub topic: String,
+    /// Incremental-delivery watermark (`Series` requests).
+    pub watermark: Option<Ts>,
+    /// Last delivered response (non-`Series` requests, delta detection).
+    pub last: Option<QueryResponse>,
 }
 
 /// One standing subscription.
@@ -647,6 +683,64 @@ impl Gateway {
     /// Result-cache accounting.
     pub fn cache_stats(&self) -> CacheStats {
         self.inner.cache.stats()
+    }
+
+    /// The gateway's *deterministic* state observables, for per-tick replay
+    /// verification: the scope-epoch version of the job view and the number
+    /// of standing subscriptions.  Worker-pool and cache internals are
+    /// timing-dependent (wall-clock deadlines, thread scheduling) and are
+    /// deliberately excluded — they never feed back into monitored state.
+    pub fn replay_digest_inputs(&self) -> (u64, u64) {
+        (self.inner.jobs_version.load(Ordering::Acquire), self.inner.subs.lock().len() as u64)
+    }
+
+    /// Capture the gateway's deterministic state for a flight-recorder
+    /// checkpoint (see [`GatewaySnapshot`] for what is and isn't
+    /// included).
+    pub fn snapshot_replay_state(&self) -> GatewaySnapshot {
+        let subs = self.inner.subs.lock();
+        GatewaySnapshot {
+            jobs: self.inner.jobs.read().as_ref().clone(),
+            jobs_version: self.inner.jobs_version.load(Ordering::Acquire),
+            next_sub_id: self.inner.next_sub_id.load(Ordering::Acquire),
+            subs: subs
+                .iter()
+                .map(|s| SubscriptionSnapshot {
+                    id: s.id,
+                    consumer: s.consumer.clone(),
+                    request: s.request.clone(),
+                    topic: s.topic.clone(),
+                    watermark: s.watermark,
+                    last: s.last.clone(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Load a checkpoint back in place: the job view (restored *without*
+    /// bumping the version — the version itself is restored, so the next
+    /// [`Gateway::update_jobs`] sees exactly the comparison the recording
+    /// run saw), the subscription set, and the id counter.  The worker
+    /// pool keeps running; in-flight queries against the old state are
+    /// timing-dependent traffic replay doesn't verify anyway.
+    pub fn restore_replay_state(&self, snap: GatewaySnapshot) {
+        *self.inner.jobs.write() = Arc::new(snap.jobs);
+        self.inner.jobs_version.store(snap.jobs_version, Ordering::Release);
+        self.inner.next_sub_id.store(snap.next_sub_id, Ordering::Release);
+        let mut subs = self.inner.subs.lock();
+        *subs = snap
+            .subs
+            .into_iter()
+            .map(|s| StandingSub {
+                id: s.id,
+                consumer: s.consumer,
+                request: s.request,
+                topic: s.topic,
+                watermark: s.watermark,
+                last: s.last,
+            })
+            .collect();
+        self.inner.metrics.subs_active.set(subs.len() as f64);
     }
 
     /// Inject one worker death (chaos): exactly one worker exits at its

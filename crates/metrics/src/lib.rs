@@ -15,6 +15,7 @@
 //! namespace, one metric namespace.
 
 pub mod component;
+pub mod hash;
 pub mod job;
 pub mod log;
 pub mod metric;
@@ -22,6 +23,7 @@ pub mod sample;
 pub mod time;
 
 pub use component::{CompId, CompKind};
+pub use hash::StateHash;
 pub use job::{JobId, JobRecord, JobState};
 pub use log::{LogRecord, Severity};
 pub use metric::{MetricId, MetricMeta, MetricRegistry, Unit};

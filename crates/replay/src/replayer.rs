@@ -1,0 +1,223 @@
+//! The replaying side: rebuild the system from the log header, re-drive
+//! the tick loop from recorded inputs, verify the hash chain, and report
+//! divergence with subsystem attribution.
+
+use hpcmon::{MonitoringSystem, TickStateHash};
+
+use crate::log::EventLog;
+
+/// Where and how a replay first disagreed with its recording.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DivergenceReport {
+    /// The first tick whose state hash differs from the recorded one.
+    pub first_divergent_tick: u64,
+    /// The first subsystem (in `sim → frame → store → pipeline →
+    /// analysis → chaos → gateway → combined` order) whose sub-hash
+    /// differs at that tick — the layer to start forensics in.
+    pub subsystem: &'static str,
+    /// The hash the recording run observed.
+    pub expected: TickStateHash,
+    /// The hash this replay computed.
+    pub actual: TickStateHash,
+    /// The latest checkpoint at or before the divergent tick (`None`
+    /// when the log has no earlier snapshot) — seek here and re-step
+    /// with full tracing to capture the divergence in detail.
+    pub nearest_snapshot: Option<u64>,
+    /// Whether this replay ran with trace sampling forced to 1-in-1.
+    pub forced_full_tracing: bool,
+}
+
+impl DivergenceReport {
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("=== replay divergence ===\n");
+        out.push_str(&format!("first divergent tick : {}\n", self.first_divergent_tick));
+        out.push_str(&format!("first subsystem      : {}\n", self.subsystem));
+        out.push_str(&format!("expected combined    : {:#018x}\n", self.expected.combined));
+        out.push_str(&format!("actual combined      : {:#018x}\n", self.actual.combined));
+        for (name, (e, a)) in [
+            ("sim", (self.expected.sim, self.actual.sim)),
+            ("frame", (self.expected.frame, self.actual.frame)),
+            ("store", (self.expected.store, self.actual.store)),
+            ("pipeline", (self.expected.pipeline, self.actual.pipeline)),
+            ("analysis", (self.expected.analysis, self.actual.analysis)),
+            ("chaos", (self.expected.chaos, self.actual.chaos)),
+            ("gateway", (self.expected.gateway, self.actual.gateway)),
+        ] {
+            let mark = if e == a { "  ok" } else { "DIFF" };
+            out.push_str(&format!("  {mark} {name:<9} {e:#018x} vs {a:#018x}\n"));
+        }
+        match self.nearest_snapshot {
+            Some(t) => out.push_str(&format!(
+                "nearest snapshot     : tick {t} (seek there, force full tracing, re-step)\n"
+            )),
+            None => out.push_str("nearest snapshot     : none (replay from tick 0)\n"),
+        }
+        if self.forced_full_tracing {
+            out.push_str("trace sampling       : forced 1-in-1 for this window\n");
+        }
+        out
+    }
+}
+
+/// What a verification run concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayOutcome {
+    /// Ticks that replayed with matching hashes.
+    pub ticks_verified: u64,
+    /// The first mismatch, if any.  `None` = the whole window was
+    /// bit-identical.
+    pub divergence: Option<DivergenceReport>,
+}
+
+impl ReplayOutcome {
+    /// Whether the replayed window matched the recording everywhere.
+    pub fn is_clean(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+/// Re-executes an [`EventLog`] against a freshly built (or
+/// snapshot-restored) system, verifying the state-hash chain tick by
+/// tick.
+pub struct Replayer<'log> {
+    system: MonitoringSystem,
+    log: &'log EventLog,
+    /// Index into `log.ticks` of the next record to replay.
+    cursor: usize,
+    forced_full_tracing: bool,
+}
+
+impl<'log> Replayer<'log> {
+    /// Build a fresh system from the log header, positioned at tick 0.
+    pub fn new(log: &'log EventLog) -> Replayer<'log> {
+        Replayer { system: log.spec.build_system(), log, cursor: 0, forced_full_tracing: false }
+    }
+
+    /// Like [`Replayer::new`] but with a different collection
+    /// worker-pool size — recorded hashes are worker-count-invariant, so
+    /// a clean replay at another width doubles as a determinism check.
+    pub fn with_workers(log: &'log EventLog, workers: usize) -> Replayer<'log> {
+        Replayer {
+            system: log.spec.build_system_with_workers(workers),
+            log,
+            cursor: 0,
+            forced_full_tracing: false,
+        }
+    }
+
+    /// Force trace sampling to 1-in-1 for everything this replayer
+    /// executes — the point of replay is forensics, and the hash chain
+    /// is immune to sampling (corruption draws are computed over
+    /// trace-stripped canonical bytes; traces live outside the hash).
+    pub fn force_full_tracing(&mut self) {
+        self.forced_full_tracing = true;
+        self.system.tracer().set_force_sampling(true);
+    }
+
+    /// The tick the replayer is positioned after (0 = nothing replayed;
+    /// after `seek(T)` with a clean outcome this is `T`).
+    pub fn position(&self) -> u64 {
+        self.cursor as u64
+    }
+
+    /// The system being driven (read-only; replay input comes from the
+    /// log).
+    pub fn system(&self) -> &MonitoringSystem {
+        &self.system
+    }
+
+    /// Seek to tick `target` by restoring the nearest checkpoint at or
+    /// before it, then replaying the remaining ticks with hash
+    /// verification.  Returns the outcome of the replayed stretch
+    /// (snapshot-restore itself is exact, so a divergence here indicates
+    /// either a perturbed log or real non-determinism).
+    ///
+    /// With no usable snapshot this degrades to replay-from-0 up to
+    /// `target`.
+    pub fn seek(&mut self, target: u64) -> ReplayOutcome {
+        assert!(
+            target <= self.log.len(),
+            "seek target {target} past end of log ({} ticks)",
+            self.log.len()
+        );
+        let restored = match self.log.nearest_snapshot(target) {
+            Some(snap) => {
+                let state: hpcmon::CoreSnapshot = roundtrip(&snap.state);
+                self.system.restore_snapshot(state);
+                snap.tick
+            }
+            None => {
+                // No checkpoint: rebuild from scratch and replay it all.
+                self.system = self.log.spec.build_system();
+                if self.forced_full_tracing {
+                    self.system.tracer().set_force_sampling(true);
+                }
+                0
+            }
+        };
+        self.cursor = restored as usize;
+        let mut verified = 0;
+        while self.position() < target {
+            match self.step() {
+                Some(Ok(_)) => verified += 1,
+                Some(Err(report)) => {
+                    return ReplayOutcome { ticks_verified: verified, divergence: Some(report) }
+                }
+                None => break,
+            }
+        }
+        ReplayOutcome { ticks_verified: verified, divergence: None }
+    }
+
+    /// Replay the next recorded tick: apply its logged inputs, run the
+    /// pipeline, compare hashes.  `None` = end of log; `Some(Ok(hash))`
+    /// = verified; `Some(Err(report))` = divergence.
+    #[allow(clippy::type_complexity)]
+    pub fn step(&mut self) -> Option<Result<TickStateHash, DivergenceReport>> {
+        let record = self.log.ticks.get(self.cursor)?;
+        self.system.apply_tick_inputs(&record.inputs);
+        self.system.tick();
+        self.cursor += 1;
+        let actual =
+            self.system.last_state_hash().expect("replay systems always run with state hashing on");
+        if actual == record.hash {
+            return Some(Ok(actual));
+        }
+        let subsystem = record.hash.first_divergence(&actual).unwrap_or("combined");
+        Some(Err(DivergenceReport {
+            first_divergent_tick: record.tick,
+            subsystem,
+            expected: record.hash,
+            actual,
+            nearest_snapshot: self
+                .log
+                .nearest_snapshot(record.tick.saturating_sub(1))
+                .map(|s| s.tick),
+            forced_full_tracing: self.forced_full_tracing,
+        }))
+    }
+
+    /// Replay every remaining tick, stopping at the first divergence.
+    pub fn run_to_end(mut self) -> ReplayOutcome {
+        let mut verified = 0;
+        while let Some(step) = self.step() {
+            match step {
+                Ok(_) => verified += 1,
+                Err(report) => {
+                    return ReplayOutcome { ticks_verified: verified, divergence: Some(report) }
+                }
+            }
+        }
+        ReplayOutcome { ticks_verified: verified, divergence: None }
+    }
+}
+
+/// Snapshots are stored in the log by value; restoring must not alias the
+/// log's copy (restore consumes a `CoreSnapshot`), so round-trip through
+/// the serde value layer — the same path a file-loaded log takes.
+fn roundtrip(state: &hpcmon::CoreSnapshot) -> hpcmon::CoreSnapshot {
+    let bytes = serde_json::to_vec(state).expect("snapshots always serialize");
+    serde_json::from_slice(&bytes).expect("snapshots always round-trip")
+}

@@ -1,0 +1,120 @@
+//! Event-log codec properties: arbitrary logs round-trip bit-exactly,
+//! and *any* truncation of a valid log is rejected rather than silently
+//! replayed short.
+
+use hpcmon::{GatewayOp, SimConfig, TickInputs, TickStateHash};
+use hpcmon_gateway::QueryRequest;
+use hpcmon_metrics::{MetricId, Ts};
+use hpcmon_replay::{EventLog, LogError, RunSpec, TickRecord};
+use hpcmon_response::Consumer;
+use hpcmon_sim::{AppProfile, FaultKind, JobSpec};
+use hpcmon_store::{AggFn, TimeRange};
+use proptest::prelude::*;
+
+/// Deterministically expand a compact seed vector into arbitrary tick
+/// records (the proptest shim generates the seeds; this keeps the
+/// strategy surface simple while still exercising every payload arm).
+fn log_from_seeds(seeds: &[u64]) -> EventLog {
+    let spec = RunSpec::new(SimConfig::small()).snapshot_every(0);
+    let mut ticks = Vec::new();
+    for (i, &seed) in seeds.iter().enumerate() {
+        let mut inputs = TickInputs::default();
+        if seed % 2 == 0 {
+            inputs.jobs.push(JobSpec::new(
+                AppProfile::compute_heavy("stencil"),
+                "alice",
+                (seed % 64) as u32 + 1,
+                600_000,
+                Ts(seed % 10_000),
+            ));
+        }
+        if seed % 3 == 0 {
+            inputs
+                .faults
+                .push((Ts(seed % 100_000), FaultKind::NodeCrash { node: (seed % 128) as u32 }));
+        }
+        if seed % 5 == 0 {
+            inputs.gateway_ops.push(GatewayOp::Query {
+                consumer: Consumer::admin("ops"),
+                request: QueryRequest::AggregateAcross {
+                    metric: MetricId((seed % 7) as u32),
+                    range: TimeRange { from: Ts::ZERO, to: Ts(seed % 1_000_000) },
+                    agg: AggFn::Mean,
+                },
+            });
+        }
+        let h = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ticks.push(TickRecord {
+            tick: i as u64 + 1,
+            inputs,
+            hash: TickStateHash {
+                tick: i as u64 + 1,
+                sim: h,
+                frame: h ^ 1,
+                store: h ^ 2,
+                pipeline: h ^ 3,
+                analysis: h ^ 4,
+                chaos: h ^ 5,
+                gateway: h ^ 6,
+                combined: h ^ 7,
+            },
+        });
+    }
+    EventLog { spec, ticks, snapshots: Vec::new() }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary payloads survive encode → decode bit-exactly.
+    #[test]
+    fn codec_round_trips(seeds in proptest::collection::vec(0u64..u64::MAX, 0..40)) {
+        let log = log_from_seeds(&seeds);
+        let bytes = log.to_bytes();
+        let back = EventLog::from_bytes(&bytes).expect("valid log parses");
+        prop_assert_eq!(back.ticks, log.ticks);
+        prop_assert_eq!(back.len(), seeds.len() as u64);
+    }
+
+    /// Every proper prefix of a valid log is rejected — a log cut off
+    /// mid-transfer must never parse as a shorter run.
+    #[test]
+    fn truncation_is_always_rejected(
+        seeds in proptest::collection::vec(0u64..u64::MAX, 1..20),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let bytes = log_from_seeds(&seeds).to_bytes();
+        let cut = ((bytes.len() - 1) as f64 * cut_frac) as usize;
+        match EventLog::from_bytes(&bytes[..cut]) {
+            Err(LogError::Truncated) => {}
+            Err(other) => prop_assert!(false, "expected Truncated, got {other:?}"),
+            Ok(_) => prop_assert!(false, "truncated log at {cut}/{} parsed", bytes.len()),
+        }
+    }
+}
+
+#[test]
+fn bad_magic_is_rejected() {
+    let mut bytes = log_from_seeds(&[1, 2, 3]).to_bytes();
+    bytes[0] ^= 0xFF;
+    assert!(matches!(EventLog::from_bytes(&bytes), Err(LogError::BadMagic)));
+}
+
+#[test]
+fn unknown_frame_is_rejected() {
+    let mut bytes = log_from_seeds(&[]).to_bytes();
+    // Splice an unknown frame kind before the end frame.
+    let end = bytes.len() - 5;
+    bytes.splice(end..end, [0x42u8, 0, 0, 0, 0]);
+    assert!(matches!(EventLog::from_bytes(&bytes), Err(LogError::UnknownFrame(0x42))));
+}
+
+#[test]
+fn file_round_trip() {
+    let log = log_from_seeds(&[7, 11, 13, 17]);
+    let path = std::env::temp_dir().join("hpcmon_replay_codec_props.rlog");
+    log.write_to(&path).expect("write");
+    let back = EventLog::read_from(&path).expect("read");
+    assert_eq!(back.ticks, log.ticks);
+    let _ = std::fs::remove_file(&path);
+}

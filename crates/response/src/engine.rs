@@ -114,7 +114,56 @@ pub struct ResponseEngine {
     suppressed_by_cooldown: u64,
 }
 
+/// Checkpointed response-engine state: cooldowns, journal, counters.  The
+/// rules are configuration and are rebuilt by the caller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResponseSnapshot {
+    // Vec-of-pairs: the serde layer only supports string map keys.
+    last_fired: Vec<(usize, CompId, Ts)>,
+    journal: Vec<ActionTaken>,
+    signals_handled: u64,
+    suppressed_by_cooldown: u64,
+}
+
 impl ResponseEngine {
+    /// Capture cooldowns, journal and counters for a flight-recorder
+    /// checkpoint (sorted so the bytes are canonical).
+    pub fn snapshot(&self) -> ResponseSnapshot {
+        let mut last_fired: Vec<(usize, CompId, Ts)> =
+            self.last_fired.iter().map(|(&(rule, comp), &ts)| (rule, comp, ts)).collect();
+        last_fired.sort_by_key(|&(rule, comp, _)| (rule, comp));
+        ResponseSnapshot {
+            last_fired,
+            journal: self.journal.clone(),
+            signals_handled: self.signals_handled,
+            suppressed_by_cooldown: self.suppressed_by_cooldown,
+        }
+    }
+
+    /// Re-attach checkpointed state (rules stay as configured).
+    pub fn restore(&mut self, snap: ResponseSnapshot) {
+        self.last_fired =
+            snap.last_fired.into_iter().map(|(rule, comp, ts)| ((rule, comp), ts)).collect();
+        self.journal = snap.journal;
+        self.signals_handled = snap.signals_handled;
+        self.suppressed_by_cooldown = snap.suppressed_by_cooldown;
+    }
+
+    /// 64-bit digest of cooldown state and counters, for per-tick replay
+    /// verification (cooldowns folded in sorted order).
+    pub fn state_digest(&self) -> u64 {
+        let mut h = hpcmon_metrics::StateHash::new(0x2E);
+        h.u64(self.signals_handled).u64(self.suppressed_by_cooldown).usize(self.journal.len());
+        let mut fired: Vec<(usize, CompId, Ts)> =
+            self.last_fired.iter().map(|(&(rule, comp), &ts)| (rule, comp, ts)).collect();
+        fired.sort_by_key(|&(rule, comp, _)| (rule, comp));
+        h.usize(fired.len());
+        for (rule, comp, ts) in fired {
+            h.usize(rule).u64(comp.kind as u64).u64(comp.index as u64).u64(ts.0);
+        }
+        h.finish()
+    }
+
     /// Build from a rule set.
     pub fn new(rules: Vec<ResponseRule>) -> ResponseEngine {
         ResponseEngine {

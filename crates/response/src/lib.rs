@@ -24,5 +24,7 @@ pub mod engine;
 pub mod signal;
 
 pub use access::{AccessPolicy, Consumer, Role};
-pub use engine::{Action, ActionTaken, ResponseEngine, ResponseRule, SignalMatch};
+pub use engine::{
+    Action, ActionTaken, ResponseEngine, ResponseRule, ResponseSnapshot, SignalMatch,
+};
 pub use signal::{Signal, SignalKind};

@@ -8,6 +8,7 @@
 //! its share of traffic straight at the filesystem — invisible unless
 //! someone checks the configuration or watches the absorb rate.
 
+use hpcmon_metrics::StateHash;
 use serde::{Deserialize, Serialize};
 
 /// Burst-buffer shape.
@@ -57,6 +58,18 @@ pub struct BurstBuffer {
 }
 
 impl BurstBuffer {
+    /// Fold the full burst-buffer state into a flight-recorder digest.
+    pub fn digest_into(&self, h: &mut StateHash) {
+        h.usize(self.nodes.len());
+        for n in &self.nodes {
+            h.bool(n.configured)
+                .f64(n.occupancy_bytes)
+                .f64(n.absorbed_last_tick)
+                .f64(n.drained_last_tick);
+        }
+        h.usize(self.next);
+    }
+
     /// Fresh, fully configured tier.
     pub fn new(config: BbConfig) -> BurstBuffer {
         assert!(config.num_nodes >= 1);

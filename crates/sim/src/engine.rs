@@ -23,7 +23,8 @@ use crate::routing::{self, RoutePolicy};
 use crate::sched::{SchedEvent, Scheduler};
 use crate::topology::Topology;
 use crate::workload::{CommPattern, JobSpec};
-use hpcmon_metrics::{CompId, JobId, LogRecord, Severity, Ts};
+use hpcmon_metrics::{CompId, JobId, LogRecord, Severity, StateHash, Ts};
+use serde::{Deserialize, Serialize};
 
 /// Stable template ids for machine-generated log lines, used by the log
 /// analysis to recognize "well-known log lines" (paper §III-B).
@@ -66,6 +67,39 @@ struct JobTickDemand {
     io_want: f64,
     io_got: f64,
     any_hung: bool,
+}
+
+/// Complete serializable state of the simulator at a tick boundary, for
+/// flight-recorder checkpoints.  The topology is rebuilt from the config on
+/// restore (it is immutable after construction), everything else — RNG
+/// stream positions included — round-trips bit-exactly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimSnapshot {
+    config: SimConfig,
+    now: Ts,
+    tick_count: u64,
+    clock: DriftClock,
+    nodes: Vec<NodeState>,
+    gpus: Vec<GpuState>,
+    gpu_util: Vec<f64>,
+    power_w: Vec<f64>,
+    net: NetworkState,
+    link_error_mult: Vec<f64>,
+    fs: FsState,
+    env: EnvState,
+    sched: Scheduler,
+    faults: FaultPlan,
+    logs: Vec<LogRecord>,
+    truth: Vec<Fault>,
+    rng_fail: Rng,
+    rng_power: Rng,
+    rng_work: Rng,
+    rng_sched: Rng,
+    rng_env: Rng,
+    rng_log: Rng,
+    ashrae_flagged: bool,
+    pstate_scale: f64,
+    bb: Option<BurstBuffer>,
 }
 
 /// The simulator.
@@ -880,6 +914,122 @@ impl SimEngine {
     /// the monitoring stack).
     pub fn truth_log(&self) -> &[Fault] {
         &self.truth
+    }
+
+    /// Capture the complete simulator state for a flight-recorder
+    /// checkpoint.  Taken at a tick boundary (after [`SimEngine::drain_logs`])
+    /// the restored engine continues the exact same trajectory.
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            config: self.config.clone(),
+            now: self.now,
+            tick_count: self.tick_count,
+            clock: self.clock.clone(),
+            nodes: self.nodes.clone(),
+            gpus: self.gpus.clone(),
+            gpu_util: self.gpu_util.clone(),
+            power_w: self.power_w.clone(),
+            net: self.net.clone(),
+            link_error_mult: self.link_error_mult.clone(),
+            fs: self.fs.clone(),
+            env: self.env.clone(),
+            sched: self.sched.clone(),
+            faults: self.faults.clone(),
+            logs: self.logs.clone(),
+            truth: self.truth.clone(),
+            rng_fail: self.rng_fail.clone(),
+            rng_power: self.rng_power.clone(),
+            rng_work: self.rng_work.clone(),
+            rng_sched: self.rng_sched.clone(),
+            rng_env: self.rng_env.clone(),
+            rng_log: self.rng_log.clone(),
+            ashrae_flagged: self.ashrae_flagged,
+            pstate_scale: self.pstate_scale,
+            bb: self.bb.clone(),
+        }
+    }
+
+    /// Rebuild an engine from a checkpoint.  The topology is reconstructed
+    /// from the snapshot's config; all mutable state is taken verbatim.
+    pub fn restore(snap: SimSnapshot) -> SimEngine {
+        let topo = Topology::build(snap.config.topology);
+        SimEngine {
+            topo,
+            config: snap.config,
+            now: snap.now,
+            tick_count: snap.tick_count,
+            clock: snap.clock,
+            nodes: snap.nodes,
+            gpus: snap.gpus,
+            gpu_util: snap.gpu_util,
+            power_w: snap.power_w,
+            net: snap.net,
+            link_error_mult: snap.link_error_mult,
+            fs: snap.fs,
+            env: snap.env,
+            sched: snap.sched,
+            faults: snap.faults,
+            logs: snap.logs,
+            truth: snap.truth,
+            rng_fail: snap.rng_fail,
+            rng_power: snap.rng_power,
+            rng_work: snap.rng_work,
+            rng_sched: snap.rng_sched,
+            rng_env: snap.rng_env,
+            rng_log: snap.rng_log,
+            ashrae_flagged: snap.ashrae_flagged,
+            pstate_scale: snap.pstate_scale,
+            bb: snap.bb,
+        }
+    }
+
+    /// 64-bit digest of the full simulator state, for per-tick replay
+    /// verification.  Covers every field that feeds future ticks: RNG
+    /// stream positions, node/GPU/network/filesystem/environment state,
+    /// the scheduler, and the fault plan position.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = StateHash::new(0x51);
+        h.u64(self.now.0).u64(self.tick_count);
+        h.u64(self.rng_fail.state())
+            .u64(self.rng_power.state())
+            .u64(self.rng_work.state())
+            .u64(self.rng_sched.state())
+            .u64(self.rng_env.state())
+            .u64(self.rng_log.state());
+        h.usize(self.nodes.len());
+        for n in &self.nodes {
+            let health = match n.health {
+                NodeHealth::Up => 0u64,
+                NodeHealth::Hung => 1,
+                NodeHealth::Down => 2,
+            };
+            h.u64(health)
+                .f64(n.cpu_util)
+                .f64(n.mem_used_bytes)
+                .f64(n.mem_leak_bytes_per_tick)
+                .f64(n.leaked_bytes)
+                .bools(&n.services_ok)
+                .bool(n.fs_mounted)
+                .u64(n.running_job.map_or(u64::MAX, |j| j as u64));
+        }
+        h.usize(self.gpus.len());
+        for g in &self.gpus {
+            h.bool(g.healthy).f64(g.resistance_drift_pct);
+        }
+        h.f64s(&self.gpu_util).f64s(&self.power_w).f64s(&self.link_error_mult);
+        self.net.digest_into(&mut h);
+        self.fs.digest_into(&mut h);
+        self.env.digest_into(&mut h);
+        self.sched.digest_into(&mut h);
+        self.faults.digest_into(&mut h);
+        h.usize(self.logs.len()).usize(self.truth.len());
+        h.bool(self.ashrae_flagged).f64(self.pstate_scale);
+        if let Some(bb) = &self.bb {
+            bb.digest_into(&mut h);
+        } else {
+            h.u64(u64::MAX);
+        }
+        h.finish()
     }
 
     /// Maximum link utilization along the minimal route between two nodes —

@@ -96,6 +96,19 @@ impl EnvState {
     pub fn exceeds_ashrae_gas_limit(&self) -> bool {
         self.so2_ppb > ASHRAE_SO2_G1_LIMIT_PPB
     }
+
+    /// Fold the full environment state into a flight-recorder digest.
+    pub fn digest_into(&self, h: &mut hpcmon_metrics::StateHash) {
+        h.f64(self.temp_c)
+            .f64(self.humidity_pct)
+            .f64(self.so2_ppb)
+            .f64(self.particulates)
+            .f64(self.corrosion_dose_ppb_s);
+        match self.spike {
+            Some((until, added)) => h.u64(until.0).f64(added),
+            None => h.u64(u64::MAX),
+        };
+    }
 }
 
 impl Default for EnvState {

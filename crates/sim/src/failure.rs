@@ -162,6 +162,15 @@ impl FaultPlan {
         self.faults[start..self.cursor].to_vec()
     }
 
+    /// Fold the plan position into a flight-recorder digest (fire times
+    /// plus cursor; the kinds are covered by their downstream effects).
+    pub fn digest_into(&self, h: &mut hpcmon_metrics::StateHash) {
+        h.usize(self.faults.len()).usize(self.cursor);
+        for f in &self.faults {
+            h.u64(f.at.0);
+        }
+    }
+
     /// Faults not yet fired.
     pub fn remaining(&self) -> usize {
         self.faults.len() - self.cursor

@@ -9,6 +9,7 @@
 //! degradation (a slow OST multiplies its base latency — the classic
 //! flaky-controller failure).
 
+use hpcmon_metrics::StateHash;
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the simulated filesystem.
@@ -86,6 +87,15 @@ impl FsState {
     /// Configuration.
     pub fn config(&self) -> FsConfig {
         self.config
+    }
+
+    /// Fold the full filesystem state into a flight-recorder digest.
+    pub fn digest_into(&self, h: &mut StateHash) {
+        h.usize(self.osts.len());
+        for o in &self.osts {
+            h.f64(o.degradation_factor).f64(o.read_bytes).f64(o.write_bytes).f64(o.demand_bytes);
+        }
+        h.f64(self.mds_ops_this_tick).f64(self.mds_degradation_factor).u64(self.last_dt_ms);
     }
 
     /// Number of OSTs.

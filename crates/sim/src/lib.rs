@@ -45,7 +45,7 @@ pub mod workload;
 pub use burst_buffer::{BbConfig, BurstBuffer};
 pub use clock::DriftClock;
 pub use config::SimConfig;
-pub use engine::SimEngine;
+pub use engine::{SimEngine, SimSnapshot};
 pub use failure::{Fault, FaultKind};
 pub use rng::Rng;
 pub use sched::{Placement, SchedulerConfig};

@@ -8,9 +8,11 @@
 //! counter the SNL congestion work in the paper is built on.
 
 use crate::topology::Topology;
+use hpcmon_metrics::StateHash;
+use serde::{Deserialize, Serialize};
 
 /// One offered flow for the current tick.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Flow {
     /// Node that injects the traffic (for injection-bandwidth accounting).
     pub src_node: u32,
@@ -21,7 +23,7 @@ pub struct Flow {
 }
 
 /// Per-tick and cumulative state of every link, plus per-node injection.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct NetworkState {
     capacity_bytes_per_sec: f64,
     link_up: Vec<bool>,
@@ -55,6 +57,21 @@ impl NetworkState {
             cumulative_traffic: vec![0.0; links],
             last_dt_ms: 0,
         }
+    }
+
+    /// Fold the full network state into a flight-recorder digest.
+    pub fn digest_into(&self, h: &mut StateHash) {
+        h.f64(self.capacity_bytes_per_sec)
+            .bools(&self.link_up)
+            .usize(self.flows.len())
+            .f64s(&self.demand)
+            .f64s(&self.traffic)
+            .f64s(&self.stalls)
+            .f64s(&self.errors)
+            .f64s(&self.injected)
+            .f64s(&self.injection_demand)
+            .f64s(&self.cumulative_traffic)
+            .u64(self.last_dt_ms);
     }
 
     /// Per-link capacity in bytes/second.

@@ -5,8 +5,10 @@
 //! small, well-understood generator (SplitMix64) rather than depending on a
 //! crate whose stream might change across versions.
 
+use serde::{Deserialize, Serialize};
+
 /// SplitMix64 pseudo-random generator with distribution helpers.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Rng {
     state: u64,
 }
@@ -15,6 +17,17 @@ impl Rng {
     /// Seeded constructor.  Equal seeds yield equal streams.
     pub fn new(seed: u64) -> Rng {
         Rng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Raw generator state, for snapshots and state digests.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Rebuild a generator at an exact stream position (snapshot restore).
+    /// Unlike [`Rng::new`] this does not perturb the value.
+    pub fn from_state(state: u64) -> Rng {
+        Rng { state }
     }
 
     /// Derive an independent child generator (used to give each subsystem

@@ -13,7 +13,7 @@
 //!   the series those sites watch for backlog anomalies.
 
 use crate::workload::JobSpec;
-use hpcmon_metrics::{JobId, JobRecord, JobState, Ts};
+use hpcmon_metrics::{JobId, JobRecord, JobState, StateHash, Ts};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -48,7 +48,7 @@ impl Default for SchedulerConfig {
 }
 
 /// A job currently executing.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunningJob {
     /// Job id.
     pub id: JobId,
@@ -108,7 +108,7 @@ pub enum SchedEvent {
 }
 
 /// The batch scheduler.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Scheduler {
     config: SchedulerConfig,
     num_nodes: u32,
@@ -122,6 +122,29 @@ pub struct Scheduler {
 }
 
 impl Scheduler {
+    /// Fold the full scheduler state into a flight-recorder digest.
+    pub fn digest_into(&self, h: &mut StateHash) {
+        h.u64(self.num_nodes as u64);
+        h.usize(self.alloc.len());
+        for a in &self.alloc {
+            h.u64(a.map_or(u64::MAX, |j| j.0 as u64));
+        }
+        h.bools(&self.oos);
+        h.usize(self.queue.len());
+        for (id, spec) in &self.queue {
+            h.u64(id.0 as u64).u64(spec.nodes as u64).u64(spec.work_ms);
+        }
+        h.usize(self.running.len());
+        for r in &self.running {
+            h.u64(r.id.0 as u64)
+                .u64(r.started.0)
+                .f64(r.progress_ms)
+                .f64(r.last_efficiency)
+                .usize(r.nodes.len());
+        }
+        h.usize(self.records.len());
+    }
+
     /// Create for a machine of `num_nodes`.
     pub fn new(config: SchedulerConfig, num_nodes: u32) -> Scheduler {
         Scheduler {

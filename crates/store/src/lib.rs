@@ -34,4 +34,7 @@ pub use archive::{Archive, ArchiveCatalog, ArchiveOpCounts};
 pub use logstore::{LogQuery, LogStore};
 pub use query::{AggFn, InvalidParam, JobSeries, QueryEngine, TimeRange};
 pub use retention::{RetentionPolicy, RetentionReport};
-pub use tsdb::{BlockError, SeriesBlock, StoreOpCounts, StoreStats, TimeSeriesStore, WriteError};
+pub use tsdb::{
+    BlockError, SeriesBlock, SeriesSnapshot, StoreOpCounts, StoreSnapshot, StoreStats,
+    TimeSeriesStore, WriteError,
+};

@@ -612,6 +612,130 @@ impl TimeSeriesStore {
             blocks_reloaded: self.blocks_reloaded.load(Ordering::Relaxed),
         }
     }
+
+    /// 64-bit digest of the store's deterministic observables, for per-tick
+    /// replay verification.  Deliberately counter-based (epoch, occupancy,
+    /// op counts): the counters are bit-identical across worker counts and
+    /// reruns, and any content divergence (different samples stored,
+    /// different seal/evict decisions) moves at least one of them.  Hashing
+    /// contents directly would cost a full store scan every tick.
+    pub fn state_digest(&self) -> u64 {
+        let mut h = hpcmon_metrics::StateHash::new(0x57);
+        let occ = self.occupancy();
+        let ops = self.op_counts();
+        h.u64(self.epoch.load(Ordering::Relaxed))
+            .usize(occ.series)
+            .usize(occ.hot_points)
+            .usize(occ.warm_points)
+            .usize(occ.warm_bytes)
+            .u64(occ.corrupt_blocks)
+            .u64(ops.samples_ingested)
+            .u64(ops.blocks_sealed)
+            .u64(ops.blocks_evicted)
+            .u64(ops.blocks_reloaded);
+        h.finish()
+    }
+
+    /// Capture the full store contents and counters for a flight-recorder
+    /// checkpoint.  Series are sorted by key so the snapshot bytes are
+    /// canonical regardless of hash-map iteration order.
+    pub fn snapshot(&self) -> StoreSnapshot {
+        let mut series = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.read();
+            for (key, data) in shard.series.iter() {
+                series.push(SeriesSnapshot {
+                    key: *key,
+                    hot: data.hot.clone(),
+                    warm: data.warm.clone(),
+                });
+            }
+        }
+        series.sort_by_key(|s| s.key);
+        StoreSnapshot {
+            num_shards: self.shards.len(),
+            seal_threshold: self.seal_threshold,
+            series,
+            counts: self.op_counts(),
+            corrupt_blocks: self.corrupt_blocks.load(Ordering::Relaxed),
+            epoch: self.epoch.load(Ordering::Relaxed),
+            write_faults: self.write_faults.iter().map(|f| f.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    /// Load a checkpoint into this store **in place**, replacing all
+    /// contents and counters.  The shard count and seal threshold must
+    /// match the checkpoint (shard choice is a pure function of the key
+    /// and shard count).  In-place restore keeps every
+    /// `Arc<TimeSeriesStore>` handle (gateway, self-collector, query
+    /// engines) valid, so replay seek swaps state without rebuilding the
+    /// surrounding system.
+    pub fn load_snapshot(&self, snap: &StoreSnapshot) {
+        assert_eq!(self.shards.len(), snap.num_shards, "snapshot shard count mismatch");
+        assert_eq!(self.seal_threshold, snap.seal_threshold, "snapshot seal threshold mismatch");
+        for shard in &self.shards {
+            shard.write().series.clear();
+        }
+        let mut hot_points = 0u64;
+        let mut warm_points = 0u64;
+        let mut warm_bytes = 0u64;
+        let series_count = snap.series.len() as u64;
+        for s in &snap.series {
+            hot_points += s.hot.len() as u64;
+            for b in &s.warm {
+                warm_points += b.count as u64;
+                warm_bytes += b.compressed_bytes() as u64;
+            }
+            let mut shard = self.shard_of(&s.key).write();
+            shard.series.insert(s.key, SeriesData { warm: s.warm.clone(), hot: s.hot.clone() });
+        }
+        self.series_count.store(series_count, Ordering::Relaxed);
+        self.hot_points.store(hot_points, Ordering::Relaxed);
+        self.warm_points.store(warm_points, Ordering::Relaxed);
+        self.warm_bytes.store(warm_bytes, Ordering::Relaxed);
+        self.samples_ingested.store(snap.counts.samples_ingested, Ordering::Relaxed);
+        self.blocks_sealed.store(snap.counts.blocks_sealed, Ordering::Relaxed);
+        self.blocks_evicted.store(snap.counts.blocks_evicted, Ordering::Relaxed);
+        self.blocks_reloaded.store(snap.counts.blocks_reloaded, Ordering::Relaxed);
+        self.corrupt_blocks.store(snap.corrupt_blocks, Ordering::Relaxed);
+        self.epoch.store(snap.epoch, Ordering::Relaxed);
+        for (i, &f) in snap.write_faults.iter().enumerate() {
+            self.set_shard_write_fault(i, f);
+        }
+    }
+
+    /// Rebuild a store from a checkpoint: contents land in the same shards
+    /// (shard choice is a pure function of the key), occupancy counters are
+    /// recomputed from the restored contents, and the monotonic counters
+    /// and epoch resume at their recorded values.
+    pub fn restore(snap: StoreSnapshot) -> TimeSeriesStore {
+        let store = TimeSeriesStore::with_options(snap.num_shards, snap.seal_threshold);
+        store.load_snapshot(&snap);
+        store
+    }
+}
+
+/// One series' complete contents, as checkpointed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SeriesSnapshot {
+    /// The series.
+    pub key: SeriesKey,
+    /// Unsealed points.
+    pub hot: Vec<(Ts, f64)>,
+    /// Sealed compressed blocks.
+    pub warm: Vec<SeriesBlock>,
+}
+
+/// Complete serializable state of the store at a tick boundary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StoreSnapshot {
+    num_shards: usize,
+    seal_threshold: usize,
+    series: Vec<SeriesSnapshot>,
+    counts: StoreOpCounts,
+    corrupt_blocks: u64,
+    epoch: u64,
+    write_faults: Vec<bool>,
 }
 
 impl Default for TimeSeriesStore {

@@ -350,6 +350,8 @@ struct Inner {
 pub struct Telemetry {
     inner: RwLock<Inner>,
     active: bool,
+    /// Times a poisoned registry lock was recovered instead of panicking.
+    lock_recoveries: AtomicU64,
 }
 
 impl Default for Telemetry {
@@ -361,12 +363,20 @@ impl Default for Telemetry {
 impl Telemetry {
     /// An active registry.
     pub fn new() -> Telemetry {
-        Telemetry { inner: RwLock::new(Inner::default()), active: true }
+        Telemetry {
+            inner: RwLock::new(Inner::default()),
+            active: true,
+            lock_recoveries: AtomicU64::new(0),
+        }
     }
 
     /// An inert registry: instruments exist but record nothing.
     pub fn disabled() -> Telemetry {
-        Telemetry { inner: RwLock::new(Inner::default()), active: false }
+        Telemetry {
+            inner: RwLock::new(Inner::default()),
+            active: false,
+            lock_recoveries: AtomicU64::new(0),
+        }
     }
 
     /// Whether instruments record.
@@ -374,12 +384,38 @@ impl Telemetry {
         self.active
     }
 
+    /// Acquire the registry read lock, recovering (and counting) a
+    /// poisoned lock rather than panicking: a panic elsewhere must not
+    /// cascade into every thread that touches telemetry (no-panic
+    /// policy).  The registry's invariants are append-only maps, which
+    /// stay consistent across an interrupted writer.
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, Inner> {
+        self.inner.read().unwrap_or_else(|poisoned| {
+            self.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Write-lock counterpart of [`Telemetry::read`].
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, Inner> {
+        self.inner.write().unwrap_or_else(|poisoned| {
+            self.lock_recoveries.fetch_add(1, Ordering::Relaxed);
+            poisoned.into_inner()
+        })
+    }
+
+    /// Times a poisoned registry lock was recovered instead of
+    /// propagating a panic (0 in a healthy process).
+    pub fn lock_recoveries(&self) -> u64 {
+        self.lock_recoveries.load(Ordering::Relaxed)
+    }
+
     /// Register or fetch a counter.
     pub fn counter(&self, name: &str) -> Arc<Counter> {
-        if let Some(c) = self.inner.read().unwrap().counters.get(name) {
+        if let Some(c) = self.read().counters.get(name) {
             return c;
         }
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.write();
         if let Some(c) = inner.counters.get(name) {
             return c;
         }
@@ -390,10 +426,10 @@ impl Telemetry {
 
     /// Register or fetch a gauge.
     pub fn gauge(&self, name: &str) -> Arc<Gauge> {
-        if let Some(g) = self.inner.read().unwrap().gauges.get(name) {
+        if let Some(g) = self.read().gauges.get(name) {
             return g;
         }
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.write();
         if let Some(g) = inner.gauges.get(name) {
             return g;
         }
@@ -404,10 +440,10 @@ impl Telemetry {
 
     /// Register or fetch a histogram.
     pub fn histogram(&self, name: &str) -> Arc<Histogram> {
-        if let Some(h) = self.inner.read().unwrap().histograms.get(name) {
+        if let Some(h) = self.read().histograms.get(name) {
             return h;
         }
-        let mut inner = self.inner.write().unwrap();
+        let mut inner = self.write();
         if let Some(h) = inner.histograms.get(name) {
             return h;
         }
@@ -424,14 +460,14 @@ impl Telemetry {
 
     /// Visit every counter (registration order) with its current total.
     pub fn visit_counters(&self, mut f: impl FnMut(&str, u64)) {
-        for (name, c) in &self.inner.read().unwrap().counters.entries {
+        for (name, c) in &self.read().counters.entries {
             f(name, c.get());
         }
     }
 
     /// Visit every gauge (registration order) with its current level.
     pub fn visit_gauges(&self, mut f: impl FnMut(&str, f64)) {
-        for (name, g) in &self.inner.read().unwrap().gauges.entries {
+        for (name, g) in &self.read().gauges.entries {
             f(name, g.get());
         }
     }
@@ -439,14 +475,14 @@ impl Telemetry {
     /// Visit every histogram (registration order).  Allocation-free, unlike
     /// [`Telemetry::report`] — the per-tick self-feed path.
     pub fn visit_histograms(&self, mut f: impl FnMut(&str, &Histogram)) {
-        for (name, h) in &self.inner.read().unwrap().histograms.entries {
+        for (name, h) in &self.read().histograms.entries {
             f(name, h);
         }
     }
 
     /// Snapshot everything for reporting/export.
     pub fn report(&self) -> TelemetryReport {
-        let inner = self.inner.read().unwrap();
+        let inner = self.read();
         TelemetryReport {
             counters: inner
                 .counters
@@ -573,6 +609,7 @@ mod tests {
         let g = t.gauge("q.depth");
         g.set(7.5);
         assert_eq!(g.get(), 7.5);
+        assert_eq!(t.lock_recoveries(), 0, "healthy use never trips poison recovery");
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::context::{SpanId, TraceContext, TraceId};
 use crate::ring::SpanRing;
 use crate::sampler::Sampler;
 use crate::span::{DropReason, SpanRecord, SpanStatus, Stage};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::Instant;
 
 /// Process-wide thread-slot allocator: each thread gets a stable small
@@ -36,6 +36,10 @@ pub struct TracerStats {
 /// every guard is an inert branch.
 pub struct Tracer {
     sampler: Sampler,
+    // When set, every context is sampled regardless of the head sampler's
+    // decision — replay uses this to get full traces for a window that was
+    // originally recorded at 1-in-N.
+    force_sampling: AtomicBool,
     rings: Box<[SpanRing]>,
     next_trace: AtomicU64,
     next_span: AtomicU64,
@@ -55,6 +59,7 @@ impl Tracer {
         let n = rings.max(1).next_power_of_two();
         Tracer {
             sampler,
+            force_sampling: AtomicBool::new(false),
             rings: (0..n).map(|_| SpanRing::new(ring_capacity)).collect(),
             next_trace: AtomicU64::new(1),
             next_span: AtomicU64::new(1),
@@ -72,6 +77,19 @@ impl Tracer {
     /// Whether tracing is enabled at all.
     pub fn is_enabled(&self) -> bool {
         self.sampler.is_enabled()
+    }
+
+    /// Override head sampling: while set, every context is sampled
+    /// (1-in-1), regardless of the configured sampler.  Replay flips this
+    /// on to capture full traces for a window originally recorded at
+    /// 1-in-N.  Has no effect when tracing is off entirely.
+    pub fn set_force_sampling(&self, force: bool) {
+        self.force_sampling.store(force, Ordering::Relaxed);
+    }
+
+    /// Whether the 1-in-1 sampling override is active.
+    pub fn force_sampling(&self) -> bool {
+        self.force_sampling.load(Ordering::Relaxed)
     }
 
     /// Nanoseconds since this tracer's epoch (the span clock).
@@ -95,7 +113,7 @@ impl Tracer {
         if !self.sampler.is_enabled() {
             return None;
         }
-        let sampled = self.sampler.decide(seq);
+        let sampled = self.force_sampling.load(Ordering::Relaxed) || self.sampler.decide(seq);
         if sampled {
             self.traces_sampled.fetch_add(1, Ordering::Relaxed);
         }

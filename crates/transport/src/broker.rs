@@ -206,6 +206,19 @@ impl Broker {
         *self.tracer.write() = Some(tracer);
     }
 
+    /// The next envelope sequence number this broker would assign.
+    /// Chaos corruption keys on envelope sequence numbers, so replay must
+    /// checkpoint and restore this counter exactly.
+    pub fn seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Restore the envelope sequence counter (replay seek).  Publishes
+    /// after this call continue numbering from `seq`.
+    pub fn set_seq(&self, seq: u64) {
+        self.seq.store(seq, Ordering::Relaxed);
+    }
+
     /// Publish a payload on a topic, fanning out to matching subscribers.
     /// Returns the number of deliveries.
     pub fn publish(&self, topic: &str, payload: Payload) -> usize {

@@ -6,11 +6,35 @@
 //! `Throughput`, `BenchmarkId`, `black_box`), implemented as a plain
 //! wall-clock timer: calibrate an iteration count, take samples, report the
 //! median.  No statistics, plots, or baseline comparisons.
+//!
+//! One extension beyond the real crate's surface: every benchmark
+//! executable also writes a machine-readable `BENCH_<name>.json` at the
+//! workspace root (median/p99 ns per iteration, derived throughput, and
+//! each measurement's overhead relative to the first entry of its group —
+//! the groups here are structured baseline-first), so CI and EXPERIMENTS.md
+//! tables can be regenerated without scraping stdout.
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::Instant;
 
 pub use std::hint::black_box;
+
+/// One finished measurement, destined for `BENCH_<name>.json`.
+struct Measurement {
+    group: String,
+    id: String,
+    median_ns: f64,
+    p99_ns: f64,
+    /// Units (elements or bytes) processed per second at the median,
+    /// when the group declared a throughput.
+    throughput_per_sec: Option<f64>,
+    throughput_unit: Option<&'static str>,
+}
+
+/// Process-global result sink: groups run one after another inside one
+/// bench executable, and `criterion_main!` flushes this at exit.
+static RESULTS: Mutex<Vec<Measurement>> = Mutex::new(Vec::new());
 
 /// Top-level benchmark driver.
 #[derive(Default)]
@@ -20,7 +44,12 @@ impl Criterion {
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         println!("\nbench group: {name}");
-        BenchmarkGroup { _criterion: self, sample_size: 10, throughput: None }
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            throughput: None,
+        }
     }
 }
 
@@ -48,6 +77,7 @@ impl BenchmarkId {
 /// A group of benchmarks sharing settings.
 pub struct BenchmarkGroup<'a> {
     _criterion: &'a mut Criterion,
+    name: String,
     sample_size: usize,
     throughput: Option<Throughput>,
 }
@@ -103,16 +133,93 @@ impl<'a> BenchmarkGroup<'a> {
         }
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = samples[samples.len() / 2];
-        let rate = match self.throughput {
+        let p99 =
+            samples[((samples.len() as f64 * 0.99).ceil() as usize - 1).min(samples.len() - 1)];
+        let (rate, per_sec, unit) = match self.throughput {
             Some(Throughput::Elements(n)) => {
-                format!("  ({:.0} elem/s)", n as f64 * 1e9 / median)
+                let v = n as f64 * 1e9 / median;
+                (format!("  ({v:.0} elem/s)"), Some(v), Some("elements"))
             }
             Some(Throughput::Bytes(n)) => {
-                format!("  ({:.0} bytes/s)", n as f64 * 1e9 / median)
+                let v = n as f64 * 1e9 / median;
+                (format!("  ({v:.0} bytes/s)"), Some(v), Some("bytes"))
             }
-            None => String::new(),
+            None => (String::new(), None, None),
         };
         println!("  {id}: {median:.1} ns/iter{rate}");
+        if let Ok(mut results) = RESULTS.lock() {
+            results.push(Measurement {
+                group: self.name.clone(),
+                id: id.to_string(),
+                median_ns: median,
+                p99_ns: p99,
+                throughput_per_sec: per_sec,
+                throughput_unit: unit,
+            });
+        }
+    }
+}
+
+/// Write `BENCH_<name>.json` at the workspace root, where `<name>` is the
+/// benchmark executable's stem (cargo's `-<hash>` suffix stripped).
+/// Called by `criterion_main!` after every group has run; a standalone
+/// `fn main` bench may call it directly.
+pub fn write_machine_report() {
+    let results = match RESULTS.lock() {
+        Ok(r) => r,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    if results.is_empty() {
+        return;
+    }
+    let mut json = String::from("{\n  \"benchmarks\": [\n");
+    // Baseline for overhead: the first measurement of each group (the
+    // bench files are structured baseline-first: "off" before "on",
+    // serial before pooled).
+    for (i, m) in results.iter().enumerate() {
+        let baseline = results.iter().find(|b| b.group == m.group).map(|b| b.median_ns);
+        let overhead = baseline.filter(|b| *b > 0.0).map(|b| m.median_ns / b - 1.0);
+        json.push_str(&format!(
+            "    {{\"group\": {:?}, \"id\": {:?}, \"median_ns\": {:.1}, \"p99_ns\": {:.1}, \
+             \"throughput_per_sec\": {}, \"throughput_unit\": {}, \
+             \"overhead_vs_group_baseline\": {}}}{}\n",
+            m.group,
+            m.id,
+            m.median_ns,
+            m.p99_ns,
+            m.throughput_per_sec.map_or("null".to_string(), |v| format!("{v:.1}")),
+            m.throughput_unit.map_or("null".to_string(), |u| format!("{u:?}")),
+            overhead.map_or("null".to_string(), |v| format!("{v:.4}")),
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    let exe = std::env::current_exe().unwrap_or_default();
+    let stem = exe
+        .file_stem()
+        .map(|s| s.to_string_lossy().into_owned())
+        .unwrap_or_else(|| "bench".to_string());
+    // Strip cargo's `-<16 hex>` disambiguation hash, if present.
+    let name = match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    };
+    // The workspace root is the nearest ancestor of the executable (which
+    // lives under `<root>/target/...`) that carries a Cargo.toml; fall
+    // back to the current directory.
+    let root = exe
+        .ancestors()
+        .skip(1)
+        .find(|dir| dir.join("Cargo.toml").is_file())
+        .map(|dir| dir.to_path_buf())
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let path = root.join(format!("BENCH_{name}.json"));
+    match std::fs::write(&path, json) {
+        Ok(()) => println!("\nmachine-readable results: {}", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
     }
 }
 
@@ -190,6 +297,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_machine_report();
         }
     };
 }

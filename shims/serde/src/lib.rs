@@ -282,6 +282,20 @@ impl Serialize for str {
     }
 }
 
+// `Value` serializes as itself, so opaque already-modelled state (e.g.
+// detector checkpoints captured via `snapshot_state()`) can be embedded in
+// larger serializable structs without re-encoding.
+impl Serialize for Value {
+    fn to_value(&self) -> Result<Value, Error> {
+        Ok(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 impl Serialize for () {
     fn to_value(&self) -> Result<Value, Error> {
         Ok(Value::Null)

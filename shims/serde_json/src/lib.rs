@@ -300,12 +300,22 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one full UTF-8 char.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Bulk-copy up to the next quote or escape.  Both
+                    // delimiters are ASCII, so the chunk boundary is a
+                    // char boundary; validating only the chunk keeps
+                    // string parsing O(n) instead of O(n²) (re-checking
+                    // the whole remaining input per char made multi-MB
+                    // documents take minutes).
+                    let start = self.pos;
+                    while let Some(&b) = self.bytes.get(self.pos) {
+                        if b == b'"' || b == b'\\' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|e| Error::msg(e.to_string()))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(chunk);
                 }
             }
         }
