@@ -66,6 +66,55 @@ struct ActiveCollectorFault {
     expires_at: u64,
 }
 
+/// Per-kind counts of injected WAN-link fault windows (federation plane).
+/// Kept separate from [`InjectedCounts`] so single-site pipelines — whose
+/// telemetry mirrors `InjectedCounts` field-for-field — are untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WanInjectedCounts {
+    /// Partition windows activated.
+    pub partition: u64,
+    /// Added-latency windows activated.
+    pub delay: u64,
+    /// Bandwidth-squeeze windows activated.
+    pub bandwidth: u64,
+}
+
+impl WanInjectedCounts {
+    /// Sum over every kind.
+    pub fn total(&self) -> u64 {
+        self.partition + self.delay + self.bandwidth
+    }
+}
+
+/// The WAN faults active on one member site's link.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+struct ActiveWanFault {
+    /// Partition window end (tick), if partitioned.
+    partitioned_until: Option<u64>,
+    /// (added one-way latency in ticks, window end).
+    delay: Option<(u64, u64)>,
+    /// (bytes-per-tick cap, window end).
+    bandwidth: Option<(u64, u64)>,
+}
+
+impl ActiveWanFault {
+    fn expire(&mut self, tick: u64) {
+        if self.partitioned_until.is_some_and(|t| t <= tick) {
+            self.partitioned_until = None;
+        }
+        if self.delay.is_some_and(|(_, t)| t <= tick) {
+            self.delay = None;
+        }
+        if self.bandwidth.is_some_and(|(_, t)| t <= tick) {
+            self.bandwidth = None;
+        }
+    }
+
+    fn is_clear(&self) -> bool {
+        self.partitioned_until.is_none() && self.delay.is_none() && self.bandwidth.is_none()
+    }
+}
+
 /// Complete serializable state of the chaos engine at a tick boundary.
 /// The active-fault maps and the plan cursor round-trip exactly, so a
 /// restored engine makes the same corruption draws and expiry decisions.
@@ -82,6 +131,8 @@ pub struct ChaosSnapshot {
     shards: Vec<(usize, u64)>,
     pending_worker_deaths: u64,
     counts: InjectedCounts,
+    wan: BTreeMap<String, ActiveWanFault>,
+    wan_counts: WanInjectedCounts,
 }
 
 /// Deterministic fault injector for the monitoring plane.
@@ -96,6 +147,8 @@ pub struct ChaosEngine {
     shards: BTreeMap<usize, u64>,
     pending_worker_deaths: u64,
     counts: InjectedCounts,
+    wan: BTreeMap<String, ActiveWanFault>,
+    wan_counts: WanInjectedCounts,
 }
 
 /// SplitMix64 finalizer — the same mixer the simulator's `Rng` uses, inlined
@@ -120,6 +173,8 @@ impl ChaosEngine {
             shards: BTreeMap::new(),
             pending_worker_deaths: 0,
             counts: InjectedCounts::default(),
+            wan: BTreeMap::new(),
+            wan_counts: WanInjectedCounts::default(),
         }
     }
 
@@ -136,6 +191,10 @@ impl ChaosEngine {
             }
         }
         self.shards.retain(|_, expires| *expires > tick);
+        self.wan.retain(|_, f| {
+            f.expire(tick);
+            !f.is_clear()
+        });
         for scheduled in self.plan.pop_due(tick) {
             match scheduled.fault {
                 ChaosFault::CollectorPanic { collector } => {
@@ -178,6 +237,20 @@ impl ChaosEngine {
                 }
                 ChaosFault::GatewayWorkerDeath => {
                     self.pending_worker_deaths += 1;
+                }
+                ChaosFault::WanPartition { site, ticks } => {
+                    self.wan_counts.partition += 1;
+                    self.wan.entry(site).or_default().partitioned_until = Some(tick + ticks.max(1));
+                }
+                ChaosFault::WanDelay { site, added_ticks, ticks } => {
+                    self.wan_counts.delay += 1;
+                    self.wan.entry(site).or_default().delay =
+                        Some((added_ticks, tick + ticks.max(1)));
+                }
+                ChaosFault::WanBandwidth { site, bytes_per_tick, ticks } => {
+                    self.wan_counts.bandwidth += 1;
+                    self.wan.entry(site).or_default().bandwidth =
+                        Some((bytes_per_tick, tick + ticks.max(1)));
                 }
             }
         }
@@ -226,19 +299,42 @@ impl ChaosEngine {
         n
     }
 
+    /// Whether the WAN link to `site` is partitioned this tick.
+    pub fn wan_partitioned(&self, site: &str) -> bool {
+        self.wan.get(site).is_some_and(|f| f.partitioned_until.is_some())
+    }
+
+    /// Extra one-way latency (in ticks) on the link to `site` this tick.
+    pub fn wan_added_latency_ticks(&self, site: &str) -> u64 {
+        self.wan.get(site).and_then(|f| f.delay).map_or(0, |(added, _)| added)
+    }
+
+    /// Bandwidth cap (bytes per tick) on the link to `site` this tick, if
+    /// one is active.
+    pub fn wan_bandwidth_cap(&self, site: &str) -> Option<u64> {
+        self.wan.get(site).and_then(|f| f.bandwidth).map(|(cap, _)| cap)
+    }
+
+    /// Per-kind WAN fault-window counts so far.
+    pub fn wan_counts(&self) -> WanInjectedCounts {
+        self.wan_counts
+    }
+
     /// Per-kind injection counts so far.
     pub fn counts(&self) -> InjectedCounts {
         self.counts
     }
 
     /// Number of fault states active this tick (collectors + topics +
-    /// corruption window + shards).  Zero means the plane is currently
-    /// undisturbed (pending scheduled faults may still exist).
+    /// corruption window + shards + disturbed WAN links).  Zero means the
+    /// plane is currently undisturbed (pending scheduled faults may still
+    /// exist).
     pub fn active_faults(&self) -> usize {
         self.collectors.len()
             + self.topics.len()
             + usize::from(self.corrupt.is_some())
             + self.shards.len()
+            + self.wan.len()
     }
 
     /// Scheduled faults not yet fired.
@@ -258,6 +354,8 @@ impl ChaosEngine {
             shards: self.shards.iter().map(|(&k, &v)| (k, v)).collect(),
             pending_worker_deaths: self.pending_worker_deaths,
             counts: self.counts,
+            wan: self.wan.clone(),
+            wan_counts: self.wan_counts,
         }
     }
 
@@ -273,6 +371,8 @@ impl ChaosEngine {
             shards: snap.shards.into_iter().collect(),
             pending_worker_deaths: snap.pending_worker_deaths,
             counts: snap.counts,
+            wan: snap.wan,
+            wan_counts: snap.wan_counts,
         }
     }
 
@@ -303,6 +403,17 @@ impl ChaosEngine {
             h.usize(shard).u64(expires);
         }
         h.u64(self.pending_worker_deaths);
+        h.usize(self.wan.len());
+        for (site, f) in &self.wan {
+            h.str(site);
+            h.u64(f.partitioned_until.unwrap_or(u64::MAX));
+            let (added, delay_until) = f.delay.unwrap_or((u64::MAX, u64::MAX));
+            h.u64(added).u64(delay_until);
+            let (cap, bw_until) = f.bandwidth.unwrap_or((u64::MAX, u64::MAX));
+            h.u64(cap).u64(bw_until);
+        }
+        let w = self.wan_counts;
+        h.u64(w.partition).u64(w.delay).u64(w.bandwidth);
         let c = self.counts;
         h.u64(c.collector_panic)
             .u64(c.collector_hang)
@@ -391,6 +502,47 @@ mod tests {
         assert!(!eng.topic_stalled("metrics/frame"));
         eng.begin_tick(3);
         assert!(!eng.shard_failing(3));
+    }
+
+    #[test]
+    fn wan_faults_activate_overlap_and_expire() {
+        let mut eng = ChaosEngine::new(
+            11,
+            plan(vec![
+                (1, ChaosFault::WanPartition { site: "siteB".into(), ticks: 2 }),
+                (1, ChaosFault::WanDelay { site: "siteB".into(), added_ticks: 3, ticks: 4 }),
+                (
+                    2,
+                    ChaosFault::WanBandwidth { site: "siteC".into(), bytes_per_tick: 64, ticks: 1 },
+                ),
+            ]),
+        );
+        eng.begin_tick(0);
+        assert!(!eng.wan_partitioned("siteB"));
+        assert_eq!(eng.wan_added_latency_ticks("siteB"), 0);
+        eng.begin_tick(1);
+        assert!(eng.wan_partitioned("siteB"));
+        assert_eq!(eng.wan_added_latency_ticks("siteB"), 3, "delay overlaps partition");
+        assert_eq!(eng.wan_bandwidth_cap("siteC"), None);
+        eng.begin_tick(2);
+        assert!(eng.wan_partitioned("siteB"));
+        assert_eq!(eng.wan_bandwidth_cap("siteC"), Some(64));
+        assert_eq!(eng.active_faults(), 2, "two disturbed links");
+        eng.begin_tick(3);
+        assert!(!eng.wan_partitioned("siteB"), "partition expired");
+        assert_eq!(eng.wan_added_latency_ticks("siteB"), 3, "delay still running");
+        assert_eq!(eng.wan_bandwidth_cap("siteC"), None, "squeeze expired");
+        eng.begin_tick(5);
+        assert_eq!(eng.wan_added_latency_ticks("siteB"), 0);
+        assert_eq!(eng.active_faults(), 0);
+        let w = eng.wan_counts();
+        assert_eq!((w.partition, w.delay, w.bandwidth), (1, 1, 1));
+        assert_eq!(w.total(), 3);
+        // Snapshot round-trips the WAN state.
+        let mut restored = ChaosEngine::restore(eng.snapshot());
+        assert_eq!(restored.state_digest(), eng.state_digest());
+        restored.begin_tick(6);
+        assert_eq!(restored.wan_counts().total(), 3);
     }
 
     #[test]

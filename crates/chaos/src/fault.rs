@@ -66,6 +66,36 @@ pub enum ChaosFault {
     /// One gateway worker thread dies.  The gateway's tick-driven
     /// `ensure_workers` pass respawns it.
     GatewayWorkerDeath,
+    /// The WAN link to the named federation member site partitions: no
+    /// rollup batches are delivered and scatter queries to the site report
+    /// `Partitioned` until the window expires.  Interpreted by
+    /// `hpcmon-federation`; a single-site `MonitoringSystem` ignores it.
+    WanPartition {
+        /// Member site name.
+        site: String,
+        /// How many ticks the partition lasts.
+        ticks: u64,
+    },
+    /// The WAN link to the named site runs with extra one-way latency for
+    /// the window — a slow site a deadline-budgeted scatter may shed.
+    WanDelay {
+        /// Member site name.
+        site: String,
+        /// Added one-way latency, in ticks.
+        added_ticks: u64,
+        /// How many ticks the slowdown lasts.
+        ticks: u64,
+    },
+    /// The WAN link to the named site is squeezed to the given bandwidth
+    /// for the window; rollup batches queue behind the cap.
+    WanBandwidth {
+        /// Member site name.
+        site: String,
+        /// Effective link capacity, bytes per tick.
+        bytes_per_tick: u64,
+        /// How many ticks the squeeze lasts.
+        ticks: u64,
+    },
 }
 
 impl ChaosFault {
@@ -79,6 +109,9 @@ impl ChaosFault {
             ChaosFault::EnvelopeCorrupt { .. } => "envelope_corrupt",
             ChaosFault::StoreWriteFail { .. } => "store_write_fail",
             ChaosFault::GatewayWorkerDeath => "gateway_worker_death",
+            ChaosFault::WanPartition { .. } => "wan_partition",
+            ChaosFault::WanDelay { .. } => "wan_delay",
+            ChaosFault::WanBandwidth { .. } => "wan_bandwidth",
         }
     }
 }

@@ -66,6 +66,7 @@ pub struct MonitorBuilder {
     workers: usize,
     supervision: bool,
     chaos: Option<(u64, ChaosPlan)>,
+    clock_epoch_offset_ticks: u64,
 }
 
 impl MonitorBuilder {
@@ -94,7 +95,17 @@ impl MonitorBuilder {
             workers: 0,
             supervision: false,
             chaos: None,
+            clock_epoch_offset_ticks: 0,
         }
+    }
+
+    /// Skew this system's clock: the simulated epoch starts `ticks` ticks
+    /// ahead of zero, so every emitted sample carries site-local timestamps
+    /// offset by `ticks · tick_ms`.  Models the per-site clock skew a
+    /// federation merge layer must align (default 0 — no skew).
+    pub fn clock_epoch_offset_ticks(mut self, ticks: u64) -> MonitorBuilder {
+        self.clock_epoch_offset_ticks = ticks;
+        self
     }
 
     /// Enable supervised self-healing collection (default off).  Each
@@ -243,7 +254,10 @@ impl MonitorBuilder {
 
     /// Assemble the system.
     pub fn build(self) -> MonitoringSystem {
-        let engine = SimEngine::new(self.config.clone());
+        let mut engine = SimEngine::new(self.config.clone());
+        if self.clock_epoch_offset_ticks > 0 {
+            engine.set_epoch(Ts(self.clock_epoch_offset_ticks * self.config.tick_ms));
+        }
         let registry = self.registry;
         let metrics = self.metrics;
         let broker = Broker::new();
@@ -296,6 +310,7 @@ impl MonitorBuilder {
             stall_buffer: Vec::new(),
             ever_contributed,
             last_coverage: None,
+            last_frame: None,
             hashing: false,
             last_state_hash: None,
             replay_hash_gauge: None,
@@ -552,6 +567,10 @@ pub struct MonitoringSystem {
     // Flight-recorder hooks (system::state, DESIGN.md §11).  With
     // `hashing` false none of it runs and the pipeline is bit-identical
     // to a build without the recorder.
+    // The most recent frame published on the broker, for federation
+    // rollups: a `Federation` reads it after each lockstep tick to build
+    // the site's O(1)-series rollup without re-querying the store.
+    last_frame: Option<Arc<Frame>>,
     hashing: bool,
     last_state_hash: Option<TickStateHash>,
     replay_hash_gauge: Option<Arc<Gauge>>,
@@ -747,7 +766,9 @@ impl MonitoringSystem {
         let transport_span = stage_ctx.as_ref().map(|c| tracer.span(c, Stage::Transport));
         let envelope_ctx = transport_span.as_ref().map(|g| g.context()).or(trace_ctx);
         let frame_topic = topics::metrics("frame");
-        let frame_payload = Payload::Frame(Arc::new(frame.clone()));
+        let frame_arc = Arc::new(frame.clone());
+        self.last_frame = Some(frame_arc.clone());
+        let frame_payload = Payload::Frame(frame_arc);
         if self.chaos.as_ref().is_some_and(|c| c.topic_stalled(&frame_topic)) {
             // Chaos: the broker path for this topic is wedged.  Frames
             // queue here in arrival order and go out the first tick the
@@ -1487,6 +1508,17 @@ impl MonitoringSystem {
     /// supervised tick, or when supervision is off).
     pub fn last_coverage(&self) -> Option<FrameCoverage> {
         self.last_coverage
+    }
+
+    /// The frame the most recent tick published, if any tick has run.
+    /// Federation rollups read this instead of re-querying the store.
+    pub fn last_frame(&self) -> Option<&Arc<Frame>> {
+        self.last_frame.as_ref()
+    }
+
+    /// Milliseconds of simulated time per tick.
+    pub fn tick_ms(&self) -> u64 {
+        self.engine.config().tick_ms
     }
 
     /// The time-series store.

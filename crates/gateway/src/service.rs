@@ -564,6 +564,28 @@ impl Gateway {
         }
     }
 
+    /// Plan-level entry point: evaluate one query inline on the caller's
+    /// thread, bypassing the worker pool, admission queues, rate limits,
+    /// and wall-clock deadlines.  Scoping and the epoch-keyed cache still
+    /// apply.  This is what a federation scatter uses: its deadline story
+    /// is denominated in simulated ticks (link RTT vs. budget), decided by
+    /// the planner *before* the member query runs, so the member-side
+    /// evaluation must be free of wall-clock admission effects to keep
+    /// federated answers bit-identical at any worker count.
+    pub fn plan_query(
+        &self,
+        consumer: &Consumer,
+        request: &QueryRequest,
+    ) -> Result<QueryResponse, QueryError> {
+        let inner = &self.inner;
+        inner.metrics.queries.inc();
+        if inner.shutdown.load(Ordering::Acquire) {
+            return Err(QueryError::Shutdown);
+        }
+        request.validate()?;
+        inner.execute(consumer, request, 0).map(|arc| (*arc).clone())
+    }
+
     /// Attach a tracer: every admitted query gets a trace context; served
     /// queries record a `Gateway` span when sampled, and every shed
     /// (rate-limit, queue-full, deadline) records drop provenance.

@@ -206,6 +206,20 @@ impl SimEngine {
 
     // ----- control -----
 
+    /// Re-base the simulated clock epoch before the first tick.  A
+    /// federation uses this to model per-site clock skew: every sample a
+    /// skewed site emits carries `epoch + tick·tick_ms` timestamps, and the
+    /// merge layer must subtract the offset rather than interleave raw
+    /// site-local times.
+    ///
+    /// # Panics
+    /// If any tick has already run — skew is a property of the site, not
+    /// something that jumps mid-flight.
+    pub fn set_epoch(&mut self, epoch: Ts) {
+        assert_eq!(self.tick_count, 0, "set_epoch must precede the first step()");
+        self.now = epoch;
+    }
+
     /// Submit a job to the batch queue.
     pub fn submit_job(&mut self, spec: JobSpec) -> JobId {
         self.sched.submit(spec)

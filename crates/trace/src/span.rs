@@ -21,6 +21,8 @@ pub enum Stage {
     Response,
     /// Gateway query serving (root span of a query trace).
     Gateway,
+    /// Federation plane: WAN rollup delivery and scatter-gather merging.
+    Federation,
 }
 
 impl Stage {
@@ -34,6 +36,7 @@ impl Stage {
             Stage::Analysis => "analysis",
             Stage::Response => "response",
             Stage::Gateway => "gateway",
+            Stage::Federation => "federation",
         }
     }
 }
@@ -61,6 +64,11 @@ pub enum DropReason {
     /// The ingest spill queue overflowed; the oldest spilled frame was
     /// evicted (drop-oldest).
     SpillOverflow,
+    /// A federated scatter skipped a site whose WAN link was partitioned.
+    WanPartition,
+    /// A WAN link's in-transit backlog overflowed; the oldest queued
+    /// rollup batch was evicted (drop-oldest).
+    WanBacklogOverflow,
 }
 
 impl DropReason {
@@ -75,6 +83,8 @@ impl DropReason {
             DropReason::AdmissionFull => "admission_full",
             DropReason::CorruptEnvelope => "corrupt_envelope",
             DropReason::SpillOverflow => "spill_overflow",
+            DropReason::WanPartition => "wan_partition",
+            DropReason::WanBacklogOverflow => "wan_backlog_overflow",
         }
     }
 }
@@ -165,5 +175,8 @@ mod tests {
         assert_eq!(DropReason::DeadlineShed.as_str(), "deadline_shed");
         assert_eq!(DropReason::CorruptEnvelope.as_str(), "corrupt_envelope");
         assert_eq!(DropReason::SpillOverflow.as_str(), "spill_overflow");
+        assert_eq!(Stage::Federation.as_str(), "federation");
+        assert_eq!(DropReason::WanPartition.as_str(), "wan_partition");
+        assert_eq!(DropReason::WanBacklogOverflow.as_str(), "wan_backlog_overflow");
     }
 }

@@ -19,6 +19,8 @@ pub mod topics {
     pub const ALERTS: &str = "alerts";
     /// Scheduler/job events.
     pub const JOBS: &str = "jobs";
+    /// Federation plane: cross-site rollups and control traffic.
+    pub const FED: &str = "fed";
 
     /// Topic for a metric frame from a collector.
     pub fn metrics(collector: &str) -> String {
@@ -28,6 +30,12 @@ pub mod topics {
     /// Topic for logs from a given source subsystem.
     pub fn logs(source: &str) -> String {
         format!("{LOGS}/{source}")
+    }
+
+    /// Topic a member site's rollup batches arrive on at the federation
+    /// head after crossing the WAN link.
+    pub fn fed_rollup(site: &str) -> String {
+        format!("{FED}/rollup/{site}")
     }
 }
 

@@ -1,108 +1,169 @@
-//! Multi-site federation: two monitored machines forwarding their streams
-//! to a central store.
+//! Multi-site federation: a scatter-gather query plane over four sites
+//! with WAN trouble.
 //!
 //! The paper is itself a ten-site collaboration, and its transport
 //! requirement is "multiple flexible data paths ... with changes in data
-//! direction and data access easily configured".  Here each site's broker
-//! is relayed into a central broker under a `site/<name>` prefix (the
-//! ERD-forwarding pattern), a central log store ingests both streams, and
-//! one query answers questions across sites — plus a template-mining pass
-//! that compares the two sites' log-line occurrence rates.
+//! direction and data access easily configured".  Here four full
+//! monitoring stacks run in tick lockstep behind simulated WAN links:
+//! each pushes a site-level rollup to the federation head (so a global
+//! dashboard touches O(sites) series, not O(nodes)), and one federated
+//! query scatters to every member gateway and merges with per-site
+//! provenance — a partitioned site shows up as *named missing*, never as
+//! silently absent data.
 //!
 //! ```sh
 //! cargo run --release --example fleet_federation
 //! ```
 
-use hpcmon::{MonitoringSystem, SimConfig};
-use hpcmon_analysis::TemplateMiner;
-use hpcmon_metrics::{Ts, MINUTE_MS};
+use hpcmon::SimConfig;
+use hpcmon_chaos::{ChaosFault, ChaosPlan, ScheduledFault};
+use hpcmon_federation::{FedResponse, Federation, FederationConfig, SiteSpec, SiteStatus};
+use hpcmon_gateway::QueryRequest;
+use hpcmon_metrics::{CompId, SeriesKey, Ts, MINUTE_MS};
+use hpcmon_response::Consumer;
 use hpcmon_sim::{AppProfile, FaultKind, JobSpec};
-use hpcmon_store::{LogQuery, LogStore};
-use hpcmon_transport::{BackpressurePolicy, Broker, Relay, TopicFilter};
+use hpcmon_store::{AggFn, TimeRange};
 
-fn site(seed: u64) -> MonitoringSystem {
+const TICKS: u64 = 45;
+
+fn site(name: &str, seed: u64) -> SiteSpec {
     let mut cfg = SimConfig::small();
     cfg.seed = seed;
-    MonitoringSystem::builder(cfg).bench_suite_every(None).with_probes(false).build()
+    SiteSpec::new(name, cfg)
 }
 
 fn main() {
-    let mut site_a = site(1);
-    let mut site_b = site(2);
-    let central = Broker::new();
+    // Four sites; "delta" sits behind a slower trans-Atlantic link.
+    let sites = vec![
+        site("alpha", 1),
+        site("beta", 2),
+        site("gamma", 3),
+        site("delta", 4).link(hpcmon_federation::WanLinkSpec {
+            latency_ticks: 3,
+            bandwidth_bytes_per_tick: None,
+            max_backlog: 64,
+        }),
+    ];
+    // WAN trouble mid-run: beta's link partitions for 20 ticks, gamma's
+    // picks up 2 ticks of extra latency.
+    let plan = ChaosPlan::from_faults(vec![
+        ScheduledFault {
+            at_tick: 30,
+            fault: ChaosFault::WanPartition { site: "beta".into(), ticks: 20 },
+        },
+        ScheduledFault {
+            at_tick: 30,
+            fault: ChaosFault::WanDelay { site: "gamma".into(), added_ticks: 2, ticks: 20 },
+        },
+    ]);
+    let mut fed = Federation::new(FederationConfig::new(sites).link_plan(7, plan));
 
-    // Forward each site's log stream to the center, prefixed by site.
-    let relay_a =
-        Relay::start(site_a.broker(), central.clone(), TopicFilter::new("logs/#"), "site/alpha");
-    let relay_b =
-        Relay::start(site_b.broker(), central.clone(), TopicFilter::new("logs/#"), "site/beta");
-    let central_sub =
-        central.subscribe(TopicFilter::new("site/#"), 1 << 14, BackpressurePolicy::Block);
-
-    // Different trouble at each site.
-    site_a.submit_job(JobSpec::new(
+    // Different local trouble at each site.
+    fed.site_system_mut(0).submit_job(JobSpec::new(
         AppProfile::comm_heavy("fft"),
         "alice",
         64,
         90 * MINUTE_MS,
         Ts::ZERO,
     ));
-    site_a.schedule_fault(Ts::from_mins(10), FaultKind::NodeCrash { node: 3 });
-    site_b.submit_job(JobSpec::new(
+    fed.site_system_mut(0).schedule_fault(Ts::from_mins(10), FaultKind::NodeCrash { node: 3 });
+    fed.site_system_mut(1).submit_job(JobSpec::new(
         AppProfile::checkpointing("climate"),
         "bob",
         64,
         90 * MINUTE_MS,
         Ts::ZERO,
     ));
-    site_b.schedule_fault(Ts::from_mins(20), FaultKind::LinkDown { link: 5 });
+    fed.site_system_mut(1).schedule_fault(Ts::from_mins(20), FaultKind::LinkDown { link: 5 });
+    fed.site_system_mut(2).submit_job(JobSpec::new(
+        AppProfile::compute_heavy("lattice-qcd"),
+        "carol",
+        96,
+        80 * MINUTE_MS,
+        Ts::from_mins(5),
+    ));
+    fed.site_system_mut(3).submit_job(JobSpec::new(
+        AppProfile::compute_heavy("md-prod"),
+        "dave",
+        48,
+        70 * MINUTE_MS,
+        Ts::from_mins(2),
+    ));
 
-    // An hour of operations at both sites.
-    for _ in 0..60 {
-        site_a.tick();
-        site_b.tick();
+    fed.run_ticks(TICKS);
+
+    let admin = Consumer::admin("fleet-dashboard");
+    let metrics = fed.site_system(0).metrics();
+
+    // Global dashboard off the rollup plane: O(sites) series only.
+    let ids = fed.metric_ids();
+    let total_power = fed
+        .store()
+        .query(SeriesKey::new(ids.power_w, CompId::SYSTEM), Ts::ZERO, Ts(u64::MAX))
+        .last()
+        .map_or(0.0, |&(_, v)| v);
+    println!(
+        "{} sites, {} ticks; rollup store holds {} series (each member: {})",
+        fed.num_sites(),
+        fed.tick_count(),
+        fed.store().all_series().len(),
+        fed.site_system(0).store().all_series().len(),
+    );
+    println!("federation total power (last rollup): {total_power:.0} W\n");
+
+    // Federated top-k: which nodes, anywhere in the fleet, are hottest?
+    // beta is partitioned right now — the answer says so by name.
+    let request = QueryRequest::TopComponentsAt {
+        metric: metrics.node_cpu,
+        at: Ts(TICKS * fed.tick_ms()),
+        tolerance_ms: MINUTE_MS,
+        limit: 5,
+    };
+    let result = fed.federated_query(&admin, &request, 100);
+    println!(
+        "fleet-wide top-5 CPU ({} of {} sites answered):",
+        result.outcomes.iter().filter(|o| o.answered()).count(),
+        fed.num_sites()
+    );
+    if let FedResponse::Ranked(rows) = &result.merged {
+        for row in rows {
+            println!(
+                "  {:<6} {:>8}  {:.3}",
+                row.site,
+                format!("node/{}", row.comp.index),
+                row.value
+            );
+        }
     }
-    // Let the relays drain, then stop them.
-    let forwarded = relay_a.stop() + relay_b.stop();
-
-    // Central ingest: one log store for the fleet, tagged by topic prefix.
-    let fleet_logs = LogStore::new();
-    let mut miner_a = TemplateMiner::new();
-    let mut miner_b = TemplateMiner::new();
-    for env in central_sub.drain() {
-        if let Some(log) = env.payload.as_log() {
-            if env.topic.starts_with("site/alpha/") {
-                miner_a.observe(log);
-            } else {
-                miner_b.observe(log);
-            }
-            fleet_logs.append(log.clone());
+    for outcome in &result.outcomes {
+        match &outcome.status {
+            SiteStatus::Answered => {}
+            status => println!("  !! {}: {status:?}", outcome.site),
         }
     }
 
-    println!("forwarded {forwarded} log records from 2 sites to the center");
-    println!("central store holds {} records\n", fleet_logs.len());
-
-    // Fleet-wide query: every crash, anywhere.
-    let crashes = fleet_logs.search(&LogQuery::tokens(&["heartbeat", "fault"]));
-    println!("fleet-wide crash search: {} hit(s)", crashes.len());
-    for r in &crashes {
-        println!("  {}", r.render());
+    // Federated aggregate with a tight deadline: delta's 3-tick link
+    // (6-tick round trip) blows a 5-tick budget and is shed up front.
+    let request = QueryRequest::AggregateAcross {
+        metric: metrics.system_power,
+        range: TimeRange::all(),
+        agg: AggFn::Sum,
+    };
+    let result = fed.federated_query(&admin, &request, 5);
+    println!("\nglobal power sum under a 5-tick deadline:");
+    if let FedResponse::Points(points) = &result.merged {
+        if let Some((ts, v)) = points.last() {
+            println!("  latest point: t={} min, {v:.0} W (partial)", ts.0 / MINUTE_MS);
+        }
     }
-
-    // Cross-site occurrence comparison: which log lines does beta emit at
-    // a different rate than alpha?
-    println!("\nlog-template occurrence shifts (beta vs alpha, >=3x):");
-    for shift in miner_b.shifts_from(&miner_a, 3.0).iter().take(6) {
-        println!(
-            "  {:>8} -> {:<8} {:?}",
-            shift.baseline,
-            shift.current,
-            shift.example.chars().take(60).collect::<String>()
-        );
+    for site in result.unreachable_sites() {
+        println!("  missing: {site}");
     }
-    println!("\ntop templates fleet-wide (alpha):");
-    for t in miner_a.top_k(3) {
-        println!("  {:>6}x  {}", t.count, t.example.chars().take(60).collect::<String>());
-    }
+    println!(
+        "\nWAN telemetry: {} rollups delivered, {} dropped, {} scatter sheds, faults {:?}",
+        fed.rollups_delivered(),
+        fed.wan_dropped(),
+        fed.deadline_shed(),
+        fed.wan_counts(),
+    );
 }
