@@ -48,6 +48,10 @@ pub struct SelfCollector {
     transport: [DeltaSlot; 5],
     store_ops: [DeltaSlot; 5],
     store_stats: [MetricId; 4],
+    // Identity/liveness series, registered up front.
+    uptime_id: MetricId,
+    build_info_id: MetricId,
+    build_info_value: f64,
     // Positional cache over the broker's (append-only) topic table.
     // Five series per topic: published plus the full drop-reason split
     // (aggregate, queue-full, drop-oldest, pruned-receiver) — operators
@@ -112,6 +116,23 @@ impl SelfCollector {
             ("hpcmon.self.store.warm_bytes", Unit::Bytes, "bytes in warm blocks"),
         ]
         .map(|(name, unit, desc)| registry.register(name, unit, desc));
+        let uptime_id = registry.register(
+            "hpcmon.self.uptime_ticks",
+            Unit::Count,
+            "ticks since the monitoring system started",
+        );
+        // Prometheus-style build_info: the version rides in the value
+        // (major*10000 + minor*100 + patch) and, human-readably, in the
+        // registered description.
+        let version = env!("CARGO_PKG_VERSION");
+        let mut parts = version.split('.').map(|p| p.parse::<u64>().unwrap_or(0));
+        let (major, minor, patch) =
+            (parts.next().unwrap_or(0), parts.next().unwrap_or(0), parts.next().unwrap_or(0));
+        let build_info_id = registry.register(
+            "hpcmon.self.build_info",
+            Unit::Count,
+            &format!("build identity: hpcmon v{version}"),
+        );
         SelfCollector {
             telemetry,
             broker,
@@ -123,6 +144,9 @@ impl SelfCollector {
             transport,
             store_ops,
             store_stats,
+            uptime_id,
+            build_info_id,
+            build_info_value: (major * 10_000 + minor * 100 + patch) as f64,
             topic_slots: Vec::new(),
             queue_slots: Vec::new(),
         }
@@ -134,7 +158,13 @@ impl Collector for SelfCollector {
         "self"
     }
 
-    fn collect(&mut self, _engine: &SimEngine, frame: &mut Frame) {
+    fn collect(&mut self, engine: &SimEngine, frame: &mut Frame) {
+        // 0. Identity and liveness: a monotone uptime (so a restart is
+        //    visible as a reset, per the paper's "monitor the monitor")
+        //    and a constant build stamp dashboards can join against.
+        frame.push(self.uptime_id, CompId::SYSTEM, engine.tick_count() as f64);
+        frame.push(self.build_info_id, CompId::SYSTEM, self.build_info_value);
+
         // 1. The telemetry registry: pipeline stages, per-collector and
         //    per-detector instruments fed by the core loop.  Visit order is
         //    registration order and the registry only appends, so slot `i`
@@ -313,6 +343,27 @@ mod tests {
         };
         assert_eq!(val(&f2, "hpcmon.self.a"), 2.0, "existing slot still a delta");
         assert_eq!(val(&f2, "hpcmon.self.b"), 7.0, "new instrument picked up");
+    }
+
+    #[test]
+    fn uptime_and_build_info_are_emitted() {
+        let telemetry = Arc::new(Telemetry::new());
+        let broker = Broker::new();
+        let store = Arc::new(TimeSeriesStore::new());
+        let registry = MetricRegistry::new();
+        let mut sc = SelfCollector::new(telemetry, broker, store, registry.clone());
+        let mut engine = engine();
+        engine.step();
+        engine.step();
+        let mut frame = Frame::new(hpcmon_metrics::Ts::ZERO);
+        sc.collect(&engine, &mut frame);
+        let val = |name: &str| {
+            let id = registry.lookup(name).unwrap_or_else(|| panic!("missing {name}"));
+            frame.samples.iter().find(|s| s.key.metric == id).unwrap().value
+        };
+        assert_eq!(val("hpcmon.self.uptime_ticks"), 2.0);
+        // 0.1.0 → 0*10000 + 1*100 + 0.
+        assert_eq!(val("hpcmon.self.build_info"), 100.0);
     }
 
     #[test]

@@ -33,6 +33,7 @@ pub mod system;
 pub use hpcmon_analysis as analysis;
 pub use hpcmon_collect as collect;
 pub use hpcmon_gateway as gateway;
+pub use hpcmon_health as health;
 pub use hpcmon_metrics as metrics;
 pub use hpcmon_response as response;
 pub use hpcmon_sim as sim;

@@ -10,6 +10,7 @@
 
 use crate::parallel::WorkerPool;
 use crate::pipeline::{finding_to_signal, DetectorAttachment};
+use bytes::Bytes;
 use hpcmon_analysis::{Correlator, Deadman, ImbalanceDetector, NoveltyDetector, Rule};
 use hpcmon_chaos::{
     BreakerState, ChaosEngine, ChaosPlan, CollectorFault, CollectorSupervisor, IngestBreaker,
@@ -20,6 +21,10 @@ use hpcmon_collect::{
     BenchmarkSuite, Collector, FsProbe, LogHarvester, NetworkProbe, SelfCollector, StdMetrics,
 };
 use hpcmon_gateway::{Gateway, GatewayConfig};
+use hpcmon_health::{
+    AlertEvent, FeedValue, Grade, HealthConfig, HealthEngine, HealthReport,
+    Subsystem as HealthSubsystem,
+};
 use hpcmon_metrics::{
     CompId, CompKind, Frame, FrameCoverage, JobId, LogRecord, MetricRegistry, Severity, Ts,
 };
@@ -67,6 +72,7 @@ pub struct MonitorBuilder {
     supervision: bool,
     chaos: Option<(u64, ChaosPlan)>,
     clock_epoch_offset_ticks: u64,
+    health: Option<HealthConfig>,
 }
 
 impl MonitorBuilder {
@@ -96,7 +102,22 @@ impl MonitorBuilder {
             supervision: false,
             chaos: None,
             clock_epoch_offset_ticks: 0,
+            health: None,
         }
+    }
+
+    /// Evaluate a deterministic SLO/alerting plane as a tick stage
+    /// (default off).  Every tick the pipeline feeds the engine
+    /// good/bad evidence from *deterministic* primary sources (coverage
+    /// bitmap, stall backlog, breaker and spill state, store/broker op
+    /// counts, chaos injection totals — never wall-clock telemetry), so
+    /// alert timelines are keyed by tick and bit-identical at any worker
+    /// count.  Transitions publish [`AlertEvent`]s on the broker topic
+    /// `health/alerts` and surface as `hpcmon.self.health.*` series
+    /// through the self feed.  Off, the whole plane costs one branch.
+    pub fn health(mut self, cfg: HealthConfig) -> MonitorBuilder {
+        self.health = Some(cfg);
+        self
     }
 
     /// Skew this system's clock: the simulated epoch starts `ticks` ticks
@@ -304,6 +325,8 @@ impl MonitorBuilder {
         let ever_contributed = vec![false; collectors.len()];
         MonitoringSystem {
             supervision: self.supervision,
+            health: self.health.map(HealthEngine::new),
+            health_broker_baseline: (0, 0),
             chaos: self.chaos.map(|(seed, plan)| ChaosEngine::new(seed, plan)),
             supervisor,
             breaker: IngestBreaker::new(256, 16),
@@ -415,6 +438,14 @@ struct PipelineInstruments {
     store_breaker_state: Arc<Gauge>,
     spill_depth: Arc<Gauge>,
     spill_dropped: Arc<Counter>,
+    // Health plane export: alert lifecycle counts and per-subsystem
+    // grades, republished by the self feed as `hpcmon.self.health.*`.
+    // Registered unconditionally (chaos-counter precedent) so the
+    // self-feed series set does not depend on whether health is on.
+    health_transitions: Arc<Counter>,
+    health_alerts_firing: Arc<Gauge>,
+    health_alerts_pending: Arc<Gauge>,
+    health_grades: Vec<Arc<Gauge>>,
     collectors: Vec<CollectorInstruments>,
     detectors: Vec<DetectorInstruments>,
 }
@@ -460,6 +491,13 @@ impl PipelineInstruments {
             store_breaker_state: t.gauge("store.breaker_state"),
             spill_depth: t.gauge("spill.depth"),
             spill_dropped: t.counter("spill.dropped"),
+            health_transitions: t.counter("health.transitions"),
+            health_alerts_firing: t.gauge("health.alerts_firing"),
+            health_alerts_pending: t.gauge("health.alerts_pending"),
+            health_grades: HealthSubsystem::ALL
+                .iter()
+                .map(|s| t.gauge(&format!("health.grade.{}", s.label())))
+                .collect(),
             collectors: collectors
                 .iter()
                 .map(|c| CollectorInstruments {
@@ -505,6 +543,8 @@ pub struct TickReport {
     pub signals: Vec<Signal>,
     /// Response actions taken this tick.
     pub actions: Vec<ActionTaken>,
+    /// Health alert transitions this tick (empty when health is off).
+    pub alerts: Vec<AlertEvent>,
 }
 
 /// Whole-run summary.
@@ -558,6 +598,14 @@ pub struct MonitoringSystem {
     // none of it runs and the pipeline is byte-identical to the
     // unsupervised build.
     supervision: bool,
+    // SLO/alerting plane (DESIGN.md §13).  `None` (the default) costs
+    // one branch per tick and changes nothing observable.
+    health: Option<HealthEngine>,
+    // Broker lifetime totals (delivered, dropped+decode_errors) as of the
+    // previous health evaluation.  Broker counters are not part of the
+    // snapshot, so the health plane feeds per-tick deltas against this
+    // baseline and `restore_snapshot` re-seeds it from the live broker.
+    health_broker_baseline: (u64, u64),
     chaos: Option<ChaosEngine>,
     supervisor: CollectorSupervisor,
     breaker: IngestBreaker<(Arc<Frame>, Option<TraceContext>)>,
@@ -769,12 +817,17 @@ impl MonitoringSystem {
         let frame_arc = Arc::new(frame.clone());
         self.last_frame = Some(frame_arc.clone());
         let frame_payload = Payload::Frame(frame_arc);
+        // Frames that went out this tick, for the health plane's
+        // transport-delivery feed: 0 while the topic is stalled, backlog+1
+        // on the tick a stall clears.
+        let mut frames_published_now = 0u64;
         if self.chaos.as_ref().is_some_and(|c| c.topic_stalled(&frame_topic)) {
             // Chaos: the broker path for this topic is wedged.  Frames
             // queue here in arrival order and go out the first tick the
             // stall clears — late, but never lost and never reordered.
             self.stall_buffer.push((frame_topic, frame_payload, envelope_ctx));
         } else {
+            frames_published_now = self.stall_buffer.len() as u64 + 1;
             for (topic, payload, ctx) in self.stall_buffer.drain(..) {
                 self.broker.publish_traced(&topic, payload, ctx);
             }
@@ -1157,6 +1210,107 @@ impl MonitoringSystem {
         self.signals.extend(signals.iter().cloned());
         report.signals = signals;
 
+        // 7b. Health: evaluate the SLO/alerting plane over this tick's
+        //     deterministic pipeline evidence.  Feeds come from primary
+        //     sources — the coverage bitmap, the stall backlog, breaker
+        //     and spill state, store/broker op counts, chaos injection
+        //     totals — never from wall-clock telemetry (the gateway's
+        //     shed counters, for instance, ride `Instant` deadlines), so
+        //     alert timelines are keyed by tick and bit-identical at any
+        //     worker count.  Exemplars are the one exception: a newly
+        //     firing alert grabs the trace id nearest its subsystem's p99
+        //     as a flamegraph link, and the canonical timeline zeroes it.
+        if let Some(health) = &mut self.health {
+            let tick_no = self.engine.tick_count();
+            let cov_pct = if self.supervision {
+                self.last_coverage.map_or(100.0, |c| c.pct())
+            } else {
+                100.0
+            };
+            // Broker counters survive a snapshot restore un-reset (the
+            // broker is live infrastructure, not snapshotted state), so
+            // diff them here against a baseline that `restore_snapshot`
+            // re-seeds, rather than handing lifetime totals to the
+            // engine's own differ.
+            let bstats = self.broker.stats();
+            let btotals = (bstats.delivered, bstats.dropped + bstats.decode_errors);
+            let bdelta = (
+                btotals.0.saturating_sub(self.health_broker_baseline.0),
+                btotals.1.saturating_sub(self.health_broker_baseline.1),
+            );
+            self.health_broker_baseline = btotals;
+            let sops = self.store.op_counts();
+            let breaker_closed = !self.supervision || self.breaker.state() == BreakerState::Closed;
+            let spill_bad = if self.supervision {
+                self.breaker.depth() as f64 + (!breaker_closed as u64) as f64
+            } else {
+                0.0
+            };
+            let counts = self.chaos.as_ref().map(|c| c.counts()).unwrap_or_default();
+            let feeds: Vec<(&str, FeedValue)> = vec![
+                ("collect.coverage", FeedValue::Tick { good: cov_pct, bad: 100.0 - cov_pct }),
+                (
+                    "transport.delivery",
+                    FeedValue::Tick {
+                        good: frames_published_now as f64,
+                        bad: self.stall_buffer.len() as f64,
+                    },
+                ),
+                ("trace.drops", FeedValue::Tick { good: bdelta.0 as f64, bad: bdelta.1 as f64 }),
+                (
+                    "store.ingest",
+                    FeedValue::Tick { good: breaker_closed as u64 as f64, bad: spill_bad },
+                ),
+                (
+                    "store.integrity",
+                    FeedValue::Total {
+                        good: sops.samples_ingested as f64,
+                        bad: (self.store.corrupt_blocks() + self.breaker.dropped()) as f64,
+                    },
+                ),
+                (
+                    "gateway.serving",
+                    FeedValue::Total {
+                        good: tick_no as f64,
+                        bad: counts.gateway_worker_death as f64,
+                    },
+                ),
+                (
+                    "chaos.quiescence",
+                    FeedValue::Total { good: tick_no as f64, bad: counts.total() as f64 },
+                ),
+            ];
+            let insts = &self.instruments;
+            let exemplar = |sub: HealthSubsystem| -> u64 {
+                let hist = match sub {
+                    HealthSubsystem::Collect => &insts.stage_collect,
+                    HealthSubsystem::Transport => &insts.stage_transport,
+                    HealthSubsystem::Store => &insts.stage_store,
+                    _ => &insts.stage_tick,
+                };
+                hist.exemplar_near_quantile(0.99)
+            };
+            let events = health.observe_tick(tick_no, &feeds, &exemplar);
+            for ev in &events {
+                if !ev.silenced {
+                    let wire = serde_json::to_vec(ev).expect("AlertEvent serializes");
+                    self.broker.publish(&topics::health_alerts(), Payload::Raw(Bytes::from(wire)));
+                }
+            }
+            insts.health_transitions.add(events.len() as u64);
+            insts.health_alerts_firing.set(health.firing_count() as f64);
+            insts.health_alerts_pending.set(health.pending_count() as f64);
+            let health_rep = health.report(tick_no);
+            for (g, sub) in insts.health_grades.iter().zip(&health_rep.subsystems) {
+                g.set(match sub.grade {
+                    Grade::Healthy => 0.0,
+                    Grade::Degraded => 1.0,
+                    Grade::Critical => 2.0,
+                });
+            }
+            report.alerts = events;
+        }
+
         // 8. Serve: refresh the gateway's scoping view with the
         //    scheduler's current allocations, then evaluate standing
         //    subscriptions against the freshly stored data.
@@ -1502,6 +1656,37 @@ impl MonitoringSystem {
     /// Frames buffered behind an active broker topic stall.
     pub fn stalled_frames(&self) -> usize {
         self.stall_buffer.len()
+    }
+
+    // ----- health plane -----
+
+    /// The health engine, when the SLO/alerting plane is configured.
+    pub fn health_engine(&self) -> Option<&HealthEngine> {
+        self.health.as_ref()
+    }
+
+    /// Mutable health engine access (e.g. to add a runtime silence).
+    pub fn health_engine_mut(&mut self) -> Option<&mut HealthEngine> {
+        self.health.as_mut()
+    }
+
+    /// Every alert lifecycle transition so far (empty when health is
+    /// off).
+    pub fn alert_events(&self) -> &[AlertEvent] {
+        self.health.as_ref().map_or(&[], |h| h.events())
+    }
+
+    /// The operator health report as of the current tick (`None` when
+    /// health is off).
+    pub fn health_report(&self) -> Option<HealthReport> {
+        self.health.as_ref().map(|h| h.report(self.engine.tick_count()))
+    }
+
+    /// The canonical alert timeline: one JSON line per transition with
+    /// exemplar ids zeroed — the artifact determinism suites byte-diff
+    /// across worker counts.  Empty when health is off.
+    pub fn health_timeline(&self) -> String {
+        self.health.as_ref().map_or_else(String::new, |h| h.canonical_timeline())
     }
 
     /// Coverage bitmap of the most recent frame (`None` before the first

@@ -37,6 +37,7 @@ use hpcmon_chaos::{
     SupervisorSnapshot,
 };
 use hpcmon_gateway::{GatewaySnapshot, QueryRequest};
+use hpcmon_health::HealthSnapshot;
 use hpcmon_metrics::{Frame, FrameCoverage, MetricId, StateHash, Ts};
 use hpcmon_response::{Consumer, ResponseSnapshot};
 use hpcmon_sim::{FaultKind, JobSpec, SimEngine, SimSnapshot};
@@ -181,6 +182,10 @@ pub struct CoreSnapshot {
     bench_rng: u64,
     collector_rngs: Vec<Option<u64>>,
     gateway: Option<GatewaySnapshot>,
+    // Serde default keeps snapshots taken before the health plane
+    // loadable: absent field → health state restored as "off".
+    #[serde(default)]
+    health: Option<HealthSnapshot>,
 }
 
 impl CoreSnapshot {
@@ -277,6 +282,7 @@ impl MonitoringSystem {
             bench_rng: self.bench_suite.rng_state(),
             collector_rngs: self.collectors.iter().map(|c| c.rng_state()).collect(),
             gateway: self.gateway.as_ref().map(|gw| gw.snapshot_replay_state()),
+            health: self.health.as_ref().map(|h| h.snapshot()),
         }
     }
 
@@ -329,6 +335,14 @@ impl MonitoringSystem {
         if let (Some(gw), Some(state)) = (&self.gateway, snap.gateway) {
             gw.restore_replay_state(state);
         }
+        if let (Some(h), Some(state)) = (self.health.as_mut(), &snap.health) {
+            h.restore(state);
+        }
+        // Broker counters are live infrastructure, not snapshotted state:
+        // re-baseline so the health plane's first post-restore delta is
+        // measured against this broker, not the recording run's totals.
+        let bstats = self.broker.stats();
+        self.health_broker_baseline = (bstats.delivered, bstats.dropped + bstats.decode_errors);
         // Anything queued from pre-restore ticks would double-deliver.
         let _ = self.store_sub.drain();
         self.signals.clear();
@@ -381,7 +395,8 @@ impl MonitoringSystem {
             .u64(self.last_coverage.map_or(u64::MAX, |c| c.reported))
             .u64(self.bench_suite.rng_state())
             .u64(self.supervisor.state_digest())
-            .u64(self.breaker.state_digest());
+            .u64(self.breaker.state_digest())
+            .u64(self.health.as_ref().map_or(0, |h| h.state_digest()));
         for c in &self.collectors {
             ph.u64(c.rng_state().unwrap_or(u64::MAX));
         }

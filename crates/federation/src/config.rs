@@ -96,18 +96,28 @@ pub struct FederationConfig {
     pub seed: u64,
     /// Tick-keyed WAN fault script, interpreted against site names.
     pub link_plan: ChaosPlan,
+    /// Run the SLO/alerting plane at the federation head: one
+    /// WAN-delivery SLO per site (`federation/wan-delivery@<site>`),
+    /// alerts published on `health/alerts`.  Default off.
+    pub health: bool,
 }
 
 impl FederationConfig {
     /// A federation over `sites` with no WAN faults.
     pub fn new(sites: Vec<SiteSpec>) -> FederationConfig {
-        FederationConfig { sites, seed: 0, link_plan: ChaosPlan::new() }
+        FederationConfig { sites, seed: 0, link_plan: ChaosPlan::new(), health: false }
     }
 
     /// Attach a seeded WAN fault plan.
     pub fn link_plan(mut self, seed: u64, plan: ChaosPlan) -> FederationConfig {
         self.seed = seed;
         self.link_plan = plan;
+        self
+    }
+
+    /// Enable the head-level health plane (per-site WAN SLOs).
+    pub fn health(mut self, on: bool) -> FederationConfig {
+        self.health = on;
         self
     }
 }

@@ -23,9 +23,11 @@ use crate::scatter::{
     merge_points, merge_ranked, FedQueryResult, FedResponse, SiteOutcome, SiteStatus,
 };
 use crate::wan::WanLink;
+use bytes::Bytes;
 use hpcmon::system::MonitoringSystem;
 use hpcmon_chaos::{ChaosEngine, WanInjectedCounts};
 use hpcmon_gateway::{QueryRequest, QueryResponse};
+use hpcmon_health::{AlertEvent, FeedValue, HealthConfig, HealthEngine, HealthReport};
 use hpcmon_metrics::{CompId, CompKind, Frame, MetricId, MetricRegistry, Ts, Unit};
 use hpcmon_response::Consumer;
 use hpcmon_store::{JobSeries, QueryEngine, TimeRange, TimeSeriesStore};
@@ -61,6 +63,12 @@ pub struct FedMetricIds {
     pub self_partitioned_links: MetricId,
     /// Cumulative federated scatter queries served.
     pub self_scatter_queries: MetricId,
+    /// Per-link rollup batches queued behind latency/partition/bandwidth.
+    pub wan_backlog_depth: MetricId,
+    /// Per-link rollup batches evicted on backlog overflow (cumulative).
+    pub wan_link_dropped: MetricId,
+    /// Per-link effective one-way latency this tick (base + chaos delay).
+    pub wan_latency_ticks: MetricId,
 }
 
 impl FedMetricIds {
@@ -96,6 +104,21 @@ impl FedMetricIds {
                 "hpcmon.self.fed.scatter_queries",
                 Unit::Count,
                 "federated scatter queries served (cumulative)",
+            ),
+            wan_backlog_depth: reg.register(
+                "hpcmon.self.fed.wan.backlog_depth",
+                Unit::Count,
+                "rollup batches queued on the site's WAN link",
+            ),
+            wan_link_dropped: reg.register(
+                "hpcmon.self.fed.wan.dropped",
+                Unit::Count,
+                "rollup batches this link evicted on overflow (cumulative)",
+            ),
+            wan_latency_ticks: reg.register(
+                "hpcmon.self.fed.wan.latency_ticks",
+                Unit::Count,
+                "effective one-way link latency this tick, base + chaos delay",
             ),
         }
     }
@@ -139,6 +162,9 @@ pub struct Federation {
     traces: TraceStore,
     latest: Vec<Option<SiteRollup>>,
     partitioned_now: usize,
+    partitioned_sites: Vec<bool>,
+    last_link_dropped: Vec<u64>,
+    health: Option<HealthEngine>,
     seq: u64,
 }
 
@@ -199,6 +225,11 @@ impl Federation {
         let c_wan_dropped = telemetry.counter("fed.wan.dropped");
         let c_rollups = telemetry.counter("fed.wan.rollups_delivered");
         let latest = vec![None; sites.len()];
+        let health = config.health.then(|| {
+            let names: Vec<String> = sites.iter().map(|s| s.name.clone()).collect();
+            HealthEngine::new(HealthConfig::federation(&names))
+        });
+        let num_sites = sites.len();
         Federation {
             sites,
             chaos: ChaosEngine::new(config.seed, config.link_plan),
@@ -218,6 +249,9 @@ impl Federation {
             traces: TraceStore::new(256),
             latest,
             partitioned_now: 0,
+            partitioned_sites: vec![false; num_sites],
+            last_link_dropped: vec![0; num_sites],
+            health,
             seq: 0,
         }
     }
@@ -274,6 +308,7 @@ impl Federation {
         self.partitioned_now = 0;
         for (i, site) in self.sites.iter_mut().enumerate() {
             let partitioned = self.chaos.wan_partitioned(&site.name);
+            self.partitioned_sites[i] = partitioned;
             if partitioned {
                 self.partitioned_now += 1;
             }
@@ -316,7 +351,45 @@ impl Federation {
         totals.push(self.ids.self_rollups_delivered, CompId::SYSTEM, self.c_rollups.get() as f64);
         totals.push(self.ids.self_partitioned_links, CompId::SYSTEM, self.partitioned_now as f64);
         totals.push(self.ids.self_scatter_queries, CompId::SYSTEM, self.c_scatter.get() as f64);
+        // Per-link WAN state, one gauge set per site: the link is part of
+        // the monitoring system, so it gets monitored like everything else.
+        for (i, site) in self.sites.iter().enumerate() {
+            let comp = site_comp(i);
+            let latency =
+                site.link.latency_ticks() + self.chaos.wan_added_latency_ticks(&site.name);
+            totals.push(self.ids.wan_backlog_depth, comp, site.link.backlog_len() as f64);
+            totals.push(self.ids.wan_link_dropped, comp, site.link.dropped() as f64);
+            totals.push(self.ids.wan_latency_ticks, comp, latency as f64);
+        }
         self.broker.publish(&topics::fed_rollup("_total"), Payload::Frame(Arc::new(totals)));
+
+        // 4b. Head-level health: one WAN-delivery feed per site.  A
+        //     partitioned tick is one bad event; rollups evicted on
+        //     overflow this tick add more.  All inputs are tick-keyed
+        //     chaos/link state, so the alert timeline is deterministic.
+        if let Some(health) = &mut self.health {
+            let mut feeds: Vec<(String, FeedValue)> = Vec::new();
+            for (i, site) in self.sites.iter().enumerate() {
+                let dropped = site.link.dropped();
+                let drop_delta = dropped - self.last_link_dropped[i];
+                self.last_link_dropped[i] = dropped;
+                let partitioned = self.partitioned_sites[i];
+                feeds.push((
+                    format!("fed.wan.{}", site.name),
+                    FeedValue::Tick {
+                        good: if partitioned { 0.0 } else { 1.0 },
+                        bad: u64::from(partitioned) as f64 + drop_delta as f64,
+                    },
+                ));
+            }
+            let feeds: Vec<(&str, FeedValue)> =
+                feeds.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+            let events = health.observe_tick(tick, &feeds, &|_| 0);
+            for ev in events.iter().filter(|ev| !ev.silenced) {
+                let bytes = serde_json::to_vec(ev).expect("AlertEvent serializes");
+                self.broker.publish(&topics::health_alerts(), Payload::Raw(Bytes::from(bytes)));
+            }
+        }
 
         // 5. Ingest everything that arrived on the fed plane this tick.
         for env in self.rollup_sub.drain() {
@@ -477,6 +550,28 @@ impl Federation {
     /// Federation-plane traces (rollup drops, scatter sheds).
     pub fn traces(&self) -> &TraceStore {
         &self.traces
+    }
+
+    /// The head-level health engine, when enabled.
+    pub fn health_engine(&self) -> Option<&HealthEngine> {
+        self.health.as_ref()
+    }
+
+    /// The head-level health report (per-site WAN rollup grades), when
+    /// the health plane is enabled.
+    pub fn health_report(&self) -> Option<HealthReport> {
+        self.health.as_ref().map(|h| h.report(self.tick))
+    }
+
+    /// Alert transitions recorded at the head (empty when health is off).
+    pub fn alert_events(&self) -> &[AlertEvent] {
+        self.health.as_ref().map_or(&[], |h| h.events())
+    }
+
+    /// Canonical alert timeline at the head (see
+    /// [`HealthEngine::canonical_timeline`]); empty when health is off.
+    pub fn health_timeline(&self) -> String {
+        self.health.as_ref().map_or_else(String::new, |h| h.canonical_timeline())
     }
 
     /// Per-kind WAN fault windows activated so far.

@@ -57,6 +57,7 @@ pub use replayer::{DivergenceReport, ReplayOutcome, Replayer};
 use hpcmon::{MonitorBuilder, MonitoringSystem, SimConfig};
 use hpcmon_chaos::ChaosPlan;
 use hpcmon_gateway::GatewayConfig;
+use hpcmon_health::HealthConfig;
 use hpcmon_store::RetentionPolicy;
 use hpcmon_trace::Sampler;
 use serde::{Deserialize, Serialize};
@@ -97,6 +98,11 @@ pub struct RunSpec {
     pub power_cap_w: Option<f64>,
     /// Retention policy + enforcement cadence, if enabled.
     pub retention: Option<(RetentionPolicy, u64)>,
+    /// SLO/alerting plane configuration, if health was on.  Alert
+    /// timelines are deterministic, so replay reproduces them exactly.
+    /// Serde default keeps pre-health event logs loadable.
+    #[serde(default)]
+    pub health: Option<HealthConfig>,
     /// Snapshot checkpoint cadence in ticks (the "K" in seek-to-T).
     pub snapshot_every: u64,
 }
@@ -119,6 +125,7 @@ impl RunSpec {
             novelty_training_ticks: 30,
             power_cap_w: None,
             retention: None,
+            health: None,
             snapshot_every: 50,
         }
     }
@@ -189,6 +196,12 @@ impl RunSpec {
         self
     }
 
+    /// Enable the SLO/alerting plane.
+    pub fn health(mut self, cfg: HealthConfig) -> RunSpec {
+        self.health = Some(cfg);
+        self
+    }
+
     /// Set the snapshot checkpoint cadence (0 = header only, no
     /// checkpoints; seek then replays from tick 0).
     pub fn snapshot_every(mut self, every: u64) -> RunSpec {
@@ -226,6 +239,9 @@ impl RunSpec {
         }
         if let Some((policy, every)) = self.retention {
             b = b.retention(policy, every);
+        }
+        if let Some(cfg) = &self.health {
+            b = b.health(cfg.clone());
         }
         let mut system = b.build();
         system.set_state_hashing(true);

@@ -181,9 +181,12 @@ impl Histogram {
 
     /// The exemplar tag nearest the quantile `q`: the tag stored in the
     /// bucket the quantile estimate falls in, or — when that bucket holds
-    /// only untagged observations — the closest tagged bucket, preferring
-    /// slower ones (for a p99 question, the interesting exemplar is the
-    /// slow outlier).  Returns 0 when no tagged observation exists at all.
+    /// only untagged observations — the tag in the *nearest* tagged
+    /// bucket by bucket distance, breaking ties toward the slower bucket
+    /// (for a p99 question, the interesting exemplar is the slow
+    /// outlier).  An any-direction upward scan would skip a tagged
+    /// neighbor one bucket below in favor of an outlier many buckets
+    /// above.  Returns 0 when no tagged observation exists at all.
     pub fn exemplar_near_quantile(&self, q: f64) -> u64 {
         let total = self.count();
         if total == 0 {
@@ -199,19 +202,20 @@ impl Histogram {
                 break;
             }
         }
-        for i in target..BUCKETS {
-            let tag = self.exemplars[i].load(Ordering::Relaxed);
-            if tag != 0 {
-                return tag;
+        let mut best = 0u64;
+        let mut best_dist = usize::MAX;
+        for (i, slot) in self.exemplars.iter().enumerate() {
+            let tag = slot.load(Ordering::Relaxed);
+            if tag == 0 {
+                continue;
+            }
+            let dist = i.abs_diff(target);
+            if dist < best_dist || (dist == best_dist && i > target) {
+                best = tag;
+                best_dist = dist;
             }
         }
-        for i in (0..target).rev() {
-            let tag = self.exemplars[i].load(Ordering::Relaxed);
-            if tag != 0 {
-                return tag;
-            }
-        }
-        0
+        best
     }
 
     /// Snapshot for reporting.
@@ -710,6 +714,34 @@ mod tests {
         // A later tagged record in the same bucket replaces it.
         h.record_ns_tagged(1_000, 9);
         assert_eq!(h.exemplar_near_quantile(0.5), 9);
+    }
+
+    #[test]
+    fn exemplar_prefers_nearest_bucket_not_first_upward() {
+        let t = Telemetry::new();
+        let h = t.histogram("lat");
+        // A tagged fast record 8 buckets below the p99 bucket, the p99
+        // mass itself untagged, and a tagged outlier 12 buckets above.
+        // The old upward-first scan skipped the near neighbor and
+        // returned the far outlier; nearest-bucket wins now.
+        h.record_ns_tagged(1_000, 7); // bucket 19
+        for _ in 0..100 {
+            h.record_ns(16_000); // bucket 27, untagged — holds the p99
+        }
+        h.record_ns_tagged(1_000_000, 9); // bucket 39
+        assert_eq!(h.exemplar_near_quantile(0.99), 7);
+    }
+
+    #[test]
+    fn exemplar_equidistant_tie_prefers_slower_bucket() {
+        let t = Telemetry::new();
+        let h = t.histogram("lat");
+        h.record_ns_tagged(1_000, 5); // bucket 19: 8 below the target
+        for _ in 0..100 {
+            h.record_ns(16_000); // bucket 27, untagged
+        }
+        h.record_ns_tagged(200_000, 6); // bucket 35: 8 above the target
+        assert_eq!(h.exemplar_near_quantile(0.99), 6, "tie breaks toward the slow outlier");
     }
 
     #[test]

@@ -21,6 +21,8 @@ pub mod topics {
     pub const JOBS: &str = "jobs";
     /// Federation plane: cross-site rollups and control traffic.
     pub const FED: &str = "fed";
+    /// Monitoring-plane health: SLO alert lifecycle events.
+    pub const HEALTH: &str = "health";
 
     /// Topic for a metric frame from a collector.
     pub fn metrics(collector: &str) -> String {
@@ -36,6 +38,11 @@ pub mod topics {
     /// head after crossing the WAN link.
     pub fn fed_rollup(site: &str) -> String {
         format!("{FED}/rollup/{site}")
+    }
+
+    /// Topic the health plane publishes alert lifecycle transitions on.
+    pub fn health_alerts() -> String {
+        format!("{HEALTH}/alerts")
     }
 }
 
@@ -155,6 +162,11 @@ mod tests {
     fn topic_helpers() {
         assert_eq!(topics::metrics("power"), "metrics/power");
         assert_eq!(topics::logs("hwerr"), "logs/hwerr");
+        assert_eq!(topics::health_alerts(), "health/alerts");
         assert!(TopicFilter::new("metrics/#").matches(&topics::metrics("node")));
+        // The store's ingest filter must NOT see alert events — health
+        // on/off must leave store contents untouched.
+        assert!(!TopicFilter::new("metrics/#").matches(&topics::health_alerts()));
+        assert!(TopicFilter::new("health/#").matches(&topics::health_alerts()));
     }
 }

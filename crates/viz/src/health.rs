@@ -1,0 +1,168 @@
+//! Operator health console.
+//!
+//! Paper §III-B asks for "at-a-glance understanding" backed by drill-down;
+//! [`render_health_board`] is the at-a-glance half for the SLO/alerting
+//! plane: one graded row per pipeline subsystem, the active alerts with
+//! their ages and burn rates, and — in federation mode — a per-site rollup.
+//! [`health_board_json`] is the same report as machine-readable JSON for
+//! dashboards and the data-download path.
+
+use hpcmon_health::{Grade, HealthReport};
+
+/// Render the operator health board as plain text.
+///
+/// ```text
+/// Health @ tick 42
+///   collect     OK
+///   transport   CRITICAL  firing=1
+///   ...
+///   alerts:
+///     FIRING   transport/delivery  ERROR  age=12  burn fast=412.0x slow=34.3x  trace=0x00000000deadbeef
+/// ```
+pub fn render_health_board(report: &HealthReport) -> String {
+    let mut out = format!("Health @ tick {}\n", report.tick);
+    let label_w =
+        report.subsystems.iter().map(|s| s.subsystem.label().len()).max().unwrap_or(4).max(4);
+    for row in &report.subsystems {
+        let mut counts = String::new();
+        if row.firing > 0 {
+            counts.push_str(&format!("  firing={}", row.firing));
+        }
+        if row.pending > 0 {
+            counts.push_str(&format!("  pending={}", row.pending));
+        }
+        out.push_str(&format!(
+            "  {:<label_w$} {:<8}{}\n",
+            row.subsystem.label(),
+            grade_cell(row.grade),
+            counts
+        ));
+    }
+    if report.active.is_empty() {
+        out.push_str("  alerts: none\n");
+    } else {
+        out.push_str("  alerts:\n");
+        let key_w = report.active.iter().map(|a| a.key.len()).max().unwrap_or(4);
+        for a in &report.active {
+            let phase = if a.firing { "FIRING " } else { "PENDING" };
+            out.push_str(&format!(
+                "    {phase}  {:<key_w$}  {:<6}  age={}  burn fast={:.1}x slow={:.1}x",
+                a.key,
+                a.severity.label(),
+                a.age_ticks,
+                a.fast_burn,
+                a.slow_burn,
+            ));
+            if a.exemplar_trace != 0 {
+                out.push_str(&format!("  trace={:#018x}", a.exemplar_trace));
+            }
+            out.push('\n');
+        }
+    }
+    if !report.sites.is_empty() {
+        out.push_str("  sites:\n");
+        let site_w = report.sites.iter().map(|s| s.site.len()).max().unwrap_or(4);
+        for s in &report.sites {
+            let mut counts = String::new();
+            if s.firing > 0 {
+                counts.push_str(&format!("  firing={}", s.firing));
+            }
+            if s.pending > 0 {
+                counts.push_str(&format!("  pending={}", s.pending));
+            }
+            out.push_str(&format!(
+                "    {:<site_w$} {:<8}{}\n",
+                s.site,
+                grade_cell(s.grade),
+                counts
+            ));
+        }
+    }
+    out
+}
+
+/// The same report serialized as JSON, for dashboards and controlled data
+/// release (mirrors the CSV download path the paper's sites rely on).
+pub fn health_board_json(report: &HealthReport) -> String {
+    serde_json::to_string(report).expect("HealthReport serializes")
+}
+
+fn grade_cell(grade: Grade) -> &'static str {
+    grade.label()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hpcmon_health::{ActiveAlert, SiteHealth, Subsystem, SubsystemHealth};
+    use hpcmon_metrics::Severity;
+
+    fn report() -> HealthReport {
+        HealthReport {
+            tick: 42,
+            subsystems: vec![
+                SubsystemHealth {
+                    subsystem: Subsystem::Collect,
+                    grade: Grade::Healthy,
+                    firing: 0,
+                    pending: 0,
+                },
+                SubsystemHealth {
+                    subsystem: Subsystem::Transport,
+                    grade: Grade::Critical,
+                    firing: 1,
+                    pending: 0,
+                },
+            ],
+            active: vec![ActiveAlert {
+                key: "transport/delivery".into(),
+                subsystem: Subsystem::Transport,
+                site: None,
+                severity: Severity::Error,
+                firing: true,
+                since_tick: 30,
+                age_ticks: 12,
+                fast_burn: 412.0,
+                slow_burn: 34.25,
+                exemplar_trace: 0xDEAD_BEEF,
+            }],
+            sites: vec![SiteHealth {
+                site: "alcf".into(),
+                grade: Grade::Degraded,
+                firing: 0,
+                pending: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn board_shows_grades_alerts_and_sites() {
+        let text = render_health_board(&report());
+        assert!(text.starts_with("Health @ tick 42\n"), "{text}");
+        assert!(text.contains("collect"));
+        assert!(text.contains("OK"));
+        assert!(text.contains("CRITICAL  firing=1"), "{text}");
+        assert!(text.contains("FIRING   transport/delivery"), "{text}");
+        assert!(text.contains("age=12"));
+        assert!(text.contains("burn fast=412.0x slow=34.2x"), "{text}");
+        assert!(text.contains("trace=0x00000000deadbeef"), "{text}");
+        assert!(text.contains("alcf"));
+        assert!(text.contains("DEGRADED  pending=1"), "{text}");
+    }
+
+    #[test]
+    fn empty_report_says_no_alerts() {
+        let rep = HealthReport { tick: 0, subsystems: vec![], active: vec![], sites: vec![] };
+        let text = render_health_board(&rep);
+        assert!(text.contains("alerts: none"));
+        assert!(!text.contains("sites:"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let rep = report();
+        let json = health_board_json(&rep);
+        let back: HealthReport = serde_json::from_str(&json).expect("parses");
+        assert_eq!(rep, back);
+    }
+}

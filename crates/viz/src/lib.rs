@@ -19,6 +19,7 @@ pub mod chart;
 pub mod csv;
 pub mod dashboard;
 pub mod drilldown;
+pub mod health;
 pub mod heatmap;
 pub mod panels;
 pub mod report;
@@ -30,6 +31,7 @@ pub use chart::{sparkline, LineChart};
 pub use csv::{series_to_csv, table_to_csv};
 pub use dashboard::{Dashboard, PanelKind, PanelSpec};
 pub use drilldown::DrilldownView;
+pub use health::{health_board_json, render_health_board};
 pub use heatmap::CabinetHeatmap;
 pub use panels::JobPanel;
 pub use report::{AlertSummary, OpsReport};

@@ -296,3 +296,64 @@ fn rollups_cross_the_wan_with_latency_and_stay_o_sites() {
         "fed store has {fed_series} series vs {site_series} per member"
     );
 }
+
+/// WAN link state is republished as `hpcmon.self.fed.wan.*` gauges (one
+/// series per member site), and with the head-level health plane on, a
+/// WAN partition pages the per-site `federation/wan-delivery` SLO with
+/// deterministic tick stamps and a per-site rollup row on the board.
+#[test]
+fn wan_telemetry_and_head_health_page_on_partition() {
+    use hpcmon_health::Transition;
+    let plan = ChaosPlan::from_faults(vec![ScheduledFault {
+        at_tick: 4,
+        fault: ChaosFault::WanPartition { site: "site1".into(), ticks: 4 },
+    }]);
+    let mut fed = Federation::new(FederationConfig::new(sites(2)).link_plan(3, plan).health(true));
+    fed.run_ticks(30);
+
+    // Every link publishes all three gauges every tick, per site comp.
+    let ids = fed.metric_ids();
+    for i in 0..2 {
+        for metric in [ids.wan_backlog_depth, ids.wan_link_dropped, ids.wan_latency_ticks] {
+            let pts =
+                fed.store().query(SeriesKey::new(metric, site_comp(i)), Ts::ZERO, Ts(u64::MAX));
+            assert_eq!(pts.len(), 30, "{} at site{i} publishes every tick", metric.0);
+        }
+    }
+    // The partition is visible in the gauge: site1's backlog peak (the
+    // queue behind the cut link) clears the healthy link's steady-state
+    // in-flight depth.
+    let peak = |i: usize| {
+        fed.store()
+            .query(SeriesKey::new(ids.wan_backlog_depth, site_comp(i)), Ts::ZERO, Ts(u64::MAX))
+            .into_iter()
+            .fold(0.0f64, |m, (_, v)| m.max(v))
+    };
+    assert!(peak(1) > peak(0), "partition queues rollups: {} vs {}", peak(1), peak(0));
+
+    // Head health pages exactly one per-site episode, with exact stamps
+    // for onset (the partition lands at tick 4, confirms at 5).
+    let eps: Vec<(u64, Transition)> = fed
+        .alert_events()
+        .iter()
+        .filter(|e| e.key == "federation/wan-delivery@site1")
+        .map(|e| (e.tick, e.transition))
+        .collect();
+    assert_eq!(eps[0], (4, Transition::Pending), "{}", fed.health_timeline());
+    assert_eq!(eps[1], (5, Transition::Firing));
+    assert_eq!(eps.len(), 3, "one episode: {}", fed.health_timeline());
+    let (resolved_tick, t) = eps[2];
+    assert_eq!(t, Transition::Resolved);
+    assert!((10..=20).contains(&resolved_tick), "resolves after the window clears");
+    assert!(
+        !fed.alert_events().iter().any(|e| e.key.ends_with("@site0")),
+        "the healthy site never pages"
+    );
+
+    // The operator board carries one rollup row per site.
+    let rep = fed.health_report().expect("health is on");
+    let row = |name: &str| rep.sites.iter().find(|s| s.site == name).expect("site row");
+    assert_eq!(rep.sites.len(), 2);
+    assert_eq!(row("site1").firing, 0, "resolved by tick 30");
+    assert_eq!(row("site0").firing, 0);
+}

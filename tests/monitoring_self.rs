@@ -196,6 +196,58 @@ fn gateway_activity_surfaces_in_self_feed() {
 }
 
 #[test]
+fn uptime_and_build_info_serve_through_the_gateway_to_users() {
+    use hpcmon_gateway::{GatewayConfig, QueryRequest};
+    use hpcmon_response::Consumer;
+    use hpcmon_store::TimeRange;
+
+    let mut mon = MonitoringSystem::builder(SimConfig::small())
+        .gateway(GatewayConfig { default_deadline_ms: 10_000, ..GatewayConfig::default() })
+        .build();
+    mon.run_ticks(4);
+
+    // The identity series exist and carry sane values: uptime counts
+    // ticks, build_info encodes the crate version as a constant.
+    let uptime = mon.registry().lookup("hpcmon.self.uptime_ticks").expect("uptime registered");
+    let pts =
+        mon.query().series(SeriesKey::new(uptime, CompId::SYSTEM), hpcmon_store::TimeRange::all());
+    assert_eq!(pts.len(), 4);
+    assert_eq!(pts.last().unwrap().1, 4.0, "uptime tracks the tick count");
+    assert!(pts.windows(2).all(|w| w[1].1 == w[0].1 + 1.0), "monotone by one per tick");
+
+    let build = mon.registry().lookup("hpcmon.self.build_info").expect("build_info registered");
+    let pts =
+        mon.query().series(SeriesKey::new(build, CompId::SYSTEM), hpcmon_store::TimeRange::all());
+    let encoded = pts.last().unwrap().1;
+    assert!(encoded > 0.0, "build_info encodes a version");
+    assert!(pts.iter().all(|&(_, v)| v == encoded), "constant across the run");
+    let desc = mon.registry().meta(build).expect("has metadata").description;
+    assert!(desc.starts_with("build identity: hpcmon v"), "description names the build: {desc}");
+
+    // Both series sit at System scope, so an ordinary *user* — not just
+    // ops — can ask "is the monitor alive, and which build is it?".
+    let gw = mon.gateway().unwrap().clone();
+    let alice = Consumer::user("alice's portal", "alice");
+    for id in [uptime, build] {
+        let resp = gw
+            .query(
+                &alice,
+                QueryRequest::Series {
+                    key: SeriesKey::new(id, CompId::SYSTEM),
+                    range: TimeRange::all(),
+                },
+            )
+            .expect("user-scope query succeeds");
+        match resp {
+            hpcmon_gateway::QueryResponse::Points(pts) => {
+                assert!(!pts.is_empty(), "user sees the identity series")
+            }
+            other => panic!("expected points, got {other:?}"),
+        }
+    }
+}
+
+#[test]
 fn telemetry_report_json_round_trips() {
     let mut mon = MonitoringSystem::builder(SimConfig::small()).build();
     mon.run_ticks(3);
