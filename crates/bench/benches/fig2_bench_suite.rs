@@ -11,7 +11,7 @@ use hpcmon::scenarios::fig2_bench_suite;
 use hpcmon_analysis::{CusumDetector, Detector};
 use hpcmon_bench::{print_series_row, BENCH_SEED};
 use hpcmon_collect::{BenchmarkSuite, StdMetrics};
-use hpcmon_metrics::{Frame, MetricRegistry};
+use hpcmon_metrics::{ColumnFrame, MetricRegistry};
 use hpcmon_sim::{SimConfig, SimEngine};
 
 fn regenerate() -> hpcmon::scenarios::Fig2Result {
@@ -43,7 +43,7 @@ fn bench(c: &mut Criterion) {
     let mut suite = BenchmarkSuite::new(metrics, BENCH_SEED, 16);
     group.bench_function("one_suite_round", |b| {
         b.iter(|| {
-            let mut frame = Frame::new(engine.now());
+            let mut frame = ColumnFrame::new(engine.now());
             let mut logs = Vec::new();
             std::hint::black_box(suite.run(&engine, &mut frame, &mut logs).len())
         })

@@ -9,7 +9,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use hpcmon_bench::BENCH_SEED;
 use hpcmon_collect::collectors::standard_collectors;
 use hpcmon_collect::{Collector, NetworkCollector, StdMetrics};
-use hpcmon_metrics::{Frame, MetricRegistry, Ts, MINUTE_MS};
+use hpcmon_metrics::{ColumnFrame, MetricRegistry, Ts, MINUTE_MS};
 use hpcmon_sim::{AppProfile, JobSpec, SimConfig, SimEngine, TopologySpec};
 
 fn busy_engine() -> SimEngine {
@@ -30,12 +30,12 @@ fn busy_engine() -> SimEngine {
 }
 
 fn print_coverage(engine: &SimEngine, metrics: StdMetrics) {
-    let mut frame = Frame::new(engine.now());
+    let mut frame = ColumnFrame::new(engine.now());
     for c in &mut standard_collectors(metrics) {
         c.collect(engine, &mut frame);
     }
     let kinds: std::collections::BTreeSet<&str> =
-        frame.samples.iter().map(|s| s.key.comp.kind.label()).collect();
+        frame.iter().map(|s| s.key.comp.kind.label()).collect();
     println!("\n=== Table I (Data Sources): coverage ===");
     println!("  one synchronized sweep: {} samples", frame.len());
     println!("  component kinds covered: {kinds:?}");
@@ -54,7 +54,7 @@ fn bench(c: &mut Criterion) {
     group.bench_function("full_sweep_512_nodes", |b| {
         let mut collectors = standard_collectors(metrics);
         b.iter(|| {
-            let mut frame = Frame::new(engine.now());
+            let mut frame = ColumnFrame::new(engine.now());
             for col in &mut collectors {
                 col.collect(&engine, &mut frame);
             }
@@ -69,7 +69,7 @@ fn bench(c: &mut Criterion) {
             |b, &stride| {
                 let mut col = NetworkCollector::with_stride(metrics, stride);
                 b.iter(|| {
-                    let mut frame = Frame::new(engine.now());
+                    let mut frame = ColumnFrame::new(engine.now());
                     col.collect(&engine, &mut frame);
                     std::hint::black_box(frame.len())
                 })

@@ -10,7 +10,7 @@
 //! everything else.
 
 use crate::registry::StdMetrics;
-use hpcmon_metrics::{CompId, Frame, LogRecord, Severity};
+use hpcmon_metrics::{ColumnFrame, CompId, LogRecord, Severity};
 use hpcmon_sim::{Rng, SimEngine};
 
 /// Outcome of one check or benchmark.
@@ -74,7 +74,7 @@ impl BenchmarkSuite {
     pub fn run(
         &mut self,
         engine: &SimEngine,
-        frame: &mut Frame,
+        frame: &mut ColumnFrame,
         logs: &mut Vec<LogRecord>,
     ) -> Vec<BenchResult> {
         let mut results = Vec::new();
@@ -213,7 +213,7 @@ impl BenchmarkSuite {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hpcmon_metrics::{MetricRegistry, Ts};
+    use hpcmon_metrics::{Frame, MetricRegistry, Ts};
     use hpcmon_sim::{AppProfile, FaultKind, JobSpec, SimConfig, SimEngine};
 
     fn metrics() -> StdMetrics {
@@ -224,10 +224,10 @@ mod tests {
         engine: &SimEngine,
         suite: &mut BenchmarkSuite,
     ) -> (Frame, Vec<LogRecord>, Vec<BenchResult>) {
-        let mut frame = Frame::new(engine.now());
+        let mut cf = ColumnFrame::new(engine.now());
         let mut logs = Vec::new();
-        let results = suite.run(engine, &mut frame, &mut logs);
-        (frame, logs, results)
+        let results = suite.run(engine, &mut cf, &mut logs);
+        (cf.to_frame(), logs, results)
     }
 
     #[test]

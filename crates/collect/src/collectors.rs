@@ -1,21 +1,27 @@
 //! Passive subsystem collectors.
 //!
 //! Each collector samples one subsystem's observables into the shared
-//! synchronized [`Frame`].  All of them are pure reads of the engine's
-//! observation API — the monitoring stack cannot perturb the machine,
-//! which is the "lowest possible overhead" requirement from Table I made
-//! literal.
+//! synchronized columnar frame ([`ColumnFrame`]).  All of them are pure
+//! reads of the engine's observation API — the monitoring stack cannot
+//! perturb the machine, which is the "lowest possible overhead"
+//! requirement from Table I made literal.
 
 use crate::registry::StdMetrics;
-use hpcmon_metrics::{CompId, Frame};
+use hpcmon_metrics::{ColumnFrame, CompId, Mutability};
 use hpcmon_sim::SimEngine;
 
 /// One data source that contributes samples to a synchronized frame.
 pub trait Collector: Send {
     /// Stable name (used as the transport topic suffix).
     fn name(&self) -> &str;
-    /// Append this tick's samples to `frame`.
-    fn collect(&mut self, engine: &SimEngine, frame: &mut Frame);
+    /// Append this tick's samples to the columnar `frame`.
+    fn collect(&mut self, engine: &SimEngine, frame: &mut ColumnFrame);
+    /// How this collector's frame segment evolves tick to tick (the
+    /// murk-style Static/PerTick/Sparse split).  A hint for consumers;
+    /// does not change storage.
+    fn mutability(&self) -> Mutability {
+        Mutability::PerTick
+    }
     /// Internal RNG state, for flight-recorder checkpoints (`None` for the
     /// common stateless collector; probes with measurement noise override).
     fn rng_state(&self) -> Option<u64> {
@@ -43,7 +49,11 @@ impl Collector for NodeCollector {
         "node"
     }
 
-    fn collect(&mut self, engine: &SimEngine, frame: &mut Frame) {
+    fn mutability(&self) -> Mutability {
+        Mutability::Static // key set fixed by node count; only values change
+    }
+
+    fn collect(&mut self, engine: &SimEngine, frame: &mut ColumnFrame) {
         let m = &self.metrics;
         for n in 0..engine.num_nodes() {
             let node = engine.node(n);
@@ -74,7 +84,11 @@ impl Collector for PowerCollector {
         "power"
     }
 
-    fn collect(&mut self, engine: &SimEngine, frame: &mut Frame) {
+    fn mutability(&self) -> Mutability {
+        Mutability::Static // nodes + cabinets + system: topology-fixed keys
+    }
+
+    fn collect(&mut self, engine: &SimEngine, frame: &mut ColumnFrame) {
         let m = &self.metrics;
         let topo = engine.topology();
         let mut cabinets = vec![0.0f64; topo.num_cabinets() as usize];
@@ -118,7 +132,11 @@ impl Collector for NetworkCollector {
         "hsn"
     }
 
-    fn collect(&mut self, engine: &SimEngine, frame: &mut Frame) {
+    fn mutability(&self) -> Mutability {
+        Mutability::Static // link + node key set fixed by the fabric
+    }
+
+    fn collect(&mut self, engine: &SimEngine, frame: &mut ColumnFrame) {
         let m = &self.metrics;
         let net = engine.network();
         let links = net.num_links() as u32;
@@ -155,7 +173,11 @@ impl Collector for FsCollector {
         "fs"
     }
 
-    fn collect(&mut self, engine: &SimEngine, frame: &mut Frame) {
+    fn mutability(&self) -> Mutability {
+        Mutability::Sparse // per-node read attribution follows job activity
+    }
+
+    fn collect(&mut self, engine: &SimEngine, frame: &mut ColumnFrame) {
         let m = &self.metrics;
         let fs = engine.filesystem();
         let dt_s = engine.tick_ms() as f64 / 1_000.0;
@@ -203,7 +225,11 @@ impl Collector for EnvCollector {
         "env"
     }
 
-    fn collect(&mut self, engine: &SimEngine, frame: &mut Frame) {
+    fn mutability(&self) -> Mutability {
+        Mutability::Static // one room, four fixed sensors
+    }
+
+    fn collect(&mut self, engine: &SimEngine, frame: &mut ColumnFrame) {
         let m = &self.metrics;
         let env = engine.environment();
         let comp = CompId::ENVIRONMENT;
@@ -231,7 +257,11 @@ impl Collector for QueueCollector {
         "sched"
     }
 
-    fn collect(&mut self, engine: &SimEngine, frame: &mut Frame) {
+    fn mutability(&self) -> Mutability {
+        Mutability::Static // four system-wide gauges
+    }
+
+    fn collect(&mut self, engine: &SimEngine, frame: &mut ColumnFrame) {
         let m = &self.metrics;
         let sched = engine.scheduler();
         frame.push(m.queue_depth, CompId::SYSTEM, sched.queue_depth_at(engine.now()) as f64);
@@ -258,7 +288,7 @@ impl Collector for GpuHealthCollector {
         "gpu"
     }
 
-    fn collect(&mut self, engine: &SimEngine, frame: &mut Frame) {
+    fn collect(&mut self, engine: &SimEngine, frame: &mut ColumnFrame) {
         let m = &self.metrics;
         for n in 0..engine.num_nodes() {
             let node = engine.node(n);
@@ -290,7 +320,7 @@ impl Collector for BbCollector {
         "bb"
     }
 
-    fn collect(&mut self, engine: &SimEngine, frame: &mut Frame) {
+    fn collect(&mut self, engine: &SimEngine, frame: &mut ColumnFrame) {
         let Some(bb) = engine.burst_buffer() else {
             return;
         };
@@ -324,7 +354,7 @@ pub fn standard_collectors(metrics: StdMetrics) -> Vec<Box<dyn Collector>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hpcmon_metrics::{MetricRegistry, Ts};
+    use hpcmon_metrics::{Frame, MetricRegistry, Ts};
     use hpcmon_sim::{AppProfile, JobSpec, SimConfig, SimEngine};
 
     fn setup() -> (SimEngine, StdMetrics) {
@@ -343,9 +373,9 @@ mod tests {
     }
 
     fn collect_one(c: &mut dyn Collector, engine: &SimEngine) -> Frame {
-        let mut frame = Frame::new(engine.now());
-        c.collect(engine, &mut frame);
-        frame
+        let mut cf = ColumnFrame::new(engine.now());
+        c.collect(engine, &mut cf);
+        cf.to_frame()
     }
 
     #[test]
@@ -446,11 +476,21 @@ mod tests {
     #[test]
     fn frame_timestamps_are_synchronized() {
         let (engine, m) = setup();
-        let mut frame = Frame::new(engine.now());
+        let mut frame = ColumnFrame::new(engine.now());
         for c in &mut standard_collectors(m) {
             c.collect(&engine, &mut frame);
         }
-        assert!(frame.samples.iter().all(|s| s.ts == engine.now()));
+        assert!(frame.iter().all(|s| s.ts == engine.now()));
         assert!(frame.len() > 500, "full sweep is rich: {}", frame.len());
+    }
+
+    #[test]
+    fn mutability_classes_are_declared() {
+        let (_, m) = setup();
+        let set = standard_collectors(m);
+        let classes: Vec<Mutability> = set.iter().map(|c| c.mutability()).collect();
+        assert!(classes.contains(&Mutability::Static));
+        assert!(classes.contains(&Mutability::Sparse));
+        assert!(classes.contains(&Mutability::PerTick));
     }
 }

@@ -10,7 +10,7 @@
 
 use crate::collectors::Collector;
 use crate::registry::StdMetrics;
-use hpcmon_metrics::{CompId, Frame};
+use hpcmon_metrics::{ColumnFrame, CompId};
 use hpcmon_sim::{Rng, SimEngine};
 
 /// Distributed filesystem latency probe.
@@ -41,7 +41,7 @@ impl Collector for FsProbe {
         self.rng = Rng::from_state(state);
     }
 
-    fn collect(&mut self, engine: &SimEngine, frame: &mut Frame) {
+    fn collect(&mut self, engine: &SimEngine, frame: &mut ColumnFrame) {
         let fs = engine.filesystem();
         for o in 0..fs.num_osts() {
             let true_latency = fs.ost_latency_ms(o);
@@ -88,7 +88,7 @@ impl Collector for NetworkProbe {
         "net_probe"
     }
 
-    fn collect(&mut self, engine: &SimEngine, frame: &mut Frame) {
+    fn collect(&mut self, engine: &SimEngine, frame: &mut ColumnFrame) {
         for &(src, dst) in &self.pairs {
             let max_util = engine.probe_route_max_utilization(src, dst);
             // A probe transfer through a link at utilization u gets the
@@ -103,7 +103,7 @@ impl Collector for NetworkProbe {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hpcmon_metrics::{MetricRegistry, Ts};
+    use hpcmon_metrics::{Frame, MetricRegistry, Ts};
     use hpcmon_sim::{AppProfile, FaultKind, JobSpec, SimConfig, SimEngine};
 
     fn metrics() -> StdMetrics {
@@ -111,9 +111,9 @@ mod tests {
     }
 
     fn collect_one(c: &mut dyn Collector, engine: &SimEngine) -> Frame {
-        let mut frame = Frame::new(engine.now());
-        c.collect(engine, &mut frame);
-        frame
+        let mut cf = ColumnFrame::new(engine.now());
+        c.collect(engine, &mut cf);
+        cf.to_frame()
     }
 
     #[test]

@@ -21,7 +21,7 @@
 //! formatting, no hashing, and no registry locking.
 
 use crate::collectors::Collector;
-use hpcmon_metrics::{CompId, Frame, MetricId, MetricRegistry, Unit};
+use hpcmon_metrics::{ColumnFrame, CompId, MetricId, MetricRegistry, Unit};
 use hpcmon_sim::SimEngine;
 use hpcmon_store::TimeSeriesStore;
 use hpcmon_telemetry::Telemetry;
@@ -74,7 +74,11 @@ fn sanitize(part: &str) -> String {
 }
 
 /// Emit per-tick deltas for a fixed bank of counter series.
-fn push_deltas<const N: usize>(frame: &mut Frame, slots: &mut [DeltaSlot; N], totals: [u64; N]) {
+fn push_deltas<const N: usize>(
+    frame: &mut ColumnFrame,
+    slots: &mut [DeltaSlot; N],
+    totals: [u64; N],
+) {
     for (slot, total) in slots.iter_mut().zip(totals) {
         let d = total.saturating_sub(slot.1);
         slot.1 = total;
@@ -158,7 +162,7 @@ impl Collector for SelfCollector {
         "self"
     }
 
-    fn collect(&mut self, engine: &SimEngine, frame: &mut Frame) {
+    fn collect(&mut self, engine: &SimEngine, frame: &mut ColumnFrame) {
         // 0. Identity and liveness: a monotone uptime (so a restart is
         //    visible as a reset, per the paper's "monitor the monitor")
         //    and a constant build stamp dashboards can join against.
@@ -284,6 +288,7 @@ impl Collector for SelfCollector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use hpcmon_metrics::Frame;
     use hpcmon_sim::SimConfig;
     use hpcmon_transport::{Payload, TopicFilter};
 
@@ -303,17 +308,17 @@ mod tests {
 
         telemetry.counter("collect.samples.node").add(10);
         telemetry.gauge("queue.depth").set(3.0);
-        let mut f1 = Frame::new(hpcmon_metrics::Ts::ZERO);
+        let mut f1 = ColumnFrame::new(hpcmon_metrics::Ts::ZERO);
         sc.collect(&engine, &mut f1);
         let counter_id = registry.lookup("hpcmon.self.collect.samples.node").unwrap();
         let gauge_id = registry.lookup("hpcmon.self.queue.depth").unwrap();
-        let val = |f: &Frame, id| f.samples.iter().find(|s| s.key.metric == id).unwrap().value;
+        let val = |f: &ColumnFrame, id| f.iter().find(|s| s.key.metric == id).unwrap().value;
         assert_eq!(val(&f1, counter_id), 10.0, "first tick delta is the total");
         assert_eq!(val(&f1, gauge_id), 3.0);
 
         // Next tick: counter advanced by 4, gauge holds its level.
         telemetry.counter("collect.samples.node").add(4);
-        let mut f2 = Frame::new(hpcmon_metrics::Ts::ZERO);
+        let mut f2 = ColumnFrame::new(hpcmon_metrics::Ts::ZERO);
         sc.collect(&engine, &mut f2);
         assert_eq!(val(&f2, counter_id), 4.0, "delta, not total");
         assert_eq!(val(&f2, gauge_id), 3.0);
@@ -330,16 +335,16 @@ mod tests {
         let mut sc =
             SelfCollector::new(telemetry.clone(), broker.clone(), store.clone(), registry.clone());
         telemetry.counter("a").add(1);
-        let mut f1 = Frame::new(hpcmon_metrics::Ts::ZERO);
+        let mut f1 = ColumnFrame::new(hpcmon_metrics::Ts::ZERO);
         sc.collect(&engine(), &mut f1);
         // A second counter registers between ticks.
         telemetry.counter("a").add(2);
         telemetry.counter("b").add(7);
-        let mut f2 = Frame::new(hpcmon_metrics::Ts::ZERO);
+        let mut f2 = ColumnFrame::new(hpcmon_metrics::Ts::ZERO);
         sc.collect(&engine(), &mut f2);
-        let val = |f: &Frame, name: &str| {
+        let val = |f: &ColumnFrame, name: &str| {
             let id = registry.lookup(name).unwrap_or_else(|| panic!("missing {name}"));
-            f.samples.iter().find(|s| s.key.metric == id).unwrap().value
+            f.iter().find(|s| s.key.metric == id).unwrap().value
         };
         assert_eq!(val(&f2, "hpcmon.self.a"), 2.0, "existing slot still a delta");
         assert_eq!(val(&f2, "hpcmon.self.b"), 7.0, "new instrument picked up");
@@ -355,11 +360,11 @@ mod tests {
         let mut engine = engine();
         engine.step();
         engine.step();
-        let mut frame = Frame::new(hpcmon_metrics::Ts::ZERO);
+        let mut frame = ColumnFrame::new(hpcmon_metrics::Ts::ZERO);
         sc.collect(&engine, &mut frame);
         let val = |name: &str| {
             let id = registry.lookup(name).unwrap_or_else(|| panic!("missing {name}"));
-            frame.samples.iter().find(|s| s.key.metric == id).unwrap().value
+            frame.iter().find(|s| s.key.metric == id).unwrap().value
         };
         assert_eq!(val("hpcmon.self.uptime_ticks"), 2.0);
         // 0.1.0 → 0*10000 + 1*100 + 0.
@@ -386,11 +391,11 @@ mod tests {
             hpcmon_metrics::Ts::ZERO,
             1.0,
         ));
-        let mut frame = Frame::new(hpcmon_metrics::Ts::ZERO);
+        let mut frame = ColumnFrame::new(hpcmon_metrics::Ts::ZERO);
         sc.collect(&engine(), &mut frame);
         let val = |name: &str| {
             let id = registry.lookup(name).unwrap_or_else(|| panic!("missing {name}"));
-            frame.samples.iter().find(|s| s.key.metric == id).unwrap().value
+            frame.iter().find(|s| s.key.metric == id).unwrap().value
         };
         assert_eq!(val("hpcmon.self.transport.published"), 1.0);
         assert_eq!(val("hpcmon.self.transport.decode_errors"), 0.0);
@@ -420,11 +425,11 @@ mod tests {
                 Payload::Frame(Arc::new(Frame::new(hpcmon_metrics::Ts::ZERO))),
             );
         }
-        let mut frame = Frame::new(hpcmon_metrics::Ts::ZERO);
+        let mut frame = ColumnFrame::new(hpcmon_metrics::Ts::ZERO);
         sc.collect(&engine(), &mut frame);
         let val = |name: &str| {
             let id = registry.lookup(name).unwrap_or_else(|| panic!("missing {name}"));
-            frame.samples.iter().find(|s| s.key.metric == id).unwrap().value
+            frame.iter().find(|s| s.key.metric == id).unwrap().value
         };
         let base = "hpcmon.self.transport.topic.metrics.frame";
         assert_eq!(val(&format!("{base}.published")), 4.0);

@@ -26,13 +26,14 @@ use hpcmon_health::{
     Subsystem as HealthSubsystem,
 };
 use hpcmon_metrics::{
-    CompId, CompKind, Frame, FrameCoverage, JobId, LogRecord, MetricRegistry, Severity, Ts,
+    ColumnFrame, CompId, CompKind, Frame, FrameArena, FrameCoverage, JobId, LogRecord,
+    MetricRegistry, Severity, Ts,
 };
 use hpcmon_response::{
     AccessPolicy, Action, ActionTaken, ResponseEngine, ResponseRule, Signal, SignalKind,
 };
 use hpcmon_sim::{FaultKind, JobSpec, SimConfig, SimEngine};
-use hpcmon_store::{Archive, LogStore, QueryEngine, RetentionPolicy, TimeSeriesStore};
+use hpcmon_store::{Archive, IngestRoute, LogStore, QueryEngine, RetentionPolicy, TimeSeriesStore};
 use hpcmon_telemetry::{
     BusyTimer, Counter, Gauge, Histogram, StageTimer, Telemetry, TelemetryReport,
 };
@@ -334,6 +335,8 @@ impl MonitorBuilder {
             ever_contributed,
             last_coverage: None,
             last_frame: None,
+            arena: FrameArena::new(),
+            route: IngestRoute::new(),
             hashing: false,
             last_state_hash: None,
             replay_hash_gauge: None,
@@ -608,7 +611,7 @@ pub struct MonitoringSystem {
     health_broker_baseline: (u64, u64),
     chaos: Option<ChaosEngine>,
     supervisor: CollectorSupervisor,
-    breaker: IngestBreaker<(Arc<Frame>, Option<TraceContext>)>,
+    breaker: IngestBreaker<(Payload, Option<TraceContext>)>,
     stall_buffer: Vec<(String, Payload, Option<TraceContext>)>,
     ever_contributed: Vec<bool>,
     last_coverage: Option<FrameCoverage>,
@@ -618,7 +621,15 @@ pub struct MonitoringSystem {
     // The most recent frame published on the broker, for federation
     // rollups: a `Federation` reads it after each lockstep tick to build
     // the site's O(1)-series rollup without re-querying the store.
-    last_frame: Option<Arc<Frame>>,
+    last_frame: Option<Arc<ColumnFrame>>,
+    // Ping-pong frame buffers (DESIGN.md §14): each tick takes the slot
+    // the consumers of two ticks ago have released and refills it, so the
+    // steady-state hot path allocates nothing.
+    arena: FrameArena,
+    // Cached columnar ingest route — key column -> shard/slot — valid
+    // while the frame's key set and the store's slab layout are stable,
+    // which in steady state is every tick.
+    route: IngestRoute,
     hashing: bool,
     last_state_hash: Option<TickStateHash>,
     replay_hash_gauge: Option<Arc<Gauge>>,
@@ -691,7 +702,10 @@ impl MonitoringSystem {
         //    machine config never arm an expectation.
         let collect_timer = StageTimer::new(self.instruments.stage_collect.clone()).with_tag(tag);
         let collect_span = stage_ctx.as_ref().map(|c| tracer.span(c, Stage::Collect));
-        let mut frame = Frame::new(now);
+        // Reuse the column buffers the consumers of two ticks ago released
+        // (ping-pong): in steady state this is a clear-and-refill, not an
+        // allocation.
+        let mut frame = self.arena.take_current(now);
         let mut contributed = vec![0usize; self.collectors.len()];
         if self.supervision {
             self.collect_supervised(now, &mut frame, &mut contributed);
@@ -709,8 +723,8 @@ impl MonitoringSystem {
                     let insts = &self.instruments.collectors;
                     let jobs = &self.instruments.parallel_jobs;
                     let busy = &self.instruments.busy_collect;
-                    let mut parts: Vec<Frame> =
-                        (0..self.collectors.len()).map(|_| Frame::new(now)).collect();
+                    let mut parts: Vec<ColumnFrame> =
+                        (0..self.collectors.len()).map(|_| ColumnFrame::new(now)).collect();
                     pool.scope(|sc| {
                         for ((c, part), inst) in
                             self.collectors.iter_mut().zip(parts.iter_mut()).zip(insts)
@@ -739,7 +753,7 @@ impl MonitoringSystem {
                             inst.samples.add(contributed[i] as u64);
                         } else {
                             contributed[i] = part.len();
-                            frame.samples.append(&mut part.samples);
+                            frame.append(part);
                         }
                     }
                 }
@@ -814,9 +828,12 @@ impl MonitoringSystem {
         let transport_span = stage_ctx.as_ref().map(|c| tracer.span(c, Stage::Transport));
         let envelope_ctx = transport_span.as_ref().map(|g| g.context()).or(trace_ctx);
         let frame_topic = topics::metrics("frame");
-        let frame_arc = Arc::new(frame.clone());
-        self.last_frame = Some(frame_arc.clone());
-        let frame_payload = Payload::Frame(frame_arc);
+        // Epoch swap, not copy: the arena wraps the finished columns in an
+        // `Arc` and every consumer (broker, store, federation, this tick's
+        // analysis below) shares the same buffers.
+        let frame = self.arena.publish(frame);
+        self.last_frame = Some(Arc::clone(&frame));
+        let frame_payload = Payload::Columns(Arc::clone(&frame));
         // Frames that went out this tick, for the health plane's
         // transport-delivery feed: 0 while the topic is stalled, backlog+1
         // on the tick a stall clears.
@@ -882,12 +899,19 @@ impl MonitoringSystem {
                 // breaker and frames spill (bounded, drop-oldest with
                 // provenance) until a half-open probe finds the store
                 // healthy again, then the spill drains in arrival order.
-                if let Payload::Frame(f) = &env.payload {
+                // Columnar frames ride the cached route; row frames (spill
+                // replays of analysis results) take the legacy path.
+                if env.payload.frame_len().is_some() {
                     let _busy = BusyTimer::new(self.instruments.busy_store.clone());
                     let store = Arc::clone(&self.store);
+                    let route = &mut self.route;
                     let sub_report =
-                        self.breaker.submit((Arc::clone(f), env.trace), tick_no, |(fr, _)| {
-                            store.try_insert_frame(fr)
+                        self.breaker.submit((env.payload.clone(), env.trace), tick_no, |(p, _)| {
+                            match p {
+                                Payload::Columns(c) => store.try_ingest_columns(c.as_ref(), route),
+                                Payload::Frame(f) => store.try_insert_frame(f),
+                                _ => Ok(()),
+                            }
                         });
                     for (_, ctx) in sub_report.evicted {
                         if let Some(ctx) = ctx {
@@ -900,36 +924,45 @@ impl MonitoringSystem {
                         }
                     }
                 }
-            } else if let Some(f) = env.payload.as_frame() {
+            } else if let Some(cf) = env.payload.as_columns() {
                 match &self.pool {
                     Some(pool) => {
-                        // Shard-batched concurrent ingest: the frame is
-                        // partitioned by owning shard (frame order kept
-                        // within each batch), and shards never share a
-                        // series, so the stored contents are identical to
-                        // serial insertion.
+                        // Shard-routed concurrent ingest: the cached route
+                        // already groups the key column by owning shard
+                        // (frame order kept within each batch), and shards
+                        // never share a series, so the stored contents are
+                        // identical to serial insertion.
                         let store = &self.store;
                         let jobs = &self.instruments.parallel_jobs;
                         let busy = &self.instruments.busy_store;
-                        let batches = store.partition_frame(f);
+                        let route = &mut self.route;
+                        store.prepare_route(cf, route);
+                        let shared: &IngestRoute = route;
                         pool.scope(|sc| {
-                            for (shard, batch) in batches.iter().enumerate() {
-                                if batch.is_empty() {
+                            for shard in 0..store.num_shards() {
+                                if !shared.touches(shard) {
                                     continue;
                                 }
                                 jobs.inc();
+                                let cf = cf.as_ref();
                                 sc.spawn(move || {
                                     let _busy = BusyTimer::new(busy.clone());
-                                    store.insert_shard_batch(shard, batch);
+                                    store.ingest_route_shard(shard, cf, shared);
                                 });
                             }
                         });
+                        store.finish_route(route);
                     }
                     None => {
                         let _busy = BusyTimer::new(self.instruments.busy_store.clone());
-                        self.store.insert_frame(f);
+                        self.store.ingest_columns(cf, &mut self.route);
                     }
                 }
+            } else if let Some(f) = env.payload.as_frame() {
+                // Legacy row frames (nothing in the standard pipeline
+                // publishes these anymore, but gateway consumers may).
+                let _busy = BusyTimer::new(self.instruments.busy_store.clone());
+                self.store.insert_frame(f);
             }
             drop(span);
         }
@@ -985,7 +1018,7 @@ impl MonitoringSystem {
                             let _busy = BusyTimer::new(busy.clone());
                             let started = Instant::now();
                             let mut evals = 0u64;
-                            for s in frame_ref.samples.iter().filter(|s| s.key == att.key) {
+                            for s in frame_ref.iter().filter(|s| s.key == att.key) {
                                 evals += 1;
                                 if let Some(anomaly) = att.detector.observe(s.ts, s.value) {
                                     out.push(Signal::new(
@@ -1012,7 +1045,7 @@ impl MonitoringSystem {
                     let _busy = BusyTimer::new(self.instruments.busy_analysis.clone());
                     let started = Instant::now();
                     let mut evals = 0u64;
-                    for s in frame.samples.iter().filter(|s| s.key == att.key) {
+                    for s in frame.iter().filter(|s| s.key == att.key) {
                         evals += 1;
                         if let Some(anomaly) = att.detector.observe(s.ts, s.value) {
                             signals.push(Signal::new(
@@ -1174,10 +1207,15 @@ impl MonitoringSystem {
             // outputs queue behind earlier spilled data so the store's
             // arrival order survives an outage.
             let store = Arc::clone(&self.store);
+            let route = &mut self.route;
             let sub_report = self.breaker.submit(
-                (Arc::new(results), trace_ctx),
+                (Payload::Frame(Arc::new(results)), trace_ctx),
                 self.engine.tick_count(),
-                |(fr, _)| store.try_insert_frame(fr),
+                |(p, _)| match p {
+                    Payload::Columns(c) => store.try_ingest_columns(c.as_ref(), route),
+                    Payload::Frame(f) => store.try_insert_frame(f),
+                    _ => Ok(()),
+                },
             );
             for (_, ctx) in sub_report.evicted {
                 if let Some(ctx) = ctx {
@@ -1355,7 +1393,7 @@ impl MonitoringSystem {
     /// discarded and their slot quarantined with exponential-backoff
     /// re-probes, the gap handed to the deadman so it surfaces as
     /// `MonitoringGap`, never silence.
-    fn collect_supervised(&mut self, now: Ts, frame: &mut Frame, contributed: &mut [usize]) {
+    fn collect_supervised(&mut self, now: Ts, frame: &mut ColumnFrame, contributed: &mut [usize]) {
         use std::panic::{catch_unwind, AssertUnwindSafe};
         /// What the supervisor decided for one slot this tick.
         #[derive(Clone, Copy)]
@@ -1395,7 +1433,7 @@ impl MonitoringSystem {
         fn run_job(
             c: &mut Box<dyn Collector>,
             engine: &SimEngine,
-            part: &mut Frame,
+            part: &mut ColumnFrame,
             inject_panic: bool,
             latency: &Histogram,
         ) -> bool {
@@ -1415,10 +1453,10 @@ impl MonitoringSystem {
         // directly (same as the unsupervised pipeline) and a failed
         // segment is truncated back off, which keeps the no-fault cost of
         // supervision at one length check per collector.
-        let mut parts: Vec<Frame> = Vec::new();
+        let mut parts: Vec<ColumnFrame> = Vec::new();
         let mut panicked = vec![false; self.collectors.len()];
         if let Some(pool) = &self.pool {
-            parts = (0..self.collectors.len()).map(|_| Frame::new(now)).collect();
+            parts = (0..self.collectors.len()).map(|_| ColumnFrame::new(now)).collect();
             let engine = &self.engine;
             let insts = &self.instruments.collectors;
             let jobs = &self.instruments.parallel_jobs;
@@ -1459,7 +1497,7 @@ impl MonitoringSystem {
                 Plan::Fail => true,
                 Plan::Run { inject_panic, discard } => {
                     if serial || self.collectors[i].name() == "self" {
-                        let before = frame.samples.len();
+                        let before = frame.len();
                         let _busy = BusyTimer::new(self.instruments.busy_collect.clone());
                         let p = run_job(
                             &mut self.collectors[i],
@@ -1469,16 +1507,16 @@ impl MonitoringSystem {
                             &self.instruments.collectors[i].latency,
                         );
                         if p || discard {
-                            frame.samples.truncate(before);
+                            frame.truncate(before);
                         } else {
-                            contributed[i] = frame.samples.len() - before;
+                            contributed[i] = frame.len() - before;
                         }
                         p || discard
                     } else if panicked[i] || discard {
                         true
                     } else {
                         contributed[i] = parts[i].len();
-                        frame.samples.append(&mut parts[i].samples);
+                        frame.append(&mut parts[i]);
                         false
                     }
                 }
@@ -1503,7 +1541,7 @@ impl MonitoringSystem {
     /// the built-in analyses behave exactly as before unless a supervised
     /// collector is *known* to have missed this tick — then they skip the
     /// segment instead of reading absence as zero.
-    fn segment_covered(&self, frame: &Frame, name: &str) -> bool {
+    fn segment_covered(&self, frame: &ColumnFrame, name: &str) -> bool {
         match &frame.coverage {
             Some(cov) => {
                 self.collectors.iter().position(|c| c.name() == name).is_none_or(|i| cov.covered(i))
@@ -1697,7 +1735,7 @@ impl MonitoringSystem {
 
     /// The frame the most recent tick published, if any tick has run.
     /// Federation rollups read this instead of re-querying the store.
-    pub fn last_frame(&self) -> Option<&Arc<Frame>> {
+    pub fn last_frame(&self) -> Option<&Arc<ColumnFrame>> {
         self.last_frame.as_ref()
     }
 
@@ -2081,7 +2119,7 @@ mod tests {
             fn name(&self) -> &str {
                 "late-feed"
             }
-            fn collect(&mut self, engine: &SimEngine, frame: &mut Frame) {
+            fn collect(&mut self, engine: &SimEngine, frame: &mut ColumnFrame) {
                 // Silent on ticks 1-2, alive on 3-6, then dead.
                 if (3..=6).contains(&engine.tick_count()) {
                     frame.push(self.id, CompId::SYSTEM, 1.0);

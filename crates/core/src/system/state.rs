@@ -38,13 +38,12 @@ use hpcmon_chaos::{
 };
 use hpcmon_gateway::{GatewaySnapshot, QueryRequest};
 use hpcmon_health::HealthSnapshot;
-use hpcmon_metrics::{Frame, FrameCoverage, MetricId, StateHash, Ts};
+use hpcmon_metrics::{ColumnFrame, FrameCoverage, MetricId, StateHash, Ts};
 use hpcmon_response::{Consumer, ResponseSnapshot};
 use hpcmon_sim::{FaultKind, JobSpec, SimEngine, SimSnapshot};
 use hpcmon_store::StoreSnapshot;
 use hpcmon_transport::Payload;
 use serde::{Deserialize, Serialize, Value};
-use std::sync::Arc;
 
 /// Every external input one tick can receive.  A tick driven from an
 /// empty `TickInputs` is fully determined by the system's current state.
@@ -169,8 +168,11 @@ pub struct CoreSnapshot {
     chaos: Option<ChaosSnapshot>,
     supervisor: SupervisorSnapshot,
     breaker: BreakerSnapshot,
-    breaker_frames: Vec<Frame>,
-    stalled: Vec<(String, Frame)>,
+    // Payloads, not frames: the breaker carries columnar raw frames and
+    // row-form analysis results side by side, and the snapshot must keep
+    // the spill's arrival order across both forms.
+    breaker_frames: Vec<Payload>,
+    stalled: Vec<(String, Payload)>,
     response: ResponseSnapshot,
     correlator: CorrelatorSnapshot,
     novelty: NoveltyDetector,
@@ -265,12 +267,8 @@ impl MonitoringSystem {
             // Spilled frames are checkpointed without their trace
             // contexts: traces are observability, not state, and replay
             // re-stamps its own.
-            breaker_frames: self.breaker.spill_items().map(|(f, _)| (**f).clone()).collect(),
-            stalled: self
-                .stall_buffer
-                .iter()
-                .filter_map(|(t, p, _)| p.as_frame().map(|f| (t.clone(), f.clone())))
-                .collect(),
+            breaker_frames: self.breaker.spill_items().map(|(p, _)| p.clone()).collect(),
+            stalled: self.stall_buffer.iter().map(|(t, p, _)| (t.clone(), p.clone())).collect(),
             response: self.response.snapshot(),
             correlator: self.correlator.snapshot(),
             novelty: self.novelty.clone(),
@@ -310,10 +308,9 @@ impl MonitoringSystem {
         self.supervisor = CollectorSupervisor::restore(snap.supervisor);
         self.breaker = IngestBreaker::restore(
             snap.breaker,
-            snap.breaker_frames.into_iter().map(|f| (Arc::new(f), None)).collect(),
+            snap.breaker_frames.into_iter().map(|p| (p, None)).collect(),
         );
-        self.stall_buffer =
-            snap.stalled.into_iter().map(|(t, f)| (t, Payload::Frame(Arc::new(f)), None)).collect();
+        self.stall_buffer = snap.stalled.into_iter().map(|(t, p)| (t, p, None)).collect();
         self.response.restore(snap.response);
         self.correlator.restore(snap.correlator);
         self.novelty = snap.novelty;
@@ -350,7 +347,7 @@ impl MonitoringSystem {
     }
 
     /// End-of-tick hashing hook, called from `tick()` when hashing is on.
-    pub(super) fn finish_tick_hash(&mut self, frame: &Frame) {
+    pub(super) fn finish_tick_hash(&mut self, frame: &ColumnFrame) {
         let hash = self.compute_state_hash(frame);
         if let Some(g) = &self.replay_hash_gauge {
             // Lossy (f64) for the self feed; the event log keeps the
@@ -360,7 +357,7 @@ impl MonitoringSystem {
         self.last_state_hash = Some(hash);
     }
 
-    fn compute_state_hash(&mut self, frame: &Frame) -> TickStateHash {
+    fn compute_state_hash(&mut self, frame: &ColumnFrame) -> TickStateHash {
         let tick = self.engine.tick_count();
         let sim = self.engine.state_digest();
         let store = self.store.state_digest();
@@ -370,19 +367,20 @@ impl MonitoringSystem {
         let mut fh = StateHash::new(0xF7);
         fh.u64(frame.ts.0);
         let mut hashed = 0usize;
-        for s in &frame.samples {
-            if flags.get(s.key.metric.0 as usize).copied().unwrap_or(false) {
+        for ((key, stamp), &value) in frame.keys.iter().zip(&frame.stamps).zip(&frame.values) {
+            if flags.get(key.metric.0 as usize).copied().unwrap_or(false) {
                 continue;
             }
             hashed += 1;
             // Series key packed into one word (metric ids are dense and
             // small, component kinds are a u8, indices fit 32 bits) —
             // this loop runs over ~10^5 samples per tick on large
-            // machines, so fewer absorbs is measurable.
-            let key = ((s.key.metric.0 as u64) << 40)
-                | ((s.key.comp.kind as u64) << 32)
-                | s.key.comp.index as u64;
-            fh.u64(key).u64(s.ts.0).f64(s.value);
+            // machines, so fewer absorbs is measurable.  Walking the
+            // columns directly keeps it branch-light and cache-friendly.
+            let packed = ((key.metric.0 as u64) << 40)
+                | ((key.comp.kind as u64) << 32)
+                | key.comp.index as u64;
+            fh.u64(packed).u64(stamp.0).f64(value);
         }
         fh.usize(hashed);
         let frame_h = fh.finish();

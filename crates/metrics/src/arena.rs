@@ -1,0 +1,402 @@
+//! Columnar, arena-backed frames: the allocation-free collection hot path.
+//!
+//! The paper's central scaling lesson is that per-sample overhead in the
+//! collection/ingest path is what caps fleet size.  A [`crate::Frame`]
+//! stores one 32-byte `Sample` struct per observation (AoS); at 100k nodes
+//! × several metrics that is millions of tiny writes per tick, plus a full
+//! `Vec` clone when the frame is handed to transport.
+//!
+//! [`ColumnFrame`] stores the same data as three parallel columns
+//! (structure-of-arrays): series keys, timestamps, and values.  Collectors
+//! append into the columns once per tick; the finished frame is handed to
+//! transport and the store by **epoch swap** — the owning buffer moves into
+//! an `Arc` and a [`FrameArena`] keeps the previous tick's buffer around so
+//! the next tick can reclaim its capacity instead of allocating.  In steady
+//! state the hot path performs *zero* heap allocations per tick.
+//!
+//! [`Mutability`] carries the murk-style update-class hint (static /
+//! per-tick / sparse) that lets downstream consumers reason about how much
+//! of a collector's segment actually changes tick to tick.
+
+use crate::sample::{Frame, FrameCoverage, Sample, SeriesKey};
+use crate::{CompId, MetricId, Ts};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// How a collector's segment of the frame evolves across ticks.
+///
+/// Borrowed from murk's Static/PerTick/Sparse mutability split: the class
+/// does not change *how* samples are stored, but tells consumers (and
+/// future delta-encoding transports) how much of the segment is expected to
+/// differ from the previous tick.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Mutability {
+    /// The segment's key set is fixed after the first tick; only values
+    /// change (e.g. per-node power, temperature).
+    Static,
+    /// Every value is rewritten every tick and the key set may drift
+    /// slowly (the default class).
+    PerTick,
+    /// Most ticks touch only a small, varying subset of keys (e.g.
+    /// filesystem probes that only report on activity).
+    Sparse,
+}
+
+/// A synchronized collection frame in columnar (SoA) form.
+///
+/// Semantically identical to [`Frame`] — same samples, same order — but
+/// keys, timestamps, and values live in three parallel `Vec`s so a tick's
+/// worth of appends touches three dense arrays instead of one array of
+/// 32-byte structs, and capacity can be recycled tick over tick by a
+/// [`FrameArena`].
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ColumnFrame {
+    /// The aligned tick this frame belongs to.
+    pub ts: Ts,
+    /// Series identity of each sample, in append order.
+    pub keys: Vec<SeriesKey>,
+    /// Collector-side timestamp of each sample (parallel to `keys`).
+    pub stamps: Vec<Ts>,
+    /// Observed value of each sample (parallel to `keys`).
+    pub values: Vec<f64>,
+    /// Which collectors contributed (`None` until the supervised pipeline
+    /// stamps coverage).
+    pub coverage: Option<FrameCoverage>,
+}
+
+impl ColumnFrame {
+    /// An empty columnar frame at `ts`.
+    pub fn new(ts: Ts) -> ColumnFrame {
+        ColumnFrame { ts, ..ColumnFrame::default() }
+    }
+
+    /// Append a sample, stamping it with the frame's tick.
+    #[inline]
+    pub fn push(&mut self, metric: MetricId, comp: CompId, value: f64) {
+        self.keys.push(SeriesKey::new(metric, comp));
+        self.stamps.push(self.ts);
+        self.values.push(value);
+    }
+
+    /// Append an already-built sample, preserving its own timestamp.
+    #[inline]
+    pub fn push_sample(&mut self, s: Sample) {
+        self.keys.push(s.key);
+        self.stamps.push(s.ts);
+        self.values.push(s.value);
+    }
+
+    /// Number of samples in the frame.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the frame holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The sample at position `i` (by value — samples are 32-byte `Copy`).
+    #[inline]
+    pub fn get(&self, i: usize) -> Sample {
+        Sample { key: self.keys[i], ts: self.stamps[i], value: self.values[i] }
+    }
+
+    /// Iterate all samples by value, in append order (zero-allocation).
+    pub fn iter(&self) -> impl Iterator<Item = Sample> + '_ {
+        self.keys.iter().zip(&self.stamps).zip(&self.values).map(|((&key, &ts), &value)| Sample {
+            key,
+            ts,
+            value,
+        })
+    }
+
+    /// Iterate samples of one metric, by value.
+    pub fn of_metric(&self, metric: MetricId) -> impl Iterator<Item = Sample> + '_ {
+        self.iter().filter(move |s| s.key.metric == metric)
+    }
+
+    /// Sum of values for one metric across all components in the frame.
+    pub fn sum_of(&self, metric: MetricId) -> f64 {
+        self.of_metric(metric).map(|s| s.value).sum()
+    }
+
+    /// Mean of values for one metric, or `None` if absent.
+    pub fn mean_of(&self, metric: MetricId) -> Option<f64> {
+        let mut n = 0usize;
+        let mut sum = 0.0;
+        for s in self.of_metric(metric) {
+            n += 1;
+            sum += s.value;
+        }
+        if n == 0 {
+            None
+        } else {
+            Some(sum / n as f64)
+        }
+    }
+
+    /// Truncate to the first `n` samples (the supervised pipeline's discard
+    /// of a failed collector's partial segment).
+    pub fn truncate(&mut self, n: usize) {
+        self.keys.truncate(n);
+        self.stamps.truncate(n);
+        self.values.truncate(n);
+    }
+
+    /// Move every sample of `other` onto the end of this frame, column by
+    /// column (the parallel pipeline's merge step).  `other` is left empty
+    /// with its capacity intact.
+    pub fn append(&mut self, other: &mut ColumnFrame) {
+        self.keys.append(&mut other.keys);
+        self.stamps.append(&mut other.stamps);
+        self.values.append(&mut other.values);
+    }
+
+    /// Reset for a new tick, retaining column capacity — the arena's
+    /// reclamation step that makes the steady-state path allocation-free.
+    pub fn clear_for_tick(&mut self, ts: Ts) {
+        self.ts = ts;
+        self.keys.clear();
+        self.stamps.clear();
+        self.values.clear();
+        self.coverage = None;
+    }
+
+    /// The legacy row-oriented view: an equivalent [`Frame`] with samples
+    /// in identical order.  Compatibility bridge while consumers migrate.
+    pub fn to_frame(&self) -> Frame {
+        Frame { ts: self.ts, samples: self.iter().collect(), coverage: self.coverage }
+    }
+
+    /// Build a columnar frame from a legacy [`Frame`], preserving order.
+    pub fn from_frame(frame: &Frame) -> ColumnFrame {
+        let mut cf = ColumnFrame::new(frame.ts);
+        cf.coverage = frame.coverage;
+        cf.keys.reserve_exact(frame.samples.len());
+        cf.stamps.reserve_exact(frame.samples.len());
+        cf.values.reserve_exact(frame.samples.len());
+        for s in &frame.samples {
+            cf.push_sample(*s);
+        }
+        cf
+    }
+}
+
+/// Ping-pong double-buffered arena for per-tick [`ColumnFrame`]s.
+///
+/// Two slots alternate as the publish target.  Each tick the pipeline
+/// [`FrameArena::take_current`]s an owned buffer (reclaiming the slot used
+/// two ticks ago when all downstream holders have dropped it), collectors
+/// fill it in place, and [`FrameArena::publish`] moves it into an `Arc`
+/// that transport, the store, and analysis share **without copying** —
+/// the epoch swap that replaces the old `Arc::new(frame.clone())`.
+///
+/// By the time a slot comes around again its consumers (transport envelope,
+/// store ingest, detectors) have finished with the previous occupant, so
+/// `Arc::try_unwrap` recovers the buffer and its column capacity.  The
+/// fallback — someone still holds the frame — allocates fresh and is
+/// counted in [`FrameArena::fresh_allocs`].
+#[derive(Debug, Default)]
+pub struct FrameArena {
+    slots: [Option<Arc<ColumnFrame>>; 2],
+    live: usize,
+    fresh_allocs: u64,
+    reuses: u64,
+}
+
+impl FrameArena {
+    /// An empty arena: the first two ticks allocate, every tick after
+    /// reuses in steady state.
+    pub fn new() -> FrameArena {
+        FrameArena::default()
+    }
+
+    /// Begin a tick: return an owned, empty frame stamped `ts`, reusing
+    /// the buffer published two ticks ago when it is no longer shared.
+    pub fn take_current(&mut self, ts: Ts) -> ColumnFrame {
+        self.live ^= 1;
+        match self.slots[self.live].take().and_then(|a| Arc::try_unwrap(a).ok()) {
+            Some(mut cf) => {
+                self.reuses += 1;
+                cf.clear_for_tick(ts);
+                cf
+            }
+            None => {
+                self.fresh_allocs += 1;
+                ColumnFrame::new(ts)
+            }
+        }
+    }
+
+    /// Finish a tick: move the filled frame into the live slot and hand
+    /// back a shared handle.  No sample data is copied.
+    pub fn publish(&mut self, frame: ColumnFrame) -> Arc<ColumnFrame> {
+        let arc = Arc::new(frame);
+        self.slots[self.live] = Some(Arc::clone(&arc));
+        arc
+    }
+
+    /// Times `take_current` had to allocate a fresh buffer (the first two
+    /// ticks, plus any tick where a downstream consumer still held the
+    /// two-ticks-ago frame).  Flat in steady state.
+    pub fn fresh_allocs(&self) -> u64 {
+        self.fresh_allocs
+    }
+
+    /// Times `take_current` reclaimed a previous buffer's capacity.
+    pub fn reuses(&self) -> u64 {
+        self.reuses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mid(n: u32) -> MetricId {
+        MetricId(n)
+    }
+
+    #[test]
+    fn push_stamps_tick_and_matches_frame() {
+        let mut cf = ColumnFrame::new(Ts::from_mins(1));
+        cf.push(mid(0), CompId::node(0), 1.0);
+        cf.push(mid(0), CompId::node(1), 3.0);
+        assert_eq!(cf.len(), 2);
+        assert!(cf.iter().all(|s| s.ts == Ts::from_mins(1)));
+
+        let mut f = Frame::new(Ts::from_mins(1));
+        f.push(mid(0), CompId::node(0), 1.0);
+        f.push(mid(0), CompId::node(1), 3.0);
+        assert_eq!(cf.to_frame(), f);
+        assert_eq!(ColumnFrame::from_frame(&f), cf);
+    }
+
+    #[test]
+    fn aggregates_match_frame_semantics() {
+        let mut cf = ColumnFrame::new(Ts(0));
+        cf.push(mid(0), CompId::node(0), 1.0);
+        cf.push(mid(0), CompId::node(1), 3.0);
+        cf.push(mid(1), CompId::node(0), 100.0);
+        assert_eq!(cf.sum_of(mid(0)), 4.0);
+        assert_eq!(cf.mean_of(mid(0)), Some(2.0));
+        assert_eq!(cf.mean_of(mid(9)), None);
+        assert_eq!(cf.of_metric(mid(0)).count(), 2);
+        assert_eq!(cf.get(2).value, 100.0);
+    }
+
+    #[test]
+    fn truncate_and_append_keep_columns_parallel() {
+        let mut a = ColumnFrame::new(Ts(5));
+        let mut b = ColumnFrame::new(Ts(5));
+        for i in 0..4 {
+            a.push(mid(0), CompId::node(i), i as f64);
+            b.push(mid(1), CompId::node(i), 10.0 + i as f64);
+        }
+        b.truncate(2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.keys.len(), b.stamps.len());
+        assert_eq!(b.keys.len(), b.values.len());
+        a.append(&mut b);
+        assert_eq!(a.len(), 6);
+        assert!(b.is_empty());
+        assert_eq!(a.get(5).key.metric, mid(1));
+        assert_eq!(a.get(5).value, 11.0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut cf = ColumnFrame::new(Ts(5));
+        cf.push(mid(2), CompId::ost(1), 9.25);
+        let mut cov = FrameCoverage::default();
+        cov.expect(0);
+        cov.report(0);
+        cf.coverage = Some(cov);
+        let s = serde_json::to_string(&cf).unwrap();
+        let back: ColumnFrame = serde_json::from_str(&s).unwrap();
+        assert_eq!(cf, back);
+    }
+
+    #[test]
+    fn arena_reuses_buffers_once_consumers_drop() {
+        let mut arena = FrameArena::new();
+        let mut published: Vec<Arc<ColumnFrame>> = Vec::new();
+        for tick in 0..6u64 {
+            // Downstream consumers hold a frame for at most one tick, so
+            // the two-ticks-ago frame is dropped before this tick begins.
+            if published.len() > 1 {
+                published.remove(0);
+            }
+            let mut cf = arena.take_current(Ts(tick * 1_000));
+            for n in 0..100 {
+                cf.push(mid(0), CompId::node(n), n as f64);
+            }
+            published.push(arena.publish(cf));
+        }
+        // Ticks 0 and 1 allocate; 2..6 reclaim the two-ticks-ago buffer.
+        assert_eq!(arena.fresh_allocs(), 2);
+        assert_eq!(arena.reuses(), 4);
+    }
+
+    #[test]
+    fn arena_falls_back_to_fresh_when_frame_still_held() {
+        let mut arena = FrameArena::new();
+        let mut held = Vec::new();
+        for tick in 0..4u64 {
+            let mut cf = arena.take_current(Ts(tick));
+            cf.push(mid(0), CompId::node(0), 0.0);
+            held.push(arena.publish(cf)); // never dropped
+        }
+        assert_eq!(arena.fresh_allocs(), 4, "held frames cannot be reclaimed");
+        assert_eq!(arena.reuses(), 0);
+        // Every published frame is intact and distinct.
+        for (tick, f) in held.iter().enumerate() {
+            assert_eq!(f.ts, Ts(tick as u64));
+            assert_eq!(f.len(), 1);
+        }
+    }
+
+    proptest::proptest! {
+        /// Satellite: columnar append + epoch swap round-trips to the exact
+        /// legacy `Frame` sample order, across multiple collector segments
+        /// and multiple arena ticks.
+        #[test]
+        fn prop_columnar_epoch_swap_round_trips_to_legacy_order(
+            ticks in proptest::collection::vec(
+                proptest::collection::vec(
+                    proptest::collection::vec(
+                        (0u32..8, 0u32..64, -1.0e9f64..1.0e9),
+                        0..40,
+                    ),
+                    1..4, // collector segments per tick
+                ),
+                1..5, // ticks
+            ),
+        ) {
+            use proptest::prelude::*;
+            let mut arena = FrameArena::new();
+            let mut last: Option<Arc<ColumnFrame>>;
+            for (t, segments) in ticks.iter().enumerate() {
+                let ts = Ts(t as u64 * 60_000);
+                let mut legacy = Frame::new(ts);
+                let mut cf = arena.take_current(ts);
+                for segment in segments {
+                    // Parallel merge: each segment appends into its own
+                    // part, then merges — same as the pool path.
+                    let mut part = ColumnFrame::new(ts);
+                    for &(m, n, v) in segment {
+                        legacy.push(MetricId(m), CompId::node(n), v);
+                        part.push(MetricId(m), CompId::node(n), v);
+                    }
+                    cf.append(&mut part);
+                }
+                let shared = arena.publish(cf);
+                prop_assert_eq!(shared.to_frame(), legacy);
+                prop_assert_eq!(&ColumnFrame::from_frame(&shared.to_frame()), &*shared);
+                last = Some(shared); // held exactly one tick, like transport
+                let _ = &last;
+            }
+        }
+    }
+}

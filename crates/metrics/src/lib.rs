@@ -14,6 +14,9 @@
 //! makes that association possible: one timestamp type, one component
 //! namespace, one metric namespace.
 
+#[cfg(feature = "alloc-count")]
+pub mod alloc_count;
+pub mod arena;
 pub mod component;
 pub mod hash;
 pub mod job;
@@ -22,6 +25,7 @@ pub mod metric;
 pub mod sample;
 pub mod time;
 
+pub use arena::{ColumnFrame, FrameArena, Mutability};
 pub use component::{CompId, CompKind};
 pub use hash::StateHash;
 pub use job::{JobId, JobRecord, JobState};

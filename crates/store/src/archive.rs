@@ -43,7 +43,44 @@ pub struct ArchiveOpCounts {
     pub segments_purged: u64,
     /// Reloads back into a store.
     pub reloads: u64,
+    /// Segments refused because they carried zero blocks (e.g. a truncated
+    /// or hand-edited segment file).  Absent in counters serialized before
+    /// the field existed — those deserialize as zero.
+    #[serde(with = "count_or_zero")]
+    pub empty_segments_rejected: u64,
 }
+
+mod count_or_zero {
+    use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+    pub fn serialize<S: Serializer>(v: &u64, s: S) -> Result<S::Ok, S::Error> {
+        v.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(d: D) -> Result<u64, D::Error> {
+        Ok(Option::<u64>::deserialize(d)?.unwrap_or(0))
+    }
+}
+
+/// Why the archive refused an operation.
+///
+/// An operator feeding the archiver a corrupt segment file must get an
+/// error row on the dashboard, not a crashed archiver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchiveError {
+    /// A segment with zero blocks has no time range and cannot be filed.
+    EmptySegment,
+}
+
+impl std::fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArchiveError::EmptySegment => write!(f, "cannot archive an empty segment"),
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {}
 
 /// The cold tier: archived segments plus their catalog.
 #[derive(Debug, Default)]
@@ -74,14 +111,23 @@ impl Archive {
         if blocks.is_empty() {
             return None;
         }
-        Some(self.file_segment(blocks))
+        // Non-empty by the guard above, so filing cannot be refused.
+        self.file_segment(blocks).ok()
     }
 
-    /// File an explicit set of blocks as a segment.
-    pub fn file_segment(&mut self, blocks: Vec<SeriesBlock>) -> ArchiveCatalog {
-        assert!(!blocks.is_empty(), "cannot archive an empty segment");
-        let start = blocks.iter().map(|b| b.start).min().expect("non-empty");
-        let end = blocks.iter().map(|b| b.end).max().expect("non-empty");
+    /// File an explicit set of blocks as a segment.  Refuses (and counts)
+    /// an empty block list: it has no time range to catalog, and typically
+    /// means the caller fed the archiver a corrupt or truncated segment.
+    pub fn file_segment(
+        &mut self,
+        blocks: Vec<SeriesBlock>,
+    ) -> Result<ArchiveCatalog, ArchiveError> {
+        let (Some(start), Some(end)) =
+            (blocks.iter().map(|b| b.start).min(), blocks.iter().map(|b| b.end).max())
+        else {
+            self.ops.empty_segments_rejected += 1;
+            return Err(ArchiveError::EmptySegment);
+        };
         let points: u64 = blocks.iter().map(|b| b.count as u64).sum();
         let bytes: usize = blocks.iter().map(|b| b.compressed_bytes()).sum();
         let catalog = ArchiveCatalog {
@@ -94,7 +140,7 @@ impl Archive {
         };
         self.segments.push(Some(Segment { catalog: catalog.clone(), blocks }));
         self.ops.segments_filed += 1;
-        catalog
+        Ok(catalog)
     }
 
     /// The catalog: every segment still in the archive, in id order.
@@ -168,7 +214,9 @@ impl Archive {
     pub fn load_segment(&mut self, path: &std::path::Path) -> std::io::Result<ArchiveCatalog> {
         let bytes = std::fs::read(path)?;
         let seg: Segment = serde_json::from_slice(&bytes).map_err(std::io::Error::other)?;
-        Ok(self.file_segment(seg.blocks))
+        // A structurally valid file can still carry zero blocks (truncated
+        // or hand-edited): surface it as an error, never a panic.
+        self.file_segment(seg.blocks).map_err(std::io::Error::other)
     }
 }
 
@@ -313,6 +361,43 @@ mod tests {
         assert_eq!(ops.segments_filed, 1);
         assert_eq!(ops.reloads, 1);
         assert_eq!(ops.segments_purged, 1);
+    }
+
+    #[test]
+    fn empty_segment_is_refused_and_counted_not_a_panic() {
+        let mut archive = Archive::new();
+        assert_eq!(archive.file_segment(Vec::new()), Err(ArchiveError::EmptySegment));
+        assert_eq!(archive.file_segment(Vec::new()), Err(ArchiveError::EmptySegment));
+        let ops = archive.op_counts();
+        assert_eq!(ops.empty_segments_rejected, 2);
+        assert_eq!(ops.segments_filed, 0);
+        assert!(archive.catalog().is_empty());
+    }
+
+    #[test]
+    fn load_zero_block_segment_file_errors_cleanly() {
+        // Structurally valid segment JSON with no blocks — the shape a
+        // truncation-then-repair or hand edit produces.  Loading it must
+        // return an error (and count the rejection), not crash.
+        let path = std::env::temp_dir().join(format!("hpcmon_empty_{}.json", std::process::id()));
+        std::fs::write(
+            &path,
+            br#"{"catalog":{"segment":0,"start":0,"end":0,"blocks":0,"points":0,"bytes":0},"blocks":[]}"#,
+        )
+        .unwrap();
+        let mut archive = Archive::new();
+        assert!(archive.load_segment(&path).is_err());
+        assert_eq!(archive.op_counts().empty_segments_rejected, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn op_counts_without_rejection_field_deserialize_as_zero() {
+        // Counters serialized before `empty_segments_rejected` existed.
+        let legacy = r#"{"segments_filed":3,"segments_purged":1,"reloads":2}"#;
+        let ops: ArchiveOpCounts = serde_json::from_str(legacy).unwrap();
+        assert_eq!(ops.segments_filed, 3);
+        assert_eq!(ops.empty_segments_rejected, 0);
     }
 
     #[test]

@@ -160,7 +160,13 @@ pub fn compress_timestamps(ts: &[Ts]) -> Vec<u8> {
 pub fn decompress_timestamps(bytes: &[u8]) -> Option<Vec<Ts>> {
     let mut pos = 0usize;
     let n = read_varint(bytes, &mut pos)? as usize;
-    let mut out = Vec::with_capacity(n.min(bytes.len()));
+    // The length header is attacker/corruption-controlled: never trust it
+    // into an allocation.  Each point costs at least one varint byte, so a
+    // plausible block carries at least `n` bytes after the header.
+    if n > bytes.len() - pos {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
     if n == 0 {
         return Some(out);
     }
@@ -236,6 +242,11 @@ pub fn compress_values(values: &[f64]) -> Vec<u8> {
 pub fn decompress_values(bytes: &[u8]) -> Option<Vec<f64>> {
     let mut pos = 0usize;
     let n = read_varint(bytes, &mut pos)? as usize;
+    // Bound the corruption-controlled length by the bit budget actually
+    // present: 64 bits for the first value, then at least one bit each.
+    if n > 0 && 64usize.saturating_add(n - 1) > (bytes.len() - pos).saturating_mul(8) {
+        return None;
+    }
     let mut out = Vec::with_capacity(n);
     if n == 0 {
         return Some(out);
@@ -404,6 +415,26 @@ mod tests {
     }
 
     #[test]
+    fn oversized_declared_length_is_rejected_before_allocating() {
+        // A header claiming u64::MAX points over a 3-byte body must fail
+        // up front — before the fix it reached `Vec::with_capacity(n)`.
+        let mut bytes = Vec::new();
+        write_varint(&mut bytes, u64::MAX);
+        bytes.extend_from_slice(&[1, 2, 3]);
+        assert_eq!(decompress_timestamps(&bytes), None);
+        assert_eq!(decompress_values(&bytes), None);
+
+        // One over the plausible budget is already rejected...
+        let mut bytes = Vec::new();
+        write_varint(&mut bytes, 4);
+        bytes.extend_from_slice(&[0, 0, 0]); // 3 bytes < 4 points
+        assert_eq!(decompress_timestamps(&bytes), None);
+        // ...while an exactly-plausible block still decodes.
+        let ts = vec![Ts(0), Ts(1), Ts(2), Ts(3)];
+        assert!(decompress_timestamps(&compress_timestamps(&ts)).is_some());
+    }
+
+    #[test]
     fn truncated_input_returns_none() {
         let ts: Vec<Ts> = (0..100).map(Ts::from_secs).collect();
         let bytes = compress_timestamps(&ts);
@@ -464,6 +495,31 @@ mod tests {
             prop_assert_eq!(back.len(), vals.len());
             for (x, y) in back.iter().zip(&vals) {
                 prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+
+        #[test]
+        fn prop_corrupt_length_headers_fail_closed(
+            n in any::<u64>(),
+            raw_body in proptest::collection::vec(0u64..256, 0..64),
+        ) {
+            let body: Vec<u8> = raw_body.iter().map(|&b| b as u8).collect();
+            // Arbitrary declared length over an arbitrary small body: the
+            // decoders must either decode exactly `n` points that fit the
+            // input's byte/bit budget, or refuse — never allocate on the
+            // say-so of a corrupt header.
+            let mut bytes = Vec::new();
+            write_varint(&mut bytes, n);
+            bytes.extend_from_slice(&body);
+            if let Some(out) = decompress_timestamps(&bytes) {
+                prop_assert_eq!(out.len() as u64, n);
+                prop_assert!(out.len() <= body.len());
+                prop_assert!(out.capacity() <= bytes.len());
+            }
+            if let Some(out) = decompress_values(&bytes) {
+                prop_assert_eq!(out.len() as u64, n);
+                prop_assert!(n == 0 || 64 + (n as usize - 1) <= body.len() * 8);
+                prop_assert!(out.capacity() <= bytes.len().saturating_mul(8));
             }
         }
 

@@ -30,11 +30,11 @@ pub mod query;
 pub mod retention;
 pub mod tsdb;
 
-pub use archive::{Archive, ArchiveCatalog, ArchiveOpCounts};
+pub use archive::{Archive, ArchiveCatalog, ArchiveError, ArchiveOpCounts};
 pub use logstore::{LogQuery, LogStore};
 pub use query::{AggFn, InvalidParam, JobSeries, QueryEngine, TimeRange};
 pub use retention::{RetentionPolicy, RetentionReport};
 pub use tsdb::{
-    BlockError, SeriesBlock, SeriesSnapshot, StoreOpCounts, StoreSnapshot, StoreStats,
+    BlockError, IngestRoute, SeriesBlock, SeriesSnapshot, StoreOpCounts, StoreSnapshot, StoreStats,
     TimeSeriesStore, WriteError,
 };

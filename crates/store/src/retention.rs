@@ -80,7 +80,10 @@ impl RetentionPolicy {
                         }
                     }
                 }
-                Some(archive.file_segment(blocks))
+                // Non-empty by the guard above; a refusal would mean an
+                // archiver bug, and losing the catalog entry is the safe
+                // degradation (the counter records it).
+                archive.file_segment(blocks).ok()
             }
         } else {
             None

@@ -7,10 +7,10 @@
 //! evict warm blocks wholesale and reload them later.
 
 use crate::compress;
-use hpcmon_metrics::{CompId, Frame, MetricId, Sample, SeriesKey, Ts};
+use hpcmon_metrics::{ColumnFrame, CompId, Frame, MetricId, Sample, SeriesKey, Ts};
 use parking_lot::RwLock;
 use serde::{Deserialize, Serialize};
-use std::collections::hash_map::DefaultHasher;
+use std::collections::hash_map::{DefaultHasher, Entry};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -127,9 +127,64 @@ struct SeriesData {
     hot: Vec<(Ts, f64)>,
 }
 
+/// One series in a shard's slab: the key plus its tiered data.
+#[derive(Debug)]
+struct SeriesSlot {
+    key: SeriesKey,
+    data: SeriesData,
+}
+
+/// A shard is a **slab** of series plus a key→slot index.  Slots are
+/// append-only under ingest, so a slot number resolved once stays valid
+/// until a slot-moving operation (retention drop, snapshot load) bumps the
+/// store's layout generation — which is what lets [`IngestRoute`] replace
+/// the per-sample hash lookup on the hot path with a direct slab index.
 #[derive(Default)]
 struct Shard {
-    series: HashMap<SeriesKey, SeriesData>,
+    slots: Vec<SeriesSlot>,
+    index: HashMap<SeriesKey, u32>,
+}
+
+/// A caller-owned routing cache for columnar ingest: where each position
+/// of a frame's key column lands (shard and slab slot), plus the per-shard
+/// batches in frame order.
+///
+/// Frames produced by a fixed collector set repeat the same key column
+/// tick after tick, so the route — built once with hashing and lookups —
+/// is validated per tick by a layout-generation check plus a key-column
+/// equality sweep, then reused: ingest costs one slab index and one push
+/// per sample, one lock per touched shard, and **zero allocations**.  This
+/// also retires the old per-tick `Vec<Vec<&Sample>>` partition rebuild.
+#[derive(Debug, Default)]
+pub struct IngestRoute {
+    /// Store layout generation this route was built against.
+    gen: u64,
+    /// The key column the route describes (validity check per tick).
+    keys: Vec<SeriesKey>,
+    /// Slab slot per position (`u32::MAX` = series did not exist when the
+    /// route was built; resolved by hash on first ingest, then refreshed).
+    slot_of: Vec<u32>,
+    /// Sample positions per shard, in frame order.
+    per_shard: Vec<Vec<u32>>,
+    /// Positions still `u32::MAX` in `slot_of`.
+    unresolved: usize,
+}
+
+impl IngestRoute {
+    /// An empty route; the first ingest through it builds the cache.
+    pub fn new() -> IngestRoute {
+        IngestRoute::default()
+    }
+
+    /// Whether this route currently describes `keys` at layout `gen`.
+    fn matches(&self, gen: u64, keys: &[SeriesKey]) -> bool {
+        self.gen == gen && self.keys == keys
+    }
+
+    /// Whether any sample of the routed frame lands in `shard`.
+    pub fn touches(&self, shard: usize) -> bool {
+        self.per_shard.get(shard).is_some_and(|b| !b.is_empty())
+    }
 }
 
 /// Occupancy and compression statistics.
@@ -202,6 +257,11 @@ pub struct TimeSeriesStore {
     // result cache — key entries on this value: an entry computed at epoch
     // E is valid exactly while `epoch()` still returns E.
     epoch: AtomicU64,
+    // Bumped only by operations that can move or remove slab slots
+    // (retention drops, snapshot loads) — NOT by appends.  An
+    // `IngestRoute` built at generation G stays valid while the
+    // generation still reads G (and the key column is unchanged).
+    layout_gen: AtomicU64,
     // Injected per-shard write faults (chaos testing).  Only
     // `try_insert_frame` consults these; everything else ignores them.
     write_faults: Vec<AtomicBool>,
@@ -232,6 +292,7 @@ impl TimeSeriesStore {
             warm_points: AtomicU64::new(0),
             warm_bytes: AtomicU64::new(0),
             epoch: AtomicU64::new(0),
+            layout_gen: AtomicU64::new(0),
             write_faults: (0..shards).map(|_| AtomicBool::new(false)).collect(),
         }
     }
@@ -315,27 +376,55 @@ impl TimeSeriesStore {
         self.bump_epoch();
     }
 
+    /// Resolve (or create) the slab slot for `key` in a locked shard.
+    fn resolve_slot(&self, shard: &mut Shard, key: SeriesKey) -> u32 {
+        let Shard { slots, index } = shard;
+        match index.entry(key) {
+            Entry::Occupied(e) => *e.get(),
+            Entry::Vacant(v) => {
+                let slot = slots.len() as u32;
+                slots.push(SeriesSlot { key, data: SeriesData::default() });
+                v.insert(slot);
+                self.series_count.fetch_add(1, Ordering::Relaxed);
+                slot
+            }
+        }
+    }
+
     /// The per-sample ingest step, with the owning shard's lock held.
     fn insert_locked(&self, shard: &mut Shard, sample: &Sample) {
-        let data = shard.series.entry(sample.key).or_insert_with(|| {
-            self.series_count.fetch_add(1, Ordering::Relaxed);
-            SeriesData::default()
-        });
+        let slot = self.resolve_slot(shard, sample.key);
+        let data = &mut shard.slots[slot as usize].data;
+        self.insert_point(sample.key, data, sample.ts, sample.value);
+    }
+
+    /// Append one point to a resolved series, sealing at the threshold.
+    /// Occupancy accounting is the caller's: the routed columnar path
+    /// bumps `hot_points` once per shard batch instead of per sample.
+    #[inline]
+    fn append_point(&self, key: SeriesKey, data: &mut SeriesData, ts: Ts, value: f64) {
         // Common case: append in order.
         match data.hot.last() {
-            Some(&(last, _)) if last > sample.ts => {
-                let pos = data.hot.partition_point(|&(t, _)| t <= sample.ts);
-                data.hot.insert(pos, (sample.ts, sample.value));
+            Some(&(last, _)) if last > ts => {
+                let pos = data.hot.partition_point(|&(t, _)| t <= ts);
+                data.hot.insert(pos, (ts, value));
             }
-            _ => data.hot.push((sample.ts, sample.value)),
+            _ => data.hot.push((ts, value)),
         }
-        self.hot_points.fetch_add(1, Ordering::Relaxed);
         if data.hot.len() >= self.seal_threshold {
-            let block = SeriesBlock::compress(sample.key, &data.hot);
+            let block = SeriesBlock::compress(key, &data.hot);
             self.account_seal(&block);
             data.warm.push(block);
             data.hot.clear();
         }
+    }
+
+    /// [`Self::append_point`] plus the per-sample occupancy bump (the row
+    /// ingest path counts one sample at a time).
+    #[inline]
+    fn insert_point(&self, key: SeriesKey, data: &mut SeriesData, ts: Ts, value: f64) {
+        self.hot_points.fetch_add(1, Ordering::Relaxed);
+        self.append_point(key, data, ts, value);
     }
 
     /// Move occupancy from hot to warm for a freshly sealed block.
@@ -392,10 +481,151 @@ impl TimeSeriesStore {
         self.bump_epoch_by(samples.len() as u64);
     }
 
+    /// The store's slab-layout generation: advanced only by operations
+    /// that can move or remove slots (retention drops, snapshot loads).
+    /// An [`IngestRoute`] is valid exactly while this still reads the
+    /// value it was built at.
+    pub fn layout_gen(&self) -> u64 {
+        self.layout_gen.load(Ordering::Acquire)
+    }
+
+    fn bump_layout(&self) {
+        self.layout_gen.fetch_add(1, Ordering::Release);
+    }
+
+    /// Ensure `route` describes `cf`'s key column against the current slab
+    /// layout, rebuilding it if the keys or the layout changed.  Rebuild is
+    /// **lookup-only** (read locks, no mutation): series the store has not
+    /// seen yet stay unresolved and are created on first ingest.
+    pub fn prepare_route(&self, cf: &ColumnFrame, route: &mut IngestRoute) {
+        // A default route trivially "matches" an empty frame on a fresh
+        // store (gen 0, empty keys) — the shard-table size check catches
+        // that and any route built against a differently sharded store.
+        if route.per_shard.len() == self.shards.len() && route.matches(self.layout_gen(), &cf.keys)
+        {
+            return;
+        }
+        route.gen = self.layout_gen();
+        route.keys.clear();
+        route.keys.extend_from_slice(&cf.keys);
+        route.per_shard.resize_with(self.shards.len(), Vec::new);
+        for batch in &mut route.per_shard {
+            batch.clear();
+        }
+        for (i, key) in cf.keys.iter().enumerate() {
+            route.per_shard[self.shard_index(key)].push(i as u32);
+        }
+        route.slot_of.clear();
+        route.slot_of.resize(cf.keys.len(), u32::MAX);
+        self.refresh_route_slots(route);
+    }
+
+    /// Re-run the slot lookup for every position of `route` (read locks
+    /// only), leaving positions whose series still do not exist at
+    /// `u32::MAX`.
+    fn refresh_route_slots(&self, route: &mut IngestRoute) {
+        let mut unresolved = 0;
+        for (shard_id, batch) in route.per_shard.iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            let guard = self.shards[shard_id].read();
+            for &i in batch {
+                let i = i as usize;
+                match guard.index.get(&route.keys[i]) {
+                    Some(&slot) => route.slot_of[i] = slot,
+                    None => {
+                        route.slot_of[i] = u32::MAX;
+                        unresolved += 1;
+                    }
+                }
+            }
+        }
+        route.unresolved = unresolved;
+    }
+
+    /// Ingest the samples of `cf` that land in `shard`, holding that
+    /// shard's write lock once for the whole batch — the columnar analogue
+    /// of [`TimeSeriesStore::insert_shard_batch`].  `route` must have been
+    /// prepared for `cf` ([`TimeSeriesStore::prepare_route`]).  Distinct
+    /// shards can be ingested concurrently against the same shared route.
+    pub fn ingest_route_shard(&self, shard_id: usize, cf: &ColumnFrame, route: &IngestRoute) {
+        let batch = &route.per_shard[shard_id];
+        if batch.is_empty() {
+            return;
+        }
+        self.samples_ingested.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        // One occupancy bump for the whole batch — seals subtract their
+        // own counts as they happen, so the final tally matches the
+        // per-sample accounting of the row path.
+        self.hot_points.fetch_add(batch.len() as u64, Ordering::Relaxed);
+        let mut guard = self.shards[shard_id].write();
+        for &i in batch {
+            let i = i as usize;
+            let key = cf.keys[i];
+            debug_assert_eq!(self.shard_index(&key), shard_id, "sample routed to wrong shard");
+            let hint = route.slot_of[i];
+            // The route is validated against the key column and the layout
+            // generation, so the hint is normally exact; the slot-key check
+            // is a cheap last-line defense (the slot is already in cache).
+            let slot = match guard.slots.get(hint as usize) {
+                Some(s) if s.key == key => hint,
+                _ => self.resolve_slot(&mut guard, key),
+            };
+            let data = &mut guard.slots[slot as usize].data;
+            self.append_point(key, data, cf.stamps[i], cf.values[i]);
+        }
+        drop(guard);
+        self.bump_epoch_by(batch.len() as u64);
+    }
+
+    /// Resolve any route positions left unresolved by a lookup-only build
+    /// (their series were created during ingest).  Call once after a
+    /// routed ingest so the next tick's hot path is hint-complete.
+    pub fn finish_route(&self, route: &mut IngestRoute) {
+        if route.unresolved > 0 {
+            self.refresh_route_slots(route);
+        }
+    }
+
+    /// Columnar frame ingest through a cached route: contents, occupancy,
+    /// op counts, and epoch identical to [`TimeSeriesStore::insert_frame`]
+    /// of the equivalent row frame, but with one slab index + push per
+    /// sample and no per-tick partition rebuild.
+    pub fn ingest_columns(&self, cf: &ColumnFrame, route: &mut IngestRoute) {
+        self.prepare_route(cf, route);
+        for shard_id in 0..self.shards.len() {
+            self.ingest_route_shard(shard_id, cf, route);
+        }
+        self.finish_route(route);
+    }
+
+    /// Fault-aware columnar ingest: refuses the **whole frame** if any
+    /// shard it would touch has an injected write fault (all-or-nothing,
+    /// like [`TimeSeriesStore::try_insert_frame`]).  The route build is
+    /// lookup-only, so a refused frame leaves the store untouched.
+    pub fn try_ingest_columns(
+        &self,
+        cf: &ColumnFrame,
+        route: &mut IngestRoute,
+    ) -> Result<(), WriteError> {
+        self.prepare_route(cf, route);
+        for shard_id in 0..self.shards.len() {
+            if route.touches(shard_id) && self.shard_write_faulted(shard_id) {
+                return Err(WriteError::ShardUnavailable(shard_id));
+            }
+        }
+        for shard_id in 0..self.shards.len() {
+            self.ingest_route_shard(shard_id, cf, route);
+        }
+        self.finish_route(route);
+        Ok(())
+    }
+
     /// All points of one series in `[from, to]`, time-ordered.
     pub fn query(&self, key: SeriesKey, from: Ts, to: Ts) -> Vec<(Ts, f64)> {
         let shard = self.shard_of(&key).read();
-        let Some(data) = shard.series.get(&key) else {
+        let Some(data) = shard.index.get(&key).map(|&slot| &shard.slots[slot as usize].data) else {
             return Vec::new();
         };
         let mut out = Vec::new();
@@ -424,7 +654,12 @@ impl TimeSeriesStore {
             .shards
             .iter()
             .flat_map(|s| {
-                s.read().series.keys().filter(|k| k.metric == metric).copied().collect::<Vec<_>>()
+                s.read()
+                    .slots
+                    .iter()
+                    .map(|slot| slot.key)
+                    .filter(|k| k.metric == metric)
+                    .collect::<Vec<_>>()
             })
             .collect();
         keys.sort();
@@ -436,7 +671,7 @@ impl TimeSeriesStore {
         let mut keys: Vec<SeriesKey> = self
             .shards
             .iter()
-            .flat_map(|s| s.read().series.keys().copied().collect::<Vec<_>>())
+            .flat_map(|s| s.read().slots.iter().map(|slot| slot.key).collect::<Vec<_>>())
             .collect();
         keys.sort();
         keys
@@ -461,12 +696,12 @@ impl TimeSeriesStore {
     pub fn seal_all(&self) {
         for shard in &self.shards {
             let mut shard = shard.write();
-            for (key, data) in shard.series.iter_mut() {
-                if !data.hot.is_empty() {
-                    let block = SeriesBlock::compress(*key, &data.hot);
+            for slot in shard.slots.iter_mut() {
+                if !slot.data.hot.is_empty() {
+                    let block = SeriesBlock::compress(slot.key, &slot.data.hot);
                     self.account_seal(&block);
-                    data.warm.push(block);
-                    data.hot.clear();
+                    slot.data.warm.push(block);
+                    slot.data.hot.clear();
                 }
             }
         }
@@ -479,11 +714,11 @@ impl TimeSeriesStore {
         let mut evicted = Vec::new();
         for shard in &self.shards {
             let mut shard = shard.write();
-            for data in shard.series.values_mut() {
+            for slot in shard.slots.iter_mut() {
                 let (old, keep): (Vec<_>, Vec<_>) =
-                    data.warm.drain(..).partition(|b| b.end <= cutoff);
+                    slot.data.warm.drain(..).partition(|b| b.end <= cutoff);
                 evicted.extend(old);
-                data.warm = keep;
+                slot.data.warm = keep;
             }
         }
         self.blocks_evicted.fetch_add(evicted.len() as u64, Ordering::Relaxed);
@@ -509,10 +744,8 @@ impl TimeSeriesStore {
             self.warm_points.fetch_add(block.count as u64, Ordering::Relaxed);
             self.warm_bytes.fetch_add(block.compressed_bytes() as u64, Ordering::Relaxed);
             let mut shard = self.shard_of(&block.key).write();
-            let data = shard.series.entry(block.key).or_insert_with(|| {
-                self.series_count.fetch_add(1, Ordering::Relaxed);
-                SeriesData::default()
-            });
+            let slot = self.resolve_slot(&mut shard, block.key);
+            let data = &mut shard.slots[slot as usize].data;
             data.warm.push(block);
             data.warm.sort_by_key(|b| b.start);
         }
@@ -525,7 +758,9 @@ impl TimeSeriesStore {
         let mut dropped = 0;
         for shard in &self.shards {
             let mut shard = shard.write();
-            shard.series.retain(|_, data| {
+            let before = shard.slots.len();
+            shard.slots.retain(|slot| {
+                let data = &slot.data;
                 let dead = data.hot.is_empty()
                     && !data.warm.is_empty()
                     && data.warm.iter().all(|b| b.end < cutoff);
@@ -538,8 +773,18 @@ impl TimeSeriesStore {
                 }
                 !dead
             });
+            // Retention compacts the slab, so every slot number may shift:
+            // rebuild the index and (below) invalidate cached routes.
+            if shard.slots.len() != before {
+                let Shard { slots, index } = &mut *shard;
+                index.clear();
+                for (i, slot) in slots.iter().enumerate() {
+                    index.insert(slot.key, i as u32);
+                }
+            }
         }
         self.series_count.fetch_sub(dropped as u64, Ordering::Relaxed);
+        self.bump_layout();
         self.bump_epoch();
         dropped
     }
@@ -549,10 +794,10 @@ impl TimeSeriesStore {
         let mut s = StoreStats::default();
         for shard in &self.shards {
             let shard = shard.read();
-            s.series += shard.series.len();
-            for data in shard.series.values() {
-                s.hot_points += data.hot.len();
-                for b in &data.warm {
+            s.series += shard.slots.len();
+            for slot in &shard.slots {
+                s.hot_points += slot.data.hot.len();
+                for b in &slot.data.warm {
                     s.warm_points += b.count as usize;
                     s.warm_bytes += b.compressed_bytes();
                 }
@@ -596,11 +841,8 @@ impl TimeSeriesStore {
     #[cfg(test)]
     fn inject_warm_block(&self, block: SeriesBlock) {
         let mut shard = self.shard_of(&block.key).write();
-        let data = shard.series.entry(block.key).or_insert_with(|| {
-            self.series_count.fetch_add(1, Ordering::Relaxed);
-            SeriesData::default()
-        });
-        data.warm.push(block);
+        let slot = self.resolve_slot(&mut shard, block.key);
+        shard.slots[slot as usize].data.warm.push(block);
     }
 
     /// Monotonic operation counters.
@@ -643,11 +885,11 @@ impl TimeSeriesStore {
         let mut series = Vec::new();
         for shard in &self.shards {
             let shard = shard.read();
-            for (key, data) in shard.series.iter() {
+            for slot in &shard.slots {
                 series.push(SeriesSnapshot {
-                    key: *key,
-                    hot: data.hot.clone(),
-                    warm: data.warm.clone(),
+                    key: slot.key,
+                    hot: slot.data.hot.clone(),
+                    warm: slot.data.warm.clone(),
                 });
             }
         }
@@ -674,7 +916,9 @@ impl TimeSeriesStore {
         assert_eq!(self.shards.len(), snap.num_shards, "snapshot shard count mismatch");
         assert_eq!(self.seal_threshold, snap.seal_threshold, "snapshot seal threshold mismatch");
         for shard in &self.shards {
-            shard.write().series.clear();
+            let mut shard = shard.write();
+            shard.slots.clear();
+            shard.index.clear();
         }
         let mut hot_points = 0u64;
         let mut warm_points = 0u64;
@@ -687,8 +931,15 @@ impl TimeSeriesStore {
                 warm_bytes += b.compressed_bytes() as u64;
             }
             let mut shard = self.shard_of(&s.key).write();
-            shard.series.insert(s.key, SeriesData { warm: s.warm.clone(), hot: s.hot.clone() });
+            let slot = shard.slots.len() as u32;
+            shard.slots.push(SeriesSlot {
+                key: s.key,
+                data: SeriesData { warm: s.warm.clone(), hot: s.hot.clone() },
+            });
+            shard.index.insert(s.key, slot);
         }
+        // Every slot may have moved: cached routes are stale.
+        self.bump_layout();
         self.series_count.store(series_count, Ordering::Relaxed);
         self.hot_points.store(hot_points, Ordering::Relaxed);
         self.warm_points.store(warm_points, Ordering::Relaxed);
@@ -1181,6 +1432,189 @@ mod tests {
             }
             for s in batch {
                 assert_eq!(store.shard_index(&s.key), shard);
+            }
+        }
+    }
+
+    // ---- columnar route ingest ----
+
+    // The counting allocator backs the allocation-regression tests below;
+    // it serves the whole test binary (per-thread counters keep concurrent
+    // tests from polluting each other).
+    #[global_allocator]
+    static ALLOC: hpcmon_metrics::alloc_count::CountingAllocator =
+        hpcmon_metrics::alloc_count::CountingAllocator;
+
+    fn column_frame(ts: u64, specs: &[(u32, u32, f64)]) -> ColumnFrame {
+        let mut cf = ColumnFrame::new(Ts(ts));
+        for &(m, n, v) in specs {
+            cf.push(MetricId(m), CompId::node(n), v);
+        }
+        cf
+    }
+
+    fn assert_same_contents(a: &TimeSeriesStore, b: &TimeSeriesStore) {
+        assert_eq!(a.stats(), b.stats());
+        assert_eq!(a.op_counts(), b.op_counts());
+        assert_eq!(a.epoch(), b.epoch());
+        assert_eq!(a.all_series(), b.all_series());
+        for k in a.all_series() {
+            assert_eq!(a.query(k, Ts::ZERO, Ts(u64::MAX)), b.query(k, Ts::ZERO, Ts(u64::MAX)));
+        }
+    }
+
+    #[test]
+    fn ingest_columns_matches_insert_frame_including_seals() {
+        let row = TimeSeriesStore::with_options(4, 16);
+        let col = TimeSeriesStore::with_options(4, 16);
+        let mut route = IngestRoute::new();
+        for tick in 0..40u64 {
+            let specs: Vec<(u32, u32, f64)> = (0..50u64)
+                .map(|i| ((i % 3) as u32, (i % 7) as u32, (tick * 50 + i) as f64))
+                .collect();
+            let cf = column_frame(tick * 1_000, &specs);
+            row.insert_frame(&cf.to_frame());
+            col.ingest_columns(&cf, &mut route);
+        }
+        assert_same_contents(&row, &col);
+    }
+
+    #[test]
+    fn layout_generation_moves_only_on_slot_moving_ops() {
+        let store = TimeSeriesStore::with_options(2, 10);
+        let g0 = store.layout_gen();
+        for i in 0..25u64 {
+            store.insert(&sample(0, 1, i * 1_000, i as f64));
+        }
+        store.seal_all();
+        let evicted = store.evict_warm_before(Ts(u64::MAX));
+        store.reload_blocks(evicted);
+        assert_eq!(store.layout_gen(), g0, "appends/seal/evict/reload keep slots in place");
+        store.drop_series_before(Ts(u64::MAX));
+        assert!(store.layout_gen() > g0, "retention compaction moves slots");
+        let g1 = store.layout_gen();
+        let snap = store.snapshot();
+        store.load_snapshot(&snap);
+        assert!(store.layout_gen() > g1, "snapshot load rebuilds slots");
+    }
+
+    #[test]
+    fn route_rebuilds_after_retention_compaction() {
+        let store = TimeSeriesStore::with_options(2, 10);
+        let mut route = IngestRoute::new();
+        // Series (0,1) seals exactly (all-warm, droppable); (0,2) stays hot.
+        let specs: Vec<(u32, u32, f64)> = (0..10).map(|i| (0, 1, i as f64)).collect();
+        for t in 0..10u64 {
+            store.ingest_columns(
+                &column_frame(t * 1_000, &specs[t as usize..=t as usize]),
+                &mut route,
+            );
+        }
+        let hot: Vec<(u32, u32, f64)> = vec![(0, 2, 7.0)];
+        store.ingest_columns(&column_frame(100_000, &hot), &mut route);
+        assert_eq!(store.drop_series_before(Ts(50_000)), 1);
+        // Stale route (layout gen moved): re-ingesting must land correctly.
+        store.ingest_columns(&column_frame(200_000, &specs), &mut route);
+        store.ingest_columns(&column_frame(300_000, &hot), &mut route);
+        assert_eq!(store.query(key(0, 1), Ts(150_000), Ts(u64::MAX)).len(), 10);
+        assert_eq!(store.query(key(0, 2), Ts::ZERO, Ts(u64::MAX)).len(), 2);
+    }
+
+    #[test]
+    fn try_ingest_columns_is_all_or_nothing() {
+        let store = TimeSeriesStore::with_options(4, 512);
+        let specs: Vec<(u32, u32, f64)> =
+            (0..40u64).map(|i| ((i % 3) as u32, (i % 9) as u32, i as f64)).collect();
+        let cf = column_frame(1_000, &specs);
+        let mut route = IngestRoute::new();
+        store.prepare_route(&cf, &mut route);
+        let touched =
+            (0..store.num_shards()).find(|&s| route.touches(s)).expect("frame touches a shard");
+        store.set_shard_write_fault(touched, true);
+        let e0 = store.epoch();
+        assert_eq!(
+            store.try_ingest_columns(&cf, &mut route),
+            Err(WriteError::ShardUnavailable(touched))
+        );
+        assert_eq!(store.epoch(), e0, "refused frame must not mutate the store");
+        assert_eq!(store.op_counts().samples_ingested, 0);
+        assert!(store.all_series().is_empty());
+        store.set_shard_write_fault(touched, false);
+        assert!(store.try_ingest_columns(&cf, &mut route).is_ok());
+        assert_eq!(store.op_counts().samples_ingested, 40);
+        // Healthy columnar fault-aware path matches the row path exactly.
+        let row = TimeSeriesStore::with_options(4, 512);
+        row.try_insert_frame(&cf.to_frame()).unwrap();
+        assert_same_contents(&row, &store);
+    }
+
+    #[test]
+    fn routed_ingest_is_allocation_free_in_steady_state() {
+        // The satellite regression: the legacy path rebuilt a
+        // `Vec<Vec<&Sample>>` partition every tick; the routed columnar
+        // path must hit the allocator zero times once warmed up.
+        let store = TimeSeriesStore::with_options(4, 1_024);
+        let mut route = IngestRoute::new();
+        let specs: Vec<(u32, u32, f64)> =
+            (0..200u64).map(|i| ((i % 5) as u32, (i % 11) as u32, i as f64)).collect();
+        let mut cf = column_frame(0, &specs);
+        for tick in 1..4u64 {
+            cf.clear_for_tick(Ts(tick * 1_000));
+            for &(m, n, v) in &specs {
+                cf.push(MetricId(m), CompId::node(n), v);
+            }
+            store.ingest_columns(&cf, &mut route);
+        }
+        // Seal to empty the hot buffers while keeping their capacity, so
+        // measured ticks cannot hit a hot-vec growth reallocation.
+        store.seal_all();
+        for tick in 4..7u64 {
+            cf.clear_for_tick(Ts(tick * 1_000));
+            for &(m, n, v) in &specs {
+                cf.push(MetricId(m), CompId::node(n), v);
+            }
+            let before = hpcmon_metrics::alloc_count::thread_allocations();
+            store.ingest_columns(&cf, &mut route);
+            let after = hpcmon_metrics::alloc_count::thread_allocations();
+            assert_eq!(after - before, 0, "steady-state routed ingest must not allocate");
+        }
+        // Contrast: the legacy partition path allocates every call.
+        let frame = cf.to_frame();
+        let before = hpcmon_metrics::alloc_count::thread_allocations();
+        let batches = store.partition_frame(&frame);
+        let after = hpcmon_metrics::alloc_count::thread_allocations();
+        assert!(!batches.is_empty());
+        assert!(after > before, "legacy partition rebuild allocates per tick");
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn prop_routed_columnar_ingest_equals_row_ingest(
+            ticks in proptest::collection::vec(
+                proptest::collection::vec(
+                    (0u32..6, 0u32..12, -1.0e6f64..1.0e6),
+                    0..80,
+                ),
+                1..5,
+            ),
+        ) {
+            use proptest::prelude::*;
+            let row = TimeSeriesStore::with_options(4, 16);
+            let col = TimeSeriesStore::with_options(4, 16);
+            let mut route = IngestRoute::new();
+            for (t, specs) in ticks.iter().enumerate() {
+                let cf = column_frame(t as u64 * 1_000, specs);
+                row.insert_frame(&cf.to_frame());
+                col.ingest_columns(&cf, &mut route);
+            }
+            prop_assert_eq!(row.stats(), col.stats());
+            prop_assert_eq!(row.op_counts(), col.op_counts());
+            prop_assert_eq!(row.epoch(), col.epoch());
+            for k in row.all_series() {
+                prop_assert_eq!(
+                    row.query(k, Ts::ZERO, Ts(u64::MAX)),
+                    col.query(k, Ts::ZERO, Ts(u64::MAX))
+                );
             }
         }
     }

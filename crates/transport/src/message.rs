@@ -7,7 +7,7 @@
 //! lost information).
 
 use bytes::Bytes;
-use hpcmon_metrics::{Frame, JobRecord, LogRecord};
+use hpcmon_metrics::{ColumnFrame, Frame, JobRecord, LogRecord};
 use hpcmon_trace::TraceContext;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
@@ -15,8 +15,11 @@ use std::sync::Arc;
 /// The content of a message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Payload {
-    /// A synchronized frame of numeric samples.
+    /// A synchronized frame of numeric samples (legacy row form).
     Frame(Arc<Frame>),
+    /// A synchronized frame in columnar (SoA) form — the arena-backed hot
+    /// path hands these to transport by `Arc` swap, no copy.
+    Columns(Arc<ColumnFrame>),
     /// One log record.
     Log(Arc<LogRecord>),
     /// A job record (scheduler stream).
@@ -44,6 +47,7 @@ impl Payload {
     pub fn approx_bytes(&self) -> usize {
         match self {
             Payload::Frame(f) => f.samples.len() * std::mem::size_of::<hpcmon_metrics::Sample>(),
+            Payload::Columns(c) => c.len() * std::mem::size_of::<hpcmon_metrics::Sample>(),
             Payload::Log(l) => l.message.len() + l.source.len() + 32,
             Payload::Job(j) => j.nodes.len() * 4 + j.user.len() + j.name.len() + 48,
             Payload::Raw(b) => b.len(),
@@ -54,6 +58,23 @@ impl Payload {
     pub fn as_frame(&self) -> Option<&Frame> {
         match self {
             Payload::Frame(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The columnar frame, if this is a columns payload.
+    pub fn as_columns(&self) -> Option<&Arc<ColumnFrame>> {
+        match self {
+            Payload::Columns(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// Number of samples carried, if this is either frame form.
+    pub fn frame_len(&self) -> Option<usize> {
+        match self {
+            Payload::Frame(f) => Some(f.len()),
+            Payload::Columns(c) => Some(c.len()),
             _ => None,
         }
     }
@@ -138,8 +159,19 @@ mod tests {
         frame.push(MetricId(0), CompId::node(0), 1.0);
         let p = Payload::Frame(Arc::new(frame));
         assert!(p.as_frame().is_some());
+        assert!(p.as_columns().is_none());
         assert!(p.as_log().is_none());
         assert!(p.as_job().is_none());
+        assert_eq!(p.frame_len(), Some(1));
+
+        let mut cf = ColumnFrame::new(Ts(1));
+        cf.push(MetricId(0), CompId::node(0), 1.0);
+        cf.push(MetricId(0), CompId::node(1), 2.0);
+        let c = Payload::Columns(Arc::new(cf));
+        assert!(c.as_columns().is_some());
+        assert!(c.as_frame().is_none());
+        assert_eq!(c.frame_len(), Some(2));
+        assert!(c.approx_bytes() > 0);
 
         let l = Payload::Log(Arc::new(LogRecord::new(
             Ts(1),

@@ -6,7 +6,7 @@ use hpcmon::pipeline::DetectorAttachment;
 use hpcmon::{MonitoringSystem, SimConfig};
 use hpcmon_analysis::ThresholdDetector;
 use hpcmon_collect::Collector;
-use hpcmon_metrics::{CompId, Frame, MetricId, SeriesKey, Severity, Ts, Unit, MINUTE_MS};
+use hpcmon_metrics::{ColumnFrame, CompId, MetricId, SeriesKey, Severity, Ts, Unit, MINUTE_MS};
 use hpcmon_response::SignalKind;
 use hpcmon_sim::{AppProfile, FaultKind, JobSpec, SimEngine};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -24,7 +24,7 @@ impl Collector for FlakyCollector {
         "site_custom"
     }
 
-    fn collect(&mut self, engine: &SimEngine, frame: &mut Frame) {
+    fn collect(&mut self, engine: &SimEngine, frame: &mut ColumnFrame) {
         if self.dead.load(Ordering::Relaxed) {
             return; // silence: the failure mode under test
         }

@@ -194,7 +194,7 @@ fn archive_then_query_history_with_current_data() {
         store.seal_all();
         let blocks = store.evict_warm_before(now);
         assert!(!blocks.is_empty());
-        mon.archive_mut().file_segment(blocks)
+        mon.archive_mut().file_segment(blocks).expect("blocks are non-empty")
     };
     assert_eq!(mon.query().series(key, TimeRange::all()).len(), 0);
     assert_eq!(mon.archive().locate(Ts::ZERO, now).len(), 1);
@@ -219,7 +219,7 @@ fn live_consumer_rides_the_broker() {
     mon.run_ticks(5);
     let frame_envs = frames.drain();
     assert_eq!(frame_envs.len(), 5, "one frame per tick");
-    assert!(frame_envs.iter().all(|e| e.payload.as_frame().is_some()));
+    assert!(frame_envs.iter().all(|e| e.payload.frame_len().is_some()));
     let log_envs = logs.drain();
     assert!(log_envs.iter().any(|e| e.topic == "logs/hwerr"), "link failure routed by source");
 }

@@ -6,7 +6,7 @@
 use hpcmon::trace::{DropReason, Sampler, Stage, TraceId};
 use hpcmon::{MonitoringSystem, SimConfig};
 use hpcmon_collect::Collector;
-use hpcmon_metrics::{CompId, Frame, SeriesKey};
+use hpcmon_metrics::{ColumnFrame, CompId, SeriesKey};
 use hpcmon_sim::SimEngine;
 use hpcmon_transport::{BackpressurePolicy, TopicFilter};
 use std::time::Duration;
@@ -130,7 +130,7 @@ impl Collector for SlowTick {
         "slow_tick"
     }
 
-    fn collect(&mut self, engine: &SimEngine, _frame: &mut Frame) {
+    fn collect(&mut self, engine: &SimEngine, _frame: &mut ColumnFrame) {
         if engine.tick_count() == self.at_tick {
             std::thread::sleep(self.delay);
         }
