@@ -86,6 +86,29 @@ impl WanInjectedCounts {
     }
 }
 
+/// Per-kind counts of injected storage-medium fault events (durability
+/// plane).  Kept separate from [`InjectedCounts`] for the same reason as
+/// [`WanInjectedCounts`]: pipelines without a durability plane keep their
+/// existing telemetry shape untouched.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskInjectedCounts {
+    /// Write-fail (EIO) windows activated.
+    pub write_fail: u64,
+    /// Torn-write arms delivered.
+    pub torn_write: u64,
+    /// Corrupt-byte strikes delivered.
+    pub corrupt_byte: u64,
+    /// Disk-full (ENOSPC) windows activated.
+    pub full: u64,
+}
+
+impl DiskInjectedCounts {
+    /// Sum over every kind.
+    pub fn total(&self) -> u64 {
+        self.write_fail + self.torn_write + self.corrupt_byte + self.full
+    }
+}
+
 /// The WAN faults active on one member site's link.
 #[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
 struct ActiveWanFault {
@@ -133,6 +156,18 @@ pub struct ChaosSnapshot {
     counts: InjectedCounts,
     wan: BTreeMap<String, ActiveWanFault>,
     wan_counts: WanInjectedCounts,
+    // Disk-fault fields postdate the snapshot format; defaults keep older
+    // recordings loadable.
+    #[serde(default)]
+    disk_write_fail_until: Option<u64>,
+    #[serde(default)]
+    disk_full_until: Option<u64>,
+    #[serde(default)]
+    pending_torn: Vec<u64>,
+    #[serde(default)]
+    pending_corrupt: Vec<u64>,
+    #[serde(default)]
+    disk_counts: DiskInjectedCounts,
 }
 
 /// Deterministic fault injector for the monitoring plane.
@@ -149,6 +184,13 @@ pub struct ChaosEngine {
     counts: InjectedCounts,
     wan: BTreeMap<String, ActiveWanFault>,
     wan_counts: WanInjectedCounts,
+    disk_write_fail_until: Option<u64>,
+    disk_full_until: Option<u64>,
+    /// Seeds for torn-write arms due this tick, drawn at activation.
+    pending_torn: Vec<u64>,
+    /// Seeds for corrupt-byte strikes due this tick, drawn at activation.
+    pending_corrupt: Vec<u64>,
+    disk_counts: DiskInjectedCounts,
 }
 
 /// SplitMix64 finalizer — the same mixer the simulator's `Rng` uses, inlined
@@ -175,6 +217,11 @@ impl ChaosEngine {
             counts: InjectedCounts::default(),
             wan: BTreeMap::new(),
             wan_counts: WanInjectedCounts::default(),
+            disk_write_fail_until: None,
+            disk_full_until: None,
+            pending_torn: Vec::new(),
+            pending_corrupt: Vec::new(),
+            disk_counts: DiskInjectedCounts::default(),
         }
     }
 
@@ -191,6 +238,12 @@ impl ChaosEngine {
             }
         }
         self.shards.retain(|_, expires| *expires > tick);
+        if self.disk_write_fail_until.is_some_and(|t| t <= tick) {
+            self.disk_write_fail_until = None;
+        }
+        if self.disk_full_until.is_some_and(|t| t <= tick) {
+            self.disk_full_until = None;
+        }
         self.wan.retain(|_, f| {
             f.expire(tick);
             !f.is_clear()
@@ -252,6 +305,23 @@ impl ChaosEngine {
                     self.wan.entry(site).or_default().bandwidth =
                         Some((bytes_per_tick, tick + ticks.max(1)));
                 }
+                ChaosFault::DiskWriteFail { ticks } => {
+                    self.disk_counts.write_fail += 1;
+                    self.disk_write_fail_until = Some(tick + ticks.max(1));
+                }
+                ChaosFault::DiskFull { ticks } => {
+                    self.disk_counts.full += 1;
+                    self.disk_full_until = Some(tick + ticks.max(1));
+                }
+                ChaosFault::DiskTornWrite => {
+                    self.disk_counts.torn_write += 1;
+                    self.pending_torn.push(mix64(self.seed ^ tick.rotate_left(23) ^ 0xD15C_70A1));
+                }
+                ChaosFault::DiskCorruptByte => {
+                    self.disk_counts.corrupt_byte += 1;
+                    self.pending_corrupt
+                        .push(mix64(self.seed ^ tick.rotate_left(29) ^ 0xD15C_C0DE));
+                }
             }
         }
     }
@@ -299,6 +369,34 @@ impl ChaosEngine {
         n
     }
 
+    /// Whether durability-medium appends fail (EIO) this tick.
+    pub fn disk_write_failing(&self) -> bool {
+        self.disk_write_fail_until.is_some()
+    }
+
+    /// Whether the durability medium reports ENOSPC this tick.
+    pub fn disk_full(&self) -> bool {
+        self.disk_full_until.is_some()
+    }
+
+    /// Take the seeds for torn-write arms due this tick.  Call exactly
+    /// once per tick (whether or not a medium is attached) so the digest
+    /// stays identical across durable and non-durable runs.
+    pub fn take_torn_writes(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.pending_torn)
+    }
+
+    /// Take the seeds for corrupt-byte strikes due this tick.  Same
+    /// once-per-tick discipline as [`ChaosEngine::take_torn_writes`].
+    pub fn take_corrupt_bytes(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.pending_corrupt)
+    }
+
+    /// Per-kind storage-medium fault counts so far.
+    pub fn disk_counts(&self) -> DiskInjectedCounts {
+        self.disk_counts
+    }
+
     /// Whether the WAN link to `site` is partitioned this tick.
     pub fn wan_partitioned(&self, site: &str) -> bool {
         self.wan.get(site).is_some_and(|f| f.partitioned_until.is_some())
@@ -335,6 +433,8 @@ impl ChaosEngine {
             + usize::from(self.corrupt.is_some())
             + self.shards.len()
             + self.wan.len()
+            + usize::from(self.disk_write_fail_until.is_some())
+            + usize::from(self.disk_full_until.is_some())
     }
 
     /// Scheduled faults not yet fired.
@@ -356,6 +456,11 @@ impl ChaosEngine {
             counts: self.counts,
             wan: self.wan.clone(),
             wan_counts: self.wan_counts,
+            disk_write_fail_until: self.disk_write_fail_until,
+            disk_full_until: self.disk_full_until,
+            pending_torn: self.pending_torn.clone(),
+            pending_corrupt: self.pending_corrupt.clone(),
+            disk_counts: self.disk_counts,
         }
     }
 
@@ -373,6 +478,11 @@ impl ChaosEngine {
             counts: snap.counts,
             wan: snap.wan,
             wan_counts: snap.wan_counts,
+            disk_write_fail_until: snap.disk_write_fail_until,
+            disk_full_until: snap.disk_full_until,
+            pending_torn: snap.pending_torn,
+            pending_corrupt: snap.pending_corrupt,
+            disk_counts: snap.disk_counts,
         }
     }
 
@@ -422,6 +532,18 @@ impl ChaosEngine {
             .u64(c.envelope_corrupt)
             .u64(c.store_write_fail)
             .u64(c.gateway_worker_death);
+        h.u64(self.disk_write_fail_until.unwrap_or(u64::MAX));
+        h.u64(self.disk_full_until.unwrap_or(u64::MAX));
+        h.usize(self.pending_torn.len());
+        for seed in &self.pending_torn {
+            h.u64(*seed);
+        }
+        h.usize(self.pending_corrupt.len());
+        for seed in &self.pending_corrupt {
+            h.u64(*seed);
+        }
+        let d = self.disk_counts;
+        h.u64(d.write_fail).u64(d.torn_write).u64(d.corrupt_byte).u64(d.full);
         h.finish()
     }
 }
@@ -543,6 +665,51 @@ mod tests {
         assert_eq!(restored.state_digest(), eng.state_digest());
         restored.begin_tick(6);
         assert_eq!(restored.wan_counts().total(), 3);
+    }
+
+    #[test]
+    fn disk_faults_window_arm_and_expire() {
+        let mut eng = ChaosEngine::new(
+            21,
+            plan(vec![
+                (1, ChaosFault::DiskWriteFail { ticks: 2 }),
+                (2, ChaosFault::DiskTornWrite),
+                (2, ChaosFault::DiskCorruptByte),
+                (4, ChaosFault::DiskFull { ticks: 1 }),
+            ]),
+        );
+        eng.begin_tick(0);
+        assert!(!eng.disk_write_failing());
+        assert!(eng.take_torn_writes().is_empty());
+        eng.begin_tick(1);
+        assert!(eng.disk_write_failing());
+        assert!(!eng.disk_full());
+        assert_eq!(eng.active_faults(), 1);
+        eng.begin_tick(2);
+        assert!(eng.disk_write_failing(), "2-tick window");
+        let torn = eng.take_torn_writes();
+        let corrupt = eng.take_corrupt_bytes();
+        assert_eq!((torn.len(), corrupt.len()), (1, 1));
+        assert_ne!(torn[0], corrupt[0], "independent seed streams");
+        assert!(eng.take_torn_writes().is_empty(), "one-shots are taken once");
+        eng.begin_tick(3);
+        assert!(!eng.disk_write_failing(), "window expired");
+        eng.begin_tick(4);
+        assert!(eng.disk_full());
+        let d = eng.disk_counts();
+        assert_eq!((d.write_fail, d.torn_write, d.corrupt_byte, d.full), (1, 1, 1, 1));
+        assert_eq!(d.total(), 4);
+        // Same seed and plan re-draw identical torn/corrupt seeds.
+        let mut twin = ChaosEngine::new(
+            21,
+            plan(vec![(2, ChaosFault::DiskTornWrite), (2, ChaosFault::DiskCorruptByte)]),
+        );
+        twin.begin_tick(2);
+        assert_eq!(twin.take_torn_writes(), torn);
+        assert_eq!(twin.take_corrupt_bytes(), corrupt);
+        // Snapshot round-trips the disk state.
+        let restored = ChaosEngine::restore(eng.snapshot());
+        assert_eq!(restored.state_digest(), eng.state_digest());
     }
 
     #[test]

@@ -96,6 +96,27 @@ pub enum ChaosFault {
         /// How many ticks the squeeze lasts.
         ticks: u64,
     },
+    /// Appends to the durability plane's storage medium fail (EIO) for the
+    /// window.  Refused WAL records queue in the plane's backlog and retry,
+    /// so the window is lossless unless the process crashes inside it.
+    DiskWriteFail {
+        /// How many ticks writes fail.
+        ticks: u64,
+    },
+    /// Arms the storage medium so the *next crash* keeps a seeded partial
+    /// prefix of the unsynced tail — a record cut mid-frame that recovery
+    /// must truncate at the last valid CRC.
+    DiskTornWrite,
+    /// Flips one seeded durable byte on the storage medium — silent bit rot
+    /// the scrub stage or recovery must diagnose, count, and fail closed
+    /// on, never panic.
+    DiskCorruptByte,
+    /// The storage medium reports ENOSPC for the window; appends and
+    /// checkpoints are refused until it ends.
+    DiskFull {
+        /// How many ticks the medium stays full.
+        ticks: u64,
+    },
 }
 
 impl ChaosFault {
@@ -112,6 +133,10 @@ impl ChaosFault {
             ChaosFault::WanPartition { .. } => "wan_partition",
             ChaosFault::WanDelay { .. } => "wan_delay",
             ChaosFault::WanBandwidth { .. } => "wan_bandwidth",
+            ChaosFault::DiskWriteFail { .. } => "disk_write_fail",
+            ChaosFault::DiskTornWrite => "disk_torn_write",
+            ChaosFault::DiskCorruptByte => "disk_corrupt_byte",
+            ChaosFault::DiskFull { .. } => "disk_full",
         }
     }
 }

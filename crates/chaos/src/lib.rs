@@ -28,7 +28,10 @@ pub mod fault;
 pub mod spill;
 pub mod supervisor;
 
-pub use engine::{ChaosEngine, ChaosSnapshot, CollectorFault, InjectedCounts, WanInjectedCounts};
+pub use engine::{
+    ChaosEngine, ChaosSnapshot, CollectorFault, DiskInjectedCounts, InjectedCounts,
+    WanInjectedCounts,
+};
 pub use fault::{ChaosFault, ChaosPlan, ScheduledFault};
 pub use spill::{BreakerSnapshot, BreakerState, IngestBreaker, SubmitReport};
 pub use supervisor::{CollectorSupervisor, SupervisorConfig, SupervisorSnapshot};

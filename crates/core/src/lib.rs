@@ -32,6 +32,7 @@ pub mod system;
 
 pub use hpcmon_analysis as analysis;
 pub use hpcmon_collect as collect;
+pub use hpcmon_durability as durability;
 pub use hpcmon_gateway as gateway;
 pub use hpcmon_health as health;
 pub use hpcmon_metrics as metrics;
@@ -46,6 +47,6 @@ pub use hpcmon_viz as viz;
 pub use config::MonitorConfig;
 pub use hpcmon_sim::SimConfig;
 pub use system::{
-    CoreSnapshot, GatewayOp, MonitorBuilder, MonitoringSystem, RunSummary, TickInputs,
-    TickStateHash,
+    CoreSnapshot, DurableSample, DurableTickRecord, GatewayOp, MonitorBuilder, MonitoringSystem,
+    RecoveryOutcome, RunSummary, TickInputs, TickStateHash,
 };

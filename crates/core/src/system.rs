@@ -20,6 +20,7 @@ use hpcmon_collect::collectors::standard_collectors;
 use hpcmon_collect::{
     BenchmarkSuite, Collector, FsProbe, LogHarvester, NetworkProbe, SelfCollector, StdMetrics,
 };
+use hpcmon_durability::{DurabilityConfig, DurabilityCounts, DurabilityPlane, StorageMedium};
 use hpcmon_gateway::{Gateway, GatewayConfig};
 use hpcmon_health::{
     AlertEvent, FeedValue, Grade, HealthConfig, HealthEngine, HealthReport,
@@ -46,8 +47,10 @@ use serde::Serialize;
 use std::sync::Arc;
 use std::time::Instant;
 
+pub mod durability;
 pub mod state;
 
+pub use durability::{DurableSample, DurableTickRecord, RecoveryOutcome};
 pub use state::{CoreSnapshot, GatewayOp, TickInputs, TickStateHash};
 
 /// Builder for a [`MonitoringSystem`].
@@ -74,6 +77,7 @@ pub struct MonitorBuilder {
     chaos: Option<(u64, ChaosPlan)>,
     clock_epoch_offset_ticks: u64,
     health: Option<HealthConfig>,
+    durability: Option<(Arc<dyn StorageMedium>, DurabilityConfig)>,
 }
 
 impl MonitorBuilder {
@@ -104,7 +108,25 @@ impl MonitorBuilder {
             chaos: None,
             clock_epoch_offset_ticks: 0,
             health: None,
+            durability: None,
         }
+    }
+
+    /// Journal every tick to a write-ahead log on `medium` and checkpoint
+    /// the full [`CoreSnapshot`] on the configured cadence (default off).
+    /// After a crash, [`MonitoringSystem::recover_from_medium`] on a
+    /// freshly built system restores the newest checkpoint and replays
+    /// the WAL tail; with `SyncPolicy::EveryTick` no acknowledged tick is
+    /// ever lost, with `SyncPolicy::GroupCommit(n)` loss is bounded by
+    /// one commit window.  The plane is hash-neutral: a durable run's
+    /// flight-recorder hash chain is identical to a non-durable twin's.
+    pub fn durability(
+        mut self,
+        medium: Arc<dyn StorageMedium>,
+        cfg: DurabilityConfig,
+    ) -> MonitorBuilder {
+        self.durability = Some((medium, cfg));
+        self
     }
 
     /// Evaluate a deterministic SLO/alerting plane as a tick stage
@@ -326,6 +348,8 @@ impl MonitorBuilder {
         let ever_contributed = vec![false; collectors.len()];
         MonitoringSystem {
             supervision: self.supervision,
+            durability: self.durability.map(|(m, cfg)| DurabilityPlane::new(m, cfg)),
+            pending_inputs: TickInputs::default(),
             health: self.health.map(HealthEngine::new),
             health_broker_baseline: (0, 0),
             chaos: self.chaos.map(|(seed, plan)| ChaosEngine::new(seed, plan)),
@@ -436,6 +460,10 @@ struct PipelineInstruments {
     chaos_envelope_corrupt: Arc<Counter>,
     chaos_store_write_fail: Arc<Counter>,
     chaos_gateway_worker_death: Arc<Counter>,
+    chaos_disk_write_fail: Arc<Counter>,
+    chaos_disk_torn_write: Arc<Counter>,
+    chaos_disk_corrupt_byte: Arc<Counter>,
+    chaos_disk_full: Arc<Counter>,
     supervisor_quarantined: Arc<Gauge>,
     frame_coverage_pct: Arc<Gauge>,
     store_breaker_state: Arc<Gauge>,
@@ -449,6 +477,22 @@ struct PipelineInstruments {
     health_alerts_firing: Arc<Gauge>,
     health_alerts_pending: Arc<Gauge>,
     health_grades: Vec<Arc<Gauge>>,
+    // Durability plane export: WAL append/sync/checkpoint/scrub totals
+    // and the live backlog depth, republished by the self feed as
+    // `hpcmon.self.durability.*`.  Registered unconditionally
+    // (chaos-counter precedent) so the self-feed series set does not
+    // depend on whether a plane is attached.
+    wal_records: Arc<Counter>,
+    wal_bytes: Arc<Counter>,
+    wal_append_failures: Arc<Counter>,
+    wal_syncs: Arc<Counter>,
+    wal_backlog: Arc<Gauge>,
+    durability_checkpoints: Arc<Counter>,
+    durability_checkpoint_failures: Arc<Counter>,
+    durability_corrupt_events: Arc<Counter>,
+    durability_torn_tail_bytes: Arc<Counter>,
+    durability_scrub_files: Arc<Counter>,
+    durability_scrub_failures: Arc<Counter>,
     collectors: Vec<CollectorInstruments>,
     detectors: Vec<DetectorInstruments>,
 }
@@ -489,6 +533,10 @@ impl PipelineInstruments {
             chaos_envelope_corrupt: t.counter("chaos.injected.envelope_corrupt"),
             chaos_store_write_fail: t.counter("chaos.injected.store_write_fail"),
             chaos_gateway_worker_death: t.counter("chaos.injected.gateway_worker_death"),
+            chaos_disk_write_fail: t.counter("chaos.injected.disk_write_fail"),
+            chaos_disk_torn_write: t.counter("chaos.injected.disk_torn_write"),
+            chaos_disk_corrupt_byte: t.counter("chaos.injected.disk_corrupt_byte"),
+            chaos_disk_full: t.counter("chaos.injected.disk_full"),
             supervisor_quarantined: t.gauge("supervisor.quarantined"),
             frame_coverage_pct: t.gauge("frame.coverage_pct"),
             store_breaker_state: t.gauge("store.breaker_state"),
@@ -497,6 +545,17 @@ impl PipelineInstruments {
             health_transitions: t.counter("health.transitions"),
             health_alerts_firing: t.gauge("health.alerts_firing"),
             health_alerts_pending: t.gauge("health.alerts_pending"),
+            wal_records: t.counter("durability.wal.records"),
+            wal_bytes: t.counter("durability.wal.bytes"),
+            wal_append_failures: t.counter("durability.wal.append_failures"),
+            wal_syncs: t.counter("durability.wal.syncs"),
+            wal_backlog: t.gauge("durability.wal.backlog"),
+            durability_checkpoints: t.counter("durability.checkpoints"),
+            durability_checkpoint_failures: t.counter("durability.checkpoint_failures"),
+            durability_corrupt_events: t.counter("durability.corrupt_events"),
+            durability_torn_tail_bytes: t.counter("durability.torn_tail_bytes"),
+            durability_scrub_files: t.counter("durability.scrub.files"),
+            durability_scrub_failures: t.counter("durability.scrub.failures"),
             health_grades: HealthSubsystem::ALL
                 .iter()
                 .map(|s| t.gauge(&format!("health.grade.{}", s.label())))
@@ -531,6 +590,30 @@ impl PipelineInstruments {
         sync_counter(&self.chaos_envelope_corrupt, counts.envelope_corrupt);
         sync_counter(&self.chaos_store_write_fail, counts.store_write_fail);
         sync_counter(&self.chaos_gateway_worker_death, counts.gateway_worker_death);
+    }
+
+    /// Advance the disk-fault injection counters to the chaos engine's
+    /// lifetime totals.
+    fn sync_disk_chaos(&self, counts: hpcmon_chaos::DiskInjectedCounts) {
+        sync_counter(&self.chaos_disk_write_fail, counts.write_fail);
+        sync_counter(&self.chaos_disk_torn_write, counts.torn_write);
+        sync_counter(&self.chaos_disk_corrupt_byte, counts.corrupt_byte);
+        sync_counter(&self.chaos_disk_full, counts.full);
+    }
+
+    /// Advance the durability export to the plane's lifetime totals.
+    fn sync_durability(&self, c: DurabilityCounts, backlog: usize) {
+        sync_counter(&self.wal_records, c.records_appended);
+        sync_counter(&self.wal_bytes, c.bytes_appended);
+        sync_counter(&self.wal_append_failures, c.append_failures);
+        sync_counter(&self.wal_syncs, c.syncs);
+        self.wal_backlog.set(backlog as f64);
+        sync_counter(&self.durability_checkpoints, c.checkpoints);
+        sync_counter(&self.durability_checkpoint_failures, c.checkpoint_failures);
+        sync_counter(&self.durability_corrupt_events, c.corrupt_events);
+        sync_counter(&self.durability_torn_tail_bytes, c.torn_tail_bytes);
+        sync_counter(&self.durability_scrub_files, c.scrub_files);
+        sync_counter(&self.durability_scrub_failures, c.scrub_failures);
     }
 }
 
@@ -609,6 +692,16 @@ pub struct MonitoringSystem {
     // snapshot, so the health plane feeds per-tick deltas against this
     // baseline and `restore_snapshot` re-seeds it from the live broker.
     health_broker_baseline: (u64, u64),
+    // Crash-durability plane (DESIGN.md §15).  `None` (the default) costs
+    // one branch per tick; attached, every tick's inputs + frame append
+    // to a WAL on the plane's storage medium and checkpoints rotate it.
+    // The plane journals hashed state but is never itself hashed, so a
+    // durable run's hash chain matches its non-durable twin.
+    durability: Option<DurabilityPlane>,
+    // External inputs received since the last tick, captured (only while
+    // a durability plane is attached) so the tick-end WAL record can
+    // replay them after a crash.
+    pending_inputs: TickInputs,
     chaos: Option<ChaosEngine>,
     supervisor: CollectorSupervisor,
     breaker: IngestBreaker<(Payload, Option<TraceContext>)>,
@@ -649,11 +742,17 @@ impl MonitoringSystem {
 
     /// Submit a job.
     pub fn submit_job(&mut self, spec: JobSpec) -> JobId {
+        if self.durability.is_some() {
+            self.pending_inputs.jobs.push(spec.clone());
+        }
         self.engine.submit_job(spec)
     }
 
     /// Schedule a fault injection.
     pub fn schedule_fault(&mut self, at: Ts, kind: FaultKind) {
+        if self.durability.is_some() {
+            self.pending_inputs.faults.push((at, kind));
+        }
         self.engine.schedule_fault(at, kind);
     }
 
@@ -692,6 +791,26 @@ impl MonitoringSystem {
             if let Some(gw) = &self.gateway {
                 for _ in 0..deaths {
                     gw.inject_worker_death();
+                }
+            }
+            // Disk faults project onto the durability medium.  The
+            // one-shot queues are drained UNCONDITIONALLY (like worker
+            // deaths above): the chaos digest covers the pending queues,
+            // so a run without a plane attached must consume them at the
+            // same tick as its durable twin to stay hash-identical.
+            let write_failing = chaos.disk_write_failing();
+            let full = chaos.disk_full();
+            let torn = chaos.take_torn_writes();
+            let corrupt = chaos.take_corrupt_bytes();
+            if let Some(plane) = &self.durability {
+                let medium = plane.medium();
+                medium.set_write_fail(write_failing);
+                medium.set_full(full);
+                for seed in torn {
+                    medium.arm_torn_write(seed);
+                }
+                for seed in corrupt {
+                    medium.corrupt_byte(seed);
                 }
             }
         }
@@ -1235,6 +1354,7 @@ impl MonitoringSystem {
         }
         if let Some(chaos) = &self.chaos {
             self.instruments.sync_chaos(chaos.counts());
+            self.instruments.sync_disk_chaos(chaos.disk_counts());
         }
         for sig in &signals {
             self.log_store.append(LogRecord::new(
@@ -1285,7 +1405,7 @@ impl MonitoringSystem {
                 0.0
             };
             let counts = self.chaos.as_ref().map(|c| c.counts()).unwrap_or_default();
-            let feeds: Vec<(&str, FeedValue)> = vec![
+            let mut feeds: Vec<(&str, FeedValue)> = vec![
                 ("collect.coverage", FeedValue::Tick { good: cov_pct, bad: 100.0 - cov_pct }),
                 (
                     "transport.delivery",
@@ -1318,6 +1438,22 @@ impl MonitoringSystem {
                     FeedValue::Total { good: tick_no as f64, bad: counts.total() as f64 },
                 ),
             ];
+            // Durability evidence only exists with a plane attached; the
+            // feed is simply absent otherwise (an SLO with no feed grades
+            // healthy — absence of a WAL is not an outage).
+            if let Some(plane) = &self.durability {
+                let dc = plane.counts();
+                feeds.push((
+                    "store.durability",
+                    FeedValue::Total {
+                        good: dc.records_appended as f64,
+                        bad: (dc.append_failures
+                            + dc.checkpoint_failures
+                            + dc.corrupt_events
+                            + dc.scrub_failures) as f64,
+                    },
+                ));
+            }
             let insts = &self.instruments;
             let exemplar = |sub: HealthSubsystem| -> u64 {
                 let hist = match sub {
@@ -1380,6 +1516,16 @@ impl MonitoringSystem {
         //     bit-identical.
         if self.hashing {
             self.finish_tick_hash(&frame);
+        }
+
+        // 11. Durability: journal this tick (inputs + hash + frame) to
+        //     the WAL, sync per policy, checkpoint/rotate and scrub on
+        //     their cadences (system::durability).  Runs strictly after
+        //     the hash so the record carries the value recovery verifies
+        //     against; the plane itself is never hashed, so a durable run
+        //     and its non-durable twin share one hash chain.
+        if self.durability.is_some() {
+            self.finish_tick_durability(&frame);
         }
         report
     }

@@ -232,6 +232,16 @@ impl MonitoringSystem {
     /// this for live inputs (so record and replay share one code path);
     /// the replayer calls it with inputs read from the event log.
     pub fn apply_tick_inputs(&mut self, inputs: &TickInputs) {
+        // Durable runs journal the inputs so crash recovery can replay
+        // them.  The engine is driven directly below (not through
+        // `submit_job`/`schedule_fault`), so this is the only capture —
+        // recovery's own replay arrives here with no plane attached and
+        // records nothing.
+        if self.durability.is_some() {
+            self.pending_inputs.jobs.extend(inputs.jobs.iter().cloned());
+            self.pending_inputs.faults.extend(inputs.faults.iter().cloned());
+            self.pending_inputs.gateway_ops.extend(inputs.gateway_ops.iter().cloned());
+        }
         for spec in &inputs.jobs {
             self.engine.submit_job(spec.clone());
         }
@@ -344,6 +354,9 @@ impl MonitoringSystem {
         let _ = self.store_sub.drain();
         self.signals.clear();
         self.last_state_hash = None;
+        // Inputs captured for the WAL describe ticks this instance will
+        // never journal (the snapshot predates them).
+        self.pending_inputs = TickInputs::default();
     }
 
     /// End-of-tick hashing hook, called from `tick()` when hashing is on.

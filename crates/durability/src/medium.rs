@@ -1,0 +1,447 @@
+//! The pluggable storage medium under the WAL — and the deterministic
+//! simulated disk the tests and chaos suites run against.
+//!
+//! A [`StorageMedium`] is the minimal surface a write-ahead log needs:
+//! append, sync, whole-file read/overwrite, atomic rename, delete, list.
+//! The contract mirrors a POSIX directory of log files with `fsync`
+//! semantics: **appends are volatile until synced**, renames are atomic,
+//! and a crash discards everything unsynced.
+//!
+//! [`SimDisk`] is the deterministic implementation: an in-memory file map
+//! where every file keeps a *durable* prefix and a *pending* (unsynced)
+//! tail.  [`SimDisk::crash`] models power loss — pending bytes vanish,
+//! unless a torn write is armed, in which case a seeded **prefix** of the
+//! pending tail survives, cutting a record mid-frame exactly the way a
+//! real disk tears a sector-straddling write.  The chaos engine's
+//! `Disk*` faults project onto the fault hooks ([`StorageMedium::set_write_fail`]
+//! and friends), so the same seeded plan damages the medium bit-for-bit
+//! at any worker count.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Why the medium refused an operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DiskError {
+    /// Transient write failure (EIO): the bytes were not accepted.
+    WriteFail,
+    /// The medium is out of space.
+    Full,
+    /// No such file.
+    NotFound,
+}
+
+impl std::fmt::Display for DiskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DiskError::WriteFail => write!(f, "write failed (EIO)"),
+            DiskError::Full => write!(f, "medium full (ENOSPC)"),
+            DiskError::NotFound => write!(f, "no such file"),
+        }
+    }
+}
+
+impl std::error::Error for DiskError {}
+
+/// Monotonic operation and fault counters for a medium.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiskCounts {
+    /// Successful appends.
+    pub appends: u64,
+    /// Bytes accepted by appends.
+    pub appended_bytes: u64,
+    /// Syncs performed.
+    pub syncs: u64,
+    /// Appends refused by an injected write failure.
+    pub write_fails: u64,
+    /// Appends refused because the medium was full.
+    pub full_rejections: u64,
+    /// Crashes that tore a pending tail (kept a partial prefix).
+    pub torn_crashes: u64,
+    /// Durable bytes flipped by injected corruption.
+    pub corrupted_bytes: u64,
+    /// Crashes simulated.
+    pub crashes: u64,
+}
+
+/// The minimal storage surface a WAL needs, with fault hooks the chaos
+/// projection drives.  All methods take `&self`: a medium is shared
+/// between the durability plane (appending) and the chaos projection
+/// (injecting faults) through an `Arc`.
+pub trait StorageMedium: Send + Sync {
+    /// Append bytes to `file` (creating it if absent).  The bytes are
+    /// *not* durable until [`StorageMedium::sync`] succeeds.
+    fn append(&self, file: &str, bytes: &[u8]) -> Result<(), DiskError>;
+    /// Make every pending byte of `file` durable.
+    fn sync(&self, file: &str) -> Result<(), DiskError>;
+    /// Replace `file`'s contents durably (write + fsync of a fresh file —
+    /// used for checkpoint temp files and recovery-time tail truncation,
+    /// never for the hot append path).
+    fn overwrite(&self, file: &str, bytes: &[u8]) -> Result<(), DiskError>;
+    /// Atomically rename `from` to `to`, replacing any existing `to`.
+    fn rename(&self, from: &str, to: &str) -> Result<(), DiskError>;
+    /// Delete `file`.
+    fn delete(&self, file: &str) -> Result<(), DiskError>;
+    /// Read `file` in full (durable bytes plus any still-pending tail —
+    /// what a reader of the live file would see).
+    fn read(&self, file: &str) -> Result<Vec<u8>, DiskError>;
+    /// Every file name, sorted.
+    fn list(&self) -> Vec<String>;
+    /// Size of `file` in bytes (durable + pending), if it exists.
+    fn size(&self, file: &str) -> Option<u64>;
+
+    // ----- fault hooks (no-ops on media without injection support) -----
+
+    /// Make every subsequent append fail with [`DiskError::WriteFail`]
+    /// while `on`.
+    fn set_write_fail(&self, _on: bool) {}
+    /// Make every subsequent append fail with [`DiskError::Full`] while
+    /// `on`.
+    fn set_full(&self, _on: bool) {}
+    /// Arm a torn write: the next crash keeps a seeded prefix of the
+    /// pending tail instead of discarding it cleanly.
+    fn arm_torn_write(&self, _seed: u64) {}
+    /// Flip one seeded durable byte somewhere on the medium.  Returns
+    /// whether anything was corrupted (false on an empty medium).
+    fn corrupt_byte(&self, _seed: u64) -> bool {
+        false
+    }
+}
+
+/// One simulated file.  The durable side is a list of synced chunks
+/// rather than one flat buffer: `sync` then moves the pending tail in
+/// O(1) instead of copying it — at production scale the WAL appends
+/// megabytes per tick, and a flat buffer made the simulated `fsync`
+/// (a memcpy plus reallocs) the most expensive instruction stream in
+/// the hot path, which no real disk's write-back cache would charge
+/// the caller for.
+#[derive(Debug, Default, Clone)]
+struct SimFile {
+    durable: Vec<Vec<u8>>,
+    durable_len: usize,
+    pending: Vec<u8>,
+}
+
+impl SimFile {
+    fn total_len(&self) -> usize {
+        self.durable_len + self.pending.len()
+    }
+
+    fn durable_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.durable_len);
+        for chunk in &self.durable {
+            out.extend_from_slice(chunk);
+        }
+        out
+    }
+}
+
+#[derive(Debug, Default)]
+struct DiskInner {
+    files: BTreeMap<String, SimFile>,
+    write_fail: bool,
+    full: bool,
+    torn_seed: Option<u64>,
+    counts: DiskCounts,
+}
+
+/// Deterministic in-memory disk with crash and fault-injection semantics.
+#[derive(Debug, Default)]
+pub struct SimDisk {
+    inner: Mutex<DiskInner>,
+    capacity: Option<u64>,
+}
+
+/// SplitMix64 finalizer — seeded fault placement must be a pure function
+/// of the seed, identical at any worker count.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimDisk {
+    /// Unbounded disk.
+    pub fn new() -> SimDisk {
+        SimDisk::default()
+    }
+
+    /// Disk that rejects appends with [`DiskError::Full`] once total bytes
+    /// (durable + pending) would exceed `bytes`.
+    pub fn with_capacity(bytes: u64) -> SimDisk {
+        SimDisk { inner: Mutex::new(DiskInner::default()), capacity: Some(bytes) }
+    }
+
+    /// Simulate power loss: pending bytes are discarded.  If a torn write
+    /// is armed, one seeded *prefix* of each pending tail survives instead
+    /// — a record cut mid-frame, which recovery must truncate at the last
+    /// valid CRC.
+    pub fn crash(&self) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.counts.crashes += 1;
+        let torn = inner.torn_seed.take();
+        let mut tore_something = false;
+        for (i, file) in inner.files.values_mut().enumerate() {
+            if file.pending.is_empty() {
+                continue;
+            }
+            if let Some(seed) = torn {
+                // Keep a strict prefix (never the whole tail: the point is
+                // to land mid-record) of the pending bytes.
+                let keep =
+                    (mix64(seed ^ (i as u64).rotate_left(11)) % file.pending.len() as u64) as usize;
+                if keep > 0 {
+                    file.durable.push(file.pending[..keep].to_vec());
+                    file.durable_len += keep;
+                    tore_something = true;
+                }
+            }
+            file.pending.clear();
+        }
+        if tore_something {
+            inner.counts.torn_crashes += 1;
+        }
+        // Fault windows do not survive the machine they were injected on.
+        inner.write_fail = false;
+        inner.full = false;
+    }
+
+    /// Operation and fault counters so far.
+    pub fn counts(&self) -> DiskCounts {
+        self.inner.lock().unwrap().counts
+    }
+
+    /// Total bytes on the medium (durable + pending).
+    pub fn total_bytes(&self) -> u64 {
+        let inner = self.inner.lock().unwrap();
+        inner.files.values().map(|f| f.total_len() as u64).sum()
+    }
+
+    /// Durable contents of every file — what survives a clean crash.
+    /// Tests use this to clone a disk's post-crash image.
+    pub fn durable_files(&self) -> Vec<(String, Vec<u8>)> {
+        let inner = self.inner.lock().unwrap();
+        inner.files.iter().map(|(name, f)| (name.clone(), f.durable_bytes())).collect()
+    }
+}
+
+impl StorageMedium for SimDisk {
+    fn append(&self, file: &str, bytes: &[u8]) -> Result<(), DiskError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.write_fail {
+            inner.counts.write_fails += 1;
+            return Err(DiskError::WriteFail);
+        }
+        let over_cap = self.capacity.is_some_and(|cap| {
+            let used: u64 = inner.files.values().map(|f| f.total_len() as u64).sum();
+            used + bytes.len() as u64 > cap
+        });
+        if inner.full || over_cap {
+            inner.counts.full_rejections += 1;
+            return Err(DiskError::Full);
+        }
+        inner.counts.appends += 1;
+        inner.counts.appended_bytes += bytes.len() as u64;
+        inner.files.entry(file.to_string()).or_default().pending.extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&self, file: &str) -> Result<(), DiskError> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.counts.syncs += 1;
+        let f = inner.files.get_mut(file).ok_or(DiskError::NotFound)?;
+        if !f.pending.is_empty() {
+            f.durable_len += f.pending.len();
+            let chunk = std::mem::take(&mut f.pending);
+            f.durable.push(chunk);
+        }
+        Ok(())
+    }
+
+    fn overwrite(&self, file: &str, bytes: &[u8]) -> Result<(), DiskError> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.write_fail {
+            inner.counts.write_fails += 1;
+            return Err(DiskError::WriteFail);
+        }
+        let used: u64 = inner
+            .files
+            .iter()
+            .filter(|(name, _)| name.as_str() != file)
+            .map(|(_, f)| f.total_len() as u64)
+            .sum();
+        if inner.full || self.capacity.is_some_and(|cap| used + bytes.len() as u64 > cap) {
+            inner.counts.full_rejections += 1;
+            return Err(DiskError::Full);
+        }
+        let replacement = SimFile {
+            durable: vec![bytes.to_vec()],
+            durable_len: bytes.len(),
+            pending: Vec::new(),
+        };
+        inner.files.insert(file.to_string(), replacement);
+        Ok(())
+    }
+
+    fn rename(&self, from: &str, to: &str) -> Result<(), DiskError> {
+        let mut inner = self.inner.lock().unwrap();
+        let f = inner.files.remove(from).ok_or(DiskError::NotFound)?;
+        inner.files.insert(to.to_string(), f);
+        Ok(())
+    }
+
+    fn delete(&self, file: &str) -> Result<(), DiskError> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.files.remove(file).map(|_| ()).ok_or(DiskError::NotFound)
+    }
+
+    fn read(&self, file: &str) -> Result<Vec<u8>, DiskError> {
+        let inner = self.inner.lock().unwrap();
+        let f = inner.files.get(file).ok_or(DiskError::NotFound)?;
+        let mut out = f.durable_bytes();
+        out.reserve(f.pending.len());
+        out.extend_from_slice(&f.pending);
+        Ok(out)
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.inner.lock().unwrap().files.keys().cloned().collect()
+    }
+
+    fn size(&self, file: &str) -> Option<u64> {
+        let inner = self.inner.lock().unwrap();
+        inner.files.get(file).map(|f| f.total_len() as u64)
+    }
+
+    fn set_write_fail(&self, on: bool) {
+        self.inner.lock().unwrap().write_fail = on;
+    }
+
+    fn set_full(&self, on: bool) {
+        self.inner.lock().unwrap().full = on;
+    }
+
+    fn arm_torn_write(&self, seed: u64) {
+        self.inner.lock().unwrap().torn_seed = Some(seed);
+    }
+
+    fn corrupt_byte(&self, seed: u64) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let total: u64 = inner.files.values().map(|f| f.durable_len as u64).sum();
+        if total == 0 {
+            return false;
+        }
+        let mut target = mix64(seed) % total;
+        let mut hit: Option<(String, usize)> = None;
+        for (name, f) in &inner.files {
+            if target < f.durable_len as u64 {
+                hit = Some((name.clone(), target as usize));
+                break;
+            }
+            target -= f.durable_len as u64;
+        }
+        if let Some((name, mut off)) = hit {
+            if let Some(f) = inner.files.get_mut(&name) {
+                for chunk in &mut f.durable {
+                    if off < chunk.len() {
+                        chunk[off] ^= 0x5A;
+                        inner.counts.corrupted_bytes += 1;
+                        return true;
+                    }
+                    off -= chunk.len();
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn appends_are_volatile_until_synced() {
+        let disk = SimDisk::new();
+        disk.append("a.log", b"hello ").unwrap();
+        disk.append("a.log", b"world").unwrap();
+        assert_eq!(disk.read("a.log").unwrap(), b"hello world");
+        disk.crash();
+        assert_eq!(disk.read("a.log").unwrap(), b"", "unsynced bytes vanish");
+        disk.append("a.log", b"again").unwrap();
+        disk.sync("a.log").unwrap();
+        disk.crash();
+        assert_eq!(disk.read("a.log").unwrap(), b"again", "synced bytes survive");
+        assert_eq!(disk.counts().crashes, 2);
+    }
+
+    #[test]
+    fn torn_crash_keeps_a_strict_prefix() {
+        let disk = SimDisk::new();
+        disk.append("w.seg", b"0123456789").unwrap();
+        disk.sync("w.seg").unwrap();
+        disk.append("w.seg", b"ABCDEFGHIJ").unwrap();
+        disk.arm_torn_write(7);
+        disk.crash();
+        let got = disk.read("w.seg").unwrap();
+        assert!(got.starts_with(b"0123456789"));
+        assert!(got.len() < 20, "never the whole pending tail: {}", got.len());
+        // The arm is one-shot.
+        disk.append("w.seg", b"XY").unwrap();
+        disk.crash();
+        assert_eq!(disk.read("w.seg").unwrap(), got);
+    }
+
+    #[test]
+    fn write_fail_and_full_windows() {
+        let disk = SimDisk::new();
+        disk.set_write_fail(true);
+        assert_eq!(disk.append("f", b"x"), Err(DiskError::WriteFail));
+        disk.set_write_fail(false);
+        disk.set_full(true);
+        assert_eq!(disk.append("f", b"x"), Err(DiskError::Full));
+        disk.set_full(false);
+        disk.append("f", b"x").unwrap();
+        let c = disk.counts();
+        assert_eq!((c.write_fails, c.full_rejections, c.appends), (1, 1, 1));
+    }
+
+    #[test]
+    fn capacity_cap_rejects_overflow() {
+        let disk = SimDisk::with_capacity(8);
+        disk.append("f", b"12345678").unwrap();
+        assert_eq!(disk.append("f", b"9"), Err(DiskError::Full));
+        // Overwrite within the cap is fine (it replaces, not extends).
+        disk.overwrite("f", b"1234").unwrap();
+        disk.append("f", b"5678").unwrap();
+    }
+
+    #[test]
+    fn rename_is_atomic_replace() {
+        let disk = SimDisk::new();
+        disk.overwrite("a.tmp", b"new").unwrap();
+        disk.overwrite("a", b"old").unwrap();
+        disk.rename("a.tmp", "a").unwrap();
+        assert_eq!(disk.read("a").unwrap(), b"new");
+        assert_eq!(disk.list(), vec!["a".to_string()]);
+        assert_eq!(disk.rename("missing", "x"), Err(DiskError::NotFound));
+    }
+
+    #[test]
+    fn corrupt_byte_is_seeded_and_counted() {
+        let disk = SimDisk::new();
+        assert!(!disk.corrupt_byte(1), "empty medium: nothing to corrupt");
+        disk.overwrite("f", &[0u8; 64]).unwrap();
+        assert!(disk.corrupt_byte(42));
+        let a = disk.read("f").unwrap();
+        assert_eq!(a.iter().filter(|&&b| b != 0).count(), 1);
+        // Same seed on an identical disk flips the identical byte.
+        let twin = SimDisk::new();
+        twin.overwrite("f", &[0u8; 64]).unwrap();
+        twin.corrupt_byte(42);
+        assert_eq!(a, twin.read("f").unwrap());
+        assert_eq!(disk.counts().corrupted_bytes, 1);
+    }
+}

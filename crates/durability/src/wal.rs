@@ -1,0 +1,339 @@
+//! WAL and checkpoint codecs: framed records, CRC discipline, and the
+//! segment scanner that tells a *torn tail* (crash mid-append — expected,
+//! truncate and continue) from *mid-log corruption* (bit rot — diagnose,
+//! count, fail closed).
+//!
+//! ## Record layout
+//!
+//! A segment file is the 8-byte magic `HPCMWAL1` followed by records:
+//!
+//! ```text
+//! [kind u8 = 0x01][tick u64 LE][len u32 LE][crc u32 LE][payload; len]
+//! ```
+//!
+//! The CRC covers kind + tick + len + payload, so a flipped bit anywhere
+//! in a record — header or body — fails the check.  Lengths are bounded
+//! (`MAX_RECORD_LEN`) so a corrupted length field cannot make the scanner
+//! trust a gigabyte of garbage.
+//!
+//! A checkpoint file is `HPCMCKP1` + `[len u32][crc u32][payload]` with
+//! the CRC over the payload alone.
+
+use crate::crc::{crc32, crc32_finish, crc32_update, CRC_INIT};
+use serde::{Deserialize, Serialize};
+
+/// Magic prefix of every WAL segment file.
+pub const WAL_MAGIC: &[u8; 8] = b"HPCMWAL1";
+/// Magic prefix of every checkpoint file.
+pub const CKPT_MAGIC: &[u8; 8] = b"HPCMCKP1";
+/// Record kind for a per-tick payload (the only kind today; the byte
+/// exists so future kinds don't need a new magic).
+pub const KIND_TICK: u8 = 0x01;
+/// Upper bound on a record payload.  A length field above this is
+/// corruption by definition, not a real record.
+pub const MAX_RECORD_LEN: u32 = 64 * 1024 * 1024;
+
+const HEADER_LEN: usize = 1 + 8 + 4 + 4;
+
+/// When the WAL is made durable relative to the tick that produced it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncPolicy {
+    /// `fsync` at the end of every tick: a crash loses nothing.
+    EveryTick,
+    /// `fsync` every `n` ticks: a crash loses at most the last window.
+    GroupCommit(u64),
+}
+
+impl SyncPolicy {
+    /// The worst-case number of ticks a crash can lose under this policy.
+    pub fn loss_bound(&self) -> u64 {
+        match self {
+            SyncPolicy::EveryTick => 0,
+            SyncPolicy::GroupCommit(n) => (*n).max(1),
+        }
+    }
+
+    /// Whether a tick ending at `tick` must sync.
+    pub fn should_sync(&self, tick: u64) -> bool {
+        match self {
+            SyncPolicy::EveryTick => true,
+            SyncPolicy::GroupCommit(n) => {
+                let n = (*n).max(1);
+                tick % n == n - 1
+            }
+        }
+    }
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// The tick this record captures.
+    pub tick: u64,
+    /// Opaque payload (the core's serialized tick record).
+    pub payload: Vec<u8>,
+}
+
+/// Encode one record (header + CRC + payload) into `out`.
+pub fn encode_record(tick: u64, payload: &[u8], out: &mut Vec<u8>) {
+    debug_assert!(payload.len() as u64 <= MAX_RECORD_LEN as u64);
+    let start = out.len();
+    out.push(KIND_TICK);
+    out.extend_from_slice(&tick.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&[0u8; 4]); // crc placeholder
+    out.extend_from_slice(payload);
+    // CRC over kind + tick + len + payload (everything but the crc field),
+    // streamed so the payload is never copied just to be checksummed.
+    let crc = crc32_finish(crc32_update(crc32_update(CRC_INIT, &out[start..start + 13]), payload));
+    out[start + 13..start + 17].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// How a segment scan ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ScanEnd {
+    /// Every byte parsed into valid records.
+    Clean,
+    /// The segment ends in a partial or CRC-invalid record with nothing
+    /// after it: the signature of a crash mid-append.  Recovery truncates
+    /// the file to `valid_bytes` and continues.
+    TornTail {
+        /// Bytes up to and including the last valid record.
+        valid_bytes: u64,
+        /// Bytes of torn garbage dropped after it.
+        dropped_bytes: u64,
+    },
+    /// An invalid record with more data *after* it — or a missing/broken
+    /// magic — which a torn append cannot produce.  Fail closed at this
+    /// offset; everything after is untrusted.
+    Corrupt {
+        /// Byte offset of the first bad record.
+        offset: u64,
+        /// Tick of the record preceding the damage, if any parsed.
+        tick_hint: Option<u64>,
+    },
+}
+
+/// Scan a WAL segment, returning every valid record up to the first
+/// damage and how the scan ended.  Never panics on arbitrary bytes.
+pub fn scan_segment(bytes: &[u8]) -> (Vec<WalRecord>, ScanEnd) {
+    let mut records = Vec::new();
+    if bytes.is_empty() {
+        return (records, ScanEnd::Clean);
+    }
+    if bytes.len() < WAL_MAGIC.len() {
+        // A torn first write of the magic itself.
+        return (records, ScanEnd::TornTail { valid_bytes: 0, dropped_bytes: bytes.len() as u64 });
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return (records, ScanEnd::Corrupt { offset: 0, tick_hint: None });
+    }
+    let mut off = WAL_MAGIC.len();
+    loop {
+        if off == bytes.len() {
+            return (records, ScanEnd::Clean);
+        }
+        let tick_hint = records.last().map(|r: &WalRecord| r.tick);
+        let rest = &bytes[off..];
+        // Partial header or body at EOF is a torn tail by construction:
+        // nothing can follow it.
+        let (ok, total) = validate_record(rest);
+        if ok {
+            let len = u32::from_le_bytes(rest[9..13].try_into().unwrap()) as usize;
+            let tick = u64::from_le_bytes(rest[1..9].try_into().unwrap());
+            records.push(WalRecord { tick, payload: rest[HEADER_LEN..HEADER_LEN + len].to_vec() });
+            off += total;
+            continue;
+        }
+        // Invalid record. Torn tail iff the damage plausibly runs to EOF:
+        // the record is incomplete, or it is the last thing in the file.
+        let runs_to_eof = total == 0 || off + total >= bytes.len();
+        if runs_to_eof {
+            return (
+                records,
+                ScanEnd::TornTail {
+                    valid_bytes: off as u64,
+                    dropped_bytes: (bytes.len() - off) as u64,
+                },
+            );
+        }
+        return (records, ScanEnd::Corrupt { offset: off as u64, tick_hint });
+    }
+}
+
+/// Check the record at the head of `rest`.  Returns `(valid, total_len)`;
+/// `total_len == 0` means the record is incomplete (header or body runs
+/// past EOF) and its true extent is unknowable.
+fn validate_record(rest: &[u8]) -> (bool, usize) {
+    if rest.len() < HEADER_LEN {
+        return (false, 0);
+    }
+    let kind = rest[0];
+    let len = u32::from_le_bytes(rest[9..13].try_into().unwrap());
+    if kind != KIND_TICK || len > MAX_RECORD_LEN {
+        // A bad kind or insane length leaves no trustworthy extent.
+        return (false, 0);
+    }
+    let total = HEADER_LEN + len as usize;
+    if rest.len() < total {
+        return (false, 0);
+    }
+    let stored_crc = u32::from_le_bytes(rest[13..17].try_into().unwrap());
+    let crc =
+        crc32_finish(crc32_update(crc32_update(CRC_INIT, &rest[..13]), &rest[HEADER_LEN..total]));
+    (crc == stored_crc, total)
+}
+
+/// Encode a checkpoint file: magic + len + crc + payload.
+pub fn encode_checkpoint(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(CKPT_MAGIC.len() + 8 + payload.len());
+    out.extend_from_slice(CKPT_MAGIC);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Decode a checkpoint file, returning the payload iff magic, length and
+/// CRC all check out.
+pub fn decode_checkpoint(bytes: &[u8]) -> Option<Vec<u8>> {
+    let head = CKPT_MAGIC.len() + 8;
+    if bytes.len() < head || &bytes[..CKPT_MAGIC.len()] != CKPT_MAGIC {
+        return None;
+    }
+    let len = u32::from_le_bytes(bytes[8..12].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[12..16].try_into().unwrap());
+    if bytes.len() != head + len {
+        return None;
+    }
+    let payload = &bytes[head..];
+    if crc32(payload) != crc {
+        return None;
+    }
+    Some(payload.to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn segment(records: &[(u64, &[u8])]) -> Vec<u8> {
+        let mut out = WAL_MAGIC.to_vec();
+        for (tick, payload) in records {
+            encode_record(*tick, payload, &mut out);
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_and_clean_scan() {
+        let seg = segment(&[(0, b"alpha"), (1, b"beta"), (2, b"")]);
+        let (records, end) = scan_segment(&seg);
+        assert_eq!(end, ScanEnd::Clean);
+        assert_eq!(records.len(), 3);
+        assert_eq!(records[0], WalRecord { tick: 0, payload: b"alpha".to_vec() });
+        assert_eq!(records[2], WalRecord { tick: 2, payload: Vec::new() });
+    }
+
+    #[test]
+    fn every_truncation_is_a_torn_tail_never_a_panic() {
+        let seg = segment(&[(0, b"alpha"), (1, b"longer payload here"), (2, b"z")]);
+        for end in 0..seg.len() {
+            let (records, scan) = scan_segment(&seg[..end]);
+            match scan {
+                ScanEnd::Clean => {
+                    // Only at record boundaries.
+                    assert!(records.len() <= 3);
+                }
+                ScanEnd::TornTail { valid_bytes, dropped_bytes } => {
+                    assert_eq!(valid_bytes + dropped_bytes, end as u64);
+                    let (again, end2) = scan_segment(&seg[..valid_bytes as usize]);
+                    assert_eq!(end2, ScanEnd::Clean, "truncation must be clean");
+                    assert_eq!(again, records);
+                }
+                ScanEnd::Corrupt { .. } => panic!("truncation misdiagnosed as corruption"),
+            }
+        }
+    }
+
+    #[test]
+    fn mid_log_bit_flip_is_corruption_with_a_tick_hint() {
+        let seg = segment(&[(7, b"alpha"), (8, b"beta"), (9, b"gamma")]);
+        // Flip a byte inside record 8's payload (not the last record).
+        let off = WAL_MAGIC.len() + (17 + 5) + 17; // first payload byte of record 1
+        let mut bad = seg.clone();
+        bad[off] ^= 0x01;
+        let (records, end) = scan_segment(&bad);
+        assert_eq!(records.len(), 1, "only the prefix before the damage survives");
+        match end {
+            ScanEnd::Corrupt { offset, tick_hint } => {
+                assert_eq!(offset, (WAL_MAGIC.len() + 22) as u64);
+                assert_eq!(tick_hint, Some(7));
+            }
+            other => panic!("expected Corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flip_in_the_final_record_is_a_torn_tail() {
+        let seg = segment(&[(0, b"alpha"), (1, b"beta")]);
+        let mut bad = seg.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x80;
+        let (records, end) = scan_segment(&bad);
+        assert_eq!(records.len(), 1);
+        assert!(matches!(end, ScanEnd::TornTail { .. }), "got {end:?}");
+    }
+
+    #[test]
+    fn insane_length_field_fails_closed() {
+        let mut seg = segment(&[(0, b"alpha")]);
+        let mut raw = vec![KIND_TICK];
+        raw.extend_from_slice(&1u64.to_le_bytes());
+        raw.extend_from_slice(&u32::MAX.to_le_bytes());
+        raw.extend_from_slice(&[0u8; 4]);
+        seg.extend_from_slice(&raw);
+        seg.extend_from_slice(b"trailing bytes beyond the bad record");
+        let (records, end) = scan_segment(&seg);
+        assert_eq!(records.len(), 1);
+        // Incomplete extent → treated as running to EOF → torn tail.
+        assert!(matches!(end, ScanEnd::TornTail { .. }), "got {end:?}");
+    }
+
+    #[test]
+    fn bad_magic_is_corruption_at_offset_zero() {
+        let mut seg = segment(&[(0, b"alpha")]);
+        seg[0] ^= 0xFF;
+        let (records, end) = scan_segment(&seg);
+        assert!(records.is_empty());
+        assert_eq!(end, ScanEnd::Corrupt { offset: 0, tick_hint: None });
+    }
+
+    #[test]
+    fn checkpoint_roundtrip_and_rejection() {
+        let enc = encode_checkpoint(b"snapshot bytes");
+        assert_eq!(decode_checkpoint(&enc).as_deref(), Some(&b"snapshot bytes"[..]));
+        for end in 0..enc.len() {
+            assert_eq!(decode_checkpoint(&enc[..end]), None, "truncation at {end} accepted");
+        }
+        let mut bad = enc.clone();
+        for i in 0..bad.len() {
+            bad[i] ^= 0x10;
+            assert_eq!(decode_checkpoint(&bad), None, "flip at {i} accepted");
+            bad[i] ^= 0x10;
+        }
+    }
+
+    #[test]
+    fn sync_policy_bounds() {
+        assert_eq!(SyncPolicy::EveryTick.loss_bound(), 0);
+        assert_eq!(SyncPolicy::GroupCommit(4).loss_bound(), 4);
+        assert!(SyncPolicy::EveryTick.should_sync(3));
+        let g = SyncPolicy::GroupCommit(4);
+        let syncs: Vec<u64> = (0..12).filter(|&t| g.should_sync(t)).collect();
+        assert_eq!(syncs, vec![3, 7, 11]);
+        // Degenerate group size behaves like every-tick.
+        assert_eq!(SyncPolicy::GroupCommit(0).loss_bound(), 1);
+        assert!(SyncPolicy::GroupCommit(0).should_sync(0));
+    }
+}

@@ -107,6 +107,19 @@ impl HealthConfig {
         cfg
     }
 
+    /// Add the durability SLO over the `store.durability` feed the core
+    /// supplies when a crash-durability plane is attached: WAL records
+    /// appended vs append failures + failed checkpoints + corruption
+    /// events + scrub failures.  Graded under [`Subsystem::Store`] and
+    /// keyed `store/durability`.  Without a plane the feed is absent and
+    /// the SLO stays healthy (absence of a WAL is not an outage).
+    pub fn durability(self) -> HealthConfig {
+        self.slo(
+            SloSpec::new("durability", Subsystem::Store, "store.durability", 0.999)
+                .severity(Severity::Error),
+        )
+    }
+
     /// Append an SLO.
     pub fn slo(mut self, spec: SloSpec) -> HealthConfig {
         self.slos.push(spec);

@@ -48,6 +48,10 @@ pub struct ArchiveOpCounts {
     /// the field existed — those deserialize as zero.
     #[serde(with = "count_or_zero")]
     pub empty_segments_rejected: u64,
+    /// Segment files refused because they did not parse (truncated or
+    /// bit-rotted on the cold tier).  Same legacy-default rule as above.
+    #[serde(with = "count_or_zero")]
+    pub corrupt_files_rejected: u64,
 }
 
 mod count_or_zero {
@@ -206,14 +210,30 @@ impl Archive {
                 std::io::Error::new(std::io::ErrorKind::NotFound, "no such segment")
             })?;
         let json = serde_json::to_vec(seg).map_err(std::io::Error::other)?;
-        std::fs::write(path, json)
+        // Write-then-rename so a crash mid-write can never leave a torn
+        // segment file at the catalogued path: the rename is atomic, and
+        // until it happens readers still see the old (or no) file.
+        let tmp = path.with_extension("tmp");
+        std::fs::write(&tmp, json)?;
+        match std::fs::rename(&tmp, path) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                std::fs::remove_file(&tmp).ok();
+                Err(e)
+            }
+        }
     }
 
     /// Load a previously saved segment file into this archive under a new
     /// segment id.  Returns the new catalog entry.
     pub fn load_segment(&mut self, path: &std::path::Path) -> std::io::Result<ArchiveCatalog> {
         let bytes = std::fs::read(path)?;
-        let seg: Segment = serde_json::from_slice(&bytes).map_err(std::io::Error::other)?;
+        let seg: Segment = serde_json::from_slice(&bytes).map_err(|e| {
+            // Truncated or bit-rotted file: an error row on the dashboard,
+            // never a crashed archiver.
+            self.ops.corrupt_files_rejected += 1;
+            std::io::Error::other(e)
+        })?;
         // A structurally valid file can still carry zero blocks (truncated
         // or hand-edited): surface it as an error, never a panic.
         self.file_segment(seg.blocks).map_err(std::io::Error::other)
@@ -346,6 +366,43 @@ mod tests {
         std::fs::write(&path, b"not json at all").unwrap();
         let mut archive = Archive::new();
         assert!(archive.load_segment(&path).is_err());
+        assert_eq!(archive.op_counts().corrupt_files_rejected, 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_segment_file_is_rejected_and_counted() {
+        // The torn-write scenario save_segment's temp+rename now prevents:
+        // if such a file ever does appear (e.g. copied off a dying disk),
+        // loading it must fail with a counted error, not a panic.
+        let store = TimeSeriesStore::with_options(2, 16);
+        fill(&store, 0, 0..64);
+        let mut archive = Archive::new();
+        let cat = archive.archive_before(&store, Ts::from_mins(100)).unwrap();
+        let path =
+            std::env::temp_dir().join(format!("hpcmon_truncated_{}.json", std::process::id()));
+        archive.save_segment(cat.segment, &path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        let mut fresh = Archive::new();
+        assert!(fresh.load_segment(&path).is_err());
+        let ops = fresh.op_counts();
+        assert_eq!(ops.corrupt_files_rejected, 1);
+        assert_eq!(ops.segments_filed, 0);
+        assert!(fresh.catalog().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn save_segment_leaves_no_temp_file_behind() {
+        let store = TimeSeriesStore::new();
+        fill(&store, 0, 0..10);
+        let mut archive = Archive::new();
+        let cat = archive.archive_before(&store, Ts::from_mins(100)).unwrap();
+        let path = std::env::temp_dir().join(format!("hpcmon_atomic_{}.json", std::process::id()));
+        archive.save_segment(cat.segment, &path).unwrap();
+        assert!(path.exists());
+        assert!(!path.with_extension("tmp").exists(), "temp file was renamed away");
         std::fs::remove_file(&path).ok();
     }
 
@@ -398,6 +455,7 @@ mod tests {
         let ops: ArchiveOpCounts = serde_json::from_str(legacy).unwrap();
         assert_eq!(ops.segments_filed, 3);
         assert_eq!(ops.empty_segments_rejected, 0);
+        assert_eq!(ops.corrupt_files_rejected, 0);
     }
 
     #[test]
